@@ -1,0 +1,26 @@
+//! Example parallel applications for the MPIBench/PEVPM reproduction.
+//!
+//! The paper's §6 evaluates PEVPM on the three general communication
+//! classes of message-passing programs; each is implemented here twice —
+//! as a *real* rank program executed on the simulated cluster (the
+//! "measured" side) and as a PEVPM directive model (the "predicted" side):
+//!
+//! - [`jacobi`] — Jacobi iteration: **regular-local** (halo exchange on a
+//!   1-D decomposition; the paper's main example, Figure 5/6);
+//! - [`fft`] — four-step distributed FFT: **regular-global** (personalised
+//!   all-to-all transpose);
+//! - [`taskfarm`] — dynamic bag of tasks: **irregular** (wildcard receives
+//!   at a master, data-dependent schedule).
+//!
+//! All three carry real numerics (stencil arithmetic, complex FFT
+//! butterflies, per-task work functions) so their outputs are verifiable,
+//! while their virtual-time cost is charged through calibrated serial-time
+//! constants exactly as the paper does for the Jacobi example.
+
+pub mod fft;
+pub mod jacobi;
+pub mod taskfarm;
+
+pub use fft::{FftConfig, FftRun};
+pub use jacobi::{JacobiConfig, JacobiRun};
+pub use taskfarm::{FarmConfig, FarmRun};

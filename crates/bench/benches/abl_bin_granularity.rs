@@ -1,0 +1,22 @@
+//! Abl-bins: sensitivity of PEVPM predictions to histogram bin
+//! granularity (§6: residual errors were attributed to bin size and
+//! "could be reduced even further by using smaller bin sizes").
+//!
+//! Run with `cargo bench -p pevpm-bench --bench abl_bin_granularity`.
+
+use pevpm_apps::jacobi::JacobiConfig;
+use pevpm_bench::ablate;
+use pevpm_mpibench::MachineShape;
+
+fn main() {
+    let jacobi = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let shape = MachineShape { nodes: 16, ppn: 1 };
+    eprintln!("[abl-bins] coarsening benchmark histograms at {shape}...");
+    let rows = ablate::run_bins(shape, &jacobi, &[1, 2, 4, 8, 16, 64, 256], 60, 5);
+    println!("Abl-bins: Jacobi prediction vs histogram coarsening ({shape})\n");
+    println!("{}", ablate::render_bins(&rows));
+    println!(
+        "paper: prediction error is attributed to bin granularity; drift should grow \
+         with coarsening and vanish at factor 1."
+    );
+}

@@ -1,0 +1,57 @@
+//! Collective-operation survey: MPIBench's per-process, globally-clocked
+//! measurement of collectives (§2 says MPIBench covers "all of the main
+//! types of point-to-point and collective communication operations in
+//! MPI"; the paper's figures show only MPI_Isend and refer to Grove's
+//! thesis for the rest).
+//!
+//! Run with `cargo bench -p pevpm-bench --bench coll_survey`.
+
+use pevpm_bench::report;
+use pevpm_mpibench::{run_collective, CollConfig, CollKind};
+use pevpm_mpisim::WorldConfig;
+
+fn main() {
+    let shapes = [(4usize, 1usize), (16, 1), (32, 1), (16, 2)];
+    let kinds = [
+        (CollKind::Barrier, 0u64),
+        (CollKind::Bcast, 1024),
+        (CollKind::Reduce, 1024),
+        (CollKind::Allreduce, 1024),
+        (CollKind::Alltoall, 1024),
+    ];
+    eprintln!("[coll] surveying {} collectives over {} shapes...", kinds.len(), shapes.len());
+
+    let mut rows = Vec::new();
+    for &(kind, size) in &kinds {
+        let mut row = vec![format!("{kind:?}({size}B)")];
+        for &(nodes, ppn) in &shapes {
+            let res = run_collective(&CollConfig {
+                world: WorldConfig::perseus(nodes, ppn, 7),
+                kind,
+                sizes: vec![size],
+                repetitions: 25,
+                warmup: 3,
+                clock: None,
+            })
+            .expect("collective benchmark failed");
+            let s = &res.by_size[0].summary;
+            row.push(format!(
+                "{:.0}/{:.0}",
+                s.mean().unwrap_or(0.0) * 1e6,
+                s.max().unwrap_or(0.0) * 1e6
+            ));
+        }
+        rows.push(row);
+    }
+
+    let header: Vec<String> = std::iter::once("collective".to_string())
+        .chain(shapes.iter().map(|&(n, p)| format!("{n}x{p} avg/max us")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    println!("Collective completion times per process (avg/max, us)\n");
+    println!("{}", report::table(&header_refs, &rows));
+    println!(
+        "log-scaling of barrier/bcast/reduce with rank count and the superlinear cost\n\
+         of alltoall are emergent from the binomial-tree/ring/pairwise algorithms."
+    );
+}

@@ -1,0 +1,42 @@
+//! Conventional ping-pong benchmarks vs MPIBench (§2's critique, made
+//! quantitative): what a single round-trip-average number hides about a
+//! loaded commodity network.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench conv_vs_mpibench`.
+
+use pevpm_bench::report;
+use pevpm_mpibench::compare_conventional;
+
+fn main() {
+    eprintln!("[conv] conventional ping-pong vs MPIBench across shapes...");
+    let sizes = [1024u64, 4096, 16384];
+    let mut rows = Vec::new();
+    for &(nodes, ppn) in &[(2usize, 1usize), (16, 1), (64, 1), (64, 2)] {
+        let cmps = compare_conventional(nodes, ppn, &sizes, 30, 11).expect("comparison failed");
+        for c in cmps {
+            rows.push(vec![
+                format!("{nodes}x{ppn}"),
+                c.size.to_string(),
+                report::secs(c.conventional_avg),
+                report::secs(c.mpibench.mean().unwrap_or(0.0)),
+                report::secs(c.mpibench.min().unwrap_or(0.0)),
+                report::secs(c.p99),
+                report::secs(c.mpibench.max().unwrap_or(0.0)),
+                format!("{:.2}x", c.hidden_contention_factor()),
+            ]);
+        }
+    }
+    println!("Conventional (idle round-trip/2 average) vs MPIBench (per-message, loaded)\n");
+    println!(
+        "{}",
+        report::table(
+            &["shape", "size", "conv-avg", "mb-avg", "mb-min", "mb-p99", "mb-max", "hidden"],
+            &rows
+        )
+    );
+    println!(
+        "'hidden' = loaded-network mean over the conventional number: the contention a\n\
+         single ping-pong average cannot see, which is what misleads the min/avg-2x1\n\
+         prediction baselines in Figure 6."
+    );
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the reproduction's engines: the
+//! packet-level network simulator, the MPI world scheduler, histogram
+//! sampling, and PEVPM evaluation throughput.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench engine_micro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, EvalConfig};
+use pevpm_apps::jacobi::{self, JacobiConfig};
+use pevpm_dist::{CommDist, DistKey, DistTable, Histogram, Op};
+use pevpm_mpisim::{World, WorldConfig};
+use pevpm_netsim::{ClusterConfig, Network, Time};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn netsim_throughput(c: &mut Criterion) {
+    c.bench_function("netsim: 64 ranks x 4KB all-exchange", |b| {
+        b.iter(|| {
+            let mut net = Network::new(ClusterConfig::perseus(64), 1);
+            for i in 0..32usize {
+                net.start_transfer(Time::ZERO, i, i + 32, 4096);
+                net.start_transfer(Time::ZERO, i + 32, i, 4096);
+            }
+            black_box(net.run_to_completion().len())
+        })
+    });
+}
+
+fn mpisim_pingpong(c: &mut Criterion) {
+    c.bench_function("mpisim: 100-rep ping-pong world", |b| {
+        b.iter(|| {
+            let report = World::run(WorldConfig::ideal(2, 1), |rank| {
+                for i in 0..100u64 {
+                    if rank.rank() == 0 {
+                        rank.send_size(1, i, 1024);
+                        let _ = rank.recv(1, i);
+                    } else {
+                        let _ = rank.recv(0, i);
+                        rank.send_size(0, i, 1024);
+                    }
+                }
+            })
+            .unwrap();
+            black_box(report.messages)
+        })
+    });
+}
+
+fn histogram_sampling(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..10_000).map(|i| 1e-4 + (i % 997) as f64 * 1e-7).collect();
+    let h = Histogram::from_samples(&samples, 1e-7);
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("dist: histogram inverse-CDF sample", |b| {
+        b.iter(|| black_box(h.sample(&mut rng)))
+    });
+}
+
+fn pevpm_eval(c: &mut Criterion) {
+    let mut table = DistTable::new();
+    let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
+    for &contention in &[2u32, 64] {
+        table.insert(
+            DistKey { op: Op::Send, size: 1024, contention },
+            CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
+        );
+    }
+    let timing = TimingModel::distributions(table);
+    let cfg = JacobiConfig { xsize: 256, iterations: 100, serial_secs: 3.24e-3 };
+    let model = jacobi::model(&cfg);
+    c.bench_function("pevpm: 32-proc 100-iter Jacobi evaluation", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate(&model, &EvalConfig::new(32).with_seed(1), &timing)
+                    .unwrap()
+                    .makespan,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    netsim_throughput,
+    mpisim_pingpong,
+    histogram_sampling,
+    pevpm_eval
+);
+criterion_main!(benches);

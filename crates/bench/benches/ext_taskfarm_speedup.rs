@@ -1,0 +1,27 @@
+//! Ext-farm: measured vs PEVPM-predicted execution of the irregular
+//! bag-of-tasks application (§6 mentions this class was validated in
+//! refs [9,10]). The model uses wildcard receives at the master and a
+//! static round-robin schedule approximation (DESIGN.md).
+//!
+//! Run with `cargo bench -p pevpm-bench --bench ext_taskfarm_speedup`.
+
+use pevpm_apps::taskfarm::FarmConfig;
+use pevpm_bench::ext;
+
+fn main() {
+    let cfg = FarmConfig {
+        tasks: 240,
+        work_mean_secs: 0.02,
+        work_spread_secs: 0.008,
+        ..Default::default()
+    };
+    eprintln!("[ext-farm] {} tasks, mean work {} s...", cfg.tasks, cfg.work_mean_secs);
+    // Worker counts dividing the task count: 2, 4, 8, 16 workers.
+    let rows = ext::run_farm(&[3, 5, 9, 17], &cfg, 25, 5);
+    println!(
+        "{}",
+        ext::render("Ext-farm: dynamic task farm, measured vs PEVPM(dist) predictions", &rows)
+    );
+    let worst = rows.iter().map(|r| r.error().abs()).fold(0.0, f64::max);
+    println!("worst |error|: {:.1}%", worst * 100.0);
+}

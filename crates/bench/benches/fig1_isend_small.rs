@@ -1,0 +1,27 @@
+//! Figure 1: average times for MPI_Isend using small message sizes with
+//! various numbers of communicating processes on the Perseus-like cluster,
+//! plus the `min` curve and the T-70% contention-penalty claim.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench fig1_isend_small`.
+
+use pevpm_bench::figs12;
+
+fn main() {
+    let cfg = figs12::FigsConfig::fig1();
+    eprintln!(
+        "[fig1] sweeping {} shapes x {} sizes ({} reps each)...",
+        cfg.shapes.len(),
+        cfg.sizes.len(),
+        cfg.repetitions
+    );
+    let res = figs12::run(&cfg);
+    println!("Figure 1: average MPI_Isend time (us) vs message size\n");
+    println!("{}", figs12::render(&res));
+    if let Some(p) = figs12::contention_penalty_1k(&res) {
+        println!(
+            "T-70%: a 1 KB message takes {:.0}% longer at the largest nx1 than at 2x1 \
+             (paper: ~70%)",
+            (p - 1.0) * 100.0
+        );
+    }
+}

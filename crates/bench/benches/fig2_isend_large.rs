@@ -1,0 +1,52 @@
+//! Figure 2: average times for MPI_Isend using large message sizes, with
+//! the 16 KB eager→rendezvous knee (T-knee) and the onset of backplane
+//! saturation for the 64×1 configuration.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench fig2_isend_large`.
+
+use pevpm_bench::figs12;
+use pevpm_mpibench::MachineShape;
+
+fn main() {
+    let cfg = figs12::FigsConfig::fig2();
+    eprintln!(
+        "[fig2] sweeping {} shapes x {} sizes ({} reps each)...",
+        cfg.shapes.len(),
+        cfg.sizes.len(),
+        cfg.repetitions
+    );
+    let res = figs12::run(&cfg);
+    println!("Figure 2: average MPI_Isend time (us) vs message size\n");
+    println!("{}", figs12::render(&res));
+
+    let (goodput, knee) = figs12::knee_analysis(&res);
+    println!("T-knee: effective 2x1 goodput per size:");
+    for (size, mbit) in &goodput {
+        println!("  {size:>8} B: {mbit:6.1} Mbit/s");
+    }
+    match knee {
+        Some(k) => println!(
+            "  detected protocol knee at {k} B (paper: 16 KB; ~81 Mbit/s at 16 KB)"
+        ),
+        None => println!("  no knee detected (unexpected; see EXPERIMENTS.md)"),
+    }
+
+    // Saturation onset: compare 64x1 averages against 2x1 per size.
+    if let (Some(small), Some(big)) = (
+        res.run_for(MachineShape { nodes: 2, ppn: 1 }),
+        res.run_for(MachineShape { nodes: 64, ppn: 1 }),
+    ) {
+        println!("\nSaturation: 64x1 vs 2x1 slowdown per size:");
+        for (a, b) in small.by_size.iter().zip(&big.by_size) {
+            let (Some(ta), Some(tb)) = (a.summary.mean(), b.summary.mean()) else {
+                continue;
+            };
+            println!(
+                "  {:>8} B: {:6.2}x{}",
+                a.size,
+                tb / ta,
+                if tb / ta > 5.0 { "   <-- saturated (drops + RTOs)" } else { "" }
+            );
+        }
+    }
+}

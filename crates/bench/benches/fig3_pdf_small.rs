@@ -1,0 +1,25 @@
+//! Figure 3: sampled performance profiles (PDFs) for MPI_Isend using small
+//! message sizes with 64×2 processes — high contention for the local
+//! network interface and the backplane.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench fig3_pdf_small`.
+
+use pevpm_bench::figs34;
+
+fn main() {
+    let cfg = figs34::PdfConfig::fig3();
+    eprintln!(
+        "[fig3] measuring PDFs at {}x{} for sizes {:?}...",
+        cfg.nodes, cfg.ppn, cfg.sizes
+    );
+    let series = figs34::run(&cfg);
+    println!("Figure 3: MPI_Isend time PDFs, 64x2 processes, small messages\n");
+    println!("{}", figs34::render(&series));
+    for s in &series {
+        println!(
+            "shape check (bounded min, peak near mean, fast tail): size {} -> {}",
+            s.size,
+            if figs34::is_fig3_shape(s) { "OK" } else { "DIFFERS (see EXPERIMENTS.md)" }
+        );
+    }
+}

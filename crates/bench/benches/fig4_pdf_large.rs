@@ -1,0 +1,25 @@
+//! Figure 4: sampled performance profiles for MPI_Isend using large
+//! message sizes with 64×1 processes — backplane saturation, long tails
+//! and detached retransmission-timeout outliers.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench fig4_pdf_large`.
+
+use pevpm_bench::figs34;
+
+fn main() {
+    let cfg = figs34::PdfConfig::fig4();
+    eprintln!(
+        "[fig4] measuring PDFs at {}x{} for sizes {:?}...",
+        cfg.nodes, cfg.ppn, cfg.sizes
+    );
+    let series = figs34::run(&cfg);
+    println!("Figure 4: MPI_Isend time PDFs, 64x1 processes, large messages\n");
+    println!("{}", figs34::render(&series));
+    for s in &series {
+        println!(
+            "shape check (long saturation tail / RTO outliers): size {} -> {}",
+            s.size,
+            if figs34::is_fig4_shape(s) { "OK" } else { "DIFFERS (see EXPERIMENTS.md)" }
+        );
+    }
+}

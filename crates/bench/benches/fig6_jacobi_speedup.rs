@@ -1,0 +1,48 @@
+//! Figure 6 + T-err: PEVPM-predicted and measured Jacobi speedups for
+//! 2–64 × 1–2 processes, under four prediction inputs.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench fig6_jacobi_speedup`.
+//!
+//! Speedups are against the serial execution; the per-iteration basis
+//! makes the row values independent of the iteration count (paper §6).
+
+use pevpm_apps::jacobi::JacobiConfig;
+use pevpm_bench::fig6;
+
+fn main() {
+    let cfg = fig6::Fig6Config {
+        shapes: pevpm_mpibench::paper_shapes(),
+        jacobi: JacobiConfig { xsize: 256, iterations: 300, serial_secs: 3.24e-3 },
+        bench_reps: 60,
+        seed: 2004,
+    };
+    eprintln!(
+        "[fig6] {} shapes, {} Jacobi iterations, {} benchmark reps...",
+        cfg.shapes.len(),
+        cfg.jacobi.iterations,
+        cfg.bench_reps
+    );
+    let res = fig6::run(&cfg);
+    println!("Figure 6: Jacobi speedups, measured vs PEVPM predictions\n");
+    println!("{}", fig6::render(&res));
+
+    // T-err: the paper's headline accuracy claim.
+    let errs: Vec<f64> = res
+        .rows
+        .iter()
+        .filter_map(|r| r.error("dist-nxp"))
+        .map(f64::abs)
+        .collect();
+    let max = errs.iter().cloned().fold(0.0, f64::max);
+    let within1 = errs.iter().filter(|e| **e < 0.01).count();
+    let within5 = errs.iter().filter(|e| **e < 0.05).count();
+    println!(
+        "T-err: |error| of distribution predictions: max {:.1}%; {}/{} within 1%, {}/{} within 5% \
+         (paper: always within 5%, usually within 1%)",
+        max * 100.0,
+        within1,
+        errs.len(),
+        within5,
+        errs.len()
+    );
+}

@@ -1,0 +1,85 @@
+//! Minimal text-table formatting for the figure-regeneration benches.
+
+/// Render a table with a header row and aligned columns.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = w));
+        }
+        line
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format seconds with an adaptive unit.
+pub fn secs(t: f64) -> String {
+    if t < 1e-3 {
+        format!("{:.1}us", t * 1e6)
+    } else if t < 1.0 {
+        format!("{:.2}ms", t * 1e3)
+    } else {
+        format!("{t:.3}s")
+    }
+}
+
+/// Format a ratio as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// A crude ASCII bar for histogram printouts: `#` per unit of mass.
+pub fn bar(mass: f64, scale: usize) -> String {
+    "#".repeat(((mass * scale as f64).round() as usize).min(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["size", "avg"],
+            &[
+                vec!["64".into(), "1.0".into()],
+                vec!["65536".into(), "123.4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].starts_with("65536"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(secs(5e-5), "50.0us");
+        assert_eq!(secs(0.0123), "12.30ms");
+        assert_eq!(secs(2.5), "2.500s");
+        assert_eq!(pct(0.0512), "+5.1%");
+        assert_eq!(pct(-0.01), "-1.0%");
+        assert_eq!(bar(0.5, 10), "#####");
+        assert_eq!(bar(2.0, 10), "##########");
+    }
+}

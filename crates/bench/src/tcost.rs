@@ -1,0 +1,130 @@
+//! T-cost: the paper's model-evaluation-cost claim (§6).
+//!
+//! "The 11 hours and 15 minutes of processor time consumed by actually
+//! running the Jacobi Iteration program on Perseus were simulated in just
+//! under 10 minutes by our prototype PEVPM implementation running on just
+//! one processor … about 67.5 times its actual execution speed."
+//!
+//! Here we report two ratios:
+//!
+//! - **PEVPM vs virtual time**: simulated program-seconds evaluated per
+//!   wall-clock second by the PEVPM engine (the paper's 67.5× figure —
+//!   except our Rust implementation is far faster than their prototype);
+//! - **PEVPM vs packet simulation**: PEVPM evaluation wall time vs the
+//!   packet-level `mpisim` execution wall time for the same program — the
+//!   relevant cost comparison inside this reproduction.
+
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, EvalConfig};
+use pevpm_apps::jacobi::{self, JacobiConfig};
+use pevpm_mpibench::MachineShape;
+use pevpm_mpisim::WorldConfig;
+use std::time::Instant;
+
+/// Result of the evaluation-cost experiment.
+#[derive(Debug, Clone)]
+pub struct CostResult {
+    /// Machine shape evaluated.
+    pub shape: MachineShape,
+    /// Virtual (simulated program) time of the run, in seconds.
+    pub virtual_secs: f64,
+    /// Wall-clock seconds for the PEVPM evaluation.
+    pub pevpm_wall: f64,
+    /// Wall-clock seconds for the packet-level measured execution.
+    pub mpisim_wall: f64,
+}
+
+impl CostResult {
+    /// Simulated seconds per PEVPM wall second — the paper's "times its
+    /// actual execution speed" metric, counting all processors
+    /// (processor-seconds the way the paper's 11h15m figure does).
+    pub fn realtime_factor(&self) -> f64 {
+        let procs = (self.shape.nodes * self.shape.ppn) as f64;
+        self.virtual_secs * procs / self.pevpm_wall
+    }
+
+    /// How much faster PEVPM evaluation is than packet-level simulation.
+    pub fn vs_packet_sim(&self) -> f64 {
+        self.mpisim_wall / self.pevpm_wall
+    }
+}
+
+/// Run the cost comparison for one shape.
+pub fn run(shape: MachineShape, jacobi_cfg: &JacobiConfig, bench_reps: usize, seed: u64) -> CostResult {
+    let table = crate::fig6::shape_table(
+        shape,
+        &[jacobi_cfg.halo_bytes() / 2, jacobi_cfg.halo_bytes(), jacobi_cfg.halo_bytes() * 2],
+        bench_reps,
+        seed,
+    );
+    let timing = TimingModel::distributions(table);
+    let model = jacobi::model(jacobi_cfg);
+    let nprocs = shape.nodes * shape.ppn;
+
+    let t0 = Instant::now();
+    let pred = evaluate(&model, &EvalConfig::new(nprocs).with_seed(seed), &timing)
+        .expect("PEVPM evaluation failed");
+    let pevpm_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let measured = jacobi::run_measured(
+        WorldConfig::perseus(shape.nodes, shape.ppn, seed),
+        jacobi_cfg,
+    )
+    .expect("measured run failed");
+    let mpisim_wall = t1.elapsed().as_secs_f64();
+
+    CostResult {
+        shape,
+        virtual_secs: pred.makespan.max(measured.time),
+        pevpm_wall,
+        mpisim_wall,
+    }
+}
+
+/// Render the cost table.
+pub fn render(results: &[CostResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.to_string(),
+                crate::report::secs(r.virtual_secs),
+                crate::report::secs(r.pevpm_wall),
+                crate::report::secs(r.mpisim_wall),
+                format!("{:.0}x", r.realtime_factor()),
+                format!("{:.1}x", r.vs_packet_sim()),
+            ]
+        })
+        .collect();
+    crate::report::table(
+        &["shape", "virtual", "pevpm-wall", "mpisim-wall", "vs-realtime", "vs-packet-sim"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pevpm_is_much_faster_than_realtime_and_packet_sim() {
+        let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+        let res = run(MachineShape { nodes: 8, ppn: 1 }, &cfg, 20, 11);
+        // The paper's prototype managed 67.5×; a compiled release build
+        // should beat real time by a huge margin. Debug builds (plain
+        // `cargo test`) are 10-100× slower and share the machine with
+        // other tests, so only a loose sanity bound applies there.
+        let bar = if cfg!(debug_assertions) { 2.0 } else { 67.5 };
+        assert!(
+            res.realtime_factor() > bar,
+            "realtime factor only {:.1}x (bar {bar}x)",
+            res.realtime_factor()
+        );
+        assert!(
+            res.vs_packet_sim() > 1.0,
+            "PEVPM should be faster than packet simulation: {:.2}x",
+            res.vs_packet_sim()
+        );
+    }
+}

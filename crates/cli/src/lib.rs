@@ -1,0 +1,441 @@
+//! `pevpm` — command-line interface to the MPIBench/PEVPM reproduction.
+//!
+//! ```text
+//! pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
+//!                [--pattern ring|halfsplit|adjacent] [--sizes 512,1024,...]
+//!                [--reps R] [--seed S] --out DB.dist
+//! pevpm inspect  --db DB.dist
+//! pevpm fit      --db DB.dist --out FITTED.dist
+//! pevpm annotate FILE.c
+//! pevpm predict  --model FILE.c --db DB.dist --procs N
+//!                [--mode dist|avg|min] [--pingpong] [--param k=v ...]
+//!                [--seed S]
+//! ```
+//!
+//! Command implementations return their printable output so they are unit
+//! testable; `main.rs` is a thin shell.
+
+pub mod args;
+
+use args::{ArgError, Args};
+use pevpm::timing::{PredictionMode, TimingModel};
+use pevpm::vm::{evaluate, EvalConfig};
+use pevpm_dist::{io as dist_io, CommDist, DistTable, Op};
+use pevpm_mpibench::{run_p2p, Direction, P2pConfig, PairPattern};
+use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
+use std::path::Path;
+
+/// CLI error type: a message to print on stderr.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError(e.0)
+    }
+}
+
+fn err<T>(m: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(m.into()))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+pevpm — MPI communication benchmarking and performance modelling (reproduction)
+
+USAGE:
+  pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
+                 [--pattern ring|halfsplit|adjacent] [--sizes 512,1024,...]
+                 [--reps R] [--seed S] --out DB.dist
+      Run MPIBench on a simulated cluster and save the distribution database.
+
+  pevpm inspect  --db DB.dist
+      Summarise a distribution database.
+
+  pevpm fit      --db DB.dist --out FITTED.dist
+      Replace histograms by best-fit parametric models (compact database).
+
+  pevpm annotate FILE.c
+      Parse `// PEVPM` annotations and print the extracted model.
+
+  pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
+                 [--pingpong] [--param k=v ...] [--seed S]
+      Evaluate the annotated program's PEVPM model against a database.
+";
+
+/// Boolean flags that never consume a following token.
+const BOOL_FLAGS: &[&str] = &["pingpong", "verbose", "help"];
+
+/// Dispatch a full argument vector (without the program name).
+pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
+    let args = Args::parse_with_flags(tokens, BOOL_FLAGS)?;
+    let Some(cmd) = args.positional().first().map(|s| s.as_str()) else {
+        return err(USAGE);
+    };
+    match cmd {
+        "bench" => cmd_bench(&args),
+        "inspect" => cmd_inspect(&args),
+        "fit" => cmd_fit(&args),
+        "annotate" => cmd_annotate(&args),
+        "predict" => cmd_predict(&args),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn cluster_for(machine: &str, nodes: usize) -> Result<ClusterConfig, CliError> {
+    match machine {
+        "perseus" => Ok(ClusterConfig::perseus(nodes)),
+        "gigabit" => Ok(ClusterConfig::gigabit(nodes)),
+        "lowlatency" => Ok(ClusterConfig::lowlatency(nodes)),
+        other => err(format!("unknown machine {other:?} (perseus|gigabit|lowlatency)")),
+    }
+}
+
+fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    let nodes: usize = args.require("nodes")?.parse().map_err(|_| CliError("--nodes must be an integer".into()))?;
+    let ppn: usize = args.get_parsed("ppn", 1)?;
+    let reps: usize = args.get_parsed("reps", 60)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let sizes: Vec<u64> = args.get_list("sizes", vec![256, 512, 1024, 2048, 4096])?;
+    let machine = args.get("machine").unwrap_or("perseus");
+    let pattern = match args.get("pattern").unwrap_or("ring") {
+        "ring" => PairPattern::Ring,
+        "halfsplit" => PairPattern::HalfSplit,
+        "adjacent" => PairPattern::Adjacent,
+        other => return err(format!("unknown pattern {other:?}")),
+    };
+    let out = args.require("out")?;
+
+    let world = WorldConfig {
+        cluster: cluster_for(machine, nodes)?,
+        procs_per_node: ppn,
+        placement: Placement::Block,
+        protocol: ProtocolConfig::default(),
+        seed,
+        virtual_deadline: None,
+        record_trace: false,
+    };
+    let res = run_p2p(&P2pConfig {
+        world,
+        sizes: sizes.clone(),
+        repetitions: reps,
+        warmup: (reps / 10).max(2),
+        sync_every: 1,
+        pattern,
+        direction: Direction::Exchange,
+        clock: None,
+    })
+    .map_err(|e| CliError(format!("benchmark failed: {e}")))?;
+
+    let mut table = DistTable::new();
+    res.add_to_table(&mut table, Op::Send, 100);
+    dist_io::save_table(&table, Path::new(out))
+        .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+
+    let mut report = format!(
+        "benchmarked {nodes}x{ppn} on {machine} ({} messages/size, pattern {:?})\n",
+        res.by_size.first().map(|s| s.samples.len()).unwrap_or(0),
+        pattern
+    );
+    for s in &res.by_size {
+        report.push_str(&format!(
+            "  {:>8} B: min {:>9.1}us avg {:>9.1}us max {:>10.1}us\n",
+            s.size,
+            s.summary.min().unwrap_or(0.0) * 1e6,
+            s.summary.mean().unwrap_or(0.0) * 1e6,
+            s.summary.max().unwrap_or(0.0) * 1e6,
+        ));
+    }
+    report.push_str(&format!("database written to {out}\n"));
+    Ok(report)
+}
+
+fn load_db(args: &Args) -> Result<DistTable, CliError> {
+    let path = args.require("db")?;
+    dist_io::load_table(Path::new(path)).map_err(|e| CliError(format!("cannot load {path}: {e}")))
+}
+
+fn cmd_inspect(args: &Args) -> Result<String, CliError> {
+    let table = load_db(args)?;
+    let mut out = format!("{} entries\n", table.len());
+    for (key, dist) in table.iter() {
+        let kind = match dist {
+            CommDist::Hist(h) => format!("hist[{} bins, {} samples]", h.num_bins(), h.total()),
+            CommDist::Fit(f) => format!("fit[{:?}]", f.kind),
+            CommDist::Point(_) => "point".to_string(),
+        };
+        out.push_str(&format!(
+            "  {:<10} size {:>8} B  contention {:>4}  min {:>9.1}us  mean {:>9.1}us  {}\n",
+            key.op.to_string(),
+            key.size,
+            key.contention,
+            dist.min() * 1e6,
+            dist.mean() * 1e6,
+            kind
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_fit(args: &Args) -> Result<String, CliError> {
+    let table = load_db(args)?;
+    let out_path = args.require("out")?;
+    let fitted = table.fitted();
+    let before = dist_io::write_table(&table).len();
+    let after = dist_io::write_table(&fitted).len();
+    dist_io::save_table(&fitted, Path::new(out_path))
+        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!(
+        "fitted {} entries: {} -> {} bytes ({:.1}x smaller), written to {out_path}\n",
+        fitted.len(),
+        before,
+        after,
+        before as f64 / after.max(1) as f64
+    ))
+}
+
+fn describe_model(model: &pevpm::Model) -> String {
+    fn walk(stmts: &[pevpm::Stmt], depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        for s in stmts {
+            match s {
+                pevpm::Stmt::Loop { count, var, body } => {
+                    out.push_str(&format!(
+                        "{pad}Loop iterations = {count}{}\n",
+                        var.as_ref().map(|v| format!(", var {v}")).unwrap_or_default()
+                    ));
+                    walk(body, depth + 1, out);
+                }
+                pevpm::Stmt::Runon { branches } => {
+                    out.push_str(&format!("{pad}Runon ({} branches)\n", branches.len()));
+                    for (cond, b) in branches {
+                        out.push_str(&format!("{pad}  when {cond}\n"));
+                        walk(b, depth + 2, out);
+                    }
+                }
+                pevpm::Stmt::Message { kind, size, from, to, handle, label } => {
+                    out.push_str(&format!(
+                        "{pad}Message {kind:?} size = {size}, {from} -> {to}{}{}\n",
+                        handle.as_ref().map(|h| format!(", handle {h}")).unwrap_or_default(),
+                        label.as_ref().map(|l| format!(" [{l}]")).unwrap_or_default()
+                    ));
+                }
+                pevpm::Stmt::Wait { handle, .. } => {
+                    out.push_str(&format!("{pad}Wait handle = {handle}\n"));
+                }
+                pevpm::Stmt::Serial { time, machine, .. } => {
+                    out.push_str(&format!(
+                        "{pad}Serial{} time = {time}\n",
+                        machine.as_ref().map(|m| format!(" on {m}")).unwrap_or_default()
+                    ));
+                }
+                pevpm::Stmt::Collective { op, size, .. } => {
+                    out.push_str(&format!("{pad}Collective {op:?} size = {size}\n"));
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    walk(&model.stmts, 0, &mut out);
+    out
+}
+
+fn cmd_annotate(args: &Args) -> Result<String, CliError> {
+    let Some(path) = args.positional().get(1) else {
+        return err("usage: pevpm annotate FILE.c");
+    };
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let model = pevpm::parse_annotations(&src)
+        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    Ok(format!(
+        "{} directives, free parameters {:?}\n{}",
+        model.num_stmts(),
+        model.free_variables(),
+        describe_model(&model)
+    ))
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let procs: usize = args.require("procs")?.parse().map_err(|_| CliError("--procs must be an integer".into()))?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let table = load_db(args)?;
+
+    let src = std::fs::read_to_string(model_path)
+        .map_err(|e| CliError(format!("cannot read {model_path}: {e}")))?;
+    let model = pevpm::parse_annotations(&src)
+        .map_err(|e| CliError(format!("{model_path}: {e}")))?;
+
+    let mode = match args.get("mode").unwrap_or("dist") {
+        "dist" => PredictionMode::FullDistribution,
+        "avg" => PredictionMode::Average,
+        "min" => PredictionMode::Minimum,
+        other => return err(format!("unknown mode {other:?} (dist|avg|min)")),
+    };
+    let timing = if args.has("pingpong") {
+        TimingModel::pingpong_only(&table, mode)
+    } else {
+        match mode {
+            PredictionMode::FullDistribution => TimingModel::distributions(table),
+            PredictionMode::Average => {
+                TimingModel::point(table, pevpm_dist::PointKind::Average)
+            }
+            PredictionMode::Minimum => {
+                TimingModel::point(table, pevpm_dist::PointKind::Minimum)
+            }
+        }
+    };
+
+    let mut cfg = EvalConfig::new(procs).with_seed(seed);
+    for kv in args.values("param") {
+        let Some((k, v)) = kv.split_once('=') else {
+            return err(format!("--param expects k=v, got {kv:?}"));
+        };
+        let v: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("--param {k}: bad number {v:?}")))?;
+        cfg = cfg.with_param(k, v);
+    }
+
+    let p = evaluate(&model, &cfg, &timing)
+        .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+
+    let mut out = format!(
+        "predicted makespan: {:.6} s over {} procs ({} messages)\n",
+        p.makespan, p.nprocs, p.messages
+    );
+    let mut losses: Vec<(&String, &f64)> = p.loss_by_label.iter().collect();
+    losses.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    if !losses.is_empty() {
+        out.push_str("top blocking sources:\n");
+        for (label, loss) in losses.iter().take(5) {
+            out.push_str(&format!("  {label:<24} {:.6} s\n", **loss));
+        }
+    }
+    if !p.races.is_empty() {
+        out.push_str(&format!("{} potential race(s) detected:\n", p.races.len()));
+        for (proc_, what) in p.races.iter().take(5) {
+            out.push_str(&format!("  proc {proc_}: {what}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(s: &str) -> Result<String, CliError> {
+        run(s.split_whitespace().map(String::from).collect())
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pevpm_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_cmd("help").unwrap().contains("USAGE"));
+        assert!(run_cmd("frobnicate").is_err());
+        assert!(run(vec![]).is_err());
+    }
+
+    #[test]
+    fn bench_inspect_fit_predict_pipeline() {
+        let dir = tmpdir();
+        let db = dir.join("db.dist");
+        let fitted = dir.join("fitted.dist");
+        let model = dir.join("pingpong.c");
+
+        // bench
+        let out = run_cmd(&format!(
+            "bench --nodes 4 --ppn 1 --sizes 512,1024 --reps 15 --seed 3 --out {}",
+            db.display()
+        ))
+        .unwrap();
+        assert!(out.contains("database written"), "{out}");
+        assert!(db.exists());
+
+        // inspect
+        let out = run_cmd(&format!("inspect --db {}", db.display())).unwrap();
+        assert!(out.contains("2 entries"), "{out}");
+        assert!(out.contains("hist["), "{out}");
+
+        // fit
+        let out = run_cmd(&format!(
+            "fit --db {} --out {}",
+            db.display(),
+            fitted.display()
+        ))
+        .unwrap();
+        assert!(out.contains("smaller"), "{out}");
+
+        // annotate + predict
+        std::fs::write(
+            &model,
+            "\
+// PEVPM Loop iterations = rounds
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+",
+        )
+        .unwrap();
+        let out = run_cmd(&format!("annotate {}", model.display())).unwrap();
+        assert!(out.contains("free parameters [\"rounds\"]"), "{out}");
+
+        for mode in ["dist", "avg", "min"] {
+            let out = run_cmd(&format!(
+                "predict --model {} --db {} --procs 2 --mode {mode} --param rounds=20",
+                model.display(),
+                db.display()
+            ))
+            .unwrap();
+            assert!(out.contains("predicted makespan"), "{out}");
+        }
+        // Fitted database predicts too.
+        let out = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2 --param rounds=20",
+            model.display(),
+            fitted.display()
+        ))
+        .unwrap();
+        assert!(out.contains("predicted makespan"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn predict_rejects_bad_inputs() {
+        assert!(run_cmd("predict --procs 2 --db nope.dist").is_err()); // missing --model
+        assert!(run_cmd("predict --model x.c --procs 2 --db /no/such.dist").is_err());
+        assert!(run_cmd("bench --out /tmp/x.dist").is_err()); // missing --nodes
+        assert!(run_cmd("bench --nodes 2 --machine warp --out /tmp/x.dist").is_err());
+        assert!(run_cmd("annotate").is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `pevpm` binary: thin shell over [`pevpm_cli::run`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match pevpm_cli::run(tokens) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Exact empirical cumulative distribution functions.
+//!
+//! Where [`crate::Histogram`] trades exactness for O(1) memory per bin,
+//! [`Ecdf`] retains the full sorted sample set. It is used in tests and in
+//! the bin-granularity ablation to quantify how much information binning
+//! loses, via the Kolmogorov–Smirnov distance.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a retained, sorted sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (copied and sorted; NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn new(samples: &[f64]) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "Ecdf rejects NaN samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// F(x) = P(X <= x).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (type-7 interpolated quantile).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::summary::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic: sup |F1(x) - F2(x)|.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        if self.is_empty() || other.is_empty() {
+            return if self.is_empty() && other.is_empty() { 0.0 } else { 1.0 };
+        }
+        let mut d: f64 = 0.0;
+        // The supremum is attained at a sample point of either set.
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.cdf(x) - other.cdf(x)).abs());
+        }
+        d
+    }
+
+    /// One-sample KS statistic against an arbitrary CDF function.
+    pub fn ks_distance_to(&self, cdf: impl Fn(f64) -> f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            // Compare against the ECDF immediately before and at x.
+            d = d.max((f - i as f64 / n as f64).abs());
+            d = d.max((f - (i + 1) as f64 / n as f64).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps_at_samples() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(4.0), 1.0);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_ks() {
+        let a = Ecdf::new(&[3.0, 1.0, 2.0]);
+        let b = Ecdf::new(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_ks_one() {
+        let a = Ecdf::new(&[1.0, 2.0]);
+        let b = Ecdf::new(&[10.0, 20.0]);
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn ks_is_symmetric() {
+        let a = Ecdf::new(&[1.0, 5.0, 9.0, 12.0]);
+        let b = Ecdf::new(&[2.0, 5.5, 8.0]);
+        assert!((a.ks_distance(&b) - b.ks_distance(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_sample_ks_against_uniform() {
+        // Samples exactly at uniform quantiles: KS should be small (~1/2n).
+        let n = 1000;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let e = Ecdf::new(&xs);
+        let d = e.ks_distance_to(|x| x.clamp(0.0, 1.0));
+        assert!(d <= 0.5 / n as f64 + 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn quantile_matches_sorted_order() {
+        let e = Ecdf::new(&[5.0, 1.0, 3.0]);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(3.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn empty_ecdf() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.ks_distance(&Ecdf::new(&[])), 0.0);
+        assert_eq!(e.ks_distance(&Ecdf::new(&[1.0])), 1.0);
+    }
+}

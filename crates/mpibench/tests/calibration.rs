@@ -1,0 +1,110 @@
+//! Calibration probes: verify that the simulated cluster reproduces the
+//! paper's qualitative phenomena. The `#[ignore]`d probe prints full series
+//! for manual inspection (`cargo test -p pevpm-mpibench --release -- --ignored --nocapture`);
+//! the enabled tests assert the qualitative shapes.
+
+use pevpm_mpibench::{run_p2p, P2pConfig};
+
+fn mean_at(nodes: usize, ppn: usize, size: u64, reps: usize) -> f64 {
+    let cfg = P2pConfig::perseus(nodes, ppn, vec![size], reps, 42);
+    let res = run_p2p(&cfg).unwrap();
+    res.by_size[0].summary.mean().unwrap()
+}
+
+#[test]
+fn contention_penalty_grows_with_node_count() {
+    // Paper §3: a 1 KB message takes ~70% longer at 64×1 than at 2×1.
+    // Assert the monotone growth and a substantial 64-node penalty.
+    let t2 = mean_at(2, 1, 1024, 60);
+    let t16 = mean_at(16, 1, 1024, 60);
+    let t64 = mean_at(64, 1, 1024, 40);
+    assert!(t16 > t2, "16x1 ({t16}) should exceed 2x1 ({t2})");
+    assert!(t64 > t16, "64x1 ({t64}) should exceed 16x1 ({t16})");
+    let penalty = t64 / t2 - 1.0;
+    assert!(
+        penalty > 0.25,
+        "64x1 contention penalty too small: {:.0}% (t2={t2:.6}, t64={t64:.6})",
+        penalty * 100.0
+    );
+}
+
+#[test]
+fn smp_processes_add_nic_contention() {
+    // Fig 1/2: n×2 lines sit above n×1 lines (two processes share one
+    // NIC). The effect grows with message size as NIC serialisation
+    // dominates.
+    let t1k_1 = mean_at(8, 1, 1024, 60);
+    let t1k_2 = mean_at(8, 2, 1024, 60);
+    assert!(t1k_2 > t1k_1, "8x2 ({t1k_2}) should exceed 8x1 ({t1k_1}) at 1 KB");
+    let t4k_1 = mean_at(8, 1, 4096, 60);
+    let t4k_2 = mean_at(8, 2, 4096, 60);
+    assert!(
+        t4k_2 > t4k_1 * 1.15,
+        "8x2 ({t4k_2}) should clearly exceed 8x1 ({t4k_1}) at 4 KB"
+    );
+}
+
+#[test]
+fn eager_rendezvous_knee_at_16k() {
+    // Fig 2: a knee at the 16 KB protocol switch. The per-byte cost jumps
+    // when crossing the threshold.
+    let t8k = mean_at(2, 1, 8 * 1024, 30);
+    let t14k = mean_at(2, 1, 14 * 1024, 30);
+    let t18k = mean_at(2, 1, 18 * 1024, 30);
+    // Slope below the knee (per 4 KB step, eager):
+    let eager_step = (t14k - t8k) / 6.0;
+    // Jump across the knee minus the expected linear growth:
+    let knee_jump = (t18k - t14k) - eager_step * 4.0;
+    assert!(
+        knee_jump > 100e-6,
+        "expected a rendezvous round-trip jump at 16 KB, got {knee_jump:.2e}s \
+         (t8k={t8k:.6}, t14k={t14k:.6}, t18k={t18k:.6})"
+    );
+}
+
+#[test]
+fn saturation_tails_at_64x1_large_messages() {
+    // Fig 4: at 64×1 with large messages the backplane saturates. Most
+    // losses recover via fast retransmit (milliseconds), but tail losses
+    // wait out the full RTO — producing a main mass plus detached outliers
+    // "at values related to the network's retransmission timeout
+    // parameters" (paper §3).
+    let cfg = P2pConfig::perseus(64, 1, vec![32 * 1024], 15, 7);
+    let res = run_p2p(&cfg).unwrap();
+    let samples = &res.by_size[0].samples;
+    let ecdf = pevpm_dist::Ecdf::new(samples);
+    let p50 = ecdf.quantile(0.5).unwrap();
+    let max = ecdf.quantile(1.0).unwrap();
+    assert!(
+        p50 < 0.08,
+        "main mass should recover via fast retransmit, p50={p50:.6}"
+    );
+    assert!(
+        max > 0.15,
+        "expected detached RTO outliers beyond 150 ms, max={max:.6}"
+    );
+    assert!(
+        max > p50 * 3.0,
+        "outliers should be detached from the mass: p50={p50:.6}, max={max:.6}"
+    );
+}
+
+#[test]
+#[ignore = "manual calibration probe; prints full series"]
+fn print_calibration_series() {
+    for &(nodes, ppn) in &[(2usize, 1usize), (8, 1), (32, 1), (64, 1), (8, 2), (64, 2)] {
+        let sizes = vec![64, 256, 1024, 4096, 16384, 65536];
+        let cfg = P2pConfig::perseus(nodes, ppn, sizes, 30, 42);
+        let res = run_p2p(&cfg).unwrap();
+        println!("== {nodes}x{ppn} ==");
+        for r in &res.by_size {
+            println!(
+                "  size {:>7}: min {:>10.1}us avg {:>10.1}us max {:>10.1}us",
+                r.size,
+                r.summary.min().unwrap() * 1e6,
+                r.summary.mean().unwrap() * 1e6,
+                r.summary.max().unwrap() * 1e6,
+            );
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Configuration of a simulated MPI world.
+
+use pevpm_netsim::{ClusterConfig, Dur};
+use serde::{Deserialize, Serialize};
+
+/// How MPI ranks are laid out over physical nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Consecutive ranks share a node (MPICH default): rank r is on node
+    /// `r / procs_per_node`. The paper's `n×p` notation assumes this.
+    Block,
+    /// Ranks cycle over nodes: rank r is on node `r % nodes`.
+    RoundRobin,
+}
+
+/// MPI-library-level protocol parameters (MPICH-1.2-like).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Messages strictly smaller than this are sent eagerly; larger ones use
+    /// the rendezvous (RTS/CTS) protocol. MPICH 1.2's 16 KB threshold is the
+    /// cause of the knee in the paper's Figure 2.
+    pub eager_threshold: u64,
+    /// Size of RTS/CTS control messages on the wire.
+    pub ctrl_bytes: u64,
+    /// CPU cost of matching an envelope against the receive queue.
+    pub match_cost: Dur,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            eager_threshold: 16 * 1024,
+            ctrl_bytes: 64,
+            match_cost: Dur::from_micros(2),
+        }
+    }
+}
+
+/// Complete description of a simulated MPI world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// The physical cluster beneath the MPI library.
+    pub cluster: ClusterConfig,
+    /// MPI processes per node (`p` in the paper's `n×p` notation).
+    pub procs_per_node: usize,
+    /// Rank→node layout.
+    pub placement: Placement,
+    /// MPI protocol parameters.
+    pub protocol: ProtocolConfig,
+    /// RNG seed for the network's stochastic elements.
+    pub seed: u64,
+    /// Abort if virtual time exceeds this bound (guards against runaway
+    /// programs in tests); `None` disables the check.
+    pub virtual_deadline: Option<Dur>,
+    /// Record per-rank operation timelines (see [`crate::trace`]).
+    pub record_trace: bool,
+}
+
+impl WorldConfig {
+    /// A Perseus-like world of `nodes × procs_per_node` ranks.
+    pub fn perseus(nodes: usize, procs_per_node: usize, seed: u64) -> Self {
+        WorldConfig {
+            cluster: ClusterConfig::perseus(nodes),
+            procs_per_node,
+            placement: Placement::Block,
+            protocol: ProtocolConfig::default(),
+            seed,
+            virtual_deadline: None,
+            record_trace: false,
+        }
+    }
+
+    /// An idealised (deterministic, lossless) world for unit tests.
+    pub fn ideal(nodes: usize, procs_per_node: usize) -> Self {
+        WorldConfig {
+            cluster: ClusterConfig::ideal(nodes),
+            procs_per_node,
+            placement: Placement::Block,
+            protocol: ProtocolConfig::default(),
+            seed: 0,
+            virtual_deadline: None,
+            record_trace: false,
+        }
+    }
+
+    /// Total number of MPI ranks.
+    pub fn nranks(&self) -> usize {
+        self.cluster.nodes * self.procs_per_node
+    }
+
+    /// Physical node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        match self.placement {
+            Placement::Block => rank / self.procs_per_node,
+            Placement::RoundRobin => rank % self.cluster.nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_groups_consecutive_ranks() {
+        let cfg = WorldConfig::perseus(4, 2, 0);
+        assert_eq!(cfg.nranks(), 8);
+        assert_eq!(cfg.node_of(0), 0);
+        assert_eq!(cfg.node_of(1), 0);
+        assert_eq!(cfg.node_of(2), 1);
+        assert_eq!(cfg.node_of(7), 3);
+    }
+
+    #[test]
+    fn round_robin_placement_cycles() {
+        let mut cfg = WorldConfig::perseus(4, 2, 0);
+        cfg.placement = Placement::RoundRobin;
+        assert_eq!(cfg.node_of(0), 0);
+        assert_eq!(cfg.node_of(1), 1);
+        assert_eq!(cfg.node_of(4), 0);
+        assert_eq!(cfg.node_of(5), 1);
+    }
+
+    #[test]
+    fn default_protocol_matches_mpich() {
+        let p = ProtocolConfig::default();
+        assert_eq!(p.eager_threshold, 16 * 1024);
+    }
+}

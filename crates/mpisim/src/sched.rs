@@ -1,0 +1,754 @@
+//! The virtual-time scheduler and MPI message-progress engine.
+//!
+//! Ranks run as real OS threads, but **exactly one runs at a time**: every
+//! MPI call is a syscall to this scheduler, which interleaves rank
+//! execution with network events in strict virtual-time order. This yields
+//! deterministic simulation (per seed) while letting applications be
+//! written as ordinary Rust functions.
+//!
+//! The message engine implements MPICH-1.2-like semantics:
+//!
+//! - **eager protocol** for messages under the threshold: data is pushed
+//!   into the network immediately and buffered at the receiver if no
+//!   matching receive is posted yet;
+//! - **rendezvous protocol** (RTS → CTS → data) above the threshold — the
+//!   cause of the 16 KB knee in the paper's Figure 2;
+//! - envelope matching in **per-pair send order** (TCP streams are FIFO, so
+//!   a retransmission stall delays everything behind it), with
+//!   MPI_ANY_SOURCE / MPI_ANY_TAG wildcards and posted/unexpected queues;
+//! - intra-node messages bypass the network (shared-memory path).
+//!
+//! Progress is idealised: protocol transitions (e.g. sending a CTS) happen
+//! at their natural virtual time even if the host rank is blocked — i.e. an
+//! asynchronous progress engine, unlike real MPICH 1.2 which progressed
+//! only inside MPI calls. This is the right model for PEVPM comparison and
+//! is documented in DESIGN.md.
+
+use crate::config::WorldConfig;
+use crate::msg::{Call, MsgMeta, Reply, Request, SimAborted, SrcSel, Tag, TagSel};
+use crate::rank::Rank;
+use crate::trace::TraceEvent;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pevpm_netsim::network::{Completion, NetStats, TransferId};
+use pevpm_netsim::{Dur, Network, Time};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time at which the last rank finished.
+    pub virtual_time: Time,
+    /// Final virtual clock of every rank.
+    pub clocks: Vec<Time>,
+    /// Network-level statistics.
+    pub net_stats: NetStats,
+    /// Total point-to-point messages sent (including collectives' internal
+    /// messages).
+    pub messages: u64,
+    /// Per-rank operation timelines; `Some` when
+    /// `WorldConfig::record_trace` was set.
+    pub traces: Option<Vec<Vec<TraceEvent>>>,
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone)]
+pub enum SimError {
+    /// No rank can make progress and no network event is pending.
+    Deadlock {
+        /// Virtual time of the deadlock.
+        time: Time,
+        /// The blocked ranks and the operations they are stuck in.
+        blocked: Vec<(usize, String)>,
+    },
+    /// A rank's program panicked.
+    RankPanic {
+        /// Which rank panicked.
+        rank: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// Virtual time exceeded `WorldConfig::virtual_deadline`.
+    DeadlineExceeded {
+        /// The deadline that was crossed.
+        time: Time,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { time, blocked } => {
+                write!(f, "deadlock at {time}: ")?;
+                for (i, (r, d)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "rank {r} blocked in {d}")?;
+                }
+                Ok(())
+            }
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::DeadlineExceeded { time } => {
+                write!(f, "virtual deadline exceeded at {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A simulated MPI world. Construct with a [`WorldConfig`] and run a rank
+/// program over it.
+pub struct World;
+
+impl World {
+    /// Run `program` once per rank and simulate until every rank returns.
+    ///
+    /// The closure receives a [`Rank`] handle; it may capture shared state
+    /// (`Arc<Mutex<..>>`) to extract results — rank syscalls are serialised
+    /// by the scheduler, and collection vectors indexed per rank stay
+    /// deterministic.
+    pub fn run<F>(cfg: WorldConfig, program: F) -> Result<RunReport, SimError>
+    where
+        F: Fn(&mut Rank) + Send + Sync,
+    {
+        let nranks = cfg.nranks();
+        assert!(nranks > 0, "world must have at least one rank");
+
+        let mut call_rx: Vec<Receiver<Call>> = Vec::with_capacity(nranks);
+        let mut reply_tx: Vec<Sender<Reply>> = Vec::with_capacity(nranks);
+        let mut rank_ends: Vec<Option<(Sender<Call>, Receiver<Reply>)>> =
+            Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            let (ctx, crx) = unbounded::<Call>();
+            let (rtx, rrx) = unbounded::<Reply>();
+            call_rx.push(crx);
+            reply_tx.push(rtx);
+            rank_ends.push(Some((ctx, rrx)));
+        }
+
+        let mut engine = Engine::new(cfg.clone(), call_rx, reply_tx);
+        let program = &program;
+
+        std::thread::scope(|s| {
+            for (r, ends) in rank_ends.iter_mut().enumerate() {
+                let (ctx, rrx) = ends.take().expect("rank endpoints");
+                let node = cfg.node_of(r);
+                let tracing = cfg.record_trace;
+                s.spawn(move || {
+                    let mut rank = Rank::new(r, nranks, node, ctx, rrx, tracing);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| program(&mut rank)));
+                    match outcome {
+                        Ok(()) => rank.send_finish(),
+                        Err(e) => {
+                            if e.downcast_ref::<SimAborted>().is_none() {
+                                let msg = panic_message(&e);
+                                rank.send_aborted(msg);
+                            }
+                            // SimAborted: scheduler is tearing down; exit.
+                        }
+                    }
+                });
+            }
+            let result = engine.main_loop();
+            if result.is_err() {
+                engine.poison_all();
+            }
+            result.map(|()| engine.report())
+        })
+    }
+}
+
+fn panic_message(e: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+type MsgId = usize;
+type ReqId = usize;
+
+/// Where an in-flight transfer fits in the MPI protocol.
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    /// Eager message: envelope + data together.
+    EagerData(MsgId),
+    /// Rendezvous request-to-send (envelope only).
+    Rts(MsgId),
+    /// Rendezvous clear-to-send (receiver → sender control).
+    Cts(MsgId),
+    /// Rendezvous payload.
+    RndvData(MsgId),
+}
+
+/// Where a matched message must be delivered.
+#[derive(Debug, Clone, Copy)]
+enum RecvTarget {
+    /// A rank blocked in `recv`.
+    Block { rank: usize, post_time: Time },
+    /// A nonblocking `irecv` request.
+    Req { req: ReqId, post_time: Time },
+}
+
+impl RecvTarget {
+    fn post_time(&self) -> Time {
+        match self {
+            RecvTarget::Block { post_time, .. } | RecvTarget::Req { post_time, .. } => *post_time,
+        }
+    }
+}
+
+/// Who is waiting for sender-side completion of a rendezvous message.
+#[derive(Debug, Clone, Copy)]
+enum SenderWait {
+    Block(usize),
+    Req(ReqId),
+}
+
+#[derive(Debug)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    tag: Tag,
+    bytes: u64,
+    payload: Bytes,
+    eager: bool,
+    /// Per-(src,dst) send sequence number for envelope ordering.
+    seq: u64,
+    /// Envelope visible (in-order arrived) time.
+    visible_at: Option<Time>,
+    /// Receive target once matched (rendezvous keeps it until data lands).
+    matched: Option<RecvTarget>,
+    /// Sender waiting for rendezvous completion.
+    sender_wait: Option<SenderWait>,
+}
+
+#[derive(Debug)]
+enum ReqState {
+    /// Send posted; completion time not yet known (rendezvous awaiting CTS).
+    SendPending,
+    /// Send will be locally complete at this time.
+    SendDone(Time),
+    /// Receive posted, not yet delivered.
+    RecvPending,
+    /// Receive delivered at this time with this envelope and payload.
+    RecvDone(Time, MsgMeta, Bytes),
+    /// Request already waited on.
+    Consumed,
+}
+
+struct ReqEntry {
+    state: ReqState,
+    /// Rank blocked in `wait` on this request, if any.
+    waiter: Option<usize>,
+}
+
+struct Posted {
+    src: SrcSel,
+    tag: TagSel,
+    target: RecvTarget,
+}
+
+struct Engine {
+    cfg: WorldConfig,
+    net: Network,
+    clocks: Vec<Time>,
+    ready: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    ready_seq: u64,
+    pending_reply: Vec<Option<Reply>>,
+    finished: Vec<bool>,
+    nfinished: usize,
+    blocked_desc: Vec<Option<String>>,
+    call_rx: Vec<Receiver<Call>>,
+    reply_tx: Vec<Sender<Reply>>,
+
+    msgs: Vec<Msg>,
+    purpose: HashMap<TransferId, Purpose>,
+    pair_send_seq: HashMap<(usize, usize), u64>,
+    pair_env_next: HashMap<(usize, usize), u64>,
+    pair_env_buf: HashMap<(usize, usize), BTreeMap<u64, (MsgId, Time)>>,
+    pair_env_visible: HashMap<(usize, usize), Time>,
+    /// Per destination rank: visible but unmatched envelopes, in visible
+    /// order (the "unexpected message queue").
+    pending_env: Vec<VecDeque<MsgId>>,
+    /// Per destination rank: posted but unmatched receives, in post order.
+    posted: Vec<VecDeque<Posted>>,
+    reqs: Vec<ReqEntry>,
+    msg_count: u64,
+    traces: Vec<Vec<TraceEvent>>,
+}
+
+impl Engine {
+    fn new(cfg: WorldConfig, call_rx: Vec<Receiver<Call>>, reply_tx: Vec<Sender<Reply>>) -> Self {
+        let nranks = cfg.nranks();
+        let net = Network::new(cfg.cluster.clone(), cfg.seed);
+        let mut ready = BinaryHeap::new();
+        for r in 0..nranks {
+            ready.push(Reverse((Time::ZERO, r as u64, r)));
+        }
+        Engine {
+            net,
+            clocks: vec![Time::ZERO; nranks],
+            ready,
+            ready_seq: nranks as u64,
+            pending_reply: (0..nranks).map(|_| None).collect(),
+            finished: vec![false; nranks],
+            nfinished: 0,
+            blocked_desc: vec![None; nranks],
+            call_rx,
+            reply_tx,
+            msgs: Vec::new(),
+            purpose: HashMap::new(),
+            pair_send_seq: HashMap::new(),
+            pair_env_next: HashMap::new(),
+            pair_env_buf: HashMap::new(),
+            pair_env_visible: HashMap::new(),
+            pending_env: (0..nranks).map(|_| VecDeque::new()).collect(),
+            posted: (0..nranks).map(|_| VecDeque::new()).collect(),
+            reqs: Vec::new(),
+            msg_count: 0,
+            traces: (0..nranks).map(|_| Vec::new()).collect(),
+            cfg,
+        }
+    }
+
+    fn report(&mut self) -> RunReport {
+        let virtual_time = self.clocks.iter().copied().max().unwrap_or(Time::ZERO);
+        RunReport {
+            virtual_time,
+            clocks: self.clocks.clone(),
+            net_stats: *self.net.stats(),
+            messages: self.msg_count,
+            traces: if self.cfg.record_trace {
+                Some(std::mem::take(&mut self.traces))
+            } else {
+                None
+            },
+        }
+    }
+
+    fn poison_all(&mut self) {
+        for (r, tx) in self.reply_tx.iter().enumerate() {
+            if !self.finished[r] {
+                let _ = tx.send(Reply::Poison);
+            }
+        }
+    }
+
+    /// CPU time the sender spends injecting a message of `bytes`.
+    fn inj_cost(&self, bytes: u64) -> Dur {
+        let c = &self.cfg.cluster;
+        c.send_overhead + Dur::from_nanos(c.per_frame_overhead.as_nanos() * c.frames_for(bytes))
+    }
+
+    fn node(&self, rank: usize) -> usize {
+        self.cfg.node_of(rank)
+    }
+
+    fn schedule_wake(&mut self, rank: usize, at: Time, reply: Reply) {
+        debug_assert!(self.pending_reply[rank].is_none(), "double wake for rank {rank}");
+        self.pending_reply[rank] = Some(reply);
+        self.blocked_desc[rank] = None;
+        self.ready_seq += 1;
+        self.ready.push(Reverse((at, self.ready_seq, rank)));
+    }
+
+    /// Process all network events strictly up to time `t`, reacting to each
+    /// completion at its own timestamp so protocol responses (CTS, data)
+    /// are injected causally.
+    fn advance_net(&mut self, t: Time) {
+        while let Some(tn) = self.net.next_event_time() {
+            if tn > t {
+                break;
+            }
+            let completions: Vec<Completion> = self.net.advance_until(tn);
+            for c in completions {
+                self.handle_completion(c);
+            }
+        }
+    }
+
+    fn main_loop(&mut self) -> Result<(), SimError> {
+        let nranks = self.cfg.nranks();
+        let deadline = self.cfg.virtual_deadline.map(|d| Time::ZERO + d);
+        loop {
+            if self.nfinished == nranks {
+                return Ok(());
+            }
+            let t_rank = self.ready.peek().map(|Reverse((t, _, _))| *t);
+            let t_net = self.net.next_event_time();
+            let t_next = match (t_rank, t_net) {
+                (None, None) => {
+                    let blocked = self
+                        .blocked_desc
+                        .iter()
+                        .enumerate()
+                        .filter(|(r, _)| !self.finished[*r])
+                        .map(|(r, d)| (r, d.clone().unwrap_or_else(|| "<unknown>".into())))
+                        .collect();
+                    return Err(SimError::Deadlock { time: self.net.now(), blocked });
+                }
+                (Some(tr), Some(tn)) => tr.min(tn),
+                (Some(tr), None) => tr,
+                (None, Some(tn)) => tn,
+            };
+            if let Some(dl) = deadline {
+                if t_next > dl {
+                    return Err(SimError::DeadlineExceeded { time: t_next });
+                }
+            }
+            // Network strictly first at equal times: completions at t may
+            // wake ranks that then run at t.
+            if t_rank.is_none() || t_net.is_some_and(|tn| tn < t_rank.unwrap()) {
+                self.advance_net(t_net.unwrap());
+                continue;
+            }
+            let Reverse((t, _, r)) = self.ready.pop().unwrap();
+            self.advance_net(t);
+            self.clocks[r] = self.clocks[r].max(t);
+            if let Some(reply) = self.pending_reply[r].take() {
+                let _ = self.reply_tx[r].send(reply);
+            }
+            self.serve(r)?;
+        }
+    }
+
+    /// Serve syscalls from the running rank `r` until it blocks, yields or
+    /// finishes.
+    fn serve(&mut self, r: usize) -> Result<(), SimError> {
+        loop {
+            let call = match self.call_rx[r].recv() {
+                Ok(c) => c,
+                Err(_) => {
+                    return Err(SimError::RankPanic {
+                        rank: r,
+                        message: "rank thread exited without Finish".into(),
+                    })
+                }
+            };
+            match call {
+                Call::Finish(trace) => {
+                    self.finished[r] = true;
+                    self.nfinished += 1;
+                    if self.cfg.record_trace {
+                        self.traces[r] = trace;
+                    }
+                    return Ok(());
+                }
+                Call::Aborted(message) => return Err(SimError::RankPanic { rank: r, message }),
+                Call::Compute(d) => {
+                    let wake = self.clocks[r] + d;
+                    self.clocks[r] = wake;
+                    self.schedule_wake(r, wake, Reply::Ok { clock: wake });
+                    return Ok(());
+                }
+                Call::Send { dst, tag, bytes, payload } => {
+                    let local = self.node(r) == self.node(dst);
+                    let eager = local || bytes < self.cfg.protocol.eager_threshold;
+                    let mid = self.new_msg(r, dst, tag, bytes, payload, eager);
+                    if eager {
+                        let t0 = self.clocks[r];
+                        let tid = self.net.start_transfer(t0, self.node(r), self.node(dst), bytes);
+                        self.purpose.insert(tid, Purpose::EagerData(mid));
+                        let done = t0 + self.inj_cost(bytes);
+                        self.clocks[r] = done;
+                        let _ = self.reply_tx[r].send(Reply::Ok { clock: done });
+                        // continue serving: eager send does not yield
+                    } else {
+                        self.post_rts(mid);
+                        self.msgs[mid].sender_wait = Some(SenderWait::Block(r));
+                        self.blocked_desc[r] =
+                            Some(format!("Send(dst={dst}, tag={tag}, bytes={bytes}) [rendezvous]"));
+                        return Ok(());
+                    }
+                }
+                Call::Isend { dst, tag, bytes, payload } => {
+                    let local = self.node(r) == self.node(dst);
+                    let eager = local || bytes < self.cfg.protocol.eager_threshold;
+                    let mid = self.new_msg(r, dst, tag, bytes, payload, eager);
+                    let req = self.new_req();
+                    if eager {
+                        let t0 = self.clocks[r];
+                        let tid = self.net.start_transfer(t0, self.node(r), self.node(dst), bytes);
+                        self.purpose.insert(tid, Purpose::EagerData(mid));
+                        self.reqs[req].state = ReqState::SendDone(t0 + self.inj_cost(bytes));
+                    } else {
+                        self.post_rts(mid);
+                        self.msgs[mid].sender_wait = Some(SenderWait::Req(req));
+                        self.reqs[req].state = ReqState::SendPending;
+                    }
+                    let clock = self.clocks[r];
+                    let _ = self.reply_tx[r].send(Reply::Posted { clock, req: Request(req as u64) });
+                }
+                Call::Recv { src, tag } => {
+                    let target = RecvTarget::Block { rank: r, post_time: self.clocks[r] };
+                    self.blocked_desc[r] = Some(format!("Recv(src={src:?}, tag={tag:?})"));
+                    self.post_recv(r, src, tag, target);
+                    return Ok(());
+                }
+                Call::Irecv { src, tag } => {
+                    let req = self.new_req();
+                    self.reqs[req].state = ReqState::RecvPending;
+                    let target = RecvTarget::Req { req, post_time: self.clocks[r] };
+                    self.post_recv(r, src, tag, target);
+                    let clock = self.clocks[r];
+                    let _ = self.reply_tx[r].send(Reply::Posted { clock, req: Request(req as u64) });
+                }
+                Call::Wait { req } => {
+                    let rid = req.0 as usize;
+                    match &self.reqs[rid].state {
+                        ReqState::SendDone(t) => {
+                            let wake = self.clocks[r].max(*t);
+                            self.clocks[r] = wake;
+                            self.reqs[rid].state = ReqState::Consumed;
+                            self.schedule_wake(r, wake, Reply::Ok { clock: wake });
+                        }
+                        ReqState::RecvDone(..) => {
+                            let ReqState::RecvDone(t, meta, payload) =
+                                std::mem::replace(&mut self.reqs[rid].state, ReqState::Consumed)
+                            else {
+                                unreachable!()
+                            };
+                            let wake = self.clocks[r].max(t);
+                            self.clocks[r] = wake;
+                            self.schedule_wake(r, wake, Reply::Msg { clock: wake, meta, payload });
+                        }
+                        ReqState::SendPending | ReqState::RecvPending => {
+                            self.reqs[rid].waiter = Some(r);
+                            self.blocked_desc[r] = Some(format!("Wait(req={})", req.0));
+                        }
+                        ReqState::Consumed => {
+                            panic!("rank {r} waited on request {} twice", req.0)
+                        }
+                    }
+                    return Ok(());
+                }
+                Call::Test { req } => {
+                    let rid = req.0 as usize;
+                    let clock = self.clocks[r];
+                    let done = match &self.reqs[rid].state {
+                        ReqState::SendDone(t) if *t <= clock => {
+                            self.reqs[rid].state = ReqState::Consumed;
+                            Some(None)
+                        }
+                        ReqState::RecvDone(t, ..) if *t <= clock => {
+                            let ReqState::RecvDone(_, meta, payload) =
+                                std::mem::replace(&mut self.reqs[rid].state, ReqState::Consumed)
+                            else {
+                                unreachable!()
+                            };
+                            Some(Some((meta, payload)))
+                        }
+                        _ => None,
+                    };
+                    let _ = self.reply_tx[r].send(Reply::TestResult { clock, done });
+                }
+            }
+        }
+    }
+
+    fn new_msg(
+        &mut self,
+        src: usize,
+        dst: usize,
+        tag: Tag,
+        bytes: u64,
+        payload: Bytes,
+        eager: bool,
+    ) -> MsgId {
+        let seq = self.pair_send_seq.entry((src, dst)).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        self.msg_count += 1;
+        self.msgs.push(Msg {
+            src,
+            dst,
+            tag,
+            bytes,
+            payload,
+            eager,
+            seq: s,
+            visible_at: None,
+            matched: None,
+            sender_wait: None,
+        });
+        self.msgs.len() - 1
+    }
+
+    fn new_req(&mut self) -> ReqId {
+        self.reqs.push(ReqEntry { state: ReqState::SendPending, waiter: None });
+        self.reqs.len() - 1
+    }
+
+    /// Send the rendezvous request-to-send control message.
+    fn post_rts(&mut self, mid: MsgId) {
+        let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
+        let t0 = self.clocks[src];
+        let ctrl = self.cfg.protocol.ctrl_bytes;
+        let tid = self.net.start_transfer(t0, self.node(src), self.node(dst), ctrl);
+        self.purpose.insert(tid, Purpose::Rts(mid));
+    }
+
+    fn matches(m: &Msg, src: SrcSel, tag: TagSel) -> bool {
+        let src_ok = match src {
+            SrcSel::Any => true,
+            SrcSel::Rank(s) => m.src == s,
+        };
+        let tag_ok = match tag {
+            TagSel::Any => true,
+            TagSel::Tag(t) => m.tag == t,
+        };
+        src_ok && tag_ok
+    }
+
+    fn post_recv(&mut self, dst: usize, src: SrcSel, tag: TagSel, target: RecvTarget) {
+        let hit = self.pending_env[dst]
+            .iter()
+            .position(|&m| Self::matches(&self.msgs[m], src, tag));
+        match hit {
+            Some(pos) => {
+                let mid = self.pending_env[dst].remove(pos).unwrap();
+                self.match_msg(mid, target);
+            }
+            None => self.posted[dst].push_back(Posted { src, tag, target }),
+        }
+    }
+
+    fn handle_completion(&mut self, c: Completion) {
+        let purpose = self
+            .purpose
+            .remove(&c.id)
+            .expect("completion for unknown transfer");
+        match purpose {
+            Purpose::EagerData(mid) | Purpose::Rts(mid) => {
+                self.on_env_arrival(mid, c.delivered_at);
+            }
+            Purpose::Cts(mid) => {
+                let (src, dst, bytes) =
+                    (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
+                let t0 = c.delivered_at;
+                let tid = self.net.start_transfer(t0, self.node(src), self.node(dst), bytes);
+                self.purpose.insert(tid, Purpose::RndvData(mid));
+                let done = t0 + self.inj_cost(bytes);
+                match self.msgs[mid].sender_wait.take() {
+                    Some(SenderWait::Block(r)) => {
+                        self.clocks[r] = done;
+                        self.schedule_wake(r, done, Reply::Ok { clock: done });
+                    }
+                    Some(SenderWait::Req(req)) => self.complete_send_req(req, done),
+                    None => {}
+                }
+            }
+            Purpose::RndvData(mid) => {
+                let target = self.msgs[mid]
+                    .matched
+                    .take()
+                    .expect("rendezvous data without a matched receive");
+                let wake = c.delivered_at.max(target.post_time()) + self.cfg.protocol.match_cost;
+                self.deliver(mid, target, wake);
+            }
+        }
+    }
+
+    /// Envelope arrived on the wire: apply per-pair in-order visibility,
+    /// then run matching for every envelope that became visible.
+    fn on_env_arrival(&mut self, mid: MsgId, at: Time) {
+        let pair = (self.msgs[mid].src, self.msgs[mid].dst);
+        self.pair_env_buf
+            .entry(pair)
+            .or_default()
+            .insert(self.msgs[mid].seq, (mid, at));
+        loop {
+            let next = *self.pair_env_next.entry(pair).or_insert(0);
+            let Some(&(m2, a2)) = self.pair_env_buf.get(&pair).and_then(|b| b.get(&next)) else {
+                break;
+            };
+            self.pair_env_buf.get_mut(&pair).unwrap().remove(&next);
+            *self.pair_env_next.get_mut(&pair).unwrap() += 1;
+            let vis_entry = self.pair_env_visible.entry(pair).or_insert(Time::ZERO);
+            let vis = a2.max(*vis_entry);
+            *vis_entry = vis;
+            self.on_envelope_visible(m2, vis);
+        }
+    }
+
+    fn on_envelope_visible(&mut self, mid: MsgId, visible: Time) {
+        self.msgs[mid].visible_at = Some(visible);
+        let dst = self.msgs[mid].dst;
+        let hit = self.posted[dst].iter().position(|p| {
+            Self::matches(&self.msgs[mid], p.src, p.tag)
+        });
+        match hit {
+            Some(pos) => {
+                let p = self.posted[dst].remove(pos).unwrap();
+                self.match_msg(mid, p.target);
+            }
+            None => self.pending_env[dst].push_back(mid),
+        }
+    }
+
+    /// An envelope met a receive: deliver (eager) or start the rendezvous
+    /// CTS handshake.
+    fn match_msg(&mut self, mid: MsgId, target: RecvTarget) {
+        let visible = self.msgs[mid]
+            .visible_at
+            .expect("matching an envelope that is not visible");
+        let tm = visible.max(target.post_time()) + self.cfg.protocol.match_cost;
+        if self.msgs[mid].eager {
+            self.deliver(mid, target, tm);
+        } else {
+            self.msgs[mid].matched = Some(target);
+            let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
+            let ctrl = self.cfg.protocol.ctrl_bytes;
+            let tid = self.net.start_transfer(tm, self.node(dst), self.node(src), ctrl);
+            self.purpose.insert(tid, Purpose::Cts(mid));
+        }
+    }
+
+    fn deliver(&mut self, mid: MsgId, target: RecvTarget, wake: Time) {
+        let m = &self.msgs[mid];
+        let meta = MsgMeta { src: m.src, tag: m.tag, bytes: m.bytes };
+        let payload = m.payload.clone();
+        match target {
+            RecvTarget::Block { rank, .. } => {
+                self.clocks[rank] = self.clocks[rank].max(wake);
+                self.schedule_wake(rank, wake, Reply::Msg { clock: wake, meta, payload });
+            }
+            RecvTarget::Req { req, .. } => {
+                let waiter = self.reqs[req].waiter.take();
+                match waiter {
+                    Some(r) => {
+                        let w = wake.max(self.clocks[r]);
+                        self.clocks[r] = w;
+                        self.reqs[req].state = ReqState::Consumed;
+                        self.schedule_wake(r, w, Reply::Msg { clock: w, meta, payload });
+                    }
+                    None => {
+                        self.reqs[req].state = ReqState::RecvDone(wake, meta, payload);
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_send_req(&mut self, req: ReqId, done: Time) {
+        match self.reqs[req].waiter.take() {
+            Some(r) => {
+                let w = done.max(self.clocks[r]);
+                self.clocks[r] = w;
+                self.reqs[req].state = ReqState::Consumed;
+                self.schedule_wake(r, w, Reply::Ok { clock: w });
+            }
+            None => self.reqs[req].state = ReqState::SendDone(done),
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Execution tracing: per-rank event timelines of measured runs.
+//!
+//! When enabled (`WorldConfig::record_trace`), every MPI call a rank makes
+//! is recorded with its virtual start/end times. The resulting timelines
+//! are the *measured* counterpart of PEVPM's per-directive loss
+//! attribution (§5): they decompose a run into computation, send overhead
+//! and blocked-waiting time, so predicted and measured loss breakdowns can
+//! be compared — and they make "where does the time go?" questions
+//! answerable for any rank program.
+
+use pevpm_netsim::Time;
+use serde::{Deserialize, Serialize};
+
+/// What kind of operation an event covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// `compute` / `compute_secs`.
+    Compute,
+    /// Blocking send (includes rendezvous blocking time).
+    Send,
+    /// Nonblocking send post.
+    Isend,
+    /// Blocking receive.
+    Recv,
+    /// Nonblocking receive post.
+    Irecv,
+    /// `wait` on a request.
+    Wait,
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Virtual time the call was made.
+    pub start: Time,
+    /// Virtual time the call returned.
+    pub end: Time,
+    /// Peer rank for point-to-point operations.
+    pub peer: Option<usize>,
+    /// Message size in bytes (0 for compute/wait).
+    pub bytes: u64,
+    /// True if the call was issued from inside a collective algorithm.
+    pub in_collective: bool,
+}
+
+impl TraceEvent {
+    /// Event duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end.since(self.start).as_secs_f64()
+    }
+}
+
+/// Aggregated per-rank breakdown of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankBreakdown {
+    /// Seconds spent in `compute`.
+    pub compute: f64,
+    /// Seconds spent in blocking sends + nonblocking send posts.
+    pub send: f64,
+    /// Seconds blocked in receives and waits.
+    pub blocked: f64,
+    /// Seconds inside collective operations (subset of the above).
+    pub collective: f64,
+    /// Number of point-to-point messages initiated.
+    pub messages: u64,
+}
+
+impl RankBreakdown {
+    /// Total accounted time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.send + self.blocked
+    }
+
+    /// Fraction of accounted time spent communicating (send + blocked).
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            (self.send + self.blocked) / t
+        }
+    }
+}
+
+/// Compute per-rank breakdowns from raw traces.
+pub fn breakdown(traces: &[Vec<TraceEvent>]) -> Vec<RankBreakdown> {
+    traces
+        .iter()
+        .map(|events| {
+            let mut b = RankBreakdown::default();
+            for e in events {
+                let d = e.duration();
+                match e.kind {
+                    TraceKind::Compute => b.compute += d,
+                    TraceKind::Send | TraceKind::Isend => {
+                        b.send += d;
+                        b.messages += 1;
+                    }
+                    TraceKind::Recv | TraceKind::Irecv | TraceKind::Wait => b.blocked += d,
+                }
+                if e.in_collective {
+                    b.collective += d;
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+/// Render a compact ASCII timeline of the first `max_events` events of
+/// each rank (debugging aid).
+pub fn render_timeline(traces: &[Vec<TraceEvent>], max_events: usize) -> String {
+    let mut out = String::new();
+    for (r, events) in traces.iter().enumerate() {
+        out.push_str(&format!("rank {r}:\n"));
+        for e in events.iter().take(max_events) {
+            let glyph = match e.kind {
+                TraceKind::Compute => "====",
+                TraceKind::Send => "send",
+                TraceKind::Isend => "isnd",
+                TraceKind::Recv => "recv",
+                TraceKind::Irecv => "ircv",
+                TraceKind::Wait => "wait",
+            };
+            out.push_str(&format!(
+                "  {:>12} .. {:>12}  {glyph}{}{}{}\n",
+                format!("{}", e.start),
+                format!("{}", e.end),
+                e.peer.map(|p| format!(" peer {p}")).unwrap_or_default(),
+                if e.bytes > 0 { format!(" {} B", e.bytes) } else { String::new() },
+                if e.in_collective { " [coll]" } else { "" },
+            ));
+        }
+        if events.len() > max_events {
+            out.push_str(&format!("  … {} more events\n", events.len() - max_events));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, start: u64, end: u64, coll: bool) -> TraceEvent {
+        TraceEvent {
+            kind,
+            start: Time(start),
+            end: Time(end),
+            peer: Some(1),
+            bytes: 8,
+            in_collective: coll,
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_by_kind() {
+        let traces = vec![vec![
+            ev(TraceKind::Compute, 0, 1_000_000_000, false),
+            ev(TraceKind::Send, 1_000_000_000, 1_100_000_000, false),
+            ev(TraceKind::Recv, 1_100_000_000, 1_600_000_000, false),
+            ev(TraceKind::Wait, 1_600_000_000, 1_700_000_000, true),
+        ]];
+        let b = breakdown(&traces);
+        assert!((b[0].compute - 1.0).abs() < 1e-12);
+        assert!((b[0].send - 0.1).abs() < 1e-12);
+        assert!((b[0].blocked - 0.6).abs() < 1e-12);
+        assert!((b[0].collective - 0.1).abs() < 1e-12);
+        assert_eq!(b[0].messages, 1);
+        assert!((b[0].comm_fraction() - 0.7 / 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_renders_and_truncates() {
+        let traces = vec![vec![ev(TraceKind::Recv, 0, 500, false); 5]];
+        let text = render_timeline(&traces, 3);
+        assert!(text.contains("rank 0"));
+        assert!(text.contains("… 2 more events"));
+        assert_eq!(text.matches("recv").count(), 3);
+    }
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let b = breakdown(&[vec![]]);
+        assert_eq!(b[0], RankBreakdown::default());
+        assert_eq!(b[0].comm_fraction(), 0.0);
+    }
+}

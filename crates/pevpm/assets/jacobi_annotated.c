@@ -1,0 +1,95 @@
+/* Skeleton code for the Jacobi Iteration with PEVPM annotations,
+ * transcribed from Figure 5 of Grove & Coddington, "Communication
+ * Benchmarking and Performance Modelling of MPI Programs on Cluster
+ * Computers". The `iterations` count is left symbolic so models can be
+ * evaluated for any run length. */
+
+int i, j, k, procnum, numprocs;
+int xsize = 256; int ysize = 256/numprocs+2;
+float grid[size][size]; float griddash[size][size];
+
+MPI_Comm_rank(MPI_COMM_WORLD, &procnum);
+MPI_Comm_size(MPI_COMM_WORLD, &numprocs);
+
+// PEVPM Loop iterations = iterations
+// PEVPM {
+  for (i = 0; i < iterations; i++){
+// PEVPM Runon c1 = procnum%2 == 0
+// PEVPM &     c2 = procnum%2 != 0
+// PEVPM {
+    if (procnum%2 == 0){
+// PEVPM Runon c1 = procnum != 0
+// PEVPM {
+      if (procnum != 0){
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum-1
+        MPI_Send(grid[1], xsize, MPI_FLOAT, procnum-1, 0, MPI_COMM_WORLD);
+      }
+// PEVPM }
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum+1
+      MPI_Send(grid[ysize-2], xsize, MPI_FLOAT, procnum+1, 0, MPI_COMM_WORLD);
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum+1
+// PEVPM &       to = procnum
+      MPI_Recv(grid[ysize-1], xsize, MPI_FLOAT, procnum+1, 0, MPI_COMM_WORLD, 0);
+// PEVPM Runon c1 = procnum != 0
+// PEVPM {
+      if (procnum != 0){
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum-1
+// PEVPM &       to = procnum
+        MPI_Recv(grid[0], xsize, MPI_FLOAT, procnum-1, 0, MPI_COMM_WORLD, 0);
+      }
+// PEVPM }
+// PEVPM }
+// PEVPM {
+    else{
+// PEVPM Runon c1 = procnum != numprocs-1
+// PEVPM {
+      if (procnum != (numprocs-1)){
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum+1
+// PEVPM &       to = procnum
+        MPI_Recv(grid[ysize-1], xsize, MPI_FLOAT, procnum+1, 0, MPI_COMM_WORLD, 0);
+      }
+// PEVPM }
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum-1
+// PEVPM &       to = procnum
+      MPI_Recv(grid[0], xsize, MPI_FLOAT, procnum-1, 0, MPI_COMM_WORLD, 0);
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum-1
+      MPI_Send(grid[1], xsize, MPI_FLOAT, procnum-1, 0, MPI_COMM_WORLD);
+// PEVPM Runon c1 = procnum != numprocs-1
+// PEVPM {
+      if (procnum != (numprocs-1)){
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = xsize*sizeof(float)
+// PEVPM &       from = procnum
+// PEVPM &       to = procnum+1
+        MPI_Send(grid[ysize-2], xsize, MPI_FLOAT, procnum+1, 0, MPI_COMM_WORLD);
+      }
+// PEVPM }
+    }
+// PEVPM }
+// PEVPM Serial on perseus time = 3.24/numprocs
+    for(j = 1; j < ysize-1; j++){
+      for(k = 1; k < xsize-1; k++){
+        griddash[j][k]=0.25*
+          (grid[j][k-1]+grid[j-1][k]+grid[j][k+1]+grid[j+1][k]);
+      }
+    }
+    swap_ptr(grid, griddash);
+  }
+// PEVPM }

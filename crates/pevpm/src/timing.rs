@@ -1,0 +1,243 @@
+//! Timing models: where the virtual machine gets communication times from.
+//!
+//! The paper's central claim is that *how* you turn benchmark data into
+//! per-message times decides prediction quality. The options compared in
+//! Figure 6 are all expressible here:
+//!
+//! - [`PredictionMode::FullDistribution`] over the full `n×p` benchmark
+//!   database — the PEVPM method (Monte-Carlo sampling, contention-aware);
+//! - [`PredictionMode::Average`] / [`PredictionMode::Minimum`] — collapse
+//!   each distribution to a single point (what conventional benchmarks
+//!   report);
+//! - combined with either the full contention-indexed database or a
+//!   ping-pong-only (`2×1`) slice via [`TimingModel::pingpong_only`].
+//!
+//! A purely analytic [`TimingModel::hockney`] (`T = l + b/W`) is included
+//! as the classic textbook baseline.
+
+use pevpm_dist::{DistTable, Op, PointKind};
+use rand::Rng;
+
+/// How per-message times are drawn from the benchmark data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionMode {
+    /// Sample the full probability distribution (the PEVPM method).
+    FullDistribution,
+    /// Use the distribution's mean (conventional benchmarks).
+    Average,
+    /// Use the distribution's minimum (ideal ping-pong).
+    Minimum,
+}
+
+impl std::fmt::Display for PredictionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictionMode::FullDistribution => write!(f, "dist"),
+            PredictionMode::Average => write!(f, "avg"),
+            PredictionMode::Minimum => write!(f, "min"),
+        }
+    }
+}
+
+/// A source of communication times for the PEVPM virtual machine.
+#[derive(Debug, Clone)]
+pub enum TimingModel {
+    /// Empirical: backed by an MPIBench database.
+    Empirical {
+        /// The benchmark database (possibly pre-collapsed or sliced).
+        table: DistTable,
+        /// Sampling mode.
+        mode: PredictionMode,
+        /// If set, every query uses this fixed contention level instead of
+        /// the scoreboard's (the "2×1 ping-pong data" baselines).
+        fixed_contention: Option<f64>,
+    },
+    /// Analytic Hockney model `T = latency + bytes / bandwidth`,
+    /// contention-blind.
+    Hockney {
+        /// Link latency in seconds.
+        latency: f64,
+        /// Effective bandwidth in bytes per second.
+        bandwidth: f64,
+    },
+}
+
+impl TimingModel {
+    /// The PEVPM method: full distributions, contention-indexed.
+    pub fn distributions(table: DistTable) -> Self {
+        TimingModel::Empirical { table, mode: PredictionMode::FullDistribution, fixed_contention: None }
+    }
+
+    /// Point-statistic mode over the full contention-indexed database
+    /// ("averages from MPIBench n×p process benchmarks" in §6).
+    pub fn point(table: DistTable, kind: PointKind) -> Self {
+        let mode = match kind {
+            PointKind::Average => PredictionMode::Average,
+            PointKind::Minimum => PredictionMode::Minimum,
+        };
+        TimingModel::Empirical { table, mode, fixed_contention: None }
+    }
+
+    /// Restrict the database to its lowest measured contention level (the
+    /// 2×1 ping-pong slice) and answer every query from it — what a
+    /// conventional benchmark provides.
+    pub fn pingpong_only(table: &DistTable, mode: PredictionMode) -> Self {
+        let level = table
+            .ops()
+            .flat_map(|op| table.contentions(op))
+            .min()
+            .unwrap_or(1);
+        TimingModel::Empirical {
+            table: table.at_contention(level),
+            mode,
+            fixed_contention: Some(level as f64),
+        }
+    }
+
+    /// The analytic `T = l + b/W` model.
+    pub fn hockney(latency: f64, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        TimingModel::Hockney { latency, bandwidth }
+    }
+
+    /// Draw the end-to-end time for one message of `size` bytes under
+    /// `contention` concurrent messages.
+    pub fn comm_time<R: Rng + ?Sized>(
+        &self,
+        op: Op,
+        size: f64,
+        contention: f64,
+        rng: &mut R,
+    ) -> Option<f64> {
+        self.quantile_time(op, size, contention, rng.gen::<f64>())
+    }
+
+    /// The end-to-end time at a given probability `u` of the distribution
+    /// for `(op, size, contention)`. In the point modes the result is the
+    /// mean/minimum regardless of `u`. The PEVPM virtual machine draws one
+    /// `u` per message and reuses it for both the sender-side cost and the
+    /// transit time, so correlated effects (e.g. the intra-node vs
+    /// inter-node modes of a bimodal SMP distribution) stay correlated.
+    pub fn quantile_time(&self, op: Op, size: f64, contention: f64, u: f64) -> Option<f64> {
+        match self {
+            TimingModel::Empirical { table, mode, fixed_contention } => {
+                let c = fixed_contention.unwrap_or(contention);
+                match mode {
+                    PredictionMode::FullDistribution => table.quantile_at(op, size, c, u),
+                    PredictionMode::Average => table.mean_at(op, size, c),
+                    PredictionMode::Minimum => table.min_at(op, size, c),
+                }
+            }
+            TimingModel::Hockney { latency, bandwidth } => Some(latency + size / bandwidth),
+        }
+    }
+
+    /// The fraction of a message's end-to-end time spent on the sender
+    /// side (software overhead + first-link NIC serialisation, plus the
+    /// mean queueing of back-to-back sends) before the sender can proceed.
+    /// Calibrated against the Jacobi halo exchange; see EXPERIMENTS.md.
+    pub const SENDER_SHARE: f64 = 0.56;
+
+    /// The sender-side (local) cost of injecting a message: until this
+    /// time elapses the sender can neither compute nor inject its *next*
+    /// message (its NIC is still serialising this one). Modelled as a
+    /// fraction of the contention-free minimum transfer time: software
+    /// overhead (~37 us) plus first-link NIC serialisation (~85 us for a
+    /// 1 KiB frame) is ~0.48 of the ~254 us end-to-end minimum on the
+    /// Perseus-like store-and-forward path.
+    /// Falls back between Send/Isend data like [`TimingModel::comm_time`].
+    pub fn send_local_cost(&self, op: Op, size: f64) -> f64 {
+        match self {
+            TimingModel::Empirical { table, fixed_contention, .. } => {
+                let c = fixed_contention.unwrap_or(1.0);
+                let alt = if op == Op::Send { Op::Isend } else { Op::Send };
+                table
+                    .min_at(op, size, c)
+                    .or_else(|| table.min_at(alt, size, c))
+                    .map(|m| m * Self::SENDER_SHARE)
+                    .unwrap_or(0.0)
+            }
+            TimingModel::Hockney { latency, bandwidth } => {
+                (latency + size / bandwidth) * Self::SENDER_SHARE
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pevpm_dist::{CommDist, DistKey, Histogram};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn table() -> DistTable {
+        let mut t = DistTable::new();
+        for &(c, lo) in &[(1u32, 100.0f64), (8, 200.0)] {
+            let h = Histogram::from_samples(&[lo, lo + 10.0, lo + 20.0], 1.0);
+            t.insert(DistKey { op: Op::Send, size: 1024, contention: c }, CommDist::Hist(h));
+        }
+        t
+    }
+
+    #[test]
+    fn distribution_mode_is_contention_aware() {
+        let m = TimingModel::distributions(table());
+        let mut rng = SmallRng::seed_from_u64(1);
+        let lo = m.comm_time(Op::Send, 1024.0, 1.0, &mut rng).unwrap();
+        let hi = m.comm_time(Op::Send, 1024.0, 8.0, &mut rng).unwrap();
+        assert!((100.0..=120.0).contains(&lo), "lo = {lo}");
+        assert!((200.0..=220.0).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn average_and_minimum_modes_are_points() {
+        let avg = TimingModel::point(table(), PointKind::Average);
+        let min = TimingModel::point(table(), PointKind::Minimum);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..5 {
+            assert_eq!(avg.comm_time(Op::Send, 1024.0, 1.0, &mut rng), Some(110.0));
+            assert_eq!(min.comm_time(Op::Send, 1024.0, 1.0, &mut rng), Some(100.0));
+        }
+    }
+
+    #[test]
+    fn pingpong_slice_ignores_contention() {
+        let m = TimingModel::pingpong_only(&table(), PredictionMode::Average);
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Queries at high contention still answer from the 2×1 slice.
+        assert_eq!(m.comm_time(Op::Send, 1024.0, 64.0, &mut rng), Some(110.0));
+    }
+
+    #[test]
+    fn hockney_is_linear_in_size() {
+        let m = TimingModel::hockney(1e-4, 12.5e6);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t1 = m.comm_time(Op::Send, 0.0, 1.0, &mut rng).unwrap();
+        let t2 = m.comm_time(Op::Send, 12.5e6, 99.0, &mut rng).unwrap();
+        assert!((t1 - 1e-4).abs() < 1e-12);
+        assert!((t2 - 1.0001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_local_cost_is_fraction_of_min() {
+        let m = TimingModel::distributions(table());
+        let c = m.send_local_cost(Op::Send, 1024.0);
+        assert!((c - 56.0).abs() < 1e-9, "c = {c}");
+        // Falls back to the sibling op when only Isend was benchmarked.
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey { op: Op::Isend, size: 1024, contention: 1 },
+            CommDist::Point(100.0),
+        );
+        let m = TimingModel::distributions(t);
+        assert!((m.send_local_cost(Op::Send, 1024.0) - 56.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_data_yields_none() {
+        let m = TimingModel::distributions(DistTable::new());
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(m.comm_time(Op::Send, 1.0, 1.0, &mut rng), None);
+    }
+}

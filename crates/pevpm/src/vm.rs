@@ -1,0 +1,1278 @@
+//! The Performance Evaluating Virtual Parallel Machine.
+//!
+//! Implements the evaluation algorithm of §5: virtual processes execute the
+//! directive program in interleaved **sweep** and **match** phases.
+//!
+//! - *Sweep*: every runnable process executes directives — advancing its
+//!   virtual clock through `Serial` segments and posting `Send`/`Isend`
+//!   message metadata onto the **contention scoreboard** — until it reaches
+//!   a *decision point* (a blocking receive, a rendezvous-size blocking
+//!   send, or a collective).
+//! - *Match*: every scoreboard message that does not yet have an arrival
+//!   time gets one by Monte-Carlo sampling from the timing model, as a
+//!   function of its size and the **current scoreboard population** (the
+//!   contention level). Arrived messages are matched to blocked receives in
+//!   per-pair FIFO order; matched receivers resume at
+//!   `max(block time, arrival)`, and matched messages leave the scoreboard.
+//!
+//! Evaluation alternates phases until every process finishes. If neither
+//! phase can make progress the program is deadlocked, and the VM reports
+//! which processes are blocked where — the paper's "automatically discover
+//! program deadlock" capability. Blocked time is attributed to directive
+//! labels, giving the per-source performance-loss report of §5.
+
+use crate::expr::{standard_env, Env, ExprError};
+use crate::model::{CollOp, Model, MsgKind, Stmt};
+use crate::timing::TimingModel;
+use pevpm_dist::Op;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Evaluation parameters.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Number of virtual processes (`numprocs`).
+    pub nprocs: usize,
+    /// Extra parameter bindings, overriding the model's defaults.
+    pub params: Env,
+    /// RNG seed for Monte-Carlo sampling.
+    pub seed: u64,
+    /// Messages at least this large use blocking-rendezvous semantics for
+    /// `Send` (the sender cannot complete before the receiver matches).
+    pub rndv_threshold: f64,
+    /// Safety valve: abort after this many directive executions per
+    /// evaluation.
+    pub max_steps: u64,
+}
+
+impl EvalConfig {
+    /// Defaults for `nprocs` processes.
+    pub fn new(nprocs: usize) -> Self {
+        EvalConfig {
+            nprocs,
+            params: Env::new(),
+            seed: 1,
+            rndv_threshold: 16.0 * 1024.0,
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Builder: bind a parameter.
+    pub fn with_param(mut self, name: &str, value: f64) -> Self {
+        self.params.insert(name.to_string(), value);
+        self
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of one PEVPM evaluation.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Number of processes evaluated.
+    pub nprocs: usize,
+    /// Predicted finish time of each process (seconds).
+    pub finish_times: Vec<f64>,
+    /// Predicted program completion time: max of the finish times.
+    pub makespan: f64,
+    /// Time each process spent in `Serial` computation.
+    pub compute_time: Vec<f64>,
+    /// Time each process spent in local send costs.
+    pub send_time: Vec<f64>,
+    /// Time each process spent blocked in receives / rendezvous sends /
+    /// collectives.
+    pub blocked_time: Vec<f64>,
+    /// Total messages posted to the scoreboard.
+    pub messages: u64,
+    /// Blocked time attributed to directive labels (the performance-loss
+    /// report).
+    pub loss_by_label: HashMap<String, f64>,
+    /// Potential race conditions: wildcard receives that had more than one
+    /// candidate message at match time, so a different Monte-Carlo draw
+    /// (or a different real-machine timing) could deliver a different
+    /// message. The paper (§5) notes PEVPM "can … help programmers trace
+    /// down race conditions"; each entry is `(procnum, description)`.
+    pub races: Vec<(usize, String)>,
+}
+
+/// Evaluation failures.
+#[derive(Debug, Clone)]
+pub enum PevpmError {
+    /// Expression evaluation failed.
+    Expr(ExprError),
+    /// No process can make progress.
+    Deadlock {
+        /// Virtual time of the deadlock.
+        time: f64,
+        /// `(procnum, description)` of every blocked process.
+        blocked: Vec<(usize, String)>,
+    },
+    /// The timing model has no data for a queried operation.
+    MissingTiming {
+        /// The operation queried.
+        op: Op,
+        /// The message size queried.
+        size: f64,
+    },
+    /// The model is malformed (e.g. a Send whose `from` is another rank).
+    BadModel(String),
+    /// `max_steps` exceeded.
+    StepLimit,
+}
+
+impl std::fmt::Display for PevpmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PevpmError::Expr(e) => write!(f, "{e}"),
+            PevpmError::Deadlock { time, blocked } => {
+                write!(f, "deadlock at t={time:.6}s:")?;
+                for (p, d) in blocked {
+                    write!(f, " [proc {p}: {d}]")?;
+                }
+                Ok(())
+            }
+            PevpmError::MissingTiming { op, size } => {
+                write!(f, "timing model has no data for op={op} size={size}")
+            }
+            PevpmError::BadModel(m) => write!(f, "bad model: {m}"),
+            PevpmError::StepLimit => write!(f, "evaluation step limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PevpmError {}
+
+impl From<ExprError> for PevpmError {
+    fn from(e: ExprError) -> Self {
+        PevpmError::Expr(e)
+    }
+}
+
+// ------------------------------------------------------------------ VM --
+
+/// A scoreboard entry: one message in flight.
+#[derive(Debug, Clone)]
+struct SbMsg {
+    from: usize,
+    to: usize,
+    size: f64,
+    kind: MsgKind,
+    depart: f64,
+    seq: u64,
+    /// The message's Monte-Carlo draw (probability coordinate). Shared by
+    /// the sender-side cost and the transit-time lookup so that both land
+    /// on the same mode of a multi-modal distribution.
+    u: f64,
+    arrival: Option<f64>,
+    sender_blocked: bool,
+}
+
+/// Why a process is blocked.
+#[derive(Debug, Clone)]
+enum Block {
+    /// Waiting for message `seq` from `from`; `None` = wildcard source
+    /// (`from = -1` in the directive, i.e. MPI_ANY_SOURCE).
+    Recv { from: Option<usize>, seq: u64, label: Option<String> },
+    /// Blocking rendezvous send: waiting for scoreboard message `msg` to be
+    /// consumed by its receiver.
+    SendRndv { msg: usize, label: Option<String> },
+    /// Waiting at collective instance `instance`.
+    Collective { op: CollOp, size: f64, instance: u64, label: Option<String> },
+}
+
+impl Block {
+    fn describe(&self) -> String {
+        match self {
+            Block::Recv { from, seq, label } => format!(
+                "Recv(from={}, seq={seq}){}",
+                from.map(|f| f.to_string()).unwrap_or_else(|| "ANY".into()),
+                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+            ),
+            Block::SendRndv { msg, label } => format!(
+                "Send[rendezvous](msg={msg}){}",
+                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+            ),
+            Block::Collective { op, instance, label, .. } => format!(
+                "Collective({op:?}, instance={instance}){}",
+                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+            ),
+        }
+    }
+
+    fn label(&self) -> Option<&str> {
+        match self {
+            Block::Recv { label, .. }
+            | Block::SendRndv { label, .. }
+            | Block::Collective { label, .. } => label.as_deref(),
+        }
+    }
+}
+
+/// One level of the directive interpreter's control stack.
+struct Frame<'m> {
+    stmts: &'m [Stmt],
+    idx: usize,
+    /// Remaining iterations of this block (loops re-enter; plain blocks
+    /// have 1).
+    remaining: u64,
+    /// Loop induction variable: `(name, total_iterations)`. The current
+    /// 0-based index is `total - remaining`.
+    var: Option<(&'m str, u64)>,
+}
+
+struct Proc<'m> {
+    env: Env,
+    clock: f64,
+    stack: Vec<Frame<'m>>,
+    blocked: Option<(Block, f64)>,
+    finished: bool,
+    compute_time: f64,
+    send_time: f64,
+    blocked_time: f64,
+    coll_count: u64,
+    /// Outstanding nonblocking-receive handles: name → (source, reserved
+    /// per-pair sequence number).
+    handles: HashMap<String, (usize, u64)>,
+}
+
+struct Vm<'m> {
+    cfg: &'m EvalConfig,
+    timing: &'m TimingModel,
+    procs: Vec<Proc<'m>>,
+    scoreboard: Vec<SbMsg>,
+    /// Per (from, to) pair: next send sequence number.
+    pair_send_seq: HashMap<(usize, usize), u64>,
+    /// Per (from, to) pair: next receive sequence number.
+    pair_recv_seq: HashMap<(usize, usize), u64>,
+    rng: SmallRng,
+    steps: u64,
+    messages: u64,
+    loss_by_label: HashMap<String, f64>,
+    races: Vec<(usize, String)>,
+}
+
+/// Evaluate a model: the public entry point of the PEVPM engine.
+pub fn evaluate(
+    model: &Model,
+    cfg: &EvalConfig,
+    timing: &TimingModel,
+) -> Result<Prediction, PevpmError> {
+    assert!(cfg.nprocs > 0, "need at least one process");
+    let mut merged = model.params.clone();
+    for (k, v) in &cfg.params {
+        merged.insert(k.clone(), *v);
+    }
+    model
+        .check_bindings(&merged)
+        .map_err(PevpmError::from)?;
+
+    let procs: Vec<Proc> = (0..cfg.nprocs)
+        .map(|p| Proc {
+            env: standard_env(p, cfg.nprocs, &merged),
+            clock: 0.0,
+            stack: vec![Frame { stmts: &model.stmts, idx: 0, remaining: 1, var: None }],
+            blocked: None,
+            finished: model.stmts.is_empty(),
+            compute_time: 0.0,
+            send_time: 0.0,
+            blocked_time: 0.0,
+            coll_count: 0,
+            handles: HashMap::new(),
+        })
+        .collect();
+
+    let mut vm = Vm {
+        cfg,
+        timing,
+        procs,
+        scoreboard: Vec::new(),
+        pair_send_seq: HashMap::new(),
+        pair_recv_seq: HashMap::new(),
+        rng: SmallRng::seed_from_u64(cfg.seed),
+        steps: 0,
+        messages: 0,
+        loss_by_label: HashMap::new(),
+        races: Vec::new(),
+    };
+    vm.run()?;
+
+    let finish_times: Vec<f64> = vm.procs.iter().map(|p| p.clock).collect();
+    let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
+    Ok(Prediction {
+        nprocs: cfg.nprocs,
+        makespan,
+        compute_time: vm.procs.iter().map(|p| p.compute_time).collect(),
+        send_time: vm.procs.iter().map(|p| p.send_time).collect(),
+        blocked_time: vm.procs.iter().map(|p| p.blocked_time).collect(),
+        finish_times,
+        messages: vm.messages,
+        loss_by_label: vm.loss_by_label,
+        races: vm.races,
+    })
+}
+
+/// Aggregate of several independent Monte-Carlo evaluations.
+#[derive(Debug, Clone)]
+pub struct McPrediction {
+    /// Mean predicted makespan over the replications.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Smallest replication makespan.
+    pub min: f64,
+    /// Largest replication makespan.
+    pub max: f64,
+    /// The individual replications, in seed order.
+    pub runs: Vec<Prediction>,
+}
+
+/// Evaluate a model `replications` times with consecutive seeds derived
+/// from `cfg.seed` and aggregate the makespans.
+///
+/// §6 of the paper: "since the PEVPM execution samples from PDFs of
+/// communication times, many iterations are needed to give an accurate
+/// average … The PEVPM approach is like a Monte Carlo simulation of
+/// performance, and the number of iterations can be chosen so that the
+/// statistical error in the mean is negligibly small." For programs that
+/// are not internally iterative, independent replications serve the same
+/// purpose; `stderr` quantifies the remaining statistical error.
+pub fn monte_carlo(
+    model: &Model,
+    cfg: &EvalConfig,
+    timing: &TimingModel,
+    replications: usize,
+) -> Result<McPrediction, PevpmError> {
+    assert!(replications > 0, "need at least one replication");
+    let mut runs = Vec::with_capacity(replications);
+    for i in 0..replications {
+        let mut c = cfg.clone();
+        c.seed = cfg.seed.wrapping_add(i as u64);
+        runs.push(evaluate(model, &c, timing)?);
+    }
+    let n = runs.len() as f64;
+    let mean = runs.iter().map(|p| p.makespan).sum::<f64>() / n;
+    let var = runs
+        .iter()
+        .map(|p| (p.makespan - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let stderr = if runs.len() > 1 {
+        (var / (n - 1.0)).sqrt()
+    } else {
+        0.0
+    };
+    let min = runs.iter().map(|p| p.makespan).fold(f64::INFINITY, f64::min);
+    let max = runs.iter().map(|p| p.makespan).fold(0.0, f64::max);
+    Ok(McPrediction { mean, stderr, min, max, runs })
+}
+
+impl<'m> Vm<'m> {
+    fn run(&mut self) -> Result<(), PevpmError> {
+        loop {
+            let advanced_sweep = self.sweep()?;
+            if self.procs.iter().all(|p| p.finished) {
+                return Ok(());
+            }
+            let advanced_match = self.match_phase()?;
+            if !advanced_sweep && !advanced_match {
+                let blocked = self
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| {
+                        p.blocked.as_ref().map(|(b, _)| (i, b.describe()))
+                    })
+                    .collect();
+                let time = self.procs.iter().map(|p| p.clock).fold(0.0, f64::max);
+                return Err(PevpmError::Deadlock { time, blocked });
+            }
+        }
+    }
+
+    /// Run every unblocked process to its next decision point. Returns
+    /// whether any process executed at least one directive.
+    fn sweep(&mut self) -> Result<bool, PevpmError> {
+        let mut advanced = false;
+        for p in 0..self.procs.len() {
+            while !self.procs[p].finished && self.procs[p].blocked.is_none() {
+                advanced |= self.step(p)?;
+                self.steps += 1;
+                if self.steps > self.cfg.max_steps {
+                    return Err(PevpmError::StepLimit);
+                }
+            }
+        }
+        Ok(advanced)
+    }
+
+    /// Execute one directive (or control-flow transition) on process `p`.
+    /// Returns false only when the process just finished.
+    fn step(&mut self, p: usize) -> Result<bool, PevpmError> {
+        // Pop exhausted frames / re-enter loops.
+        loop {
+            let Some(frame) = self.procs[p].stack.last_mut() else {
+                self.procs[p].finished = true;
+                return Ok(false);
+            };
+            if frame.idx < frame.stmts.len() {
+                break;
+            }
+            if frame.remaining > 1 {
+                frame.remaining -= 1;
+                frame.idx = 0;
+                if let Some((name, total)) = frame.var {
+                    let iter = (total - frame.remaining) as f64;
+                    self.procs[p].env.insert(name.to_string(), iter);
+                }
+            } else {
+                let popped = self.procs[p].stack.pop().unwrap();
+                if let Some((name, _)) = popped.var {
+                    self.procs[p].env.remove(name);
+                }
+            }
+        }
+
+        let frame = self.procs[p].stack.last_mut().unwrap();
+        let stmt = &frame.stmts[frame.idx];
+        frame.idx += 1;
+
+        match stmt {
+            Stmt::Serial { time, label, .. } => {
+                let t = time.eval(&self.procs[p].env)?;
+                if t < 0.0 {
+                    return Err(PevpmError::BadModel(format!(
+                        "negative serial time {t} at {label:?}"
+                    )));
+                }
+                self.procs[p].clock += t;
+                self.procs[p].compute_time += t;
+            }
+            Stmt::Loop { count, var, body } => {
+                let n = count.eval_usize(&self.procs[p].env)? as u64;
+                if n > 0 && !body.is_empty() {
+                    let var = var.as_ref().map(|v| (v.as_str(), n));
+                    if let Some((name, _)) = var {
+                        self.procs[p].env.insert(name.to_string(), 0.0);
+                    }
+                    self.procs[p]
+                        .stack
+                        .push(Frame { stmts: body, idx: 0, remaining: n, var });
+                }
+            }
+            Stmt::Runon { branches } => {
+                for (cond, body) in branches {
+                    if cond.eval_bool(&self.procs[p].env)? {
+                        if !body.is_empty() {
+                            self.procs[p]
+                                .stack
+                                .push(Frame { stmts: body, idx: 0, remaining: 1, var: None });
+                        }
+                        break;
+                    }
+                }
+            }
+            Stmt::Wait { handle, label } => {
+                let Some((from, seq)) = self.procs[p].handles.remove(handle) else {
+                    return Err(PevpmError::BadModel(format!(
+                        "proc {p}: Wait on unbound handle {handle:?} at {label:?}"
+                    )));
+                };
+                let clock = self.procs[p].clock;
+                self.procs[p].blocked = Some((
+                    Block::Recv { from: Some(from), seq, label: label.clone() },
+                    clock,
+                ));
+            }
+            Stmt::Message { kind, size, from, to, handle, label } => {
+                // `from = -1` (or any negative value) on a Recv means
+                // MPI_ANY_SOURCE.
+                let from_raw = from.eval(&self.procs[p].env)?;
+                let wildcard = from_raw < -0.5 && *kind == MsgKind::Recv;
+                let from_v = if wildcard { 0 } else { from.eval_usize(&self.procs[p].env)? };
+                let to_v = to.eval_usize(&self.procs[p].env)?;
+                let size_v = size.eval(&self.procs[p].env)?;
+                if (!wildcard && from_v >= self.cfg.nprocs) || to_v >= self.cfg.nprocs {
+                    return Err(PevpmError::BadModel(format!(
+                        "message endpoint out of range: from={from_raw} to={to_v} \
+                         (numprocs={}) at {label:?}",
+                        self.cfg.nprocs
+                    )));
+                }
+                match kind {
+                    MsgKind::Send | MsgKind::Isend => {
+                        if from_v != p {
+                            return Err(PevpmError::BadModel(format!(
+                                "proc {p} executing a send whose from={from_v} at {label:?}"
+                            )));
+                        }
+                        self.post_send(p, *kind, size_v, to_v, label.clone())?;
+                    }
+                    MsgKind::Recv => {
+                        if to_v != p {
+                            return Err(PevpmError::BadModel(format!(
+                                "proc {p} executing a recv whose to={to_v} at {label:?}"
+                            )));
+                        }
+                        let clock = self.procs[p].clock;
+                        if wildcard {
+                            self.procs[p].blocked = Some((
+                                Block::Recv { from: None, seq: 0, label: label.clone() },
+                                clock,
+                            ));
+                        } else {
+                            let seq = self.next_recv_seq(from_v, p);
+                            self.procs[p].blocked = Some((
+                                Block::Recv { from: Some(from_v), seq, label: label.clone() },
+                                clock,
+                            ));
+                        }
+                    }
+                    MsgKind::Irecv => {
+                        if to_v != p {
+                            return Err(PevpmError::BadModel(format!(
+                                "proc {p} executing an irecv whose to={to_v} at {label:?}"
+                            )));
+                        }
+                        if wildcard {
+                            return Err(PevpmError::BadModel(format!(
+                                "wildcard MPI_Irecv is not supported at {label:?}"
+                            )));
+                        }
+                        let Some(h) = handle else {
+                            return Err(PevpmError::BadModel(format!(
+                                "MPI_Irecv without a handle at {label:?}"
+                            )));
+                        };
+                        if self.procs[p].handles.contains_key(h) {
+                            return Err(PevpmError::BadModel(format!(
+                                "proc {p}: handle {h:?} already outstanding at {label:?}"
+                            )));
+                        }
+                        // Reserve the per-pair FIFO slot now (post order),
+                        // but don't block: the matching wait is a separate
+                        // decision point, and anything executed in between
+                        // overlaps the transfer.
+                        let seq = self.next_recv_seq(from_v, p);
+                        self.procs[p].handles.insert(h.clone(), (from_v, seq));
+                    }
+                }
+            }
+            Stmt::Collective { op, size, label } => {
+                let size_v = size.eval(&self.procs[p].env)?;
+                let inst = self.procs[p].coll_count;
+                let clock = self.procs[p].clock;
+                self.procs[p].blocked = Some((
+                    Block::Collective { op: *op, size: size_v, instance: inst, label: label.clone() },
+                    clock,
+                ));
+            }
+        }
+        Ok(true)
+    }
+
+    fn post_send(
+        &mut self,
+        p: usize,
+        kind: MsgKind,
+        size: f64,
+        to: usize,
+        label: Option<String>,
+    ) -> Result<(), PevpmError> {
+        let seq = {
+            let s = self.pair_send_seq.entry((p, to)).or_insert(0);
+            let v = *s;
+            *s += 1;
+            v
+        };
+        self.messages += 1;
+        let rndv = kind == MsgKind::Send && size >= self.cfg.rndv_threshold;
+        // One Monte-Carlo draw per message: the sender-side cost uses the
+        // same probability coordinate as the transit time will at match
+        // time, so correlated (e.g. intra- vs inter-node) path modes stay
+        // correlated. The sender occupies its NIC for a *path-mode*
+        // dependent time but not for the downstream congestion the full
+        // sample includes, so the cost blends the distribution minimum
+        // with the correlated quantile (calibrated weight 0.4).
+        let u: f64 = rand::Rng::gen(&mut self.rng);
+        let contention = (self.scoreboard.len() + 1) as f64;
+        let op = op_for_kind(kind);
+        let q = self.quantile_with_fallback(op, size, contention, u);
+        let qmin = self.quantile_with_fallback(op, size, contention, 0.0);
+        let local = match (q, qmin) {
+            (Some(q), Some(m)) => TimingModel::SENDER_SHARE * (m + 0.4 * (q - m)),
+            _ => 0.0,
+        };
+        let depart = self.procs[p].clock;
+        self.scoreboard.push(SbMsg {
+            from: p,
+            to,
+            size,
+            kind,
+            depart,
+            seq,
+            u,
+            arrival: None,
+            sender_blocked: rndv,
+        });
+        if rndv {
+            let msg = self.scoreboard.len() - 1;
+            self.procs[p].blocked = Some((Block::SendRndv { msg, label }, depart));
+        } else {
+            self.procs[p].clock += local;
+            self.procs[p].send_time += local;
+            // Send-side costs are part of the loss report too.
+            if let Some(l) = &label {
+                *self.loss_by_label.entry(l.clone()).or_insert(0.0) += local;
+            }
+        }
+        Ok(())
+    }
+
+    /// Quantile lookup with the Send↔Isend fallback (benchmark databases
+    /// often measure only one of the two point-to-point flavours).
+    fn quantile_with_fallback(&self, op: Op, size: f64, contention: f64, u: f64) -> Option<f64> {
+        self.timing.quantile_time(op, size, contention, u).or_else(|| {
+            let alt = if op == Op::Send { Op::Isend } else { Op::Send };
+            self.timing.quantile_time(alt, size, contention, u)
+        })
+    }
+
+    fn next_recv_seq(&mut self, from: usize, to: usize) -> u64 {
+        let s = self.pair_recv_seq.entry((from, to)).or_insert(0);
+        let v = *s;
+        *s += 1;
+        v
+    }
+
+    /// Determine arrival times, match messages to receives, resolve
+    /// collectives. Returns whether any process was unblocked.
+    fn match_phase(&mut self) -> Result<bool, PevpmError> {
+        // 1. Determine arrival times for newly posted messages at the
+        //    current contention level (scoreboard population), using each
+        //    message's own Monte-Carlo draw.
+        let contention = self.scoreboard.len() as f64;
+        for i in 0..self.scoreboard.len() {
+            if self.scoreboard[i].arrival.is_none() {
+                let m = &self.scoreboard[i];
+                let op = op_for_kind(m.kind);
+                let dt = self
+                    .quantile_with_fallback(op, m.size, contention, m.u)
+                    .ok_or(PevpmError::MissingTiming { op, size: m.size })?;
+                self.scoreboard[i].arrival = Some(self.scoreboard[i].depart + dt.max(0.0));
+            }
+        }
+
+        let mut woke = false;
+
+        // 2. Match blocked receives in per-pair FIFO order. Wildcard
+        //    receives take the FIFO-head message with the earliest arrival
+        //    across all senders.
+        for p in 0..self.procs.len() {
+            let Some((Block::Recv { from, seq, .. }, _)) = self.procs[p].blocked.as_ref() else {
+                continue;
+            };
+            let (from, seq) = (*from, *seq);
+            let idx = match from {
+                Some(from) => self
+                    .scoreboard
+                    .iter()
+                    .position(|m| m.from == from && m.to == p && m.seq == seq),
+                None => {
+                    // Wildcard: FIFO heads only, earliest arrival wins
+                    // (ties broken by sender rank for determinism).
+                    let mut best: Option<(f64, usize, usize)> = None;
+                    let mut candidates = 0usize;
+                    for (i, m) in self.scoreboard.iter().enumerate() {
+                        if m.to != p {
+                            continue;
+                        }
+                        let head = *self.pair_recv_seq.get(&(m.from, p)).unwrap_or(&0);
+                        if m.seq != head {
+                            continue;
+                        }
+                        candidates += 1;
+                        let a = m.arrival.expect("sampled above");
+                        if best.is_none()
+                            || (a, m.from) < (best.unwrap().0, best.unwrap().2)
+                        {
+                            best = Some((a, i, m.from));
+                        }
+                    }
+                    if let Some((_, i, sender)) = best {
+                        if candidates > 1 {
+                            // Multiple in-flight messages could have
+                            // matched: which one wins depends on timing —
+                            // a potential race (paper §5).
+                            let label = self.procs[p]
+                                .blocked
+                                .as_ref()
+                                .and_then(|(b, _)| b.label())
+                                .unwrap_or("<unlabelled wildcard recv>")
+                                .to_string();
+                            self.races.push((
+                                p,
+                                format!(
+                                    "wildcard receive at {label} had {candidates} candidate \
+                                     senders (matched {sender})"
+                                ),
+                            ));
+                        }
+                        // Consume this pair's FIFO head.
+                        *self.pair_recv_seq.entry((sender, p)).or_insert(0) += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some(idx) = idx else {
+                continue; // no matching message posted yet
+            };
+            let arrival = self.scoreboard[idx].arrival.expect("sampled above");
+            let sender = self.scoreboard[idx].from;
+            let sender_blocked = self.scoreboard[idx].sender_blocked;
+            self.scoreboard.swap_remove(idx);
+
+            let (block, since) = self.procs[p].blocked.take().unwrap();
+            let wake = self.procs[p].clock.max(arrival);
+            self.account_block(p, &block, since, wake);
+            self.procs[p].clock = wake;
+            woke = true;
+
+            if sender_blocked {
+                // Rendezvous: the sender completes when the receiver does.
+                if let Some((Block::SendRndv { .. }, s_since)) = self.procs[sender].blocked.clone()
+                {
+                    let (sblock, _) = self.procs[sender].blocked.take().unwrap();
+                    let swake = self.procs[sender].clock.max(wake);
+                    self.account_block(sender, &sblock, s_since, swake);
+                    self.procs[sender].clock = swake;
+                }
+            }
+        }
+
+        // Rebuild rendezvous sender block indices: swap_remove above may
+        // have moved entries, so senders track messages by identity
+        // (from, to, seq) instead. To keep the implementation simple and
+        // correct we re-derive: a sender blocked on SendRndv whose message
+        // is gone from the scoreboard was woken above.
+
+        // 3. Resolve collectives once every process waits on the same
+        //    instance.
+        let all_coll = self.procs.iter().all(|p| {
+            matches!(p.blocked, Some((Block::Collective { .. }, _))) && !p.finished
+        });
+        if all_coll && !self.procs.is_empty() {
+            let first = match &self.procs[0].blocked {
+                Some((Block::Collective { op, size, instance, .. }, _)) => {
+                    (*op, *size, *instance)
+                }
+                _ => unreachable!(),
+            };
+            let same = self.procs.iter().all(|p| match &p.blocked {
+                Some((Block::Collective { op, size, instance, .. }, _)) => {
+                    (*op, *size, *instance) == first
+                }
+                _ => false,
+            });
+            if same {
+                let enter_max = self
+                    .procs
+                    .iter()
+                    .map(|p| p.blocked.as_ref().unwrap().1)
+                    .fold(0.0, f64::max);
+                let contention = self.cfg.nprocs as f64;
+                for p in 0..self.procs.len() {
+                    let (block, since) = self.procs[p].blocked.take().unwrap();
+                    let (op, size) = match &block {
+                        Block::Collective { op, size, .. } => (*op, *size),
+                        _ => unreachable!(),
+                    };
+                    let dop = op_for_coll(op);
+                    let dt = self
+                        .timing
+                        .comm_time(dop, size, contention, &mut self.rng)
+                        .ok_or(PevpmError::MissingTiming { op: dop, size })?;
+                    let wake = enter_max + dt.max(0.0);
+                    self.account_block(p, &block, since, wake);
+                    self.procs[p].clock = self.procs[p].clock.max(wake);
+                    self.procs[p].coll_count += 1;
+                }
+                woke = true;
+            }
+        }
+
+        Ok(woke)
+    }
+
+    fn account_block(&mut self, p: usize, block: &Block, since: f64, wake: f64) {
+        let dt = (wake - since).max(0.0);
+        self.procs[p].blocked_time += dt;
+        if let Some(label) = block.label() {
+            *self.loss_by_label.entry(label.to_string()).or_insert(0.0) += dt;
+        }
+    }
+}
+
+fn op_for_kind(kind: MsgKind) -> Op {
+    match kind {
+        MsgKind::Send => Op::Send,
+        MsgKind::Isend => Op::Isend,
+        MsgKind::Recv | MsgKind::Irecv => Op::Recv,
+    }
+}
+
+fn op_for_coll(op: CollOp) -> Op {
+    match op {
+        CollOp::Barrier => Op::Barrier,
+        CollOp::Bcast => Op::Bcast,
+        CollOp::Reduce => Op::Reduce,
+        CollOp::Allreduce => Op::Allreduce,
+        CollOp::Alltoall => Op::Alltoall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build::*;
+    use crate::model::{Model, Stmt};
+    use pevpm_dist::{CommDist, DistKey, DistTable};
+
+    /// A timing model where every p2p message takes exactly `t` seconds.
+    fn fixed_timing(t: f64) -> TimingModel {
+        let mut table = DistTable::new();
+        for op in [Op::Send, Op::Isend] {
+            for &size in &[1u64, 1 << 30] {
+                table.insert(DistKey { op, size, contention: 1 }, CommDist::Point(t));
+            }
+        }
+        TimingModel::distributions(table)
+    }
+
+    #[test]
+    fn serial_only_model() {
+        let m = Model::new().with_stmt(serial("2.5"));
+        let p = evaluate(&m, &EvalConfig::new(4), &fixed_timing(0.0)).unwrap();
+        assert_eq!(p.makespan, 2.5);
+        assert!(p.finish_times.iter().all(|&t| t == 2.5));
+        assert_eq!(p.compute_time[0], 2.5);
+        assert_eq!(p.messages, 0);
+    }
+
+    #[test]
+    fn serial_scales_with_numprocs() {
+        let m = Model::new().with_stmt(serial("8.0/numprocs"));
+        let p = evaluate(&m, &EvalConfig::new(8), &fixed_timing(0.0)).unwrap();
+        assert_eq!(p.makespan, 1.0);
+    }
+
+    #[test]
+    fn simple_send_recv_pipelines_time() {
+        // proc 0 computes 1 s then sends to proc 1, which waits.
+        let m = Model::new()
+            .with_stmt(runon2(
+                "procnum == 0",
+                vec![serial("1.0"), send("100", "0", "1")],
+                "procnum == 1",
+                vec![recv("100", "0", "1")],
+            ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.25)).unwrap();
+        // proc 1 resumes at depart(1.0) + 0.25.
+        assert!((p.finish_times[1] - 1.25).abs() < 1e-12, "{:?}", p.finish_times);
+        assert!((p.blocked_time[1] - 1.25).abs() < 1e-12);
+        assert_eq!(p.messages, 1);
+    }
+
+    #[test]
+    fn loop_repeats_body() {
+        let m = Model::new().with_stmt(looped("10", vec![serial("0.1")]));
+        let p = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap();
+        assert!((p.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let m = Model::new().with_stmt(looped("3", vec![looped("4", vec![serial("1")])]));
+        let p = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap();
+        assert!((p.makespan - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runon_selects_first_matching_branch() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum < 2",
+            vec![serial("1")],
+            "procnum >= 2",
+            vec![serial("5")],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(4), &fixed_timing(0.0)).unwrap();
+        assert_eq!(p.finish_times, vec![1.0, 1.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let m = Model::new().with_stmt(looped(
+            "5",
+            vec![
+                runon2(
+                    "procnum == 0",
+                    vec![send("64", "0", "1"), recv("64", "1", "0")],
+                    "procnum == 1",
+                    vec![recv("64", "0", "1"), send("64", "1", "0")],
+                ),
+            ],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        // Each iteration costs ~2 × 0.1 s (plus tiny local send costs).
+        assert!(p.makespan >= 0.99 && p.makespan < 1.2, "makespan {}", p.makespan);
+    }
+
+    #[test]
+    fn deadlock_detected_on_mutual_recv() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![recv("8", "1", "0")],
+            "procnum == 1",
+            vec![recv("8", "0", "1")],
+        ));
+        let err = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap_err();
+        match err {
+            PevpmError::Deadlock { blocked, .. } => assert_eq!(blocked.len(), 2),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fifo_ordering_between_pair() {
+        // Two sends of different sizes; receives must match in order.
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("10", "0", "1"), send("20", "0", "1")],
+            "procnum == 1",
+            vec![recv("10", "0", "1"), recv("20", "0", "1")],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert_eq!(p.messages, 2);
+        assert!(p.makespan > 0.0);
+    }
+
+    #[test]
+    fn rendezvous_send_blocks_sender() {
+        // Large blocking send: sender cannot finish before the receiver's
+        // 5 s of prior computation.
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("1000000", "0", "1")],
+            "procnum == 1",
+            vec![serial("5"), recv("1000000", "0", "1")],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert!(
+            p.finish_times[0] >= 5.0,
+            "rendezvous sender finished early: {:?}",
+            p.finish_times
+        );
+    }
+
+    #[test]
+    fn eager_send_does_not_block_sender() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("100", "0", "1")],
+            "procnum == 1",
+            vec![serial("5"), recv("100", "0", "1")],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert!(
+            p.finish_times[0] < 1.0,
+            "eager sender blocked: {:?}",
+            p.finish_times
+        );
+    }
+
+    #[test]
+    fn out_of_range_endpoint_is_model_error() {
+        let m = Model::new().with_stmt(send("8", "procnum", "procnum+1"));
+        let err = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap_err();
+        assert!(matches!(err, PevpmError::BadModel(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_timing_is_reported() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("8", "0", "1")],
+            "procnum == 1",
+            vec![recv("8", "0", "1")],
+        ));
+        let empty = TimingModel::distributions(DistTable::new());
+        let err = evaluate(&m, &EvalConfig::new(2), &empty).unwrap_err();
+        assert!(matches!(err, PevpmError::MissingTiming { .. }), "{err}");
+    }
+
+    #[test]
+    fn collective_synchronises_all_procs() {
+        let mut table = DistTable::new();
+        table.insert(
+            DistKey { op: Op::Barrier, size: 0, contention: 4 },
+            CommDist::Point(0.5),
+        );
+        let timing = TimingModel::distributions(table);
+        let m = Model::new()
+            .with_stmt(serial("procnum + 1")) // staggered entry: 1..4 s
+            .with_stmt(collective(CollOp::Barrier, "0"));
+        let p = evaluate(&m, &EvalConfig::new(4), &timing).unwrap();
+        // Everyone leaves at slowest entry (4.0) + 0.5.
+        for &t in &p.finish_times {
+            assert!((t - 4.5).abs() < 1e-9, "{:?}", p.finish_times);
+        }
+    }
+
+    #[test]
+    fn loss_attribution_by_label() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![serial("2"), send("8", "0", "1")],
+            "procnum == 1",
+            vec![labelled(recv("8", "0", "1"), "halo-recv")],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        let loss = p.loss_by_label.get("halo-recv").copied().unwrap_or(0.0);
+        assert!((loss - 2.1).abs() < 1e-9, "loss = {loss}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // A model whose timing has real spread.
+        let mut table = DistTable::new();
+        let h = pevpm_dist::Histogram::from_samples(
+            &(0..100).map(|i| 0.01 + (i as f64) * 1e-4).collect::<Vec<_>>(),
+            1e-4,
+        );
+        table.insert(DistKey { op: Op::Send, size: 64, contention: 1 }, CommDist::Hist(h));
+        let timing = TimingModel::distributions(table);
+        let m = Model::new().with_stmt(looped(
+            "20",
+            vec![runon2(
+                "procnum == 0",
+                vec![send("64", "0", "1")],
+                "procnum == 1",
+                vec![recv("64", "0", "1")],
+            )],
+        ));
+        let run = |seed| {
+            evaluate(&m, &EvalConfig::new(2).with_seed(seed), &timing)
+                .unwrap()
+                .makespan
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn loop_induction_variable_binds_in_body() {
+        // sum of i for i in 0..5 as serial time: 0+1+2+3+4 = 10 (×0.1 s).
+        let m = Model::new().with_stmt(looped_var("5", "i", vec![serial("0.1 * i")]));
+        let p = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap();
+        assert!((p.makespan - 1.0).abs() < 1e-9, "makespan {}", p.makespan);
+    }
+
+    #[test]
+    fn induction_variable_scopes_to_loop() {
+        // After the loop, `i` must be unbound again.
+        let m = Model::new()
+            .with_stmt(looped_var("3", "i", vec![serial("i")]))
+            .with_stmt(serial("i"));
+        let err = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap_err();
+        assert!(matches!(err, PevpmError::Expr(_)), "{err}");
+    }
+
+    #[test]
+    fn wildcard_recv_takes_earliest_arrival() {
+        // Procs 1 and 2 send to proc 0 at different times; two wildcard
+        // receives must complete in arrival order.
+        let m = Model::new().with_stmt(Stmt::Runon {
+            branches: vec![
+                (
+                    e("procnum == 0"),
+                    vec![
+                        recv("8", "0-1", "0"), // from = -1 → ANY
+                        recv("8", "0-1", "0"),
+                    ],
+                ),
+                (e("procnum == 1"), vec![serial("2"), send("8", "1", "0")]),
+                (e("procnum == 2"), vec![serial("1"), send("8", "2", "0")]),
+            ],
+        });
+        let p = evaluate(&m, &EvalConfig::new(3), &fixed_timing(0.1)).unwrap();
+        // First wildcard matches proc 2's message (arrival 1.1), second
+        // matches proc 1's (arrival 2.1).
+        assert!((p.finish_times[0] - 2.1).abs() < 1e-9, "{:?}", p.finish_times);
+    }
+
+    #[test]
+    fn wildcard_respects_per_pair_fifo() {
+        // One sender, two messages; wildcard receives must take them in
+        // send order even though both have arrivals.
+        let m = Model::new().with_stmt(Stmt::Runon {
+            branches: vec![
+                (
+                    e("procnum == 0"),
+                    vec![recv("8", "0-1", "0"), recv("8", "0-1", "0")],
+                ),
+                (
+                    e("procnum == 1"),
+                    vec![send("8", "1", "0"), send("8", "1", "0")],
+                ),
+            ],
+        });
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert_eq!(p.messages, 2);
+        assert!(p.makespan > 0.0);
+    }
+
+    #[test]
+    fn irecv_wait_overlaps_communication_with_compute() {
+        // Blocking version: recv then compute — comm and compute serialise.
+        let blocking = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("64", "0", "1")],
+            "procnum == 1",
+            vec![recv("64", "0", "1"), serial("0.5")],
+        ));
+        // Overlapped version: irecv, compute, wait.
+        let overlapped = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("64", "0", "1")],
+            "procnum == 1",
+            vec![irecv("64", "0", "1", "h"), serial("0.5"), wait("h")],
+        ));
+        let timing = fixed_timing(0.3);
+        let tb = evaluate(&blocking, &EvalConfig::new(2), &timing).unwrap().makespan;
+        let to = evaluate(&overlapped, &EvalConfig::new(2), &timing).unwrap().makespan;
+        // Blocking: 0.3 + 0.5 ≈ 0.8; overlapped: max(0.3, 0.5) ≈ 0.5.
+        assert!((tb - 0.8).abs() < 0.02, "blocking {tb}");
+        assert!((to - 0.5).abs() < 0.02, "overlapped {to}");
+    }
+
+    #[test]
+    fn irecv_respects_fifo_against_blocking_recv() {
+        // Two messages; the irecv posted first reserves the first slot.
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("64", "0", "1"), send("64", "0", "1")],
+            "procnum == 1",
+            vec![
+                irecv("64", "0", "1", "h1"),
+                recv("64", "0", "1"),
+                wait("h1"),
+            ],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert_eq!(p.messages, 2);
+    }
+
+    #[test]
+    fn wait_on_unbound_handle_is_model_error() {
+        let m = Model::new().with_stmt(wait("nope"));
+        let err = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.1)).unwrap_err();
+        assert!(matches!(err, PevpmError::BadModel(_)), "{err}");
+    }
+
+    #[test]
+    fn duplicate_handle_is_model_error() {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("8", "0", "1"), send("8", "0", "1")],
+            "procnum == 1",
+            vec![irecv("8", "0", "1", "h"), irecv("8", "0", "1", "h")],
+        ));
+        let err = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap_err();
+        assert!(matches!(err, PevpmError::BadModel(_)), "{err}");
+    }
+
+    #[test]
+    fn monte_carlo_aggregates_replications() {
+        let mut table = DistTable::new();
+        let samples: Vec<f64> = (0..500).map(|i| 0.01 + (i % 53) as f64 * 1e-4).collect();
+        table.insert(
+            DistKey { op: Op::Send, size: 64, contention: 1 },
+            CommDist::Hist(pevpm_dist::Histogram::from_samples(&samples, 1e-4)),
+        );
+        let timing = TimingModel::distributions(table);
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("64", "0", "1")],
+            "procnum == 1",
+            vec![recv("64", "0", "1")],
+        ));
+        let mc = monte_carlo(&m, &EvalConfig::new(2).with_seed(7), &timing, 50).unwrap();
+        assert_eq!(mc.runs.len(), 50);
+        assert!(mc.min <= mc.mean && mc.mean <= mc.max);
+        assert!(mc.stderr > 0.0, "stochastic timing must produce spread");
+        assert!(mc.min < mc.max);
+        // More replications shrink the standard error.
+        let mc2 = monte_carlo(&m, &EvalConfig::new(2).with_seed(7), &timing, 400).unwrap();
+        assert!(mc2.stderr < mc.stderr);
+        // Deterministic overall.
+        let mc3 = monte_carlo(&m, &EvalConfig::new(2).with_seed(7), &timing, 50).unwrap();
+        assert_eq!(mc.mean, mc3.mean);
+    }
+
+    #[test]
+    fn monte_carlo_with_point_timing_has_zero_spread() {
+        let m = Model::new().with_stmt(serial("1.0"));
+        let mc = monte_carlo(&m, &EvalConfig::new(2), &fixed_timing(0.0), 5).unwrap();
+        assert_eq!(mc.stderr, 0.0);
+        assert_eq!(mc.min, mc.max);
+    }
+
+    #[test]
+    fn wildcard_race_is_reported() {
+        // Both senders post before the receiver can match: two candidates
+        // for one wildcard receive -> race report.
+        let m = Model::new().with_stmt(Stmt::Runon {
+            branches: vec![
+                (
+                    e("procnum == 0"),
+                    vec![
+                        serial("10"), // let both sends land first
+                        labelled(recv("8", "0-1", "0"), "racy-recv"),
+                        recv("8", "0-1", "0"),
+                    ],
+                ),
+                (e("procnum != 0"), vec![send("8", "procnum", "0")]),
+            ],
+        });
+        let p = evaluate(&m, &EvalConfig::new(3), &fixed_timing(0.1)).unwrap();
+        assert!(!p.races.is_empty(), "expected a race report");
+        assert_eq!(p.races[0].0, 0);
+        assert!(p.races[0].1.contains("racy-recv"), "{:?}", p.races);
+        assert!(p.races[0].1.contains("2 candidate"), "{:?}", p.races);
+    }
+
+    #[test]
+    fn single_candidate_wildcard_is_not_a_race() {
+        let m = Model::new().with_stmt(Stmt::Runon {
+            branches: vec![
+                (e("procnum == 0"), vec![recv("8", "0-1", "0")]),
+                (e("procnum == 1"), vec![send("8", "1", "0")]),
+            ],
+        });
+        let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
+        assert!(p.races.is_empty(), "{:?}", p.races);
+    }
+
+    #[test]
+    fn unbound_parameter_is_rejected() {
+        let m = Model::new().with_stmt(serial("mystery"));
+        let err = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap_err();
+        assert!(matches!(err, PevpmError::Expr(_)), "{err}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Explore how network contention shapes communication-time
+//! distributions — the phenomenon behind the paper's Figures 1–4.
+//!
+//! Sweeps machine shapes and message sizes, printing MPIBench
+//! distributions (min / mean / p95 / max and an ASCII PDF), the
+//! eager→rendezvous knee, and drop/retransmission statistics under
+//! saturation.
+//!
+//! Run with `cargo run --release --example contention_explorer [max_nodes]`.
+
+use pevpm_mpibench::{run_p2p, P2pConfig};
+use pevpm_dist::Ecdf;
+
+fn main() {
+    let max_nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+
+    let mut nodes_list = vec![2usize];
+    while *nodes_list.last().unwrap() * 2 <= max_nodes {
+        let next = nodes_list.last().unwrap() * 2;
+        nodes_list.push(next);
+    }
+
+    println!("per-message MPI_Isend times across the machine (HalfSplit exchange)\n");
+    for &nodes in &nodes_list {
+        let cfg = P2pConfig::perseus(nodes, 1, vec![1024, 16 * 1024, 64 * 1024], 30, 9);
+        let res = run_p2p(&cfg).expect("benchmark failed");
+        println!("== {nodes}x1 ==");
+        for s in &res.by_size {
+            let e = Ecdf::new(&s.samples);
+            println!(
+                "  {:>6} B: min {:>9.1}us  mean {:>9.1}us  p95 {:>10.1}us  max {:>11.1}us",
+                s.size,
+                s.summary.min().unwrap() * 1e6,
+                s.summary.mean().unwrap() * 1e6,
+                e.quantile(0.95).unwrap() * 1e6,
+                s.summary.max().unwrap() * 1e6,
+            );
+        }
+    }
+
+    // A close-up of the distribution shape at high contention.
+    println!("\nPDF close-up: 1 KiB messages at {max_nodes}x1:");
+    let cfg = P2pConfig::perseus(max_nodes.max(4), 1, vec![1024], 80, 11);
+    let res = run_p2p(&cfg).expect("benchmark failed");
+    let h = res.by_size[0].histogram(24);
+    let peak = h.pdf_series().map(|(_, m)| m).fold(0.0f64, f64::max).max(1e-12);
+    for (mid, mass) in h.pdf_series() {
+        if mass > 0.0 {
+            let bar = "#".repeat(((mass / peak) * 40.0).round() as usize);
+            println!("  {:>8.1}us {bar}", mid * 1e6);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! What-if study: how would the Jacobi application scale if Perseus's
+//! Fast Ethernet were replaced by gigabit Ethernet or a low-latency
+//! (Myrinet-class) interconnect?
+//!
+//! This exercises the paper's flexibility claim (§6): a PEVPM model is
+//! symbolic in its machine inputs, so the *same* Jacobi model re-evaluates
+//! against benchmark databases from any machine — here, MPIBench runs on
+//! simulated variants of the cluster and the predictions are compared.
+//!
+//! Run with `cargo run --release --example whatif_upgrade`.
+
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, EvalConfig};
+use pevpm_apps::jacobi::{self, JacobiConfig};
+use pevpm_dist::{DistTable, Op};
+use pevpm_mpibench::{run_p2p, Direction, P2pConfig, PairPattern};
+use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
+
+fn bench_machine(cluster: ClusterConfig, nodes: usize, sizes: &[u64], seed: u64) -> DistTable {
+    let world = WorldConfig {
+        cluster,
+        procs_per_node: 1,
+        placement: Placement::Block,
+        protocol: ProtocolConfig::default(),
+        seed,
+        virtual_deadline: None,
+        record_trace: false,
+    };
+    let _ = nodes;
+    let res = run_p2p(&P2pConfig {
+        world,
+        sizes: sizes.to_vec(),
+        repetitions: 50,
+        warmup: 5,
+        sync_every: 1,
+        pattern: PairPattern::Ring,
+        direction: Direction::Exchange,
+        clock: None,
+    })
+    .expect("benchmark failed");
+    let mut table = DistTable::new();
+    res.add_to_table(&mut table, Op::Send, 100);
+    table
+}
+
+fn main() {
+    let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let sizes = [cfg.halo_bytes() / 2, cfg.halo_bytes(), cfg.halo_bytes() * 2];
+    let model = jacobi::model(&cfg);
+    let t_serial = cfg.iterations as f64 * cfg.serial_secs;
+
+    println!("What-if: Jacobi speedup under alternative interconnects");
+    println!("(same PEVPM model; per-machine MPIBench databases)\n");
+    println!("{:<7} {:>14} {:>14} {:>14}", "procs", "fast-ethernet", "gigabit", "low-latency");
+
+    for nodes in [2usize, 4, 8, 16, 32, 64] {
+        let mut row = format!("{nodes:<7}");
+        for machine in ["fe", "ge", "ll"] {
+            let cluster = match machine {
+                "fe" => ClusterConfig::perseus(nodes),
+                "ge" => ClusterConfig::gigabit(nodes),
+                _ => ClusterConfig::lowlatency(nodes),
+            };
+            let table = bench_machine(cluster, nodes, &sizes, 42 + nodes as u64);
+            let timing = TimingModel::distributions(table);
+            let p = evaluate(&model, &EvalConfig::new(nodes).with_seed(7), &timing)
+                .expect("prediction failed");
+            row.push_str(&format!(" {:>13.2}x", t_serial / p.makespan));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nreading: the 256^2 Jacobi saturates early on Fast Ethernet; gigabit moves the\n\
+         knee out; the low-latency fabric keeps scaling because small-message software\n\
+         overhead — not bandwidth — dominates the halo exchange."
+    );
+}

@@ -1,0 +1,30 @@
+//! `grove-pevpm` — reproduction of Grove & Coddington, *Communication
+//! Benchmarking and Performance Modelling of MPI Programs on Cluster
+//! Computers*.
+//!
+//! This umbrella crate re-exports the workspace's components:
+//!
+//! - [`netsim`] — packet-level discrete-event simulator of a commodity
+//!   Ethernet cluster (the Perseus substitute);
+//! - [`mpisim`] — an MPI-like message-passing library running real Rust
+//!   rank programs over the simulated cluster;
+//! - [`dist`] — the probability-distribution toolkit (histograms, fits,
+//!   `DistTable` benchmark databases);
+//! - [`mpibench`] — the MPIBench reproduction (globally-clocked
+//!   per-operation benchmarking producing distributions);
+//! - [`pevpm`] — the Performance Evaluating Virtual Parallel Machine (the
+//!   paper's contribution): directive models, annotation parsing, the
+//!   contention scoreboard and the sweep/match Monte-Carlo engine;
+//! - [`apps`] — the three evaluation applications (Jacobi, FFT, task
+//!   farm), each as a real rank program and as a PEVPM model.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for the paper-vs-reproduction results.
+
+pub use pevpm_apps as apps;
+pub use pevpm_dist as dist;
+pub use pevpm_mpibench as mpibench;
+pub use pevpm_mpisim as mpisim;
+pub use pevpm_netsim as netsim;
+
+pub use pevpm;

@@ -1,0 +1,97 @@
+//! The paper's Figure 5 listing as an executable artefact: parse the
+//! annotated C source shipped verbatim in `crates/pevpm/assets`, evaluate
+//! it, and check it against both the programmatic model and the measured
+//! execution.
+
+use grove_pevpm::apps::jacobi::{self, JacobiConfig};
+use grove_pevpm::mpisim::WorldConfig;
+use grove_pevpm::pevpm::timing::TimingModel;
+use grove_pevpm::pevpm::vm::{evaluate, EvalConfig};
+use grove_pevpm::pevpm::{parse_annotations, Stmt, JACOBI_FIG5};
+
+#[test]
+fn fig5_parses_to_the_papers_structure() {
+    let m = parse_annotations(JACOBI_FIG5).unwrap();
+    assert_eq!(m.stmts.len(), 1, "top level is the iteration loop");
+    let Stmt::Loop { body, .. } = &m.stmts[0] else {
+        panic!("expected Loop")
+    };
+    assert_eq!(body.len(), 2, "even/odd Runon + Serial");
+    let Stmt::Runon { branches } = &body[0] else {
+        panic!("expected Runon")
+    };
+    assert_eq!(branches.len(), 2);
+    let Stmt::Serial { machine, .. } = &body[1] else {
+        panic!("expected Serial")
+    };
+    assert_eq!(machine.as_deref(), Some("perseus"));
+}
+
+#[test]
+fn fig5_model_evaluates_without_deadlock_for_even_proc_counts() {
+    let m = parse_annotations(JACOBI_FIG5).unwrap();
+    let timing = TimingModel::hockney(100e-6, 12.5e6);
+    for n in [2usize, 4, 8, 16] {
+        let p = evaluate(
+            &m,
+            &EvalConfig::new(n)
+                .with_param("xsize", 256.0)
+                .with_param("iterations", 5.0),
+            &timing,
+        )
+        .unwrap_or_else(|e| panic!("{n} procs: {e}"));
+        assert!(p.makespan > 0.0);
+        assert_eq!(p.nprocs, n);
+    }
+}
+
+#[test]
+fn fig5_prediction_tracks_measured_jacobi() {
+    // Use the real benchmark-driven pipeline at a reduced scale.
+    let cfg = JacobiConfig { xsize: 256, iterations: 40, serial_secs: 3.24e-3 };
+    let table = pevpm_bench::fig6::shape_table(
+        pevpm_mpibench::MachineShape { nodes: 4, ppn: 1 },
+        &[512, 1024, 2048],
+        30,
+        13,
+    );
+    let timing = TimingModel::distributions(table);
+
+    let fig5 = parse_annotations(JACOBI_FIG5).unwrap();
+    // The Figure 5 serial constant is in the paper's unit (interpreted as
+    // ms); bind the parametric inputs and scale via a custom model instead:
+    // evaluate the programmatic model for the comparison and the Fig5 one
+    // for structural sanity.
+    let prog = jacobi::model(&cfg);
+    let predicted = evaluate(&prog, &EvalConfig::new(4).with_seed(3), &timing)
+        .unwrap()
+        .makespan;
+    let fig5_pred = evaluate(
+        &fig5,
+        &EvalConfig::new(4)
+            .with_param("xsize", 256.0)
+            .with_param("iterations", cfg.iterations as f64),
+        &timing,
+    )
+    .unwrap()
+    .makespan;
+    // Identical communication structure: comm time must agree between the
+    // two models once the (different) serial constants are subtracted.
+    let comm_prog = predicted - cfg.iterations as f64 * cfg.serial_secs / 4.0;
+    let comm_fig5 = fig5_pred - cfg.iterations as f64 * 3.24 / 4.0;
+    let rel = (comm_prog - comm_fig5).abs() / comm_prog.max(1e-9);
+    assert!(
+        rel < 0.05,
+        "fig5 comm {comm_fig5} vs programmatic comm {comm_prog}"
+    );
+
+    let measured = jacobi::run_measured(WorldConfig::perseus(4, 1, 13), &cfg)
+        .unwrap()
+        .time;
+    let err = (predicted - measured).abs() / measured;
+    assert!(
+        err < 0.06,
+        "prediction off by {:.1}% (measured {measured}, predicted {predicted})",
+        err * 100.0
+    );
+}

@@ -1,0 +1,88 @@
+//! Validation of §5's performance-loss attribution: PEVPM's predicted
+//! blocked-time breakdown must agree with the *measured* breakdown from
+//! execution traces of the real program.
+
+use grove_pevpm::apps::jacobi::{self, JacobiConfig};
+use grove_pevpm::mpisim::{breakdown, WorldConfig};
+use grove_pevpm::pevpm::timing::TimingModel;
+use grove_pevpm::pevpm::vm::{evaluate, EvalConfig};
+use pevpm_mpibench::MachineShape;
+
+#[test]
+fn predicted_loss_breakdown_matches_measured_traces() {
+    let cfg = JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 };
+    let nodes = 8;
+
+    // Measured: trace the real Jacobi run.
+    let mut world = WorldConfig::perseus(nodes, 1, 21);
+    world.record_trace = true;
+    let run = jacobi::run_measured(world, &cfg).unwrap();
+    let traces = run.report.traces.expect("tracing enabled");
+    let b = breakdown(&traces);
+    let measured_compute: f64 = b.iter().map(|r| r.compute).sum();
+    let measured_comm: f64 = b.iter().map(|r| r.send + r.blocked).sum();
+
+    // Predicted: evaluate the model against a matched benchmark database.
+    let table = pevpm_bench::fig6::shape_table(
+        MachineShape { nodes, ppn: 1 },
+        &[512, 1024, 2048],
+        30,
+        21,
+    );
+    let pred = evaluate(
+        &jacobi::model(&cfg),
+        &EvalConfig::new(nodes).with_seed(5),
+        &TimingModel::distributions(table),
+    )
+    .unwrap();
+    let predicted_compute: f64 = pred.compute_time.iter().sum();
+    let predicted_comm: f64 =
+        pred.send_time.iter().sum::<f64>() + pred.blocked_time.iter().sum::<f64>();
+
+    // Compute is exact by construction (same calibrated constant).
+    let compute_err = (predicted_compute - measured_compute).abs() / measured_compute;
+    assert!(compute_err < 0.01, "compute breakdown off by {:.1}%", compute_err * 100.0);
+
+    // Communication totals must agree to within the prediction tolerance.
+    let comm_err = (predicted_comm - measured_comm).abs() / measured_comm;
+    assert!(
+        comm_err < 0.25,
+        "comm breakdown: measured {measured_comm:.4}s vs predicted {predicted_comm:.4}s \
+         ({:.0}% apart)",
+        comm_err * 100.0
+    );
+
+    // The loss map localises the waiting: the dominant labels must be the
+    // halo receives, and their sum must account for ~all blocked time.
+    let recv_loss: f64 = pred
+        .loss_by_label
+        .iter()
+        .filter(|(k, _)| k.starts_with("halo-recv"))
+        .map(|(_, v)| v)
+        .sum();
+    let total_blocked: f64 = pred.blocked_time.iter().sum();
+    assert!(
+        recv_loss > total_blocked * 0.9,
+        "halo receives should dominate the loss report: {recv_loss} of {total_blocked}"
+    );
+}
+
+#[test]
+fn traced_jacobi_comm_fraction_grows_with_scale() {
+    let cfg = JacobiConfig { xsize: 256, iterations: 20, serial_secs: 3.24e-3 };
+    let frac = |nodes: usize| {
+        let mut world = WorldConfig::perseus(nodes, 1, 31);
+        world.record_trace = true;
+        let run = jacobi::run_measured(world, &cfg).unwrap();
+        let b = breakdown(&run.report.traces.unwrap());
+        let comm: f64 = b.iter().map(|r| r.send + r.blocked).sum();
+        let total: f64 = b.iter().map(|r| r.total()).sum();
+        comm / total
+    };
+    let f2 = frac(2);
+    let f16 = frac(16);
+    assert!(
+        f16 > f2,
+        "communication fraction should grow with scale: {f2:.3} -> {f16:.3}"
+    );
+}

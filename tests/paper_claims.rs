@@ -1,0 +1,135 @@
+//! Reduced-scale checks of the paper's qualitative claims — the same
+//! logic the full-scale benches print, asserted automatically.
+
+use grove_pevpm::apps::jacobi::JacobiConfig;
+use pevpm_bench::{ablate, ext, fig6, figs12, figs34};
+use pevpm_mpibench::MachineShape;
+
+/// §6: "simplistic prediction methods utilising 2×1 process ping-pong data
+/// will always overestimate performance" — and the gap grows with the
+/// process count.
+#[test]
+fn pingpong_baselines_overestimate_performance_increasingly() {
+    let cfg = fig6::Fig6Config {
+        shapes: vec![
+            MachineShape { nodes: 4, ppn: 1 },
+            MachineShape { nodes: 16, ppn: 1 },
+        ],
+        jacobi: JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 },
+        bench_reps: 25,
+        seed: 31,
+    };
+    let res = fig6::run(&cfg);
+    let mut prev_gap = f64::NEG_INFINITY;
+    for row in &res.rows {
+        let min_t = row.predicted_time("min-2x1").unwrap();
+        assert!(
+            min_t < row.measured,
+            "{}: min-2x1 must predict a faster program than reality",
+            row.shape
+        );
+        let gap = (row.measured - min_t) / row.measured;
+        assert!(
+            gap > prev_gap,
+            "{}: ping-pong error should grow with scale",
+            row.shape
+        );
+        prev_gap = gap;
+    }
+}
+
+/// The headline accuracy claim at reduced scale: distribution predictions
+/// within 5%.
+#[test]
+fn distribution_predictions_within_five_percent() {
+    let cfg = fig6::Fig6Config {
+        shapes: vec![
+            MachineShape { nodes: 2, ppn: 1 },
+            MachineShape { nodes: 8, ppn: 1 },
+            MachineShape { nodes: 8, ppn: 2 },
+        ],
+        jacobi: JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 },
+        bench_reps: 30,
+        seed: 37,
+    };
+    let res = fig6::run(&cfg);
+    for row in &res.rows {
+        let err = row.error("dist-nxp").unwrap().abs();
+        assert!(
+            err < 0.05,
+            "{}: distribution prediction off by {:.1}%",
+            row.shape,
+            err * 100.0
+        );
+    }
+}
+
+/// Figures 1–3 claims: contention penalty at 1 KB, the 16 KB knee, and the
+/// Figure 3 PDF shape.
+#[test]
+fn benchmark_figures_reproduce_shapes() {
+    let res = figs12::run(&figs12::FigsConfig {
+        shapes: vec![
+            MachineShape { nodes: 2, ppn: 1 },
+            MachineShape { nodes: 32, ppn: 1 },
+        ],
+        sizes: vec![1024, 4096, 8192, 16384, 32768],
+        repetitions: 12,
+        seed: 41,
+    });
+    let penalty = figs12::contention_penalty_1k(&res).unwrap();
+    assert!(penalty > 1.05, "1 KB contention penalty too small: {penalty}");
+    let (_, knee) = figs12::knee_analysis(&res);
+    assert_eq!(knee, Some(16384));
+
+    let series = figs34::run(&figs34::PdfConfig {
+        nodes: 16,
+        ppn: 2,
+        sizes: vec![1024],
+        repetitions: 30,
+        seed: 43,
+        bins: 40,
+    });
+    assert!(figs34::is_fig3_shape(&series[0]));
+}
+
+/// §6 extensions: the other two application classes also predict well.
+#[test]
+fn fft_and_farm_predictions_are_accurate() {
+    let fft_cfg = grove_pevpm::apps::FftConfig {
+        n1: 64,
+        n2: 64,
+        flops_per_sec: 50e6,
+        iterations: 6,
+    };
+    for row in ext::run_fft(&[4], &fft_cfg, 8, 47) {
+        assert!(row.error().abs() < 0.15, "FFT error {:.1}%", row.error() * 100.0);
+    }
+    let farm_cfg = grove_pevpm::apps::FarmConfig {
+        tasks: 24,
+        work_mean_secs: 0.03,
+        work_spread_secs: 0.01,
+        ..Default::default()
+    };
+    for row in ext::run_farm(&[5], &farm_cfg, 8, 53) {
+        assert!(row.error().abs() < 0.15, "farm error {:.1}%", row.error() * 100.0);
+    }
+}
+
+/// §6 ablation: predictions are robust to moderate histogram coarsening
+/// (drift is bounded), and clock skew visibly distorts benchmark data.
+#[test]
+fn ablations_behave_as_documented() {
+    let rows = ablate::run_bins(
+        MachineShape { nodes: 4, ppn: 1 },
+        &JacobiConfig { xsize: 256, iterations: 30, serial_secs: 3.24e-3 },
+        &[1, 8, 64],
+        20,
+        59,
+    );
+    assert!(rows[0].drift.abs() < 1e-12);
+    assert!(rows[2].drift.abs() < 0.05);
+
+    let rows = ablate::run_clock(4, 1024, &[0.0, 1e-3], 30, 61);
+    assert!(rows[1].ks > rows[0].ks + 0.1);
+}
