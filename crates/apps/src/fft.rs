@@ -38,7 +38,12 @@ pub struct FftConfig {
 
 impl Default for FftConfig {
     fn default() -> Self {
-        FftConfig { n1: 64, n2: 64, flops_per_sec: 50e6, iterations: 1 }
+        FftConfig {
+            n1: 64,
+            n2: 64,
+            flops_per_sec: 50e6,
+            iterations: 1,
+        }
     }
 }
 
@@ -136,7 +141,10 @@ pub fn test_signal(n: usize) -> Vec<(f64, f64)> {
     (0..n)
         .map(|i| {
             let x = i as f64;
-            ((x * 0.37).sin() + 0.5 * (x * 0.11).cos(), 0.25 * (x * 0.23).sin())
+            (
+                (x * 0.37).sin() + 0.5 * (x * 0.11).cos(),
+                0.25 * (x * 0.23).sin(),
+            )
         })
         .collect()
 }
@@ -158,7 +166,10 @@ fn pack(rows: &[Vec<(f64, f64)>], cols: std::ops::Range<usize>) -> Vec<f64> {
 pub fn run_measured(world: WorldConfig, cfg: &FftConfig) -> Result<FftRun, SimError> {
     let p = world.nranks();
     assert!(cfg.n1.is_power_of_two() && cfg.n2.is_power_of_two());
-    assert!(cfg.n1.is_multiple_of(p) && cfg.n2.is_multiple_of(p), "rank count must divide N1 and N2");
+    assert!(
+        cfg.n1.is_multiple_of(p) && cfg.n2.is_multiple_of(p),
+        "rank count must divide N1 and N2"
+    );
     let cfg = cfg.clone();
     let gathered: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
     let gathered2 = gathered.clone();
@@ -200,7 +211,7 @@ pub fn run_measured(world: WorldConfig, cfg: &FftConfig) -> Result<FftRun, SimEr
 
             // Step 3: global transpose. Peer q gets our rows' entries for
             // its k2 block [q*rows2, (q+1)*rows2).
-            let chunks: Vec<bytes::Bytes> = (0..nr)
+            let chunks: Vec<pevpm_mpisim::Bytes> = (0..nr)
                 .map(|q| encode_f64s(&pack(&rows, q * rows2..(q + 1) * rows2)))
                 .collect();
             let got = rank.alltoall(chunks);
@@ -227,7 +238,7 @@ pub fn run_measured(world: WorldConfig, cfg: &FftConfig) -> Result<FftRun, SimEr
             // Verification gather (single iteration only): X[N2·k1 + k2].
             if cfg.iterations == 1 {
                 let flat = pack(&cols, 0..n1);
-                let all = rank.gather(0, bytes::Bytes::from(encode_f64s(&flat).to_vec()));
+                let all = rank.gather(0, encode_f64s(&flat));
                 if let Some(parts) = all {
                     let mut output = vec![0.0f64; 2 * n];
                     for (q, blob) in parts.iter().enumerate() {
@@ -250,7 +261,11 @@ pub fn run_measured(world: WorldConfig, cfg: &FftConfig) -> Result<FftRun, SimEr
 
     let time = report.virtual_time.as_secs_f64();
     let output = std::mem::take(&mut *gathered.lock());
-    Ok(FftRun { report, time, output })
+    Ok(FftRun {
+        report,
+        time,
+        output,
+    })
 }
 
 /// The PEVPM model of the distributed FFT: two serial butterfly phases
@@ -303,7 +318,12 @@ mod tests {
 
     #[test]
     fn distributed_fft_matches_dft() {
-        let cfg = FftConfig { n1: 8, n2: 8, flops_per_sec: 50e6, iterations: 1 };
+        let cfg = FftConfig {
+            n1: 8,
+            n2: 8,
+            flops_per_sec: 50e6,
+            iterations: 1,
+        };
         let input = test_signal(64);
         let reference = dft_reference(&input);
         for p in [1usize, 2, 4] {
@@ -323,7 +343,12 @@ mod tests {
 
     #[test]
     fn measured_time_scales_down_with_ranks() {
-        let cfg = FftConfig { n1: 64, n2: 64, flops_per_sec: 50e6, iterations: 4 };
+        let cfg = FftConfig {
+            n1: 64,
+            n2: 64,
+            flops_per_sec: 50e6,
+            iterations: 4,
+        };
         let t1 = run_measured(WorldConfig::ideal(1, 1), &cfg).unwrap().time;
         let t4 = run_measured(WorldConfig::ideal(4, 1), &cfg).unwrap().time;
         assert!(t4 < t1, "t1={t1} t4={t4}");
@@ -332,17 +357,29 @@ mod tests {
     #[test]
     fn model_parameters_are_bound() {
         let m = model(&FftConfig::default());
-        assert!(m.check_bindings(&Default::default()).is_ok(), "unbound model params");
+        assert!(
+            m.check_bindings(&Default::default()).is_ok(),
+            "unbound model params"
+        );
     }
 
     #[test]
     fn model_compute_matches_measured_compute() {
         // With an all-zero-cost network both forms should agree on compute.
-        let cfg = FftConfig { n1: 32, n2: 32, flops_per_sec: 50e6, iterations: 2 };
+        let cfg = FftConfig {
+            n1: 32,
+            n2: 32,
+            flops_per_sec: 50e6,
+            iterations: 2,
+        };
         let m = model(&cfg);
         let mut table = pevpm_dist::DistTable::new();
         table.insert(
-            pevpm_dist::DistKey { op: pevpm_dist::Op::Alltoall, size: 1, contention: 1 },
+            pevpm_dist::DistKey {
+                op: pevpm_dist::Op::Alltoall,
+                size: 1,
+                contention: 1,
+            },
             pevpm_dist::CommDist::Point(0.0),
         );
         let timing = pevpm::TimingModel::distributions(table);

@@ -44,7 +44,11 @@ pub struct JacobiConfig {
 
 impl Default for JacobiConfig {
     fn default() -> Self {
-        JacobiConfig { xsize: 256, iterations: 1000, serial_secs: 3.24e-3 }
+        JacobiConfig {
+            xsize: 256,
+            iterations: 1000,
+            serial_secs: 3.24e-3,
+        }
     }
 }
 
@@ -133,7 +137,11 @@ pub fn run_measured(world: WorldConfig, cfg: &JacobiConfig) -> Result<JacobiRun,
 
     let time = report.virtual_time.as_secs_f64();
     let checksum = *checksum.lock();
-    Ok(JacobiRun { report, time, checksum })
+    Ok(JacobiRun {
+        report,
+        time,
+        checksum,
+    })
 }
 
 fn run_rank(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) {
@@ -203,11 +211,7 @@ fn run_rank(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) {
     }
 
     // Verification: global checksum to rank 0.
-    let local: f64 = grid[1..=rows]
-        .iter()
-        .flatten()
-        .map(|&v| v as f64)
-        .sum();
+    let local: f64 = grid[1..=rows].iter().flatten().map(|&v| v as f64).sum();
     if let Some(total) = rank.reduce_f64s(0, &[local], ReduceOp::Sum) {
         *checksum.lock() = total[0];
     }
@@ -221,7 +225,10 @@ fn run_rank(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) {
 /// is exactly the design-stage question §1 motivates PEVPM with.
 pub fn run_measured_overlap(world: WorldConfig, cfg: &JacobiConfig) -> Result<JacobiRun, SimError> {
     let nranks = world.nranks();
-    assert!(cfg.xsize.is_multiple_of(nranks), "xsize must divide by nranks");
+    assert!(
+        cfg.xsize.is_multiple_of(nranks),
+        "xsize must divide by nranks"
+    );
     let cfg = cfg.clone();
     let checksum = Arc::new(Mutex::new(0.0f64));
     let checksum2 = checksum.clone();
@@ -232,7 +239,11 @@ pub fn run_measured_overlap(world: WorldConfig, cfg: &JacobiConfig) -> Result<Ja
 
     let time = report.virtual_time.as_secs_f64();
     let checksum = *checksum.lock();
-    Ok(JacobiRun { report, time, checksum })
+    Ok(JacobiRun {
+        report,
+        time,
+        checksum,
+    })
 }
 
 fn run_rank_overlap(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) {
@@ -249,7 +260,11 @@ fn run_rank_overlap(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) 
     // Split the calibrated compute time: interior rows overlap the halo
     // exchange; the two boundary rows are computed after the waits.
     let per_iter = cfg.serial_secs / n as f64;
-    let boundary_frac = if rows > 0 { (2.0 / rows as f64).min(1.0) } else { 1.0 };
+    let boundary_frac = if rows > 0 {
+        (2.0 / rows as f64).min(1.0)
+    } else {
+        1.0
+    };
     let interior_secs = per_iter * (1.0 - boundary_frac);
     let boundary_secs = per_iter * boundary_frac;
 
@@ -271,8 +286,7 @@ fn run_rank_overlap(rank: &mut Rank, cfg: &JacobiConfig, checksum: &Mutex<f64>) 
         let rx_up = (r != 0).then(|| rank.irecv(r - 1, TAG_DOWN));
         let rx_down = (r != n - 1).then(|| rank.irecv(r + 1, TAG_UP));
         let tx_up = (r != 0).then(|| rank.isend(r - 1, TAG_UP, encode_f32s(&grid[1])));
-        let tx_down =
-            (r != n - 1).then(|| rank.isend(r + 1, TAG_DOWN, encode_f32s(&grid[rows])));
+        let tx_down = (r != n - 1).then(|| rank.isend(r + 1, TAG_DOWN, encode_f32s(&grid[rows])));
 
         // Interior rows overlap the transfers.
         for j in 2..rows {
@@ -352,11 +366,17 @@ pub fn model_overlap(cfg: &JacobiConfig) -> Model {
                 ),
                 runon(
                     "procnum != 0",
-                    vec![labelled(isend(halo, "procnum", "procnum-1"), "halo-isend-up")],
+                    vec![labelled(
+                        isend(halo, "procnum", "procnum-1"),
+                        "halo-isend-up",
+                    )],
                 ),
                 runon(
                     "procnum != numprocs-1",
-                    vec![labelled(isend(halo, "procnum", "procnum+1"), "halo-isend-down")],
+                    vec![labelled(
+                        isend(halo, "procnum", "procnum+1"),
+                        "halo-isend-down",
+                    )],
                 ),
                 // Interior compute overlaps the transfers.
                 labelled(
@@ -412,13 +432,19 @@ pub fn model(cfg: &JacobiConfig) -> Model {
                     vec![
                         runon(
                             "procnum != numprocs-1",
-                            vec![labelled(recv(halo, "procnum+1", "procnum"), "halo-recv-down")],
+                            vec![labelled(
+                                recv(halo, "procnum+1", "procnum"),
+                                "halo-recv-down",
+                            )],
                         ),
                         labelled(recv(halo, "procnum-1", "procnum"), "halo-recv-up"),
                         labelled(send(halo, "procnum", "procnum-1"), "halo-send-up"),
                         runon(
                             "procnum != numprocs-1",
-                            vec![labelled(send(halo, "procnum", "procnum+1"), "halo-send-down")],
+                            vec![labelled(
+                                send(halo, "procnum", "procnum+1"),
+                                "halo-send-down",
+                            )],
                         ),
                     ],
                 ),
@@ -445,7 +471,11 @@ mod tests {
 
     #[test]
     fn measured_matches_serial_reference() {
-        let cfg = JacobiConfig { xsize: 16, iterations: 8, serial_secs: 0.001 };
+        let cfg = JacobiConfig {
+            xsize: 16,
+            iterations: 8,
+            serial_secs: 0.001,
+        };
         let reference = serial_reference(16, 8);
         for nodes in [1usize, 2, 4] {
             let run = run_measured(WorldConfig::ideal(nodes, 1), &cfg).unwrap();
@@ -459,7 +489,11 @@ mod tests {
 
     #[test]
     fn measured_time_includes_compute_and_comm() {
-        let cfg = JacobiConfig { xsize: 16, iterations: 4, serial_secs: 0.1 };
+        let cfg = JacobiConfig {
+            xsize: 16,
+            iterations: 4,
+            serial_secs: 0.1,
+        };
         let run = run_measured(WorldConfig::ideal(2, 1), &cfg).unwrap();
         // At least the per-rank compute: 4 iterations × 0.1/2 s.
         assert!(run.time >= 0.2, "time {}", run.time);
@@ -471,7 +505,10 @@ mod tests {
     fn model_matches_fig5_structure() {
         let cfg = JacobiConfig::default();
         let m = model(&cfg);
-        assert!(m.check_bindings(&Default::default()).is_ok(), "unbound model params");
+        assert!(
+            m.check_bindings(&Default::default()).is_ok(),
+            "unbound model params"
+        );
         // Evaluate with an analytic timing model; must not deadlock for
         // various process counts.
         for n in [1usize, 2, 4, 8] {
@@ -487,7 +524,11 @@ mod tests {
 
     #[test]
     fn model_speedup_behaviour_is_sane() {
-        let cfg = JacobiConfig { xsize: 256, iterations: 10, serial_secs: 3.24 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 10,
+            serial_secs: 3.24,
+        };
         let m = model(&cfg);
         let timing = TimingModel::hockney(100e-6, 12.5e6);
         let t1 = evaluate(&m, &EvalConfig::new(1), &timing).unwrap().makespan;
@@ -501,7 +542,11 @@ mod tests {
 
     #[test]
     fn overlap_variant_is_numerically_identical() {
-        let cfg = JacobiConfig { xsize: 16, iterations: 8, serial_secs: 0.001 };
+        let cfg = JacobiConfig {
+            xsize: 16,
+            iterations: 8,
+            serial_secs: 0.001,
+        };
         let reference = serial_reference(16, 8);
         for nodes in [1usize, 2, 4] {
             let run = run_measured_overlap(WorldConfig::ideal(nodes, 1), &cfg).unwrap();
@@ -516,8 +561,14 @@ mod tests {
     #[test]
     fn overlap_variant_is_faster_when_comm_bound() {
         // Small compute, real network: overlap must beat the phased code.
-        let cfg = JacobiConfig { xsize: 256, iterations: 40, serial_secs: 3.24e-3 };
-        let phased = run_measured(WorldConfig::perseus(16, 1, 3), &cfg).unwrap().time;
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 40,
+            serial_secs: 3.24e-3,
+        };
+        let phased = run_measured(WorldConfig::perseus(16, 1, 3), &cfg)
+            .unwrap()
+            .time;
         let overlap = run_measured_overlap(WorldConfig::perseus(16, 1, 3), &cfg)
             .unwrap()
             .time;
@@ -531,7 +582,11 @@ mod tests {
     fn overlap_model_predicts_the_improvement() {
         // The design-stage question: does PEVPM predict the same ranking
         // and roughly the same gain as actually implementing both codes?
-        let cfg = JacobiConfig { xsize: 256, iterations: 40, serial_secs: 3.24e-3 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 40,
+            serial_secs: 3.24e-3,
+        };
         let timing = TimingModel::hockney(100e-6, 12.5e6);
         let phased = evaluate(&model(&cfg), &EvalConfig::new(16), &timing)
             .unwrap()
@@ -561,7 +616,11 @@ mod tests {
             &timing,
         )
         .unwrap();
-        let cfg = JacobiConfig { xsize: 256, iterations: 5, serial_secs: 3.24 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 5,
+            serial_secs: 3.24,
+        };
         let p_prog = evaluate(&model(&cfg), &EvalConfig::new(4), &timing).unwrap();
         let rel = (p_fig5.makespan - p_prog.makespan).abs() / p_prog.makespan;
         assert!(

@@ -57,7 +57,9 @@ impl Default for FarmConfig {
 impl FarmConfig {
     /// Deterministic per-task work time (splitmix64 hash of task id).
     pub fn work_secs(&self, task: u64) -> f64 {
-        let mut z = task.wrapping_add(self.seed).wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = task
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E3779B97F4A7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^= z >> 31;
@@ -101,7 +103,11 @@ pub fn run_measured(world: WorldConfig, cfg: &FarmConfig) -> Result<FarmRun, Sim
                 let (meta, _) = rank.recv(SrcSel::Any, TAG_REQ);
                 if next_task < cfg.tasks {
                     // Encode the task id in the payload.
-                    rank.send(meta.src, TAG_TASK, (next_task as u64).to_le_bytes().to_vec());
+                    rank.send(
+                        meta.src,
+                        TAG_TASK,
+                        (next_task as u64).to_le_bytes().to_vec(),
+                    );
                     next_task += 1;
                 } else {
                     rank.send_size(meta.src, TAG_STOP, 8);
@@ -127,7 +133,11 @@ pub fn run_measured(world: WorldConfig, cfg: &FarmConfig) -> Result<FarmRun, Sim
 
     let time = report.virtual_time.as_secs_f64();
     let tasks_done = done.lock().clone();
-    Ok(FarmRun { report, time, tasks_done })
+    Ok(FarmRun {
+        report,
+        time,
+        tasks_done,
+    })
 }
 
 /// The PEVPM model of the farm (static round-robin approximation, mean
@@ -231,19 +241,29 @@ mod tests {
 
     #[test]
     fn farm_completes_all_tasks() {
-        let cfg = FarmConfig { tasks: 20, ..Default::default() };
+        let cfg = FarmConfig {
+            tasks: 20,
+            ..Default::default()
+        };
         let run = run_measured(WorldConfig::ideal(5, 1), &cfg).unwrap();
         assert_eq!(run.tasks_done.iter().sum::<usize>(), 20);
         assert_eq!(run.tasks_done[0], 0, "master does no tasks");
         // Every worker got at least one task (work ≫ comm here).
         for w in 1..5 {
-            assert!(run.tasks_done[w] > 0, "worker {w} starved: {:?}", run.tasks_done);
+            assert!(
+                run.tasks_done[w] > 0,
+                "worker {w} starved: {:?}",
+                run.tasks_done
+            );
         }
     }
 
     #[test]
     fn farm_time_scales_with_workers() {
-        let cfg = FarmConfig { tasks: 24, ..Default::default() };
+        let cfg = FarmConfig {
+            tasks: 24,
+            ..Default::default()
+        };
         let t2 = run_measured(WorldConfig::ideal(3, 1), &cfg).unwrap().time; // 2 workers
         let t4 = run_measured(WorldConfig::ideal(5, 1), &cfg).unwrap().time; // 4 workers
         assert!(t4 < t2, "t2={t2} t4={t4}");
@@ -278,7 +298,10 @@ mod tests {
             ..Default::default()
         };
         let m = model(&cfg);
-        assert!(m.check_bindings(&Default::default()).is_ok(), "unbound model params");
+        assert!(
+            m.check_bindings(&Default::default()).is_ok(),
+            "unbound model params"
+        );
         let timing = pevpm::TimingModel::hockney(100e-6, 12.5e6);
         let pred = pevpm::evaluate(&m, &pevpm::EvalConfig::new(4), &timing).unwrap();
         // 3 workers × 8 tasks × 0.05 s plus comm overheads.

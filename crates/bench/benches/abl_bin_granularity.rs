@@ -9,7 +9,11 @@ use pevpm_bench::ablate;
 use pevpm_mpibench::MachineShape;
 
 fn main() {
-    let jacobi = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let jacobi = JacobiConfig {
+        xsize: 256,
+        iterations: 200,
+        serial_secs: 3.24e-3,
+    };
     let shape = MachineShape { nodes: 16, ppn: 1 };
     eprintln!("[abl-bins] coarsening benchmark histograms at {shape}...");
     let rows = ablate::run_bins(shape, &jacobi, &[1, 2, 4, 8, 16, 64, 256], 60, 5);

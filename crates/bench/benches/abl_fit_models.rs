@@ -9,7 +9,11 @@ use pevpm_bench::ablate;
 use pevpm_mpibench::MachineShape;
 
 fn main() {
-    let jacobi = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let jacobi = JacobiConfig {
+        xsize: 256,
+        iterations: 200,
+        serial_secs: 3.24e-3,
+    };
     println!("Abl-fit: histogram vs best-fit parametric benchmark databases\n");
     println!(
         "{:<8} {:>12} {:>12} {:>8} {:>12} {:>8}",

@@ -19,7 +19,11 @@ fn main() {
         (CollKind::Allreduce, 1024),
         (CollKind::Alltoall, 1024),
     ];
-    eprintln!("[coll] surveying {} collectives over {} shapes...", kinds.len(), shapes.len());
+    eprintln!(
+        "[coll] surveying {} collectives over {} shapes...",
+        kinds.len(),
+        shapes.len()
+    );
 
     let mut rows = Vec::new();
     for &(kind, size) in &kinds {

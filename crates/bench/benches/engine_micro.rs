@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pevpm::timing::TimingModel;
-use pevpm::vm::{evaluate, EvalConfig};
+use pevpm::vm::{evaluate, monte_carlo, EvalConfig};
 use pevpm_apps::jacobi::{self, JacobiConfig};
 use pevpm_dist::{CommDist, DistKey, DistTable, Histogram, Op};
 use pevpm_mpisim::{World, WorldConfig};
@@ -49,7 +49,9 @@ fn mpisim_pingpong(c: &mut Criterion) {
 }
 
 fn histogram_sampling(c: &mut Criterion) {
-    let samples: Vec<f64> = (0..10_000).map(|i| 1e-4 + (i % 997) as f64 * 1e-7).collect();
+    let samples: Vec<f64> = (0..10_000)
+        .map(|i| 1e-4 + (i % 997) as f64 * 1e-7)
+        .collect();
     let h = Histogram::from_samples(&samples, 1e-7);
     let mut rng = SmallRng::seed_from_u64(7);
     c.bench_function("dist: histogram inverse-CDF sample", |b| {
@@ -62,12 +64,20 @@ fn pevpm_eval(c: &mut Criterion) {
     let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
     for &contention in &[2u32, 64] {
         table.insert(
-            DistKey { op: Op::Send, size: 1024, contention },
+            DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention,
+            },
             CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
         );
     }
     let timing = TimingModel::distributions(table);
-    let cfg = JacobiConfig { xsize: 256, iterations: 100, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 100,
+        serial_secs: 3.24e-3,
+    };
     let model = jacobi::model(&cfg);
     c.bench_function("pevpm: 32-proc 100-iter Jacobi evaluation", |b| {
         b.iter(|| {
@@ -80,11 +90,76 @@ fn pevpm_eval(c: &mut Criterion) {
     });
 }
 
+/// Replication throughput of the parallel Monte-Carlo engine: the same
+/// 32-replication batch on 1 worker thread vs 4. The outputs are bitwise
+/// identical (enforced by `crates/pevpm/tests/determinism.rs`); only the
+/// wall clock changes, and the speedup scales with the physical cores the
+/// host actually has (a single-core host shows ~1x).
+fn replication_throughput(c: &mut Criterion) {
+    let mut table = DistTable::new();
+    let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
+    for &contention in &[2u32, 64] {
+        table.insert(
+            DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention,
+            },
+            CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
+        );
+    }
+    let timing = TimingModel::distributions(table);
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 60,
+        serial_secs: 3.24e-3,
+    };
+    let model = jacobi::model(&cfg);
+
+    for threads in [1usize, 4] {
+        let eval_cfg = EvalConfig::new(16).with_seed(1).with_threads(threads);
+        c.bench_function(
+            &format!("pevpm: 32-replication Monte-Carlo batch ({threads} thread)"),
+            |b| b.iter(|| black_box(monte_carlo(&model, &eval_cfg, &timing, 32).unwrap().mean)),
+        );
+    }
+
+    // One-shot throughput report (evaluations/second), the number the
+    // tcost table tracks.
+    let serial = monte_carlo(
+        &model,
+        &EvalConfig::new(16).with_seed(1).with_threads(1),
+        &timing,
+        32,
+    )
+    .unwrap();
+    let parallel = monte_carlo(
+        &model,
+        &EvalConfig::new(16).with_seed(1).with_threads(4),
+        &timing,
+        32,
+    )
+    .unwrap();
+    assert_eq!(
+        serial.mean.to_bits(),
+        parallel.mean.to_bits(),
+        "determinism violated"
+    );
+    println!(
+        "pevpm: replication throughput {:.0} evals/s (1 thread) vs {:.0} evals/s (4 threads),          speedup {:.2}x on a {}-core host",
+        serial.evals_per_sec,
+        parallel.evals_per_sec,
+        parallel.evals_per_sec / serial.evals_per_sec.max(1e-9),
+        pevpm::replicate::available_threads(),
+    );
+}
+
 criterion_group!(
     benches,
     netsim_throughput,
     mpisim_pingpong,
     histogram_sampling,
-    pevpm_eval
+    pevpm_eval,
+    replication_throughput
 );
 criterion_main!(benches);

@@ -7,12 +7,24 @@ use pevpm_apps::fft::FftConfig;
 use pevpm_bench::ext;
 
 fn main() {
-    let cfg = FftConfig { n1: 256, n2: 256, flops_per_sec: 50e6, iterations: 20 };
-    eprintln!("[ext-fft] N = {} complex points, {} iterations...", cfg.n(), cfg.iterations);
+    let cfg = FftConfig {
+        n1: 256,
+        n2: 256,
+        flops_per_sec: 50e6,
+        iterations: 20,
+    };
+    eprintln!(
+        "[ext-fft] N = {} complex points, {} iterations...",
+        cfg.n(),
+        cfg.iterations
+    );
     let rows = ext::run_fft(&[2, 4, 8, 16, 32], &cfg, 25, 3);
     println!(
         "{}",
-        ext::render("Ext-FFT: four-step FFT, measured vs PEVPM(dist) predictions", &rows)
+        ext::render(
+            "Ext-FFT: four-step FFT, measured vs PEVPM(dist) predictions",
+            &rows
+        )
     );
     let worst = rows.iter().map(|r| r.error().abs()).fold(0.0, f64::max);
     println!("worst |error|: {:.1}%", worst * 100.0);

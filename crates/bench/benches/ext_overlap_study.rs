@@ -16,7 +16,11 @@ use pevpm_mpibench::MachineShape;
 use pevpm_mpisim::WorldConfig;
 
 fn main() {
-    let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 200,
+        serial_secs: 3.24e-3,
+    };
     let halo = cfg.halo_bytes();
     eprintln!("[overlap] phased vs overlapped Jacobi, predicted and measured...");
 
@@ -29,18 +33,20 @@ fn main() {
         let pred_phased = evaluate(&jacobi::model(&cfg), &EvalConfig::new(nodes), &timing)
             .unwrap()
             .makespan;
-        let pred_overlap =
-            evaluate(&jacobi::model_overlap(&cfg), &EvalConfig::new(nodes), &timing)
-                .unwrap()
-                .makespan;
+        let pred_overlap = evaluate(
+            &jacobi::model_overlap(&cfg),
+            &EvalConfig::new(nodes),
+            &timing,
+        )
+        .unwrap()
+        .makespan;
 
         let meas_phased = jacobi::run_measured(WorldConfig::perseus(nodes, 1, 13), &cfg)
             .unwrap()
             .time;
-        let meas_overlap =
-            jacobi::run_measured_overlap(WorldConfig::perseus(nodes, 1, 13), &cfg)
-                .unwrap()
-                .time;
+        let meas_overlap = jacobi::run_measured_overlap(WorldConfig::perseus(nodes, 1, 13), &cfg)
+            .unwrap()
+            .time;
 
         rows.push(vec![
             format!("{nodes}x1"),

@@ -15,12 +15,18 @@ fn main() {
         work_spread_secs: 0.008,
         ..Default::default()
     };
-    eprintln!("[ext-farm] {} tasks, mean work {} s...", cfg.tasks, cfg.work_mean_secs);
+    eprintln!(
+        "[ext-farm] {} tasks, mean work {} s...",
+        cfg.tasks, cfg.work_mean_secs
+    );
     // Worker counts dividing the task count: 2, 4, 8, 16 workers.
     let rows = ext::run_farm(&[3, 5, 9, 17], &cfg, 25, 5);
     println!(
         "{}",
-        ext::render("Ext-farm: dynamic task farm, measured vs PEVPM(dist) predictions", &rows)
+        ext::render(
+            "Ext-farm: dynamic task farm, measured vs PEVPM(dist) predictions",
+            &rows
+        )
     );
     let worst = rows.iter().map(|r| r.error().abs()).fold(0.0, f64::max);
     println!("worst |error|: {:.1}%", worst * 100.0);

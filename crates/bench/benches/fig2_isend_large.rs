@@ -25,9 +25,9 @@ fn main() {
         println!("  {size:>8} B: {mbit:6.1} Mbit/s");
     }
     match knee {
-        Some(k) => println!(
-            "  detected protocol knee at {k} B (paper: 16 KB; ~81 Mbit/s at 16 KB)"
-        ),
+        Some(k) => {
+            println!("  detected protocol knee at {k} B (paper: 16 KB; ~81 Mbit/s at 16 KB)")
+        }
         None => println!("  no knee detected (unexpected; see EXPERIMENTS.md)"),
     }
 
@@ -45,7 +45,11 @@ fn main() {
                 "  {:>8} B: {:6.2}x{}",
                 a.size,
                 tb / ta,
-                if tb / ta > 5.0 { "   <-- saturated (drops + RTOs)" } else { "" }
+                if tb / ta > 5.0 {
+                    "   <-- saturated (drops + RTOs)"
+                } else {
+                    ""
+                }
             );
         }
     }

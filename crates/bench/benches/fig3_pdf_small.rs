@@ -19,7 +19,11 @@ fn main() {
         println!(
             "shape check (bounded min, peak near mean, fast tail): size {} -> {}",
             s.size,
-            if figs34::is_fig3_shape(s) { "OK" } else { "DIFFERS (see EXPERIMENTS.md)" }
+            if figs34::is_fig3_shape(s) {
+                "OK"
+            } else {
+                "DIFFERS (see EXPERIMENTS.md)"
+            }
         );
     }
 }

@@ -19,7 +19,11 @@ fn main() {
         println!(
             "shape check (long saturation tail / RTO outliers): size {} -> {}",
             s.size,
-            if figs34::is_fig4_shape(s) { "OK" } else { "DIFFERS (see EXPERIMENTS.md)" }
+            if figs34::is_fig4_shape(s) {
+                "OK"
+            } else {
+                "DIFFERS (see EXPERIMENTS.md)"
+            }
         );
     }
 }

@@ -12,7 +12,11 @@ use pevpm_bench::fig6;
 fn main() {
     let cfg = fig6::Fig6Config {
         shapes: pevpm_mpibench::paper_shapes(),
-        jacobi: JacobiConfig { xsize: 256, iterations: 300, serial_secs: 3.24e-3 },
+        jacobi: JacobiConfig {
+            xsize: 256,
+            iterations: 300,
+            serial_secs: 3.24e-3,
+        },
         bench_reps: 60,
         seed: 2004,
     };

@@ -8,7 +8,11 @@ use pevpm_bench::tcost;
 use pevpm_mpibench::MachineShape;
 
 fn main() {
-    let jacobi = JacobiConfig { xsize: 256, iterations: 1000, serial_secs: 3.24e-3 };
+    let jacobi = JacobiConfig {
+        xsize: 256,
+        iterations: 1000,
+        serial_secs: 3.24e-3,
+    };
     let shapes = [
         MachineShape { nodes: 8, ppn: 1 },
         MachineShape { nodes: 32, ppn: 1 },

@@ -61,20 +61,24 @@ pub fn run_bins(
     .expect("baseline prediction failed")
     .makespan;
 
-    factors
-        .iter()
-        .map(|&factor| {
-            let coarse = coarsen_table(&table, factor);
-            let predicted = evaluate(
-                &model,
-                &EvalConfig::new(nprocs).with_seed(seed),
-                &TimingModel::distributions(coarse),
-            )
-            .expect("coarse prediction failed")
-            .makespan;
-            BinRow { factor, predicted, drift: (predicted - base) / base }
-        })
-        .collect()
+    // Each coarsening factor re-evaluates the same model independently;
+    // fan the factors across all cores.
+    pevpm::replicate::parallel_map(factors.len(), 0, |i| {
+        let factor = factors[i];
+        let coarse = coarsen_table(&table, factor);
+        let predicted = evaluate(
+            &model,
+            &EvalConfig::new(nprocs).with_seed(seed),
+            &TimingModel::distributions(coarse),
+        )
+        .expect("coarse prediction failed")
+        .makespan;
+        BinRow {
+            factor,
+            predicted,
+            drift: (predicted - base) / base,
+        }
+    })
 }
 
 /// Result of the parametric-fit ablation (§2's "parametrised functions").
@@ -178,20 +182,19 @@ pub fn run_clock(
     let clean = run_p2p(&base_cfg).expect("clean benchmark failed");
     let clean_ecdf = Ecdf::new(&clean.by_size[0].samples);
 
-    offsets
-        .iter()
-        .map(|&off| {
-            let mut cfg = base_cfg.clone();
-            cfg.clock = Some(ClockModel::skewed(nodes, off, seed ^ 0xc10c));
-            let res = run_p2p(&cfg).expect("skewed benchmark failed");
-            let s = &res.by_size[0];
-            ClockRow {
-                max_offset: off,
-                mean: s.summary.mean().unwrap_or(0.0),
-                ks: clean_ecdf.ks_distance(&Ecdf::new(&s.samples)),
-            }
-        })
-        .collect()
+    // Skew levels are independent benchmark runs; fan them across cores.
+    pevpm::replicate::parallel_map(offsets.len(), 0, |i| {
+        let off = offsets[i];
+        let mut cfg = base_cfg.clone();
+        cfg.clock = Some(ClockModel::skewed(nodes, off, seed ^ 0xc10c));
+        let res = run_p2p(&cfg).expect("skewed benchmark failed");
+        let s = &res.by_size[0];
+        ClockRow {
+            max_offset: off,
+            mean: s.summary.mean().unwrap_or(0.0),
+            ks: clean_ecdf.ks_distance(&Ecdf::new(&s.samples)),
+        }
+    })
 }
 
 /// Render both ablations.
@@ -231,7 +234,11 @@ mod tests {
 
     #[test]
     fn coarse_bins_drift_but_mildly() {
-        let cfg = JacobiConfig { xsize: 256, iterations: 30, serial_secs: 3.24e-3 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 30,
+            serial_secs: 3.24e-3,
+        };
         let rows = run_bins(MachineShape { nodes: 4, ppn: 1 }, &cfg, &[1, 4, 16], 20, 5);
         assert_eq!(rows.len(), 3);
         // Identity coarsening = no drift.
@@ -243,7 +250,11 @@ mod tests {
 
     #[test]
     fn fitted_databases_predict_close_to_histograms() {
-        let cfg = JacobiConfig { xsize: 256, iterations: 30, serial_secs: 3.24e-3 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 30,
+            serial_secs: 3.24e-3,
+        };
         let res = run_fits(MachineShape { nodes: 4, ppn: 1 }, &cfg, 25, 7);
         assert!(
             res.drift().abs() < 0.03,
@@ -262,15 +273,24 @@ mod tests {
 
     #[test]
     fn clock_skew_distorts_distributions_monotonically() {
-        let rows = run_clock(4, 1024, &[0.0, 1e-4, 1e-3], 40, 6);
+        // The KS statistic saturates at 0.5 once every pair's clock
+        // displacement exceeds the ~30 µs support of the clean 1 KB
+        // distribution, so the monotonicity probe must stay in the
+        // sub-saturation regime: 10 µs (partial overlap) vs 100 µs
+        // (fully displaced). See EXPERIMENTS.md (Abl-clock).
+        let rows = run_clock(4, 1024, &[0.0, 1e-5, 1e-4], 40, 6);
         assert_eq!(rows.len(), 3);
-        assert!(rows[0].ks < 0.05, "zero skew should match clean: {}", rows[0].ks);
+        assert!(
+            rows[0].ks < 0.05,
+            "zero skew should match clean: {}",
+            rows[0].ks
+        );
         assert!(
             rows[2].ks > rows[1].ks,
             "bigger skew should distort more: {} vs {}",
             rows[1].ks,
             rows[2].ks
         );
-        assert!(rows[2].ks > 0.2, "1 ms skew must be clearly visible");
+        assert!(rows[2].ks > 0.2, "0.1 ms skew must be clearly visible");
     }
 }

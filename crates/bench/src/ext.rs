@@ -30,9 +30,15 @@ impl ExtRow {
 
 /// FFT experiment: benchmark Alltoall at each rank count, then compare the
 /// PEVPM model against the measured run.
-pub fn run_fft(rank_counts: &[usize], cfg: &FftConfig, bench_reps: usize, seed: u64) -> Vec<ExtRow> {
-    let mut rows = Vec::new();
-    for &n in rank_counts {
+pub fn run_fft(
+    rank_counts: &[usize],
+    cfg: &FftConfig,
+    bench_reps: usize,
+    seed: u64,
+) -> Vec<ExtRow> {
+    // Rank counts are independent experiments; fan them across all cores.
+    pevpm::replicate::parallel_map(rank_counts.len(), 0, |i| {
+        let n = rank_counts[i];
         // Benchmark the Alltoall collective at the exact block size the
         // FFT will use (plus brackets for interpolation).
         let block = cfg.alltoall_block_bytes(n).max(1);
@@ -50,7 +56,11 @@ pub fn run_fft(rank_counts: &[usize], cfg: &FftConfig, bench_reps: usize, seed: 
         // A nominal p2p entry so eager sends in other models don't starve
         // (not used by the FFT model but keeps the table well-formed).
         table.insert(
-            DistKey { op: Op::Send, size: 1024, contention: n as u32 },
+            DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention: n as u32,
+            },
             CommDist::Point(260e-6),
         );
         let timing = TimingModel::distributions(table);
@@ -58,12 +68,19 @@ pub fn run_fft(rank_counts: &[usize], cfg: &FftConfig, bench_reps: usize, seed: 
         let measured = fft::run_measured(WorldConfig::perseus(n, 1, seed ^ 0x5a), cfg)
             .expect("measured FFT failed")
             .time;
-        let predicted = evaluate(&fft::model(cfg), &EvalConfig::new(n).with_seed(seed), &timing)
-            .expect("FFT prediction failed")
-            .makespan;
-        rows.push(ExtRow { nprocs: n, measured, predicted });
-    }
-    rows
+        let predicted = evaluate(
+            &fft::model(cfg),
+            &EvalConfig::new(n).with_seed(seed),
+            &timing,
+        )
+        .expect("FFT prediction failed")
+        .makespan;
+        ExtRow {
+            nprocs: n,
+            measured,
+            predicted,
+        }
+    })
 }
 
 /// Task-farm experiment: measured dynamic farm vs the PEVPM static
@@ -83,8 +100,8 @@ pub fn run_farm(
         seed,
     );
     let timing = TimingModel::distributions(table);
-    let mut rows = Vec::new();
-    for &n in rank_counts {
+    pevpm::replicate::parallel_map(rank_counts.len(), 0, |i| {
+        let n = rank_counts[i];
         let workers = n - 1;
         assert!(
             cfg.tasks.is_multiple_of(workers),
@@ -93,13 +110,19 @@ pub fn run_farm(
         let measured = taskfarm::run_measured(WorldConfig::perseus(n, 1, seed ^ 0x77), cfg)
             .expect("measured farm failed")
             .time;
-        let predicted =
-            evaluate(&taskfarm::model(cfg), &EvalConfig::new(n).with_seed(seed), &timing)
-                .expect("farm prediction failed")
-                .makespan;
-        rows.push(ExtRow { nprocs: n, measured, predicted });
-    }
-    rows
+        let predicted = evaluate(
+            &taskfarm::model(cfg),
+            &EvalConfig::new(n).with_seed(seed),
+            &timing,
+        )
+        .expect("farm prediction failed")
+        .makespan;
+        ExtRow {
+            nprocs: n,
+            measured,
+            predicted,
+        }
+    })
 }
 
 /// Render extension rows.
@@ -127,7 +150,12 @@ mod tests {
 
     #[test]
     fn fft_predictions_track_measured() {
-        let cfg = FftConfig { n1: 64, n2: 64, flops_per_sec: 50e6, iterations: 8 };
+        let cfg = FftConfig {
+            n1: 64,
+            n2: 64,
+            flops_per_sec: 50e6,
+            iterations: 8,
+        };
         let rows = run_fft(&[2, 4], &cfg, 10, 3);
         for r in &rows {
             assert!(

@@ -92,12 +92,7 @@ pub struct Fig6Result {
 /// shape, producing its distribution table. Following Grove's methodology
 /// the benchmark pattern matches the application's locality class
 /// (regular-local halo exchange ⇒ ring).
-pub fn shape_table(
-    shape: MachineShape,
-    sizes: &[u64],
-    reps: usize,
-    seed: u64,
-) -> DistTable {
+pub fn shape_table(shape: MachineShape, sizes: &[u64], reps: usize, seed: u64) -> DistTable {
     let p2p = P2pConfig {
         world: WorldConfig::perseus(shape.nodes, shape.ppn, seed),
         sizes: sizes.to_vec(),
@@ -118,13 +113,16 @@ pub fn shape_table(
 /// one machine shape: the *matched* `n×p` benchmark data (full
 /// distributions or averages) and the `2×1` ping-pong slice (averages or
 /// minima).
-pub fn timing_models(
-    matched: &DistTable,
-    pingpong: &DistTable,
-) -> Vec<(String, TimingModel)> {
+pub fn timing_models(matched: &DistTable, pingpong: &DistTable) -> Vec<(String, TimingModel)> {
     vec![
-        ("dist-nxp".into(), TimingModel::distributions(matched.clone())),
-        ("avg-nxp".into(), TimingModel::point(matched.clone(), PointKind::Average)),
+        (
+            "dist-nxp".into(),
+            TimingModel::distributions(matched.clone()),
+        ),
+        (
+            "avg-nxp".into(),
+            TimingModel::point(matched.clone(), PointKind::Average),
+        ),
         (
             "avg-2x1".into(),
             TimingModel::pingpong_only(pingpong, PredictionMode::Average),
@@ -152,11 +150,14 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
     let t_serial = cfg.jacobi.iterations as f64 * cfg.jacobi.serial_secs;
     let model = jacobi::model(&cfg.jacobi);
 
-    let mut rows = Vec::with_capacity(cfg.shapes.len());
-    for (i, &shape) in cfg.shapes.iter().enumerate() {
+    // Rows are independent experiments seeded only by the shape index, so
+    // they fan out across all cores (bitwise identical to the serial loop).
+    let rows: Vec<Fig6Row> = pevpm::replicate::parallel_map(cfg.shapes.len(), 0, |i| {
+        let shape = cfg.shapes[i];
         let nprocs = shape.nodes * shape.ppn;
+        let row_seed = pevpm::replicate::replica_seed(cfg.seed, i as u64);
         // Matched n×p benchmark database for this shape.
-        let matched = shape_table(shape, &sizes, cfg.bench_reps, cfg.seed.wrapping_add(i as u64));
+        let matched = shape_table(shape, &sizes, cfg.bench_reps, row_seed);
         let models = timing_models(&matched, &pingpong_table);
 
         // Measured: the real program on the simulated cluster.
@@ -168,32 +169,29 @@ pub fn run(cfg: &Fig6Config) -> Fig6Result {
         // Predictions.
         let mut predicted = Vec::new();
         for (name, timing) in &models {
-            let p = evaluate(
-                &model,
-                &EvalConfig::new(nprocs).with_seed(cfg.seed.wrapping_add(i as u64)),
-                timing,
-            )
-            .expect("PEVPM evaluation failed");
+            let p = evaluate(&model, &EvalConfig::new(nprocs).with_seed(row_seed), timing)
+                .expect("PEVPM evaluation failed");
             predicted.push((name.clone(), p.makespan));
         }
-        rows.push(Fig6Row {
+        Fig6Row {
             shape,
             measured,
             measured_speedup: t_serial / measured,
             predicted,
-        });
+        }
+    });
+    Fig6Result {
+        t_serial,
+        rows,
+        pingpong_table,
     }
-    Fig6Result { t_serial, rows, pingpong_table }
 }
 
 /// Render the figure data as the speedup table the paper plots.
 pub fn render(res: &Fig6Result) -> String {
     let mut rows = Vec::new();
     for r in &res.rows {
-        let mut row = vec![
-            r.shape.to_string(),
-            format!("{:.2}", r.measured_speedup),
-        ];
+        let mut row = vec![r.shape.to_string(), format!("{:.2}", r.measured_speedup)];
         for mode in MODES {
             let t = r.predicted_time(mode).unwrap_or(f64::NAN);
             row.push(format!("{:.2}", res.t_serial / t));
@@ -233,7 +231,11 @@ mod tests {
                 MachineShape { nodes: 8, ppn: 1 },
                 MachineShape { nodes: 16, ppn: 1 },
             ],
-            jacobi: JacobiConfig { xsize: 256, iterations: 60, serial_secs: 3.24e-3 },
+            jacobi: JacobiConfig {
+                xsize: 256,
+                iterations: 60,
+                serial_secs: 3.24e-3,
+            },
             bench_reps: 30,
             seed: 7,
         };

@@ -57,7 +57,11 @@ pub fn run(cfg: &FigsConfig) -> SweepResult {
 /// the least-loaded configuration).
 pub fn render(res: &SweepResult) -> String {
     let mut header: Vec<String> = vec!["size".into()];
-    header.extend(res.runs.iter().map(|r| format!("{}x{} avg", r.nodes, r.ppn)));
+    header.extend(
+        res.runs
+            .iter()
+            .map(|r| format!("{}x{} avg", r.nodes, r.ppn)),
+    );
     header.push("min".into());
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
 
@@ -93,7 +97,12 @@ pub fn contention_penalty_1k(res: &SweepResult) -> Option<f64> {
         .iter()
         .filter(|r| r.ppn == 1)
         .max_by_key(|r| r.nodes)?;
-    let tn = big.by_size.iter().find(|s| s.size == 1024)?.summary.mean()?;
+    let tn = big
+        .by_size
+        .iter()
+        .find(|s| s.size == 1024)?
+        .summary
+        .mean()?;
     Some(tn / t2)
 }
 
@@ -121,8 +130,7 @@ pub fn knee_analysis(res: &SweepResult) -> (Vec<(u64, f64)>, Option<u64>) {
     let mut worst = 0.0;
     for w in run.by_size.windows(3) {
         let (a, b, c) = (&w[0], &w[1], &w[2]);
-        let (Some(ta), Some(tb), Some(tc)) =
-            (a.summary.mean(), b.summary.mean(), c.summary.mean())
+        let (Some(ta), Some(tb), Some(tc)) = (a.summary.mean(), b.summary.mean(), c.summary.mean())
         else {
             continue;
         };

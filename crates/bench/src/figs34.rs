@@ -133,16 +133,26 @@ pub fn is_fig3_shape(s: &PdfSeries) -> bool {
     let (Some(min), Some(mean)) = (sum.min(), sum.mean()) else {
         return false;
     };
-    let Some(mode) = s.hist.mode() else { return false };
-    let Some(p99) = s.ecdf.quantile(0.99) else { return false };
-    let Some(med) = s.ecdf.quantile(0.5) else { return false };
+    let Some(mode) = s.hist.mode() else {
+        return false;
+    };
+    let Some(p99) = s.ecdf.quantile(0.99) else {
+        return false;
+    };
+    let Some(med) = s.ecdf.quantile(0.5) else {
+        return false;
+    };
     min > 0.0 && (mode - mean).abs() / mean < 0.35 && p99 < med * 3.0
 }
 
 /// The Figure-4 shape test: long tail and/or detached RTO outliers.
 pub fn is_fig4_shape(s: &PdfSeries) -> bool {
-    let Some(med) = s.ecdf.quantile(0.5) else { return false };
-    let Some(max) = s.ecdf.quantile(1.0) else { return false };
+    let Some(med) = s.ecdf.quantile(0.5) else {
+        return false;
+    };
+    let Some(max) = s.ecdf.quantile(1.0) else {
+        return false;
+    };
     // Outliers beyond 100 ms (RTO scale) or a very stretched tail.
     (max > 0.1 && s.hist.tail_mass(0.1) > 0.0) || max > med * 5.0
 }

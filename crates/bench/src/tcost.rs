@@ -32,6 +32,10 @@ pub struct CostResult {
     pub pevpm_wall: f64,
     /// Wall-clock seconds for the packet-level measured execution.
     pub mpisim_wall: f64,
+    /// Directive executions the evaluation swept through.
+    pub steps: u64,
+    /// Peak in-flight messages on the contention scoreboard.
+    pub sb_peak: usize,
 }
 
 impl CostResult {
@@ -47,13 +51,28 @@ impl CostResult {
     pub fn vs_packet_sim(&self) -> f64 {
         self.mpisim_wall / self.pevpm_wall
     }
+
+    /// Directive executions per wall-clock second — the engine's raw sweep
+    /// rate, independent of how much virtual time each directive covers.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.pevpm_wall.max(1e-12)
+    }
 }
 
 /// Run the cost comparison for one shape.
-pub fn run(shape: MachineShape, jacobi_cfg: &JacobiConfig, bench_reps: usize, seed: u64) -> CostResult {
+pub fn run(
+    shape: MachineShape,
+    jacobi_cfg: &JacobiConfig,
+    bench_reps: usize,
+    seed: u64,
+) -> CostResult {
     let table = crate::fig6::shape_table(
         shape,
-        &[jacobi_cfg.halo_bytes() / 2, jacobi_cfg.halo_bytes(), jacobi_cfg.halo_bytes() * 2],
+        &[
+            jacobi_cfg.halo_bytes() / 2,
+            jacobi_cfg.halo_bytes(),
+            jacobi_cfg.halo_bytes() * 2,
+        ],
         bench_reps,
         seed,
     );
@@ -79,6 +98,8 @@ pub fn run(shape: MachineShape, jacobi_cfg: &JacobiConfig, bench_reps: usize, se
         virtual_secs: pred.makespan.max(measured.time),
         pevpm_wall,
         mpisim_wall,
+        steps: pred.steps,
+        sb_peak: pred.sb_peak,
     }
 }
 
@@ -94,11 +115,22 @@ pub fn render(results: &[CostResult]) -> String {
                 crate::report::secs(r.mpisim_wall),
                 format!("{:.0}x", r.realtime_factor()),
                 format!("{:.1}x", r.vs_packet_sim()),
+                format!("{:.2e}", r.steps_per_sec()),
+                r.sb_peak.to_string(),
             ]
         })
         .collect();
     crate::report::table(
-        &["shape", "virtual", "pevpm-wall", "mpisim-wall", "vs-realtime", "vs-packet-sim"],
+        &[
+            "shape",
+            "virtual",
+            "pevpm-wall",
+            "mpisim-wall",
+            "vs-realtime",
+            "vs-packet-sim",
+            "steps/s",
+            "sb-peak",
+        ],
         &rows,
     )
 }
@@ -109,7 +141,11 @@ mod tests {
 
     #[test]
     fn pevpm_is_much_faster_than_realtime_and_packet_sim() {
-        let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+        let cfg = JacobiConfig {
+            xsize: 256,
+            iterations: 200,
+            serial_secs: 3.24e-3,
+        };
         let res = run(MachineShape { nodes: 8, ppn: 1 }, &cfg, 20, 11);
         // The paper's prototype managed 67.5×; a compiled release build
         // should beat real time by a huge margin. Debug builds (plain
@@ -126,5 +162,7 @@ mod tests {
             "PEVPM should be faster than packet simulation: {:.2}x",
             res.vs_packet_sim()
         );
+        assert!(res.steps > 0, "evaluation swept no directives");
+        assert!(res.sb_peak >= 1, "scoreboard never held a message");
     }
 }

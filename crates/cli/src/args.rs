@@ -74,7 +74,10 @@ impl Args {
 
     /// Last value of an option.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.opts.get(key).and_then(|v| v.last()).map(|s| s.as_str())
+        self.opts
+            .get(key)
+            .and_then(|v| v.last())
+            .map(|s| s.as_str())
     }
 
     /// All values of a repeatable option.
@@ -104,7 +107,11 @@ impl Args {
     }
 
     /// Comma-separated list option, e.g. `--sizes 512,1024`.
-    pub fn get_list<T: std::str::FromStr>(&self, key: &str, default: Vec<T>) -> Result<Vec<T>, ArgError> {
+    pub fn get_list<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, ArgError> {
         match self.get(key) {
             None => Ok(default),
             Some(v) => v
@@ -139,7 +146,9 @@ mod tests {
     #[test]
     fn equals_syntax_and_flags() {
         let a = Args::parse_with_flags(
-            "--out=db.dist --verbose run".split_whitespace().map(String::from),
+            "--out=db.dist --verbose run"
+                .split_whitespace()
+                .map(String::from),
             &["verbose"],
         )
         .unwrap();
@@ -164,7 +173,10 @@ mod tests {
         let a = parse("--reps 50 --sizes 512,1024,2048");
         assert_eq!(a.get_parsed("reps", 0usize).unwrap(), 50);
         assert_eq!(a.get_parsed("seed", 7u64).unwrap(), 7);
-        assert_eq!(a.get_list::<u64>("sizes", vec![]).unwrap(), vec![512, 1024, 2048]);
+        assert_eq!(
+            a.get_list::<u64>("sizes", vec![]).unwrap(),
+            vec![512, 1024, 2048]
+        );
         assert!(a.get_parsed::<usize>("sizes", 0).is_err());
     }
 

@@ -3,13 +3,14 @@
 //! ```text
 //! pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
 //!                [--pattern ring|halfsplit|adjacent] [--sizes 512,1024,...]
-//!                [--reps R] [--seed S] --out DB.dist
+//!                [--reps R] [--replicas K] [--threads T] [--seed S]
+//!                --out DB.dist
 //! pevpm inspect  --db DB.dist
 //! pevpm fit      --db DB.dist --out FITTED.dist
 //! pevpm annotate FILE.c
 //! pevpm predict  --model FILE.c --db DB.dist --procs N
 //!                [--mode dist|avg|min] [--pingpong] [--param k=v ...]
-//!                [--seed S]
+//!                [--seed S] [--reps R] [--threads T]
 //! ```
 //!
 //! Command implementations return their printable output so they are unit
@@ -21,7 +22,7 @@ use args::{ArgError, Args};
 use pevpm::timing::{PredictionMode, TimingModel};
 use pevpm::vm::{evaluate, EvalConfig};
 use pevpm_dist::{io as dist_io, CommDist, DistTable, Op};
-use pevpm_mpibench::{run_p2p, Direction, P2pConfig, PairPattern};
+use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
 use std::path::Path;
 
@@ -54,8 +55,12 @@ pevpm — MPI communication benchmarking and performance modelling (reproduction
 USAGE:
   pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
                  [--pattern ring|halfsplit|adjacent] [--sizes 512,1024,...]
-                 [--reps R] [--seed S] --out DB.dist
+                 [--reps R] [--replicas K] [--threads T] [--seed S]
+                 --out DB.dist
       Run MPIBench on a simulated cluster and save the distribution database.
+      --replicas K merges K independent derived-seed runs; --threads T fans
+      replicas over T worker threads (0 = all cores, 1 = serial) with
+      bitwise-identical output at any thread count.
 
   pevpm inspect  --db DB.dist
       Summarise a distribution database.
@@ -67,8 +72,11 @@ USAGE:
       Parse `// PEVPM` annotations and print the extracted model.
 
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
-                 [--pingpong] [--param k=v ...] [--seed S]
+                 [--pingpong] [--param k=v ...] [--seed S] [--reps R]
+                 [--threads T]
       Evaluate the annotated program's PEVPM model against a database.
+      --reps R > 1 runs a Monte-Carlo batch of R derived-seed replications
+      (mean +/- stderr); --threads T as for bench.
 ";
 
 /// Boolean flags that never consume a following token.
@@ -96,14 +104,21 @@ fn cluster_for(machine: &str, nodes: usize) -> Result<ClusterConfig, CliError> {
         "perseus" => Ok(ClusterConfig::perseus(nodes)),
         "gigabit" => Ok(ClusterConfig::gigabit(nodes)),
         "lowlatency" => Ok(ClusterConfig::lowlatency(nodes)),
-        other => err(format!("unknown machine {other:?} (perseus|gigabit|lowlatency)")),
+        other => err(format!(
+            "unknown machine {other:?} (perseus|gigabit|lowlatency)"
+        )),
     }
 }
 
 fn cmd_bench(args: &Args) -> Result<String, CliError> {
-    let nodes: usize = args.require("nodes")?.parse().map_err(|_| CliError("--nodes must be an integer".into()))?;
+    let nodes: usize = args
+        .require("nodes")?
+        .parse()
+        .map_err(|_| CliError("--nodes must be an integer".into()))?;
     let ppn: usize = args.get_parsed("ppn", 1)?;
     let reps: usize = args.get_parsed("reps", 60)?;
+    let replicas: usize = args.get_parsed("replicas", 1)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let sizes: Vec<u64> = args.get_list("sizes", vec![256, 512, 1024, 2048, 4096])?;
     let machine = args.get("machine").unwrap_or("perseus");
@@ -124,16 +139,20 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         virtual_deadline: None,
         record_trace: false,
     };
-    let res = run_p2p(&P2pConfig {
-        world,
-        sizes: sizes.clone(),
-        repetitions: reps,
-        warmup: (reps / 10).max(2),
-        sync_every: 1,
-        pattern,
-        direction: Direction::Exchange,
-        clock: None,
-    })
+    let res = run_p2p_reps(
+        &P2pConfig {
+            world,
+            sizes: sizes.clone(),
+            repetitions: reps,
+            warmup: (reps / 10).max(2),
+            sync_every: 1,
+            pattern,
+            direction: Direction::Exchange,
+            clock: None,
+        },
+        replicas,
+        threads,
+    )
     .map_err(|e| CliError(format!("benchmark failed: {e}")))?;
 
     let mut table = DistTable::new();
@@ -211,7 +230,9 @@ fn describe_model(model: &pevpm::Model) -> String {
                 pevpm::Stmt::Loop { count, var, body } => {
                     out.push_str(&format!(
                         "{pad}Loop iterations = {count}{}\n",
-                        var.as_ref().map(|v| format!(", var {v}")).unwrap_or_default()
+                        var.as_ref()
+                            .map(|v| format!(", var {v}"))
+                            .unwrap_or_default()
                     ));
                     walk(body, depth + 1, out);
                 }
@@ -222,11 +243,24 @@ fn describe_model(model: &pevpm::Model) -> String {
                         walk(b, depth + 2, out);
                     }
                 }
-                pevpm::Stmt::Message { kind, size, from, to, handle, label } => {
+                pevpm::Stmt::Message {
+                    kind,
+                    size,
+                    from,
+                    to,
+                    handle,
+                    label,
+                } => {
                     out.push_str(&format!(
                         "{pad}Message {kind:?} size = {size}, {from} -> {to}{}{}\n",
-                        handle.as_ref().map(|h| format!(", handle {h}")).unwrap_or_default(),
-                        label.as_ref().map(|l| format!(" [{l}]")).unwrap_or_default()
+                        handle
+                            .as_ref()
+                            .map(|h| format!(", handle {h}"))
+                            .unwrap_or_default(),
+                        label
+                            .as_ref()
+                            .map(|l| format!(" [{l}]"))
+                            .unwrap_or_default()
                     ));
                 }
                 pevpm::Stmt::Wait { handle, .. } => {
@@ -235,7 +269,10 @@ fn describe_model(model: &pevpm::Model) -> String {
                 pevpm::Stmt::Serial { time, machine, .. } => {
                     out.push_str(&format!(
                         "{pad}Serial{} time = {time}\n",
-                        machine.as_ref().map(|m| format!(" on {m}")).unwrap_or_default()
+                        machine
+                            .as_ref()
+                            .map(|m| format!(" on {m}"))
+                            .unwrap_or_default()
                     ));
                 }
                 pevpm::Stmt::Collective { op, size, .. } => {
@@ -253,10 +290,9 @@ fn cmd_annotate(args: &Args) -> Result<String, CliError> {
     let Some(path) = args.positional().get(1) else {
         return err("usage: pevpm annotate FILE.c");
     };
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    let model = pevpm::parse_annotations(&src)
-        .map_err(|e| CliError(format!("{path}: {e}")))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    let model = pevpm::parse_annotations(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
     Ok(format!(
         "{} directives, free parameters {:?}\n{}",
         model.num_stmts(),
@@ -267,14 +303,19 @@ fn cmd_annotate(args: &Args) -> Result<String, CliError> {
 
 fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let model_path = args.require("model")?;
-    let procs: usize = args.require("procs")?.parse().map_err(|_| CliError("--procs must be an integer".into()))?;
+    let procs: usize = args
+        .require("procs")?
+        .parse()
+        .map_err(|_| CliError("--procs must be an integer".into()))?;
     let seed: u64 = args.get_parsed("seed", 1)?;
+    let reps: usize = args.get_parsed("reps", 1)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
     let table = load_db(args)?;
 
     let src = std::fs::read_to_string(model_path)
         .map_err(|e| CliError(format!("cannot read {model_path}: {e}")))?;
-    let model = pevpm::parse_annotations(&src)
-        .map_err(|e| CliError(format!("{model_path}: {e}")))?;
+    let model =
+        pevpm::parse_annotations(&src).map_err(|e| CliError(format!("{model_path}: {e}")))?;
 
     let mode = match args.get("mode").unwrap_or("dist") {
         "dist" => PredictionMode::FullDistribution,
@@ -287,16 +328,12 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     } else {
         match mode {
             PredictionMode::FullDistribution => TimingModel::distributions(table),
-            PredictionMode::Average => {
-                TimingModel::point(table, pevpm_dist::PointKind::Average)
-            }
-            PredictionMode::Minimum => {
-                TimingModel::point(table, pevpm_dist::PointKind::Minimum)
-            }
+            PredictionMode::Average => TimingModel::point(table, pevpm_dist::PointKind::Average),
+            PredictionMode::Minimum => TimingModel::point(table, pevpm_dist::PointKind::Minimum),
         }
     };
 
-    let mut cfg = EvalConfig::new(procs).with_seed(seed);
+    let mut cfg = EvalConfig::new(procs).with_seed(seed).with_threads(threads);
     for kv in args.values("param") {
         let Some((k, v)) = kv.split_once('=') else {
             return err(format!("--param expects k=v, got {kv:?}"));
@@ -307,8 +344,21 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         cfg = cfg.with_param(k, v);
     }
 
-    let p = evaluate(&model, &cfg, &timing)
-        .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+    if reps == 0 {
+        return err("--reps must be at least 1");
+    }
+    if reps > 1 {
+        let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps)
+            .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+        return Ok(format!(
+            "predicted makespan: {:.6} s +/- {:.6} (stderr) over {procs} procs\n\
+             {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n",
+            mc.mean, mc.stderr, reps, mc.wall_secs, mc.evals_per_sec, mc.min, mc.max
+        ));
+    }
+
+    let p =
+        evaluate(&model, &cfg, &timing).map_err(|e| CliError(format!("evaluation failed: {e}")))?;
 
     let mut out = format!(
         "predicted makespan: {:.6} s over {} procs ({} messages)\n",
@@ -418,6 +468,16 @@ mod tests {
             .unwrap();
             assert!(out.contains("predicted makespan"), "{out}");
         }
+        // Monte-Carlo batch over threads.
+        let out = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2 --reps 8 --threads 2 --param rounds=20",
+            model.display(),
+            db.display()
+        ))
+        .unwrap();
+        assert!(out.contains("8 replications"), "{out}");
+        assert!(out.contains("stderr"), "{out}");
+
         // Fitted database predicts too.
         let out = run_cmd(&format!(
             "predict --model {} --db {} --procs 2 --param rounds=20",

@@ -5,10 +5,8 @@
 //! the bin-granularity ablation to quantify how much information binning
 //! loses, via the Kolmogorov–Smirnov distance.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over a retained, sorted sample set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }
@@ -19,7 +17,10 @@ impl Ecdf {
     /// # Panics
     /// Panics if any sample is NaN.
     pub fn new(samples: &[f64]) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "Ecdf rejects NaN samples");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "Ecdf rejects NaN samples"
+        );
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         Ecdf { sorted }
@@ -57,7 +58,11 @@ impl Ecdf {
     /// Two-sample Kolmogorov–Smirnov statistic: sup |F1(x) - F2(x)|.
     pub fn ks_distance(&self, other: &Ecdf) -> f64 {
         if self.is_empty() || other.is_empty() {
-            return if self.is_empty() && other.is_empty() { 0.0 } else { 1.0 };
+            return if self.is_empty() && other.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
         }
         let mut d: f64 = 0.0;
         // The supremum is attained at a sample point of either set.

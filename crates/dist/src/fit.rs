@@ -18,10 +18,9 @@
 use crate::histogram::Histogram;
 use crate::summary::Summary;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Families of parametric distribution used to model communication times.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FitKind {
     /// `shift + Exponential(rate)`.
     ShiftedExponential,
@@ -32,7 +31,7 @@ pub enum FitKind {
 }
 
 /// A fitted parametric model of a communication-time distribution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParametricFit {
     /// Which family this fit belongs to.
     pub kind: FitKind,
@@ -71,27 +70,52 @@ impl ParametricFit {
         match kind {
             FitKind::ShiftedExponential => {
                 // E[X-shift] = 1/rate.
-                Some(ParametricFit { kind, shift, p1: 1.0 / m, p2: 0.0 })
+                Some(ParametricFit {
+                    kind,
+                    shift,
+                    p1: 1.0 / m,
+                    p2: 0.0,
+                })
             }
             FitKind::ShiftedLogNormal => {
                 if var <= 0.0 {
-                    return Some(ParametricFit { kind, shift, p1: m.ln(), p2: 0.0 });
+                    return Some(ParametricFit {
+                        kind,
+                        shift,
+                        p1: m.ln(),
+                        p2: 0.0,
+                    });
                 }
                 // For LogNormal: mean = exp(mu + s^2/2), var = (exp(s^2)-1)exp(2mu+s^2).
                 let cv2 = var / (m * m);
                 let sigma2 = (1.0 + cv2).ln();
                 let mu = m.ln() - sigma2 / 2.0;
-                Some(ParametricFit { kind, shift, p1: mu, p2: sigma2.sqrt() })
+                Some(ParametricFit {
+                    kind,
+                    shift,
+                    p1: mu,
+                    p2: sigma2.sqrt(),
+                })
             }
             FitKind::ShiftedGamma => {
                 if var <= 0.0 {
                     // Degenerate: point mass at mean, encoded as huge shape.
-                    return Some(ParametricFit { kind, shift, p1: f64::INFINITY, p2: 0.0 });
+                    return Some(ParametricFit {
+                        kind,
+                        shift,
+                        p1: f64::INFINITY,
+                        p2: 0.0,
+                    });
                 }
                 // mean = k*theta, var = k*theta^2.
                 let theta = var / m;
                 let k = m / theta;
-                Some(ParametricFit { kind, shift, p1: k, p2: theta })
+                Some(ParametricFit {
+                    kind,
+                    shift,
+                    p1: k,
+                    p2: theta,
+                })
             }
         }
     }
@@ -100,9 +124,7 @@ impl ParametricFit {
     pub fn mean(&self) -> f64 {
         match self.kind {
             FitKind::ShiftedExponential => self.shift + 1.0 / self.p1,
-            FitKind::ShiftedLogNormal => {
-                self.shift + (self.p1 + self.p2 * self.p2 / 2.0).exp()
-            }
+            FitKind::ShiftedLogNormal => self.shift + (self.p1 + self.p2 * self.p2 / 2.0).exp(),
             FitKind::ShiftedGamma => {
                 if self.p1.is_infinite() {
                     self.shift
@@ -245,7 +267,10 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Sample Gamma(shape, 1) via Marsaglia–Tsang, with the boost trick for
 /// shape < 1.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape > 0.0 && shape.is_finite(), "gamma shape must be positive");
+    assert!(
+        shape > 0.0 && shape.is_finite(),
+        "gamma shape must be positive"
+    );
     if shape < 1.0 {
         // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -409,9 +434,24 @@ mod tests {
             FitKind::ShiftedGamma,
         ] {
             let f = match kind {
-                FitKind::ShiftedExponential => ParametricFit { kind, shift: 1.0, p1: 2.0, p2: 0.0 },
-                FitKind::ShiftedLogNormal => ParametricFit { kind, shift: 1.0, p1: 0.0, p2: 0.3 },
-                FitKind::ShiftedGamma => ParametricFit { kind, shift: 1.0, p1: 4.0, p2: 0.25 },
+                FitKind::ShiftedExponential => ParametricFit {
+                    kind,
+                    shift: 1.0,
+                    p1: 2.0,
+                    p2: 0.0,
+                },
+                FitKind::ShiftedLogNormal => ParametricFit {
+                    kind,
+                    shift: 1.0,
+                    p1: 0.0,
+                    p2: 0.3,
+                },
+                FitKind::ShiftedGamma => ParametricFit {
+                    kind,
+                    shift: 1.0,
+                    p1: 4.0,
+                    p2: 0.25,
+                },
             };
             let n = 40000;
             let mean: f64 = (0..n).map(|_| f.sample(&mut rng)).sum::<f64>() / n as f64;

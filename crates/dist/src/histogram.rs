@@ -10,7 +10,6 @@
 
 use crate::summary::Summary;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Maximum number of bins a histogram will allocate. Guards against
 /// degenerate bin widths blowing up memory; outliers beyond this range are
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 pub const MAX_BINS: usize = 4_000_000;
 
 /// A fixed-bin-width histogram over `f64` values (seconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     origin: f64,
     bin_width: f64,
@@ -134,7 +133,10 @@ impl Histogram {
     /// Panics if origins or bin widths differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.origin, other.origin, "histogram origins differ");
-        assert_eq!(self.bin_width, other.bin_width, "histogram bin widths differ");
+        assert_eq!(
+            self.bin_width, other.bin_width,
+            "histogram bin widths differ"
+        );
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
@@ -208,7 +210,9 @@ impl Histogram {
             if next >= target {
                 // Interpolate within bin i.
                 let frac = (target - cum) / c as f64;
-                let lo = self.bin_left(i).max(self.summary.min().unwrap_or(self.bin_left(i)));
+                let lo = self
+                    .bin_left(i)
+                    .max(self.summary.min().unwrap_or(self.bin_left(i)));
                 let hi = (self.bin_left(i) + self.bin_width)
                     .min(self.summary.max().unwrap_or(f64::INFINITY));
                 let hi = hi.max(lo);
@@ -421,7 +425,10 @@ mod tests {
         assert_eq!(c.total(), h.total());
         assert_eq!(c.summary(), h.summary());
         assert!((c.bin_width() - 0.1).abs() < 1e-12);
-        assert_eq!(c.counts().iter().sum::<u64>(), h.counts().iter().sum::<u64>());
+        assert_eq!(
+            c.counts().iter().sum::<u64>(),
+            h.counts().iter().sum::<u64>()
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialise a table to the `.dist` text format.
@@ -59,7 +62,12 @@ pub fn write_table(table: &DistTable) -> String {
         );
         match dist {
             CommDist::Hist(h) => {
-                let _ = writeln!(out, "hist origin={:e} width={:e}", h.origin(), h.bin_width());
+                let _ = writeln!(
+                    out,
+                    "hist origin={:e} width={:e}",
+                    h.origin(),
+                    h.bin_width()
+                );
                 let (count, mean, m2, min, max, sum) = h.summary().to_parts();
                 let _ = writeln!(
                     out,
@@ -116,10 +124,15 @@ pub fn read_table(text: &str) -> Result<DistTable, ParseError> {
         }
         let kv = parse_kv(fields, lineno)?;
         let op_name = kv_get(&kv, "op", lineno)?;
-        let op = Op::from_name(op_name).ok_or_else(|| err(lineno, format!("unknown op {op_name:?}")))?;
+        let op =
+            Op::from_name(op_name).ok_or_else(|| err(lineno, format!("unknown op {op_name:?}")))?;
         let size: u64 = parse_num(kv_get(&kv, "size", lineno)?, lineno)?;
         let contention: u32 = parse_num(kv_get(&kv, "contention", lineno)?, lineno)?;
-        let key = DistKey { op, size, contention };
+        let key = DistKey {
+            op,
+            size,
+            contention,
+        };
 
         let (idx0, body) = lines
             .next()
@@ -127,7 +140,9 @@ pub fn read_table(text: &str) -> Result<DistTable, ParseError> {
         let lineno = idx0 + 1;
         let body = body.trim();
         let mut fields = body.split_whitespace();
-        let tag = fields.next().ok_or_else(|| err(lineno, "empty body line"))?;
+        let tag = fields
+            .next()
+            .ok_or_else(|| err(lineno, "empty body line"))?;
         let dist = match tag {
             "point" => {
                 let kv = parse_kv(fields, lineno)?;
@@ -256,15 +271,27 @@ mod tests {
         }
         h.add(0.2); // RTO outlier far away -> exercises run-length zeros
         t.insert(
-            DistKey { op: Op::Isend, size: 1024, contention: 32 },
+            DistKey {
+                op: Op::Isend,
+                size: 1024,
+                contention: 32,
+            },
             CommDist::Hist(h),
         );
         t.insert(
-            DistKey { op: Op::Barrier, size: 0, contention: 64 },
+            DistKey {
+                op: Op::Barrier,
+                size: 0,
+                contention: 64,
+            },
             CommDist::Point(4.2e-4),
         );
         t.insert(
-            DistKey { op: Op::Send, size: 65536, contention: 1 },
+            DistKey {
+                op: Op::Send,
+                size: 65536,
+                contention: 1,
+            },
             CommDist::Fit(ParametricFit {
                 kind: FitKind::ShiftedGamma,
                 shift: 5.0e-3,
@@ -297,7 +324,11 @@ mod tests {
         let text = write_table(&t);
         // The gap between ~100 µs mass and the 0.2 s outlier spans ~200k bins;
         // RLE must keep the document small.
-        assert!(text.len() < 20_000, "document unexpectedly large: {}", text.len());
+        assert!(
+            text.len() < 20_000,
+            "document unexpectedly large: {}",
+            text.len()
+        );
         assert!(text.contains('x'), "expected run-length tokens");
     }
 
@@ -333,7 +364,11 @@ mod tests {
         let t = read_table(doc).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(
-            t.get(&DistKey { op: Op::Send, size: 8, contention: 1 }),
+            t.get(&DistKey {
+                op: Op::Send,
+                size: 8,
+                contention: 1
+            }),
             Some(&CommDist::Point(2.0))
         );
     }

@@ -7,7 +7,6 @@
 //! completely agnostic to which prediction mode is in force.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Something communication times can be drawn from.
 pub trait Sampler {
@@ -23,7 +22,7 @@ pub trait Sampler {
 ///
 /// These correspond to the paper's "simplistic" prediction inputs: the
 /// minimum (contention-free) time and the average time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PointKind {
     /// The minimum observed time (the paper's `min` curves; what an ideal
     /// ping-pong measures in the absence of contention).

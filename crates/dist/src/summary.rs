@@ -5,10 +5,8 @@
 //! by MPIBench to report the min/average rows that conventional benchmarks
 //! (Mpptest, SKaMPI, Pallas) would produce, alongside the full histograms.
 
-use serde::{Deserialize, Serialize};
-
 /// Online summary of a stream of `f64` observations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -49,7 +47,10 @@ impl Summary {
 
     /// Record one observation.
     pub fn add(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Summary::add requires finite values, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "Summary::add requires finite values, got {x}"
+        );
         self.count += 1;
         self.sum += x;
         let delta = x - self.mean;
@@ -151,7 +152,14 @@ impl Summary {
 
     /// Reassemble from the parts produced by [`Summary::to_parts`].
     pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, sum: f64) -> Self {
-        Summary { count, mean, m2, min, max, sum }
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+            sum,
+        }
     }
 }
 
@@ -163,7 +171,10 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "slice must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "slice must be sorted"
+    );
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;

@@ -16,11 +16,10 @@ use crate::fit::ParametricFit;
 use crate::histogram::Histogram;
 use crate::sample::PointKind;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// MPI operations MPIBench can characterise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Op {
     /// Blocking standard-mode send (matching receive included).
     Send,
@@ -92,7 +91,7 @@ impl std::fmt::Display for Op {
 }
 
 /// Grid coordinate of one measured distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DistKey {
     /// The MPI operation measured.
     pub op: Op,
@@ -105,7 +104,7 @@ pub struct DistKey {
 
 /// One communication-time distribution: empirical histogram, parametric fit
 /// or degenerate single point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CommDist {
     /// Full empirical histogram (the paper's preferred representation).
     Hist(Histogram),
@@ -185,7 +184,7 @@ impl CommDist {
 /// A database of communication-time distributions on a (size, contention)
 /// grid per operation, with bilinear quantile interpolation between grid
 /// points and clamping outside the grid.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DistTable {
     /// `op -> (size, contention) -> distribution`. BTreeMaps keep the grid
     /// ordered so neighbour lookup is a range scan.
@@ -225,7 +224,14 @@ impl DistTable {
     pub fn iter(&self) -> impl Iterator<Item = (DistKey, &CommDist)> {
         self.entries.iter().flat_map(|(&op, m)| {
             m.iter().map(move |(&(size, contention), d)| {
-                (DistKey { op, size, contention }, d)
+                (
+                    DistKey {
+                        op,
+                        size,
+                        contention,
+                    },
+                    d,
+                )
             })
         })
     }
@@ -298,19 +304,15 @@ impl DistTable {
 
     /// The up-to-four surrounding grid distributions of `(size, contention)`
     /// with their bilinear weights. Returns `None` if the op has no data.
-    fn neighbours(
-        &self,
-        op: Op,
-        size: f64,
-        contention: f64,
-    ) -> Option<Vec<(&CommDist, f64)>> {
+    fn neighbours(&self, op: Op, size: f64, contention: f64) -> Option<Vec<(&CommDist, f64)>> {
         let grid = self.entries.get(&op)?;
         if grid.is_empty() {
             return None;
         }
         let sizes = self.sizes(op);
-        let (s_lo, s_hi, _) = Self::bracket(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>(), size)
-            .map(|(a, b, w)| (a as u64, b as u64, w))?;
+        let (s_lo, s_hi, _) =
+            Self::bracket(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>(), size)
+                .map(|(a, b, w)| (a as u64, b as u64, w))?;
         let ws = Self::size_weight(s_lo, s_hi, size);
 
         // Contention axes can differ per size column; bracket per column.
@@ -449,7 +451,11 @@ mod tests {
         for &size in &[100u64, 1000] {
             for &c in &[1u32, 10] {
                 t.insert(
-                    DistKey { op: Op::Isend, size, contention: c },
+                    DistKey {
+                        op: Op::Isend,
+                        size,
+                        contention: c,
+                    },
                     CommDist::Point(size as f64 + 1000.0 * c as f64),
                 );
             }
@@ -460,7 +466,11 @@ mod tests {
     #[test]
     fn exact_grid_points_roundtrip() {
         let t = point_table();
-        let k = DistKey { op: Op::Isend, size: 100, contention: 1 };
+        let k = DistKey {
+            op: Op::Isend,
+            size: 100,
+            contention: 1,
+        };
         assert_eq!(t.get(&k), Some(&CommDist::Point(1100.0)));
         assert_eq!(t.mean_at(Op::Isend, 100.0, 1.0), Some(1100.0));
         assert_eq!(t.len(), 4);
@@ -511,7 +521,14 @@ mod tests {
     fn collapsed_table_uses_point_statistics() {
         let mut t = DistTable::new();
         let h = Histogram::from_samples(&[1.0, 2.0, 3.0], 0.5);
-        t.insert(DistKey { op: Op::Send, size: 8, contention: 1 }, CommDist::Hist(h));
+        t.insert(
+            DistKey {
+                op: Op::Send,
+                size: 8,
+                contention: 1,
+            },
+            CommDist::Hist(h),
+        );
         let avg = t.collapsed(PointKind::Average);
         let min = t.collapsed(PointKind::Minimum);
         assert_eq!(avg.mean_at(Op::Send, 8.0, 1.0), Some(2.0));
@@ -537,8 +554,22 @@ mod tests {
         let mut t = DistTable::new();
         let lo = Histogram::from_samples(&[10.0, 10.0, 10.0], 1.0);
         let hi = Histogram::from_samples(&[20.0, 20.0, 20.0], 1.0);
-        t.insert(DistKey { op: Op::Isend, size: 100, contention: 1 }, CommDist::Hist(lo));
-        t.insert(DistKey { op: Op::Isend, size: 100, contention: 3 }, CommDist::Hist(hi));
+        t.insert(
+            DistKey {
+                op: Op::Isend,
+                size: 100,
+                contention: 1,
+            },
+            CommDist::Hist(lo),
+        );
+        t.insert(
+            DistKey {
+                op: Op::Isend,
+                size: 100,
+                contention: 3,
+            },
+            CommDist::Hist(hi),
+        );
         let mid = t.quantile_at(Op::Isend, 100.0, 2.0, 0.5).unwrap();
         assert!((mid - 15.0).abs() < 1e-9, "got {mid}");
     }
@@ -548,11 +579,19 @@ mod tests {
         let mut a = point_table();
         let mut b = DistTable::new();
         b.insert(
-            DistKey { op: Op::Isend, size: 100, contention: 1 },
+            DistKey {
+                op: Op::Isend,
+                size: 100,
+                contention: 1,
+            },
             CommDist::Point(7.0),
         );
         b.insert(
-            DistKey { op: Op::Barrier, size: 0, contention: 4 },
+            DistKey {
+                op: Op::Barrier,
+                size: 0,
+                contention: 4,
+            },
             CommDist::Point(9.0),
         );
         a.merge(&b);
@@ -564,20 +603,41 @@ mod tests {
     #[test]
     fn fitted_table_replaces_histograms_and_preserves_moments() {
         let mut t = DistTable::new();
-        let xs: Vec<f64> = (0..2000).map(|i| 1.0 + ((i * 37) % 100) as f64 * 0.01).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| 1.0 + ((i * 37) % 100) as f64 * 0.01)
+            .collect();
         t.insert(
-            DistKey { op: Op::Isend, size: 1024, contention: 4 },
+            DistKey {
+                op: Op::Isend,
+                size: 1024,
+                contention: 4,
+            },
             CommDist::Hist(Histogram::from_samples(&xs, 0.01)),
         );
-        t.insert(DistKey { op: Op::Barrier, size: 0, contention: 4 }, CommDist::Point(2.0));
+        t.insert(
+            DistKey {
+                op: Op::Barrier,
+                size: 0,
+                contention: 4,
+            },
+            CommDist::Point(2.0),
+        );
         let f = t.fitted();
         assert_eq!(f.len(), 2);
         assert!(matches!(
-            f.get(&DistKey { op: Op::Isend, size: 1024, contention: 4 }),
+            f.get(&DistKey {
+                op: Op::Isend,
+                size: 1024,
+                contention: 4
+            }),
             Some(CommDist::Fit(_))
         ));
         assert!(matches!(
-            f.get(&DistKey { op: Op::Barrier, size: 0, contention: 4 }),
+            f.get(&DistKey {
+                op: Op::Barrier,
+                size: 0,
+                contention: 4
+            }),
             Some(CommDist::Point(_))
         ));
         // The fitted mean matches the data mean (method of moments).

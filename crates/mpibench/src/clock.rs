@@ -21,7 +21,9 @@ pub struct ClockModel {
 impl ClockModel {
     /// A perfectly synchronised clock (all offsets zero).
     pub fn perfect(nranks: usize) -> Self {
-        ClockModel { offsets: vec![0.0; nranks] }
+        ClockModel {
+            offsets: vec![0.0; nranks],
+        }
     }
 
     /// A clock with a fixed per-rank offset drawn uniformly from
@@ -47,7 +49,11 @@ impl ClockModel {
 
     /// Worst-case pairwise clock disagreement, in seconds.
     pub fn max_skew(&self) -> f64 {
-        let max = self.offsets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .offsets
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.offsets.iter().cloned().fold(f64::INFINITY, f64::min);
         (max - min).max(0.0)
     }

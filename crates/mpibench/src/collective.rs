@@ -166,9 +166,17 @@ pub fn run_collective(cfg: &CollConfig) -> Result<CollResult, SimError> {
             samples.extend_from_slice(&per_rank[si]);
         }
         let summary = Summary::from_slice(&samples);
-        by_size.push(CollSizeResult { size, samples, summary });
+        by_size.push(CollSizeResult {
+            size,
+            samples,
+            summary,
+        });
     }
-    Ok(CollResult { kind: cfg.kind, nranks: n, by_size })
+    Ok(CollResult {
+        kind: cfg.kind,
+        nranks: n,
+        by_size,
+    })
 }
 
 #[cfg(test)]
@@ -193,7 +201,10 @@ mod tests {
         let large = quick(CollKind::Barrier, 16, vec![0]);
         let m_small = small.by_size[0].summary.mean().unwrap();
         let m_large = large.by_size[0].summary.mean().unwrap();
-        assert!(m_large > m_small, "barrier should cost more at 16 ranks: {m_small} vs {m_large}");
+        assert!(
+            m_large > m_small,
+            "barrier should cost more at 16 ranks: {m_small} vs {m_large}"
+        );
     }
 
     #[test]
@@ -203,9 +214,7 @@ mod tests {
         // 4 ranks × 10 reps.
         assert_eq!(res.by_size[0].samples.len(), 40);
         // Larger broadcasts take longer.
-        assert!(
-            res.by_size[1].summary.mean().unwrap() > res.by_size[0].summary.mean().unwrap()
-        );
+        assert!(res.by_size[1].summary.mean().unwrap() > res.by_size[0].summary.mean().unwrap());
     }
 
     #[test]
@@ -230,7 +239,11 @@ mod tests {
         let mut t = DistTable::new();
         res.add_to_table(&mut t, 32);
         assert!(t
-            .get(&DistKey { op: Op::Bcast, size: 256, contention: 4 })
+            .get(&DistKey {
+                op: Op::Bcast,
+                size: 256,
+                contention: 4
+            })
             .is_some());
     }
 }

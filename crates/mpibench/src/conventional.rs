@@ -16,9 +16,9 @@
 //!    "repetition" means.
 
 use crate::p2p::{run_p2p, P2pConfig};
+use parking_lot::Mutex;
 use pevpm_dist::Summary;
 use pevpm_mpisim::{SimError, World, WorldConfig};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Result of a conventional ping-pong benchmark: one number per size.

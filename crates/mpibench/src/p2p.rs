@@ -12,8 +12,8 @@
 
 use crate::clock::ClockModel;
 use parking_lot::Mutex;
-use pevpm_dist::{Histogram, Summary};
 use pevpm_dist::{CommDist, DistKey, DistTable, Op};
+use pevpm_dist::{Histogram, Summary};
 use pevpm_mpisim::{SimError, World, WorldConfig};
 use std::sync::Arc;
 
@@ -42,7 +42,10 @@ impl PairPattern {
     /// is the pair's *primary* (the only sender in one-way mode; the
     /// even-phase sender in exchange mode). Not meaningful for `Ring`.
     pub fn peer(self, rank: usize, n: usize) -> (usize, bool) {
-        assert!(n >= 2 && n.is_multiple_of(2), "p2p benchmark needs an even rank count");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "p2p benchmark needs an even rank count"
+        );
         match self {
             PairPattern::HalfSplit => {
                 if rank < n / 2 {
@@ -126,7 +129,13 @@ pub struct P2pConfig {
 
 impl P2pConfig {
     /// MPIBench-like defaults for an `nodes × ppn` Perseus configuration.
-    pub fn perseus(nodes: usize, ppn: usize, sizes: Vec<u64>, repetitions: usize, seed: u64) -> Self {
+    pub fn perseus(
+        nodes: usize,
+        ppn: usize,
+        sizes: Vec<u64>,
+        repetitions: usize,
+        seed: u64,
+    ) -> Self {
         P2pConfig {
             world: WorldConfig::perseus(nodes, ppn, seed),
             sizes,
@@ -194,7 +203,11 @@ impl P2pResult {
     pub fn add_to_table(&self, table: &mut DistTable, op: Op, bins: usize) {
         for r in &self.by_size {
             table.insert(
-                DistKey { op, size: r.size, contention: self.pairs },
+                DistKey {
+                    op,
+                    size: r.size,
+                    contention: self.pairs,
+                },
                 CommDist::Hist(r.histogram(bins)),
             );
         }
@@ -238,10 +251,7 @@ pub fn run_p2p(cfg: &P2pConfig) -> Result<P2pResult, SimError> {
         "paired patterns need an even rank count"
     );
     let nsizes = cfg.sizes.len();
-    let clock = cfg
-        .clock
-        .clone()
-        .unwrap_or_else(|| ClockModel::perfect(n));
+    let clock = cfg.clock.clone().unwrap_or_else(|| ClockModel::perfect(n));
 
     // Written only by the owning rank, so the shared Mutex is purely for
     // Sync; contents stay deterministic.
@@ -321,7 +331,11 @@ pub fn run_p2p(cfg: &P2pConfig) -> Result<P2pResult, SimError> {
             }
         }
         let summary = Summary::from_slice(&samples);
-        by_size.push(P2pSizeResult { size, samples, summary });
+        by_size.push(P2pSizeResult {
+            size,
+            samples,
+            summary,
+        });
     }
 
     Ok(P2pResult {
@@ -330,6 +344,36 @@ pub fn run_p2p(cfg: &P2pConfig) -> Result<P2pResult, SimError> {
         pairs: cfg.pattern.concurrency(n, cfg.direction),
         by_size,
     })
+}
+
+/// Run `reps` independent replications of the benchmark and merge their
+/// samples into one result, fanning replicas across up to `threads`
+/// worker threads (`0` = all cores, `1` = serial).
+///
+/// Replica `i` re-runs the full benchmark with the world seed
+/// `replica_seed(cfg.world.seed, i)`; merged samples are appended in
+/// replica order, so the result is bitwise identical at any thread count.
+/// This is how a benchmark gathers more repetitions than one simulated
+/// run provides without serialising the extra work.
+pub fn run_p2p_reps(cfg: &P2pConfig, reps: usize, threads: usize) -> Result<P2pResult, SimError> {
+    let base_seed = cfg.world.seed;
+    let runs: Vec<P2pResult> = pevpm::replicate::try_parallel_map(reps.max(1), threads, |i| {
+        let mut c = cfg.clone();
+        c.world.seed = pevpm::replicate::replica_seed(base_seed, i as u64);
+        run_p2p(&c)
+    })?;
+
+    let mut merged = runs[0].clone();
+    for run in &runs[1..] {
+        for (acc, r) in merged.by_size.iter_mut().zip(&run.by_size) {
+            debug_assert_eq!(acc.size, r.size);
+            acc.samples.extend_from_slice(&r.samples);
+        }
+    }
+    for s in &mut merged.by_size {
+        s.summary = Summary::from_slice(&s.samples);
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -392,6 +436,35 @@ mod tests {
     }
 
     #[test]
+    fn replicated_runs_merge_deterministically_at_any_thread_count() {
+        let cfg = P2pConfig::perseus(2, 1, vec![512], 10, 9);
+        let serial = run_p2p_reps(&cfg, 3, 1).unwrap();
+        // Exchange mode: 2 samples per repetition per replica.
+        assert_eq!(serial.by_size[0].samples.len(), 3 * 2 * 10);
+        let bits = |r: &P2pResult| -> Vec<Vec<u64>> {
+            r.by_size
+                .iter()
+                .map(|s| s.samples.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        for threads in [2usize, 4] {
+            let par = run_p2p_reps(&cfg, 3, threads).unwrap();
+            assert_eq!(bits(&serial), bits(&par), "{threads} threads");
+            assert_eq!(
+                serial.by_size[0].summary.mean().unwrap().to_bits(),
+                par.by_size[0].summary.mean().unwrap().to_bits()
+            );
+        }
+        // Replica 0 derives seed base+0, so its samples lead the merge and
+        // equal a plain single run.
+        let solo = run_p2p(&cfg).unwrap();
+        assert_eq!(
+            &serial.by_size[0].samples[..solo.by_size[0].samples.len()],
+            &solo.by_size[0].samples[..]
+        );
+    }
+
+    #[test]
     fn one_way_mode_halves_concurrency() {
         let mut cfg = P2pConfig::perseus(4, 1, vec![512], 10, 1);
         cfg.direction = Direction::OneWay;
@@ -404,13 +477,20 @@ mod tests {
     fn clock_skew_distorts_measurements() {
         let sizes = vec![512u64];
         let mut cfg = P2pConfig::perseus(2, 1, sizes, 50, 1);
+        // One-way timing: every sample is shifted by the same receiver−sender
+        // offset. (Exchange would average the +δ and −δ directions and the
+        // shift would cancel out of the mean.)
+        cfg.direction = Direction::OneWay;
         let clean = run_p2p(&cfg).unwrap();
         cfg.clock = Some(ClockModel::skewed(2, 5e-4, 9));
         let skewed = run_p2p(&cfg).unwrap();
         let d = (skewed.by_size[0].summary.mean().unwrap()
             - clean.by_size[0].summary.mean().unwrap())
         .abs();
-        assert!(d > 1e-5, "clock skew should shift one-way measurements, d={d}");
+        assert!(
+            d > 1e-5,
+            "clock skew should shift one-way measurements, d={d}"
+        );
     }
 
     #[test]

@@ -91,24 +91,41 @@ impl SweepResult {
 }
 
 /// Run the sweep. This is the expensive entry point behind Figures 1–4.
+/// Shapes are independent simulations, so they fan out across all
+/// available cores; see [`run_sweep_threads`] for an explicit count.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SimError> {
-    let mut runs = Vec::with_capacity(cfg.shapes.len());
+    run_sweep_threads(cfg, 0)
+}
+
+/// [`run_sweep`] with an explicit worker-thread count (`0` = all cores,
+/// `1` = serial). Each shape derives its world seed from the shape index
+/// alone (`replica_seed(cfg.seed, i)`), and results are merged into the
+/// database in shape order, so the output is bitwise identical at any
+/// thread count.
+pub fn run_sweep_threads(cfg: &SweepConfig, threads: usize) -> Result<SweepResult, SimError> {
+    let runs: Vec<P2pResult> =
+        pevpm::replicate::try_parallel_map(cfg.shapes.len(), threads, |i| {
+            let shape = cfg.shapes[i];
+            let world = WorldConfig::perseus(
+                shape.nodes,
+                shape.ppn,
+                pevpm::replicate::replica_seed(cfg.seed, i as u64),
+            );
+            let p2p = P2pConfig {
+                world,
+                sizes: cfg.sizes.clone(),
+                repetitions: cfg.repetitions,
+                warmup: (cfg.repetitions / 10).max(2),
+                sync_every: 1,
+                pattern: PairPattern::HalfSplit,
+                direction: Direction::Exchange,
+                clock: None,
+            };
+            run_p2p(&p2p)
+        })?;
     let mut table = DistTable::new();
-    for (i, shape) in cfg.shapes.iter().enumerate() {
-        let world = WorldConfig::perseus(shape.nodes, shape.ppn, cfg.seed.wrapping_add(i as u64));
-        let p2p = P2pConfig {
-            world,
-            sizes: cfg.sizes.clone(),
-            repetitions: cfg.repetitions,
-            warmup: (cfg.repetitions / 10).max(2),
-            sync_every: 1,
-            pattern: PairPattern::HalfSplit,
-            direction: Direction::Exchange,
-            clock: None,
-        };
-        let res = run_p2p(&p2p)?;
+    for res in &runs {
         res.add_to_table(&mut table, Op::Isend, cfg.bins);
-        runs.push(res);
     }
     Ok(SweepResult { runs, table })
 }
@@ -129,6 +146,34 @@ mod tests {
     fn size_grid_doubles() {
         assert_eq!(size_grid(64, 1024), vec![64, 128, 256, 512, 1024]);
         assert_eq!(size_grid(1, 1), vec![1]);
+    }
+
+    #[test]
+    fn sweep_is_bitwise_identical_at_any_thread_count() {
+        let cfg = SweepConfig {
+            shapes: vec![
+                MachineShape { nodes: 2, ppn: 1 },
+                MachineShape { nodes: 4, ppn: 1 },
+                MachineShape { nodes: 2, ppn: 2 },
+            ],
+            sizes: vec![256, 512],
+            repetitions: 8,
+            seed: 5,
+            bins: 32,
+        };
+        let serial = run_sweep_threads(&cfg, 1).unwrap();
+        for threads in [2usize, 4] {
+            let par = run_sweep_threads(&cfg, threads).unwrap();
+            assert_eq!(serial.runs.len(), par.runs.len());
+            for (a, b) in serial.runs.iter().zip(&par.runs) {
+                assert_eq!((a.nodes, a.ppn), (b.nodes, b.ppn), "shape order changed");
+                for (sa, sb) in a.by_size.iter().zip(&b.by_size) {
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&sa.samples), bits(&sb.samples));
+                }
+            }
+            assert_eq!(serial.table.len(), par.table.len());
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ fn smp_processes_add_nic_contention() {
     // dominates.
     let t1k_1 = mean_at(8, 1, 1024, 60);
     let t1k_2 = mean_at(8, 2, 1024, 60);
-    assert!(t1k_2 > t1k_1, "8x2 ({t1k_2}) should exceed 8x1 ({t1k_1}) at 1 KB");
+    assert!(
+        t1k_2 > t1k_1,
+        "8x2 ({t1k_2}) should exceed 8x1 ({t1k_1}) at 1 KB"
+    );
     let t4k_1 = mean_at(8, 1, 4096, 60);
     let t4k_2 = mean_at(8, 2, 4096, 60);
     assert!(

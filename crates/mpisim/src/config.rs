@@ -1,10 +1,9 @@
 //! Configuration of a simulated MPI world.
 
 use pevpm_netsim::{ClusterConfig, Dur};
-use serde::{Deserialize, Serialize};
 
 /// How MPI ranks are laid out over physical nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// Consecutive ranks share a node (MPICH default): rank r is on node
     /// `r / procs_per_node`. The paper's `n×p` notation assumes this.
@@ -14,7 +13,7 @@ pub enum Placement {
 }
 
 /// MPI-library-level protocol parameters (MPICH-1.2-like).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
     /// Messages strictly smaller than this are sent eagerly; larger ones use
     /// the rendezvous (RTS/CTS) protocol. MPICH 1.2's 16 KB threshold is the
@@ -37,7 +36,7 @@ impl Default for ProtocolConfig {
 }
 
 /// Complete description of a simulated MPI world.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorldConfig {
     /// The physical cluster beneath the MPI library.
     pub cluster: ClusterConfig,

@@ -41,5 +41,9 @@ pub use rank::{decode_f64s, encode_f64s, Rank};
 pub use sched::{RunReport, SimError, World};
 pub use trace::{breakdown, RankBreakdown, TraceEvent, TraceKind};
 
+// Payload buffer type used by the rank API, re-exported so dependants do
+// not need a direct `bytes` dependency.
+pub use bytes::Bytes;
+
 // Re-export the substrate types callers need for configuration.
 pub use pevpm_netsim::{ClusterConfig, Dur, Time};

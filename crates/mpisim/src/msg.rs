@@ -63,9 +63,19 @@ pub(crate) enum Call {
     /// Advance the rank's virtual clock by a computation time.
     Compute(Dur),
     /// Blocking standard-mode send.
-    Send { dst: usize, tag: Tag, bytes: u64, payload: Bytes },
+    Send {
+        dst: usize,
+        tag: Tag,
+        bytes: u64,
+        payload: Bytes,
+    },
     /// Nonblocking send; replies with a `Request`.
-    Isend { dst: usize, tag: Tag, bytes: u64, payload: Bytes },
+    Isend {
+        dst: usize,
+        tag: Tag,
+        bytes: u64,
+        payload: Bytes,
+    },
     /// Blocking receive.
     Recv { src: SrcSel, tag: TagSel },
     /// Nonblocking receive; replies with a `Request`.
@@ -89,9 +99,16 @@ pub(crate) enum Reply {
     /// A nonblocking operation was posted.
     Posted { clock: Time, req: Request },
     /// A receive completed.
-    Msg { clock: Time, meta: MsgMeta, payload: Bytes },
+    Msg {
+        clock: Time,
+        meta: MsgMeta,
+        payload: Bytes,
+    },
     /// A `Test` result: `Some` if the request completed.
-    TestResult { clock: Time, done: Option<Option<(MsgMeta, Bytes)>> },
+    TestResult {
+        clock: Time,
+        done: Option<Option<(MsgMeta, Bytes)>>,
+    },
     /// The simulation is being torn down (deadlock or another rank's
     /// panic); the rank thread must exit.
     Poison,

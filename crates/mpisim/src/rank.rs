@@ -148,7 +148,12 @@ impl Rank {
     fn send_inner(&mut self, dst: usize, tag: u64, bytes: u64, payload: Bytes) {
         assert!(dst < self.nranks, "send to out-of-range rank {dst}");
         let start = self.clock;
-        match self.roundtrip(Call::Send { dst, tag, bytes, payload }) {
+        match self.roundtrip(Call::Send {
+            dst,
+            tag,
+            bytes,
+            payload,
+        }) {
             Reply::Ok { clock } => self.clock = clock,
             r => unreachable!("unexpected reply to Send: {r:?}"),
         }
@@ -170,7 +175,12 @@ impl Rank {
     fn isend_inner(&mut self, dst: usize, tag: u64, bytes: u64, payload: Bytes) -> Request {
         assert!(dst < self.nranks, "isend to out-of-range rank {dst}");
         let start = self.clock;
-        let req = match self.roundtrip(Call::Isend { dst, tag, bytes, payload }) {
+        let req = match self.roundtrip(Call::Isend {
+            dst,
+            tag,
+            bytes,
+            payload,
+        }) {
             Reply::Posted { clock, req } => {
                 self.clock = clock;
                 req
@@ -185,9 +195,15 @@ impl Rank {
     /// wildcards [`SrcSel::Any`] / [`TagSel::Any`].
     pub fn recv(&mut self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> (MsgMeta, Bytes) {
         let start = self.clock;
-        let (meta, payload) = match self.roundtrip(Call::Recv { src: src.into(), tag: tag.into() })
-        {
-            Reply::Msg { clock, meta, payload } => {
+        let (meta, payload) = match self.roundtrip(Call::Recv {
+            src: src.into(),
+            tag: tag.into(),
+        }) {
+            Reply::Msg {
+                clock,
+                meta,
+                payload,
+            } => {
                 self.clock = clock;
                 (meta, payload)
             }
@@ -199,7 +215,10 @@ impl Rank {
 
     /// Nonblocking receive.
     pub fn irecv(&mut self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> Request {
-        match self.roundtrip(Call::Irecv { src: src.into(), tag: tag.into() }) {
+        match self.roundtrip(Call::Irecv {
+            src: src.into(),
+            tag: tag.into(),
+        }) {
             Reply::Posted { clock, req } => {
                 self.clock = clock;
                 req
@@ -217,7 +236,11 @@ impl Rank {
                 self.clock = clock;
                 None
             }
-            Reply::Msg { clock, meta, payload } => {
+            Reply::Msg {
+                clock,
+                meta,
+                payload,
+            } => {
                 self.clock = clock;
                 Some((meta, payload))
             }
@@ -230,7 +253,10 @@ impl Rank {
     }
 
     /// Wait for every request in order.
-    pub fn waitall(&mut self, reqs: impl IntoIterator<Item = Request>) -> Vec<Option<(MsgMeta, Bytes)>> {
+    pub fn waitall(
+        &mut self,
+        reqs: impl IntoIterator<Item = Request>,
+    ) -> Vec<Option<(MsgMeta, Bytes)>> {
         reqs.into_iter().map(|r| self.wait(r)).collect()
     }
 
@@ -290,7 +316,11 @@ impl Rank {
     }
 
     /// Receive a slice of `f64`s sent by [`Rank::send_f64s`].
-    pub fn recv_f64s(&mut self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> (MsgMeta, Vec<f64>) {
+    pub fn recv_f64s(
+        &mut self,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> (MsgMeta, Vec<f64>) {
         let (meta, payload) = self.recv(src, tag);
         (meta, decode_f64s(&payload))
     }
@@ -307,7 +337,10 @@ pub fn encode_f64s(data: &[f64]) -> Bytes {
 
 /// Decode bytes produced by [`encode_f64s`].
 pub fn decode_f64s(b: &[u8]) -> Vec<f64> {
-    assert!(b.len().is_multiple_of(8), "payload is not a whole number of f64s");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of f64s"
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
         .collect()

@@ -355,7 +355,10 @@ impl Engine {
     }
 
     fn schedule_wake(&mut self, rank: usize, at: Time, reply: Reply) {
-        debug_assert!(self.pending_reply[rank].is_none(), "double wake for rank {rank}");
+        debug_assert!(
+            self.pending_reply[rank].is_none(),
+            "double wake for rank {rank}"
+        );
         self.pending_reply[rank] = Some(reply);
         self.blocked_desc[rank] = None;
         self.ready_seq += 1;
@@ -395,7 +398,10 @@ impl Engine {
                         .filter(|(r, _)| !self.finished[*r])
                         .map(|(r, d)| (r, d.clone().unwrap_or_else(|| "<unknown>".into())))
                         .collect();
-                    return Err(SimError::Deadlock { time: self.net.now(), blocked });
+                    return Err(SimError::Deadlock {
+                        time: self.net.now(),
+                        blocked,
+                    });
                 }
                 (Some(tr), Some(tn)) => tr.min(tn),
                 (Some(tr), None) => tr,
@@ -451,13 +457,20 @@ impl Engine {
                     self.schedule_wake(r, wake, Reply::Ok { clock: wake });
                     return Ok(());
                 }
-                Call::Send { dst, tag, bytes, payload } => {
+                Call::Send {
+                    dst,
+                    tag,
+                    bytes,
+                    payload,
+                } => {
                     let local = self.node(r) == self.node(dst);
                     let eager = local || bytes < self.cfg.protocol.eager_threshold;
                     let mid = self.new_msg(r, dst, tag, bytes, payload, eager);
                     if eager {
                         let t0 = self.clocks[r];
-                        let tid = self.net.start_transfer(t0, self.node(r), self.node(dst), bytes);
+                        let tid = self
+                            .net
+                            .start_transfer(t0, self.node(r), self.node(dst), bytes);
                         self.purpose.insert(tid, Purpose::EagerData(mid));
                         let done = t0 + self.inj_cost(bytes);
                         self.clocks[r] = done;
@@ -466,19 +479,27 @@ impl Engine {
                     } else {
                         self.post_rts(mid);
                         self.msgs[mid].sender_wait = Some(SenderWait::Block(r));
-                        self.blocked_desc[r] =
-                            Some(format!("Send(dst={dst}, tag={tag}, bytes={bytes}) [rendezvous]"));
+                        self.blocked_desc[r] = Some(format!(
+                            "Send(dst={dst}, tag={tag}, bytes={bytes}) [rendezvous]"
+                        ));
                         return Ok(());
                     }
                 }
-                Call::Isend { dst, tag, bytes, payload } => {
+                Call::Isend {
+                    dst,
+                    tag,
+                    bytes,
+                    payload,
+                } => {
                     let local = self.node(r) == self.node(dst);
                     let eager = local || bytes < self.cfg.protocol.eager_threshold;
                     let mid = self.new_msg(r, dst, tag, bytes, payload, eager);
                     let req = self.new_req();
                     if eager {
                         let t0 = self.clocks[r];
-                        let tid = self.net.start_transfer(t0, self.node(r), self.node(dst), bytes);
+                        let tid = self
+                            .net
+                            .start_transfer(t0, self.node(r), self.node(dst), bytes);
                         self.purpose.insert(tid, Purpose::EagerData(mid));
                         self.reqs[req].state = ReqState::SendDone(t0 + self.inj_cost(bytes));
                     } else {
@@ -487,10 +508,16 @@ impl Engine {
                         self.reqs[req].state = ReqState::SendPending;
                     }
                     let clock = self.clocks[r];
-                    let _ = self.reply_tx[r].send(Reply::Posted { clock, req: Request(req as u64) });
+                    let _ = self.reply_tx[r].send(Reply::Posted {
+                        clock,
+                        req: Request(req as u64),
+                    });
                 }
                 Call::Recv { src, tag } => {
-                    let target = RecvTarget::Block { rank: r, post_time: self.clocks[r] };
+                    let target = RecvTarget::Block {
+                        rank: r,
+                        post_time: self.clocks[r],
+                    };
                     self.blocked_desc[r] = Some(format!("Recv(src={src:?}, tag={tag:?})"));
                     self.post_recv(r, src, tag, target);
                     return Ok(());
@@ -498,10 +525,16 @@ impl Engine {
                 Call::Irecv { src, tag } => {
                     let req = self.new_req();
                     self.reqs[req].state = ReqState::RecvPending;
-                    let target = RecvTarget::Req { req, post_time: self.clocks[r] };
+                    let target = RecvTarget::Req {
+                        req,
+                        post_time: self.clocks[r],
+                    };
                     self.post_recv(r, src, tag, target);
                     let clock = self.clocks[r];
-                    let _ = self.reply_tx[r].send(Reply::Posted { clock, req: Request(req as u64) });
+                    let _ = self.reply_tx[r].send(Reply::Posted {
+                        clock,
+                        req: Request(req as u64),
+                    });
                 }
                 Call::Wait { req } => {
                     let rid = req.0 as usize;
@@ -520,7 +553,15 @@ impl Engine {
                             };
                             let wake = self.clocks[r].max(t);
                             self.clocks[r] = wake;
-                            self.schedule_wake(r, wake, Reply::Msg { clock: wake, meta, payload });
+                            self.schedule_wake(
+                                r,
+                                wake,
+                                Reply::Msg {
+                                    clock: wake,
+                                    meta,
+                                    payload,
+                                },
+                            );
                         }
                         ReqState::SendPending | ReqState::RecvPending => {
                             self.reqs[rid].waiter = Some(r);
@@ -585,7 +626,10 @@ impl Engine {
     }
 
     fn new_req(&mut self) -> ReqId {
-        self.reqs.push(ReqEntry { state: ReqState::SendPending, waiter: None });
+        self.reqs.push(ReqEntry {
+            state: ReqState::SendPending,
+            waiter: None,
+        });
         self.reqs.len() - 1
     }
 
@@ -594,7 +638,9 @@ impl Engine {
         let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
         let t0 = self.clocks[src];
         let ctrl = self.cfg.protocol.ctrl_bytes;
-        let tid = self.net.start_transfer(t0, self.node(src), self.node(dst), ctrl);
+        let tid = self
+            .net
+            .start_transfer(t0, self.node(src), self.node(dst), ctrl);
         self.purpose.insert(tid, Purpose::Rts(mid));
     }
 
@@ -636,7 +682,9 @@ impl Engine {
                 let (src, dst, bytes) =
                     (self.msgs[mid].src, self.msgs[mid].dst, self.msgs[mid].bytes);
                 let t0 = c.delivered_at;
-                let tid = self.net.start_transfer(t0, self.node(src), self.node(dst), bytes);
+                let tid = self
+                    .net
+                    .start_transfer(t0, self.node(src), self.node(dst), bytes);
                 self.purpose.insert(tid, Purpose::RndvData(mid));
                 let done = t0 + self.inj_cost(bytes);
                 match self.msgs[mid].sender_wait.take() {
@@ -684,9 +732,9 @@ impl Engine {
     fn on_envelope_visible(&mut self, mid: MsgId, visible: Time) {
         self.msgs[mid].visible_at = Some(visible);
         let dst = self.msgs[mid].dst;
-        let hit = self.posted[dst].iter().position(|p| {
-            Self::matches(&self.msgs[mid], p.src, p.tag)
-        });
+        let hit = self.posted[dst]
+            .iter()
+            .position(|p| Self::matches(&self.msgs[mid], p.src, p.tag));
         match hit {
             Some(pos) => {
                 let p = self.posted[dst].remove(pos).unwrap();
@@ -709,19 +757,33 @@ impl Engine {
             self.msgs[mid].matched = Some(target);
             let (src, dst) = (self.msgs[mid].src, self.msgs[mid].dst);
             let ctrl = self.cfg.protocol.ctrl_bytes;
-            let tid = self.net.start_transfer(tm, self.node(dst), self.node(src), ctrl);
+            let tid = self
+                .net
+                .start_transfer(tm, self.node(dst), self.node(src), ctrl);
             self.purpose.insert(tid, Purpose::Cts(mid));
         }
     }
 
     fn deliver(&mut self, mid: MsgId, target: RecvTarget, wake: Time) {
         let m = &self.msgs[mid];
-        let meta = MsgMeta { src: m.src, tag: m.tag, bytes: m.bytes };
+        let meta = MsgMeta {
+            src: m.src,
+            tag: m.tag,
+            bytes: m.bytes,
+        };
         let payload = m.payload.clone();
         match target {
             RecvTarget::Block { rank, .. } => {
                 self.clocks[rank] = self.clocks[rank].max(wake);
-                self.schedule_wake(rank, wake, Reply::Msg { clock: wake, meta, payload });
+                self.schedule_wake(
+                    rank,
+                    wake,
+                    Reply::Msg {
+                        clock: wake,
+                        meta,
+                        payload,
+                    },
+                );
             }
             RecvTarget::Req { req, .. } => {
                 let waiter = self.reqs[req].waiter.take();
@@ -730,7 +792,15 @@ impl Engine {
                         let w = wake.max(self.clocks[r]);
                         self.clocks[r] = w;
                         self.reqs[req].state = ReqState::Consumed;
-                        self.schedule_wake(r, w, Reply::Msg { clock: w, meta, payload });
+                        self.schedule_wake(
+                            r,
+                            w,
+                            Reply::Msg {
+                                clock: w,
+                                meta,
+                                payload,
+                            },
+                        );
                     }
                     None => {
                         self.reqs[req].state = ReqState::RecvDone(wake, meta, payload);

@@ -9,10 +9,9 @@
 //! answerable for any rank program.
 
 use pevpm_netsim::Time;
-use serde::{Deserialize, Serialize};
 
 /// What kind of operation an event covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// `compute` / `compute_secs`.
     Compute,
@@ -29,7 +28,7 @@ pub enum TraceKind {
 }
 
 /// One traced operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Operation kind.
     pub kind: TraceKind,
@@ -129,7 +128,11 @@ pub fn render_timeline(traces: &[Vec<TraceEvent>], max_events: usize) -> String 
                 format!("{}", e.start),
                 format!("{}", e.end),
                 e.peer.map(|p| format!(" peer {p}")).unwrap_or_default(),
-                if e.bytes > 0 { format!(" {} B", e.bytes) } else { String::new() },
+                if e.bytes > 0 {
+                    format!(" {} B", e.bytes)
+                } else {
+                    String::new()
+                },
                 if e.in_collective { " [coll]" } else { "" },
             ));
         }

@@ -3,9 +3,7 @@
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use pevpm_mpisim::{
-    Placement, ReduceOp, SimError, SrcSel, TagSel, Time, World, WorldConfig,
-};
+use pevpm_mpisim::{Placement, ReduceOp, SimError, SrcSel, TagSel, Time, World, WorldConfig};
 use std::sync::Arc;
 
 fn ideal(nodes: usize, ppn: usize) -> WorldConfig {
@@ -146,17 +144,15 @@ fn tag_matching_selects_correct_message() {
 
 #[test]
 fn wildcard_receive_matches_any_source_and_tag() {
-    World::run(ideal(3, 1), |rank| {
-        match rank.rank() {
-            0 => {
-                let (m1, _) = rank.recv(SrcSel::Any, TagSel::Any);
-                let (m2, _) = rank.recv(SrcSel::Any, TagSel::Any);
-                let mut srcs = [m1.src, m2.src];
-                srcs.sort_unstable();
-                assert_eq!(srcs, [1, 2]);
-            }
-            r => rank.send_size(0, 100 + r as u64, 32),
+    World::run(ideal(3, 1), |rank| match rank.rank() {
+        0 => {
+            let (m1, _) = rank.recv(SrcSel::Any, TagSel::Any);
+            let (m2, _) = rank.recv(SrcSel::Any, TagSel::Any);
+            let mut srcs = [m1.src, m2.src];
+            srcs.sort_unstable();
+            assert_eq!(srcs, [1, 2]);
         }
+        r => rank.send_size(0, 100 + r as u64, 32),
     })
     .unwrap();
 }
@@ -211,7 +207,10 @@ fn intra_node_messages_bypass_network() {
         }
     })
     .unwrap();
-    assert_eq!(report.net_stats.frames_sent, 0, "local message used the wire");
+    assert_eq!(
+        report.net_stats.frames_sent, 0,
+        "local message used the wire"
+    );
 }
 
 #[test]
@@ -300,7 +299,10 @@ fn barrier_synchronises_clocks() {
     let after = after.lock();
     let slowest_entry = Time::from_secs_f64(0.03);
     for (r, &t) in after.iter().enumerate() {
-        assert!(t >= slowest_entry, "rank {r} left the barrier at {t} before the slowest rank entered");
+        assert!(
+            t >= slowest_entry,
+            "rank {r} left the barrier at {t} before the slowest rank entered"
+        );
     }
 }
 
@@ -373,7 +375,9 @@ fn gather_collects_in_rank_order() {
 fn scatter_distributes_chunks() {
     World::run(ideal(3, 1), |rank| {
         let chunks = (rank.rank() == 0).then(|| {
-            (0..3).map(|i| Bytes::from(vec![i as u8 * 10; 2])).collect::<Vec<_>>()
+            (0..3)
+                .map(|i| Bytes::from(vec![i as u8 * 10; 2]))
+                .collect::<Vec<_>>()
         });
         let mine = rank.scatter(0, chunks);
         assert_eq!(mine.as_ref(), &[rank.rank() as u8 * 10; 2]);
@@ -429,8 +433,7 @@ fn sendrecv_size_shifts_a_ring() {
         let n = rank.nranks();
         let r = rank.rank();
         for _ in 0..5 {
-            let (meta, _) =
-                rank.sendrecv_size((r + 1) % n, 1, 2048, (r + n - 1) % n, 1);
+            let (meta, _) = rank.sendrecv_size((r + 1) % n, 1, 2048, (r + n - 1) % n, 1);
             assert_eq!(meta.src, (r + n - 1) % n);
             assert_eq!(meta.bytes, 2048);
         }

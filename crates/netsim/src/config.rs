@@ -7,7 +7,6 @@
 //! retransmission timeouts (200 ms minimum RTO, exponential backoff).
 
 use crate::time::Dur;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a physical node (host).
 pub type NodeId = usize;
@@ -15,7 +14,7 @@ pub type NodeId = usize;
 pub type SwitchId = usize;
 
 /// Static description of the simulated cluster and its protocol parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of physical nodes.
     pub nodes: usize,
@@ -96,7 +95,7 @@ impl ClusterConfig {
         ClusterConfig {
             nodes,
             switch_ports: 24,
-            link_bw_bps: 100_000_000,       // Fast Ethernet
+            link_bw_bps: 100_000_000,     // Fast Ethernet
             trunk_bw_bps: 2_100_000_000,  // 2.1 Gbit/s stacking backplane
             fabric_bw_bps: 5_000_000_000, // wire-speed shared fabric
             fabric_buffer_bytes: 1024 * 1024,

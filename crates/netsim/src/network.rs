@@ -25,12 +25,11 @@ use crate::config::{ClusterConfig, NodeId};
 use crate::time::{wire_time, Dur, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Identifier of a transfer, unique within one [`Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TransferId(pub u64);
 
 /// Notification that a transfer's last byte (plus receive overhead) reached
@@ -46,7 +45,7 @@ pub struct Completion {
 }
 
 /// Aggregate counters, used by tests and the EXPERIMENTS write-up.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Frames injected into the network (including retransmitted frames).
     pub frames_sent: u64,
@@ -81,7 +80,11 @@ struct Server {
 
 impl Server {
     fn new(rate_bps: u64, buffer_bytes: u64) -> Self {
-        Server { free_at: Time::ZERO, rate_bps, buffer_bytes }
+        Server {
+            free_at: Time::ZERO,
+            rate_bps,
+            buffer_bytes,
+        }
     }
 
     /// Bytes currently queued (backlog duration × rate).
@@ -122,10 +125,19 @@ enum Hop {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
     /// Frame `seq` of transfer arrives at `hop`.
-    Arrive { tid: TransferId, seq: u64, epoch: u32, hop_idx: u8 },
+    Arrive {
+        tid: TransferId,
+        seq: u64,
+        epoch: u32,
+        hop_idx: u8,
+    },
     /// Retransmission fires: go-back-N from the receiver's cursor. `fast`
     /// marks a duplicate-ACK fast retransmit (no RTO backoff).
-    Retransmit { tid: TransferId, epoch: u32, fast: bool },
+    Retransmit {
+        tid: TransferId,
+        epoch: u32,
+        fast: bool,
+    },
     /// Intra-node (shared-memory) transfer completes.
     LocalDeliver { tid: TransferId },
 }
@@ -184,9 +196,18 @@ struct HeapEv {
 impl HeapEv {
     fn pack(ev: Ev) -> Self {
         match ev {
-            Ev::Arrive { tid, seq, epoch, hop_idx } => {
-                HeapEv { kind: 0, tid: tid.0, seq, epoch, hop_idx }
-            }
+            Ev::Arrive {
+                tid,
+                seq,
+                epoch,
+                hop_idx,
+            } => HeapEv {
+                kind: 0,
+                tid: tid.0,
+                seq,
+                epoch,
+                hop_idx,
+            },
             Ev::Retransmit { tid, epoch, fast } => HeapEv {
                 kind: 1,
                 tid: tid.0,
@@ -194,7 +215,13 @@ impl HeapEv {
                 epoch,
                 hop_idx: 0,
             },
-            Ev::LocalDeliver { tid } => HeapEv { kind: 2, tid: tid.0, seq: 0, epoch: 0, hop_idx: 0 },
+            Ev::LocalDeliver { tid } => HeapEv {
+                kind: 2,
+                tid: tid.0,
+                seq: 0,
+                epoch: 0,
+                hop_idx: 0,
+            },
         }
     }
 
@@ -211,7 +238,9 @@ impl HeapEv {
                 epoch: self.epoch,
                 fast: self.seq != 0,
             },
-            _ => Ev::LocalDeliver { tid: TransferId(self.tid) },
+            _ => Ev::LocalDeliver {
+                tid: TransferId(self.tid),
+            },
         }
     }
 }
@@ -261,7 +290,8 @@ impl Network {
 
     fn push(&mut self, at: Time, ev: Ev) {
         self.heap_seq += 1;
-        self.heap.push(Reverse((at, self.heap_seq, HeapEv::pack(ev))));
+        self.heap
+            .push(Reverse((at, self.heap_seq, HeapEv::pack(ev))));
     }
 
     fn jitter(&mut self) -> Dur {
@@ -276,7 +306,10 @@ impl Network {
     /// Begin moving `bytes` from `src` to `dst` at virtual time `at`
     /// (must not be earlier than the engine's current time).
     pub fn start_transfer(&mut self, at: Time, src: NodeId, dst: NodeId, bytes: u64) -> TransferId {
-        assert!(src < self.cfg.nodes && dst < self.cfg.nodes, "node out of range");
+        assert!(
+            src < self.cfg.nodes && dst < self.cfg.nodes,
+            "node out of range"
+        );
         assert!(at >= self.now, "cannot start a transfer in the past");
         let tid = TransferId(self.transfers.len() as u64);
         let inter_switch = self.cfg.switch_of(src) != self.cfg.switch_of(dst);
@@ -319,8 +352,10 @@ impl Network {
         let tr = &self.transfers[tid.0 as usize];
         let nframes = tr.nframes;
         let pace = if tr.paced {
-            let wire =
-                crate::time::wire_time(self.cfg.mtu + self.cfg.frame_overhead, self.cfg.link_bw_bps);
+            let wire = crate::time::wire_time(
+                self.cfg.mtu + self.cfg.frame_overhead,
+                self.cfg.link_bw_bps,
+            );
             Dur::from_nanos(wire.as_nanos() * self.cfg.retx_pace_factor)
                 .max(self.cfg.per_frame_overhead)
         } else {
@@ -329,7 +364,15 @@ impl Network {
         let mut t = at;
         for seq in from_seq..nframes {
             t += pace;
-            self.push(t, Ev::Arrive { tid, seq, epoch, hop_idx: 0 });
+            self.push(
+                t,
+                Ev::Arrive {
+                    tid,
+                    seq,
+                    epoch,
+                    hop_idx: 0,
+                },
+            );
         }
     }
 
@@ -403,7 +446,12 @@ impl Network {
                 let (from_seq, epoch) = (tr.next_expected, tr.epoch);
                 self.inject_frames(tid, now, from_seq, epoch);
             }
-            Ev::Arrive { tid, seq, epoch, hop_idx } => {
+            Ev::Arrive {
+                tid,
+                seq,
+                epoch,
+                hop_idx,
+            } => {
                 let tr = self.transfers[tid.0 as usize].clone();
                 if tr.completed || epoch != tr.epoch {
                     return; // stale frame from a superseded epoch
@@ -447,7 +495,12 @@ impl Network {
                                 }
                                 self.push(
                                     done + self.cfg.hop_latency,
-                                    Ev::Arrive { tid, seq, epoch, hop_idx: hop_idx + 1 },
+                                    Ev::Arrive {
+                                        tid,
+                                        seq,
+                                        epoch,
+                                        hop_idx: hop_idx + 1,
+                                    },
                                 );
                             }
                             None => {
@@ -479,7 +532,14 @@ impl Network {
                                         )
                                     };
                                     let ep = t.epoch;
-                                    self.push(now + delay, Ev::Retransmit { tid, epoch: ep, fast });
+                                    self.push(
+                                        now + delay,
+                                        Ev::Retransmit {
+                                            tid,
+                                            epoch: ep,
+                                            fast,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -526,8 +586,8 @@ mod tests {
         assert_eq!(done[0].retransmissions, 0);
         // One 138-wire-byte frame (100B payload + 38 overhead) over NIC,
         // switch fabric and port.
-        let expect = 2 * wire_time(138, 100_000_000).as_nanos()
-            + wire_time(138, 2_100_000_000).as_nanos();
+        let expect =
+            2 * wire_time(138, 100_000_000).as_nanos() + wire_time(138, 2_100_000_000).as_nanos();
         assert_eq!(done[0].delivered_at.as_nanos(), expect);
     }
 
@@ -630,7 +690,9 @@ mod tests {
         assert!(net.stats().retransmissions > 0, "expected retransmissions");
         // Recovery (fast retransmit at best) delays at least one transfer
         // well past the clean pipeline time of ~1.4 ms.
-        assert!(done.iter().any(|c| c.delivered_at >= Time::from_secs_f64(0.003)));
+        assert!(done
+            .iter()
+            .any(|c| c.delivered_at >= Time::from_secs_f64(0.003)));
         assert!(done.iter().any(|c| c.retransmissions > 0));
     }
 
@@ -643,10 +705,16 @@ mod tests {
             }
             let mut done = net.run_to_completion();
             done.sort_by_key(|c| c.id);
-            done.iter().map(|c| c.delivered_at.as_nanos()).collect::<Vec<_>>()
+            done.iter()
+                .map(|c| c.delivered_at.as_nanos())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different seeds should differ with jitter on");
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should differ with jitter on"
+        );
     }
 
     #[test]
@@ -662,7 +730,10 @@ mod tests {
             let mut net = Network::new(cfg, seed);
             net.start_transfer(Time::ZERO, 0, 1, 1_024);
             let t = net.run_to_completion()[0].delivered_at;
-            assert!(t >= base, "jittered time {t} below contention-free minimum {base}");
+            assert!(
+                t >= base,
+                "jittered time {t} below contention-free minimum {base}"
+            );
         }
     }
 
@@ -731,7 +802,10 @@ mod tests {
                 net.start_transfer(Time::ZERO, i, 24 + i, 65_536);
             }
             let done = net.run_to_completion();
-            done.iter().map(|c| c.delivered_at.as_nanos()).max().unwrap()
+            done.iter()
+                .map(|c| c.delivered_at.as_nanos())
+                .max()
+                .unwrap()
         };
         assert!(
             crowd > solo * 11 / 10,

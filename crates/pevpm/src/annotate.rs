@@ -44,18 +44,40 @@ impl std::fmt::Display for AnnotateError {
 impl std::error::Error for AnnotateError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AnnotateError> {
-    Err(AnnotateError { line, message: message.into() })
+    Err(AnnotateError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// One extracted directive before AST construction.
 #[derive(Debug, Clone)]
 enum Directive {
-    Loop { count: Expr, var: Option<String> },
-    Runon { conds: Vec<Expr> },
-    Message { kind: MsgKind, size: Expr, from: Expr, to: Expr, handle: Option<String> },
-    Wait { handle: String },
-    Serial { machine: Option<String>, time: Expr },
-    Collective { op: CollOp, size: Expr },
+    Loop {
+        count: Expr,
+        var: Option<String>,
+    },
+    Runon {
+        conds: Vec<Expr>,
+    },
+    Message {
+        kind: MsgKind,
+        size: Expr,
+        from: Expr,
+        to: Expr,
+        handle: Option<String>,
+    },
+    Wait {
+        handle: String,
+    },
+    Serial {
+        machine: Option<String>,
+        time: Expr,
+    },
+    Collective {
+        op: CollOp,
+        size: Expr,
+    },
     Open,
     Close,
 }
@@ -96,9 +118,7 @@ type DirectiveGroup = (usize, String, Vec<(String, String)>);
 /// Group continuation lines (`& key = value`) with their head directive.
 /// Returns `(head_line_no, head_text, fields)` where fields are the
 /// `key = value` bindings from the head remainder and all continuations.
-fn group_directives(
-    lines: &[(usize, String)],
-) -> Result<Vec<DirectiveGroup>, AnnotateError> {
+fn group_directives(lines: &[(usize, String)]) -> Result<Vec<DirectiveGroup>, AnnotateError> {
     let mut out: Vec<DirectiveGroup> = Vec::new();
     for (lineno, text) in lines {
         if let Some(cont) = text.strip_prefix('&') {
@@ -106,7 +126,10 @@ fn group_directives(
                 return err(*lineno, "continuation '&' without a preceding directive");
             };
             let Some((k, v)) = split_binding(cont.trim()) else {
-                return err(*lineno, format!("expected key = value after '&', got {cont:?}"));
+                return err(
+                    *lineno,
+                    format!("expected key = value after '&', got {cont:?}"),
+                );
             };
             last.2.push((k.to_string(), v.to_string()));
         } else {
@@ -182,7 +205,10 @@ fn parse_directive(
             let mut conds = Vec::new();
             for (k, v) in &fields {
                 if !k.starts_with('c') {
-                    return err(lineno, format!("Runon condition keys must be c1, c2, …; got {k:?}"));
+                    return err(
+                        lineno,
+                        format!("Runon condition keys must be c1, c2, …; got {k:?}"),
+                    );
                 }
                 let e = parse_expr(v).map_err(|e| AnnotateError {
                     line: lineno,
@@ -197,11 +223,10 @@ fn parse_directive(
                 fields.insert(0, (k.to_string(), v.to_string()));
             }
             let ty = field(&fields, "type", lineno, "Message")?;
-            let kind = MsgKind::from_mpi_name(ty)
-                .ok_or_else(|| AnnotateError {
-                    line: lineno,
-                    message: format!("unknown message type {ty:?}"),
-                })?;
+            let kind = MsgKind::from_mpi_name(ty).ok_or_else(|| AnnotateError {
+                line: lineno,
+                message: format!("unknown message type {ty:?}"),
+            })?;
             let handle = fields
                 .iter()
                 .find(|(k, _)| k == "handle")
@@ -269,7 +294,11 @@ enum Pending {
     /// A plain block (statements accumulate here).
     Block(Vec<Stmt>),
     /// A Loop waiting for its single block.
-    Loop { count: Expr, var: Option<String>, line: usize },
+    Loop {
+        count: Expr,
+        var: Option<String>,
+        line: usize,
+    },
     /// A Runon with conditions, collecting one block per condition.
     Runon {
         conds: Vec<Expr>,
@@ -298,19 +327,34 @@ pub fn parse_annotations(src: &str) -> Result<Model, AnnotateError> {
     for (lineno, head, fields) in groups {
         let d = parse_directive(lineno, &head, fields)?;
         match d {
-            Directive::Loop { count, var } => {
-                stack.push(Pending::Loop { count, var, line: lineno })
-            }
+            Directive::Loop { count, var } => stack.push(Pending::Loop {
+                count,
+                var,
+                line: lineno,
+            }),
             Directive::Runon { conds } => stack.push(Pending::Runon {
                 conds,
                 done: Vec::new(),
                 line: lineno,
             }),
-            Directive::Message { kind, size, from, to, handle } => {
+            Directive::Message {
+                kind,
+                size,
+                from,
+                to,
+                handle,
+            } => {
                 let label = Some(format!("line {lineno}: Message"));
                 append(
                     &mut stack,
-                    Stmt::Message { kind, size, from, to, handle, label },
+                    Stmt::Message {
+                        kind,
+                        size,
+                        from,
+                        to,
+                        handle,
+                        label,
+                    },
                     lineno,
                 )?;
             }
@@ -320,7 +364,15 @@ pub fn parse_annotations(src: &str) -> Result<Model, AnnotateError> {
             }
             Directive::Serial { machine, time } => {
                 let label = Some(format!("line {lineno}: Serial"));
-                append(&mut stack, Stmt::Serial { time, machine, label }, lineno)?;
+                append(
+                    &mut stack,
+                    Stmt::Serial {
+                        time,
+                        machine,
+                        label,
+                    },
+                    lineno,
+                )?;
             }
             Directive::Collective { op, size } => {
                 let label = Some(format!("line {lineno}: Collective"));
@@ -340,7 +392,11 @@ pub fn parse_annotations(src: &str) -> Result<Model, AnnotateError> {
                     Some(Pending::Loop { count, var, .. }) => {
                         append(&mut stack, Stmt::Loop { count, var, body }, lineno)?;
                     }
-                    Some(Pending::Runon { conds, mut done, line }) => {
+                    Some(Pending::Runon {
+                        conds,
+                        mut done,
+                        line,
+                    }) => {
                         let idx = done.len();
                         done.push((conds[idx].clone(), body));
                         if done.len() == conds.len() {
@@ -356,9 +412,14 @@ pub fn parse_annotations(src: &str) -> Result<Model, AnnotateError> {
     }
 
     match stack.pop() {
-        Some(Pending::Block(stmts)) if stack.is_empty() => Ok(Model { stmts, params: Default::default() }),
+        Some(Pending::Block(stmts)) if stack.is_empty() => Ok(Model {
+            stmts,
+            params: Default::default(),
+        }),
         Some(Pending::Loop { line, .. }) => err(line, "Loop directive never got its block"),
-        Some(Pending::Runon { line, conds, done, .. }) => err(
+        Some(Pending::Runon {
+            line, conds, done, ..
+        }) => err(
             line,
             format!(
                 "Runon has {} condition(s) but only {} block(s)",
@@ -381,8 +442,14 @@ mod tests {
 
     #[test]
     fn split_binding_skips_comparison_operators() {
-        assert_eq!(split_binding("c1 = procnum%2 == 0"), Some(("c1", "procnum%2 == 0")));
-        assert_eq!(split_binding("iterations = 1000"), Some(("iterations", "1000")));
+        assert_eq!(
+            split_binding("c1 = procnum%2 == 0"),
+            Some(("c1", "procnum%2 == 0"))
+        );
+        assert_eq!(
+            split_binding("iterations = 1000"),
+            Some(("iterations", "1000"))
+        );
         assert_eq!(split_binding("no binding here"), None);
         assert_eq!(split_binding("x != 3"), None);
         assert_eq!(split_binding("a <= b"), None);
@@ -428,7 +495,13 @@ mod tests {
 ";
         let m = parse_annotations(src).unwrap();
         match &m.stmts[0] {
-            Stmt::Message { kind, size, from, to, .. } => {
+            Stmt::Message {
+                kind,
+                size,
+                from,
+                to,
+                ..
+            } => {
                 assert_eq!(*kind, MsgKind::Send);
                 let mut params = crate::expr::Env::new();
                 params.insert("xsize".into(), 256.0);

@@ -98,7 +98,9 @@ impl fmt::Display for ExprError {
 impl std::error::Error for ExprError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, ExprError> {
-    Err(ExprError { message: message.into() })
+    Err(ExprError {
+        message: message.into(),
+    })
 }
 
 /// Variable bindings for evaluation.
@@ -447,10 +449,9 @@ impl Expr {
     pub fn eval(&self, env: &Env) -> Result<f64, ExprError> {
         match self {
             Expr::Num(v) => Ok(*v),
-            Expr::Var(name) => env
-                .get(name)
-                .copied()
-                .ok_or_else(|| ExprError { message: format!("unbound variable {name:?}") }),
+            Expr::Var(name) => env.get(name).copied().ok_or_else(|| ExprError {
+                message: format!("unbound variable {name:?}"),
+            }),
             Expr::Unary(op, e) => {
                 let v = e.eval(env)?;
                 Ok(match op {
@@ -533,7 +534,10 @@ impl Expr {
                             Ok(a.log2())
                         }
                     }
-                    _ => err(format!("unknown function {name:?} with {} args", vals.len())),
+                    _ => err(format!(
+                        "unknown function {name:?} with {} args",
+                        vals.len()
+                    )),
                 }
             }
         }
@@ -613,22 +617,19 @@ mod tests {
     fn variables_resolve() {
         assert_eq!(ev("procnum % 2 == 0", &[("procnum", 4.0)]), 1.0);
         assert_eq!(ev("procnum % 2 == 0", &[("procnum", 5.0)]), 0.0);
-        assert_eq!(
-            ev("3.24 / numprocs", &[("numprocs", 8.0)]),
-            0.405
-        );
+        assert_eq!(ev("3.24 / numprocs", &[("numprocs", 8.0)]), 0.405);
     }
 
     #[test]
     fn paper_annotation_expressions() {
         // The exact expressions from Figure 5.
-        assert_eq!(
-            ev("xsize*sizeof(float)", &[("xsize", 256.0)]),
-            1024.0
-        );
+        assert_eq!(ev("xsize*sizeof(float)", &[("xsize", 256.0)]), 1024.0);
         assert_eq!(ev("procnum != 0", &[("procnum", 0.0)]), 0.0);
         assert_eq!(
-            ev("procnum != numprocs-1", &[("procnum", 7.0), ("numprocs", 8.0)]),
+            ev(
+                "procnum != numprocs-1",
+                &[("procnum", 7.0), ("numprocs", 8.0)]
+            ),
             0.0
         );
         assert_eq!(ev("procnum+1", &[("procnum", 3.0)]), 4.0);

@@ -47,6 +47,7 @@
 pub mod annotate;
 pub mod expr;
 pub mod model;
+pub mod replicate;
 pub mod timing;
 pub mod vm;
 

@@ -199,7 +199,9 @@ impl Model {
     pub fn check_bindings(&self, extra: &Env) -> Result<(), ExprError> {
         for v in self.free_variables() {
             if !self.params.contains_key(&v) && !extra.contains_key(&v) {
-                return Err(ExprError { message: format!("unbound model parameter {v:?}") });
+                return Err(ExprError {
+                    message: format!("unbound model parameter {v:?}"),
+                });
             }
         }
         Ok(())
@@ -213,9 +215,7 @@ impl Model {
                 .map(|s| {
                     1 + match s {
                         Stmt::Loop { body, .. } => count(body),
-                        Stmt::Runon { branches } => {
-                            branches.iter().map(|(_, b)| count(b)).sum()
-                        }
+                        Stmt::Runon { branches } => branches.iter().map(|(_, b)| count(b)).sum(),
                         _ => 0,
                     }
                 })
@@ -237,22 +237,34 @@ pub mod build {
 
     /// A `Loop` statement.
     pub fn looped(count: &str, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { count: e(count), var: None, body }
+        Stmt::Loop {
+            count: e(count),
+            var: None,
+            body,
+        }
     }
 
     /// A `Loop` with an induction variable bound in the body.
     pub fn looped_var(count: &str, var: &str, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { count: e(count), var: Some(var.to_string()), body }
+        Stmt::Loop {
+            count: e(count),
+            var: Some(var.to_string()),
+            body,
+        }
     }
 
     /// A single-branch `Runon`.
     pub fn runon(cond: &str, body: Vec<Stmt>) -> Stmt {
-        Stmt::Runon { branches: vec![(e(cond), body)] }
+        Stmt::Runon {
+            branches: vec![(e(cond), body)],
+        }
     }
 
     /// A two-branch `Runon` (if/else).
     pub fn runon2(c1: &str, b1: Vec<Stmt>, c2: &str, b2: Vec<Stmt>) -> Stmt {
-        Stmt::Runon { branches: vec![(e(c1), b1), (e(c2), b2)] }
+        Stmt::Runon {
+            branches: vec![(e(c1), b1), (e(c2), b2)],
+        }
     }
 
     /// A blocking-send message.
@@ -305,17 +317,28 @@ pub mod build {
 
     /// Wait for a nonblocking receive.
     pub fn wait(handle: &str) -> Stmt {
-        Stmt::Wait { handle: handle.to_string(), label: None }
+        Stmt::Wait {
+            handle: handle.to_string(),
+            label: None,
+        }
     }
 
     /// A serial computation.
     pub fn serial(time: &str) -> Stmt {
-        Stmt::Serial { time: e(time), machine: None, label: None }
+        Stmt::Serial {
+            time: e(time),
+            machine: None,
+            label: None,
+        }
     }
 
     /// A collective.
     pub fn collective(op: CollOp, size: &str) -> Stmt {
-        Stmt::Collective { op, size: e(size), label: None }
+        Stmt::Collective {
+            op,
+            size: e(size),
+            label: None,
+        }
     }
 
     /// Attach a label to a statement (for loss attribution).
@@ -340,29 +363,27 @@ mod tests {
     use super::*;
 
     fn jacobi_like() -> Model {
-        Model::new()
-            .with_param("xsize", 256.0)
-            .with_stmt(looped(
-                "iterations",
-                vec![
-                    runon2(
-                        "procnum % 2 == 0",
-                        vec![
-                            runon(
-                                "procnum != 0",
-                                vec![send("xsize*sizeof(float)", "procnum", "procnum-1")],
-                            ),
-                            recv("xsize*sizeof(float)", "procnum+1", "procnum"),
-                        ],
-                        "procnum % 2 != 0",
-                        vec![
-                            recv("xsize*sizeof(float)", "procnum-1", "procnum"),
-                            send("xsize*sizeof(float)", "procnum", "procnum-1"),
-                        ],
-                    ),
-                    serial("3.24/numprocs"),
-                ],
-            ))
+        Model::new().with_param("xsize", 256.0).with_stmt(looped(
+            "iterations",
+            vec![
+                runon2(
+                    "procnum % 2 == 0",
+                    vec![
+                        runon(
+                            "procnum != 0",
+                            vec![send("xsize*sizeof(float)", "procnum", "procnum-1")],
+                        ),
+                        recv("xsize*sizeof(float)", "procnum+1", "procnum"),
+                    ],
+                    "procnum % 2 != 0",
+                    vec![
+                        recv("xsize*sizeof(float)", "procnum-1", "procnum"),
+                        send("xsize*sizeof(float)", "procnum", "procnum-1"),
+                    ],
+                ),
+                serial("3.24/numprocs"),
+            ],
+        ))
     }
 
     #[test]

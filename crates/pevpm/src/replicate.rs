@@ -1,0 +1,149 @@
+//! Deterministic parallel replication engine.
+//!
+//! Monte-Carlo prediction (§6 of the paper) and benchmark sweeps both run
+//! many *independent* replications — same computation, different derived
+//! seed. This module fans those replications across OS threads (crossbeam
+//! scoped threads over an atomic work counter) while keeping the results
+//! **bitwise identical to the serial path at any thread count**:
+//!
+//! - replica `i` derives its RNG seed as [`replica_seed`]`(base, i)` — the
+//!   same `base.wrapping_add(i)` scheme the serial loops always used, so a
+//!   replica's draws depend only on `(base_seed, replica_index)`, never on
+//!   which thread ran it;
+//! - results are written back in replica-index order, so aggregation sees
+//!   the exact sequence the serial loop would have produced;
+//! - on error, the error of the **lowest-index** failing replica is
+//!   reported — the one the serial loop would have hit first.
+//!
+//! Thread counts are expressed as `0 = use all available parallelism`;
+//! `1` forces the serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a configured thread count: `0` means "all available cores".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_threads()
+    } else {
+        threads
+    }
+}
+
+/// Seed for replica `index` of a replication batch with base seed `base`.
+///
+/// This is the workspace-wide seeding contract: every replicated loop
+/// (Monte-Carlo evaluation, benchmark repetitions, figure rows) derives
+/// per-replica seeds this way, which is what makes parallel execution
+/// bitwise-reproducible.
+pub fn replica_seed(base: u64, index: u64) -> u64 {
+    base.wrapping_add(index)
+}
+
+/// Map `f` over `0..n` on up to `threads` worker threads, returning the
+/// results in index order. `f(i)` must depend only on `i` (plus captured
+/// immutable state) — then the output is identical at any thread count.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_parallel_map(n, threads, |i| Ok::<T, std::convert::Infallible>(f(i)))
+        .unwrap_or_else(|e| match e {})
+}
+
+/// [`parallel_map`] for fallible jobs. Returns the first (lowest-index)
+/// error if any job fails, matching what a serial loop would report.
+pub fn try_parallel_map<T, E, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let threads = resolve_threads(threads).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, Result<T, E>)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication worker panicked"))
+            .collect()
+    })
+    .expect("replication scope panicked");
+
+    let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.push(slot.expect("replication index not produced")?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_at_any_thread_count() {
+        let serial = parallel_map(37, 1, |i| i * i);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(parallel_map(37, threads, |i| i * i), serial);
+        }
+    }
+
+    #[test]
+    fn errors_report_the_lowest_failing_index() {
+        for threads in [1, 4] {
+            let r: Result<Vec<usize>, usize> =
+                try_parallel_map(100, threads, |i| if i % 7 == 3 { Err(i) } else { Ok(i) });
+            assert_eq!(r.unwrap_err(), 3);
+        }
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        assert_eq!(resolve_threads(0), available_threads());
+        assert_eq!(resolve_threads(5), 5);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn replica_seeds_match_the_serial_convention() {
+        assert_eq!(replica_seed(10, 0), 10);
+        assert_eq!(replica_seed(10, 3), 13);
+        assert_eq!(replica_seed(u64::MAX, 1), 0, "wrapping, not saturating");
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+}

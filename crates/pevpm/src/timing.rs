@@ -65,7 +65,11 @@ pub enum TimingModel {
 impl TimingModel {
     /// The PEVPM method: full distributions, contention-indexed.
     pub fn distributions(table: DistTable) -> Self {
-        TimingModel::Empirical { table, mode: PredictionMode::FullDistribution, fixed_contention: None }
+        TimingModel::Empirical {
+            table,
+            mode: PredictionMode::FullDistribution,
+            fixed_contention: None,
+        }
     }
 
     /// Point-statistic mode over the full contention-indexed database
@@ -75,7 +79,11 @@ impl TimingModel {
             PointKind::Average => PredictionMode::Average,
             PointKind::Minimum => PredictionMode::Minimum,
         };
-        TimingModel::Empirical { table, mode, fixed_contention: None }
+        TimingModel::Empirical {
+            table,
+            mode,
+            fixed_contention: None,
+        }
     }
 
     /// Restrict the database to its lowest measured contention level (the
@@ -120,7 +128,11 @@ impl TimingModel {
     /// inter-node modes of a bimodal SMP distribution) stay correlated.
     pub fn quantile_time(&self, op: Op, size: f64, contention: f64, u: f64) -> Option<f64> {
         match self {
-            TimingModel::Empirical { table, mode, fixed_contention } => {
+            TimingModel::Empirical {
+                table,
+                mode,
+                fixed_contention,
+            } => {
                 let c = fixed_contention.unwrap_or(contention);
                 match mode {
                     PredictionMode::FullDistribution => table.quantile_at(op, size, c, u),
@@ -148,7 +160,11 @@ impl TimingModel {
     /// Falls back between Send/Isend data like [`TimingModel::comm_time`].
     pub fn send_local_cost(&self, op: Op, size: f64) -> f64 {
         match self {
-            TimingModel::Empirical { table, fixed_contention, .. } => {
+            TimingModel::Empirical {
+                table,
+                fixed_contention,
+                ..
+            } => {
                 let c = fixed_contention.unwrap_or(1.0);
                 let alt = if op == Op::Send { Op::Isend } else { Op::Send };
                 table
@@ -175,7 +191,14 @@ mod tests {
         let mut t = DistTable::new();
         for &(c, lo) in &[(1u32, 100.0f64), (8, 200.0)] {
             let h = Histogram::from_samples(&[lo, lo + 10.0, lo + 20.0], 1.0);
-            t.insert(DistKey { op: Op::Send, size: 1024, contention: c }, CommDist::Hist(h));
+            t.insert(
+                DistKey {
+                    op: Op::Send,
+                    size: 1024,
+                    contention: c,
+                },
+                CommDist::Hist(h),
+            );
         }
         t
     }
@@ -227,7 +250,11 @@ mod tests {
         // Falls back to the sibling op when only Isend was benchmarked.
         let mut t = DistTable::new();
         t.insert(
-            DistKey { op: Op::Isend, size: 1024, contention: 1 },
+            DistKey {
+                op: Op::Isend,
+                size: 1024,
+                contention: 1,
+            },
             CommDist::Point(100.0),
         );
         let m = TimingModel::distributions(t);

@@ -44,6 +44,10 @@ pub struct EvalConfig {
     /// Safety valve: abort after this many directive executions per
     /// evaluation.
     pub max_steps: u64,
+    /// Worker threads for replicated evaluation ([`monte_carlo`]):
+    /// `0` = all available cores, `1` = serial. Results are bitwise
+    /// identical at any setting (see [`crate::replicate`]).
+    pub threads: usize,
 }
 
 impl EvalConfig {
@@ -55,6 +59,7 @@ impl EvalConfig {
             seed: 1,
             rndv_threshold: 16.0 * 1024.0,
             max_steps: 500_000_000,
+            threads: 0,
         }
     }
 
@@ -67,6 +72,12 @@ impl EvalConfig {
     /// Builder: set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: set the replication worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -96,8 +107,14 @@ pub struct Prediction {
     /// candidate message at match time, so a different Monte-Carlo draw
     /// (or a different real-machine timing) could deliver a different
     /// message. The paper (§5) notes PEVPM "can … help programmers trace
-    /// down race conditions"; each entry is `(procnum, description)`.
+    /// down race conditions"; each entry is `(procnum, description)`,
+    /// sorted and deduplicated so reports are stable across replication
+    /// orders.
     pub races: Vec<(usize, String)>,
+    /// Directive executions performed by this evaluation (sweep steps).
+    pub steps: u64,
+    /// Peak number of in-flight messages on the contention scoreboard.
+    pub sb_peak: usize,
 }
 
 /// Evaluation failures.
@@ -177,12 +194,21 @@ struct SbMsg {
 enum Block {
     /// Waiting for message `seq` from `from`; `None` = wildcard source
     /// (`from = -1` in the directive, i.e. MPI_ANY_SOURCE).
-    Recv { from: Option<usize>, seq: u64, label: Option<String> },
+    Recv {
+        from: Option<usize>,
+        seq: u64,
+        label: Option<String>,
+    },
     /// Blocking rendezvous send: waiting for scoreboard message `msg` to be
     /// consumed by its receiver.
     SendRndv { msg: usize, label: Option<String> },
     /// Waiting at collective instance `instance`.
-    Collective { op: CollOp, size: f64, instance: u64, label: Option<String> },
+    Collective {
+        op: CollOp,
+        size: f64,
+        instance: u64,
+        label: Option<String>,
+    },
 }
 
 impl Block {
@@ -191,15 +217,29 @@ impl Block {
             Block::Recv { from, seq, label } => format!(
                 "Recv(from={}, seq={seq}){}",
                 from.map(|f| f.to_string()).unwrap_or_else(|| "ANY".into()),
-                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+                label
+                    .as_deref()
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
             ),
             Block::SendRndv { msg, label } => format!(
                 "Send[rendezvous](msg={msg}){}",
-                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+                label
+                    .as_deref()
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
             ),
-            Block::Collective { op, instance, label, .. } => format!(
+            Block::Collective {
+                op,
+                instance,
+                label,
+                ..
+            } => format!(
                 "Collective({op:?}, instance={instance}){}",
-                label.as_deref().map(|l| format!(" at {l}")).unwrap_or_default()
+                label
+                    .as_deref()
+                    .map(|l| format!(" at {l}"))
+                    .unwrap_or_default()
             ),
         }
     }
@@ -251,6 +291,7 @@ struct Vm<'m> {
     pair_recv_seq: HashMap<(usize, usize), u64>,
     rng: SmallRng,
     steps: u64,
+    sb_peak: usize,
     messages: u64,
     loss_by_label: HashMap<String, f64>,
     races: Vec<(usize, String)>,
@@ -267,15 +308,18 @@ pub fn evaluate(
     for (k, v) in &cfg.params {
         merged.insert(k.clone(), *v);
     }
-    model
-        .check_bindings(&merged)
-        .map_err(PevpmError::from)?;
+    model.check_bindings(&merged).map_err(PevpmError::from)?;
 
     let procs: Vec<Proc> = (0..cfg.nprocs)
         .map(|p| Proc {
             env: standard_env(p, cfg.nprocs, &merged),
             clock: 0.0,
-            stack: vec![Frame { stmts: &model.stmts, idx: 0, remaining: 1, var: None }],
+            stack: vec![Frame {
+                stmts: &model.stmts,
+                idx: 0,
+                remaining: 1,
+                var: None,
+            }],
             blocked: None,
             finished: model.stmts.is_empty(),
             compute_time: 0.0,
@@ -295,11 +339,18 @@ pub fn evaluate(
         pair_recv_seq: HashMap::new(),
         rng: SmallRng::seed_from_u64(cfg.seed),
         steps: 0,
+        sb_peak: 0,
         messages: 0,
         loss_by_label: HashMap::new(),
         races: Vec::new(),
     };
     vm.run()?;
+
+    // Stable race reporting: sorted by (proc, description) and
+    // deduplicated, so the vector is identical however replications are
+    // scheduled and repeated candidates collapse to one report.
+    vm.races.sort();
+    vm.races.dedup();
 
     let finish_times: Vec<f64> = vm.procs.iter().map(|p| p.clock).collect();
     let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
@@ -313,6 +364,8 @@ pub fn evaluate(
         messages: vm.messages,
         loss_by_label: vm.loss_by_label,
         races: vm.races,
+        steps: vm.steps,
+        sb_peak: vm.sb_peak,
     })
 }
 
@@ -327,8 +380,27 @@ pub struct McPrediction {
     pub min: f64,
     /// Largest replication makespan.
     pub max: f64,
+    /// Welford summary of the replication makespans (mean/stderr/min/max
+    /// above are read out of it).
+    pub makespans: pevpm_dist::Summary,
+    /// Wall-clock seconds the replication batch took.
+    pub wall_secs: f64,
+    /// Replication throughput (evaluations per wall-clock second).
+    pub evals_per_sec: f64,
     /// The individual replications, in seed order.
     pub runs: Vec<Prediction>,
+}
+
+impl McPrediction {
+    /// Histogram of the replication makespans with `bins` equal-width bins
+    /// spanning the observed range.
+    pub fn makespan_histogram(&self, bins: usize) -> pevpm_dist::Histogram {
+        let samples: Vec<f64> = self.runs.iter().map(|p| p.makespan).collect();
+        let lo = self.makespans.min().unwrap_or(0.0);
+        let hi = self.makespans.max().unwrap_or(0.0);
+        let width = ((hi - lo) / bins.max(1) as f64).max(f64::EPSILON * lo.abs().max(1.0));
+        pevpm_dist::Histogram::from_samples(&samples, width)
+    }
 }
 
 /// Evaluate a model `replications` times with consecutive seeds derived
@@ -348,27 +420,36 @@ pub fn monte_carlo(
     replications: usize,
 ) -> Result<McPrediction, PevpmError> {
     assert!(replications > 0, "need at least one replication");
-    let mut runs = Vec::with_capacity(replications);
-    for i in 0..replications {
-        let mut c = cfg.clone();
-        c.seed = cfg.seed.wrapping_add(i as u64);
-        runs.push(evaluate(model, &c, timing)?);
+    let start = std::time::Instant::now();
+    // Replica i is seeded from (cfg.seed, i) alone, so fanning the batch
+    // across threads cannot change any replica's result; collection is in
+    // index order, so the aggregate is bitwise identical to a serial loop.
+    let runs: Vec<Prediction> =
+        crate::replicate::try_parallel_map(replications, cfg.threads, |i| {
+            let mut c = cfg.clone();
+            c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
+            evaluate(model, &c, timing)
+        })?;
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut makespans = pevpm_dist::Summary::new();
+    for p in &runs {
+        makespans.add(p.makespan);
     }
-    let n = runs.len() as f64;
-    let mean = runs.iter().map(|p| p.makespan).sum::<f64>() / n;
-    let var = runs
-        .iter()
-        .map(|p| (p.makespan - mean).powi(2))
-        .sum::<f64>()
-        / n;
-    let stderr = if runs.len() > 1 {
-        (var / (n - 1.0)).sqrt()
-    } else {
-        0.0
-    };
-    let min = runs.iter().map(|p| p.makespan).fold(f64::INFINITY, f64::min);
-    let max = runs.iter().map(|p| p.makespan).fold(0.0, f64::max);
-    Ok(McPrediction { mean, stderr, min, max, runs })
+    Ok(McPrediction {
+        mean: makespans.mean().unwrap_or(0.0),
+        stderr: makespans.stderr_mean().unwrap_or(0.0),
+        min: makespans.min().unwrap_or(0.0),
+        max: makespans.max().unwrap_or(0.0),
+        makespans,
+        wall_secs,
+        evals_per_sec: if wall_secs > 0.0 {
+            replications as f64 / wall_secs
+        } else {
+            0.0
+        },
+        runs,
+    })
 }
 
 impl<'m> Vm<'m> {
@@ -384,9 +465,7 @@ impl<'m> Vm<'m> {
                     .procs
                     .iter()
                     .enumerate()
-                    .filter_map(|(i, p)| {
-                        p.blocked.as_ref().map(|(b, _)| (i, b.describe()))
-                    })
+                    .filter_map(|(i, p)| p.blocked.as_ref().map(|(b, _)| (i, b.describe())))
                     .collect();
                 let time = self.procs.iter().map(|p| p.clock).fold(0.0, f64::max);
                 return Err(PevpmError::Deadlock { time, blocked });
@@ -459,18 +538,24 @@ impl<'m> Vm<'m> {
                     if let Some((name, _)) = var {
                         self.procs[p].env.insert(name.to_string(), 0.0);
                     }
-                    self.procs[p]
-                        .stack
-                        .push(Frame { stmts: body, idx: 0, remaining: n, var });
+                    self.procs[p].stack.push(Frame {
+                        stmts: body,
+                        idx: 0,
+                        remaining: n,
+                        var,
+                    });
                 }
             }
             Stmt::Runon { branches } => {
                 for (cond, body) in branches {
                     if cond.eval_bool(&self.procs[p].env)? {
                         if !body.is_empty() {
-                            self.procs[p]
-                                .stack
-                                .push(Frame { stmts: body, idx: 0, remaining: 1, var: None });
+                            self.procs[p].stack.push(Frame {
+                                stmts: body,
+                                idx: 0,
+                                remaining: 1,
+                                var: None,
+                            });
                         }
                         break;
                     }
@@ -484,16 +569,31 @@ impl<'m> Vm<'m> {
                 };
                 let clock = self.procs[p].clock;
                 self.procs[p].blocked = Some((
-                    Block::Recv { from: Some(from), seq, label: label.clone() },
+                    Block::Recv {
+                        from: Some(from),
+                        seq,
+                        label: label.clone(),
+                    },
                     clock,
                 ));
             }
-            Stmt::Message { kind, size, from, to, handle, label } => {
+            Stmt::Message {
+                kind,
+                size,
+                from,
+                to,
+                handle,
+                label,
+            } => {
                 // `from = -1` (or any negative value) on a Recv means
                 // MPI_ANY_SOURCE.
                 let from_raw = from.eval(&self.procs[p].env)?;
                 let wildcard = from_raw < -0.5 && *kind == MsgKind::Recv;
-                let from_v = if wildcard { 0 } else { from.eval_usize(&self.procs[p].env)? };
+                let from_v = if wildcard {
+                    0
+                } else {
+                    from.eval_usize(&self.procs[p].env)?
+                };
                 let to_v = to.eval_usize(&self.procs[p].env)?;
                 let size_v = size.eval(&self.procs[p].env)?;
                 if (!wildcard && from_v >= self.cfg.nprocs) || to_v >= self.cfg.nprocs {
@@ -521,13 +621,21 @@ impl<'m> Vm<'m> {
                         let clock = self.procs[p].clock;
                         if wildcard {
                             self.procs[p].blocked = Some((
-                                Block::Recv { from: None, seq: 0, label: label.clone() },
+                                Block::Recv {
+                                    from: None,
+                                    seq: 0,
+                                    label: label.clone(),
+                                },
                                 clock,
                             ));
                         } else {
                             let seq = self.next_recv_seq(from_v, p);
                             self.procs[p].blocked = Some((
-                                Block::Recv { from: Some(from_v), seq, label: label.clone() },
+                                Block::Recv {
+                                    from: Some(from_v),
+                                    seq,
+                                    label: label.clone(),
+                                },
                                 clock,
                             ));
                         }
@@ -567,7 +675,12 @@ impl<'m> Vm<'m> {
                 let inst = self.procs[p].coll_count;
                 let clock = self.procs[p].clock;
                 self.procs[p].blocked = Some((
-                    Block::Collective { op: *op, size: size_v, instance: inst, label: label.clone() },
+                    Block::Collective {
+                        op: *op,
+                        size: size_v,
+                        instance: inst,
+                        label: label.clone(),
+                    },
                     clock,
                 ));
             }
@@ -619,6 +732,7 @@ impl<'m> Vm<'m> {
             arrival: None,
             sender_blocked: rndv,
         });
+        self.sb_peak = self.sb_peak.max(self.scoreboard.len());
         if rndv {
             let msg = self.scoreboard.len() - 1;
             self.procs[p].blocked = Some((Block::SendRndv { msg, label }, depart));
@@ -636,10 +750,12 @@ impl<'m> Vm<'m> {
     /// Quantile lookup with the Send↔Isend fallback (benchmark databases
     /// often measure only one of the two point-to-point flavours).
     fn quantile_with_fallback(&self, op: Op, size: f64, contention: f64, u: f64) -> Option<f64> {
-        self.timing.quantile_time(op, size, contention, u).or_else(|| {
-            let alt = if op == Op::Send { Op::Isend } else { Op::Send };
-            self.timing.quantile_time(alt, size, contention, u)
-        })
+        self.timing
+            .quantile_time(op, size, contention, u)
+            .or_else(|| {
+                let alt = if op == Op::Send { Op::Isend } else { Op::Send };
+                self.timing.quantile_time(alt, size, contention, u)
+            })
     }
 
     fn next_recv_seq(&mut self, from: usize, to: usize) -> u64 {
@@ -697,9 +813,7 @@ impl<'m> Vm<'m> {
                         }
                         candidates += 1;
                         let a = m.arrival.expect("sampled above");
-                        if best.is_none()
-                            || (a, m.from) < (best.unwrap().0, best.unwrap().2)
-                        {
+                        if best.is_none() || (a, m.from) < (best.unwrap().0, best.unwrap().2) {
                             best = Some((a, i, m.from));
                         }
                     }
@@ -764,20 +878,27 @@ impl<'m> Vm<'m> {
 
         // 3. Resolve collectives once every process waits on the same
         //    instance.
-        let all_coll = self.procs.iter().all(|p| {
-            matches!(p.blocked, Some((Block::Collective { .. }, _))) && !p.finished
-        });
+        let all_coll = self
+            .procs
+            .iter()
+            .all(|p| matches!(p.blocked, Some((Block::Collective { .. }, _))) && !p.finished);
         if all_coll && !self.procs.is_empty() {
             let first = match &self.procs[0].blocked {
-                Some((Block::Collective { op, size, instance, .. }, _)) => {
-                    (*op, *size, *instance)
-                }
+                Some((
+                    Block::Collective {
+                        op, size, instance, ..
+                    },
+                    _,
+                )) => (*op, *size, *instance),
                 _ => unreachable!(),
             };
             let same = self.procs.iter().all(|p| match &p.blocked {
-                Some((Block::Collective { op, size, instance, .. }, _)) => {
-                    (*op, *size, *instance) == first
-                }
+                Some((
+                    Block::Collective {
+                        op, size, instance, ..
+                    },
+                    _,
+                )) => (*op, *size, *instance) == first,
                 _ => false,
             });
             if same {
@@ -849,7 +970,14 @@ mod tests {
         let mut table = DistTable::new();
         for op in [Op::Send, Op::Isend] {
             for &size in &[1u64, 1 << 30] {
-                table.insert(DistKey { op, size, contention: 1 }, CommDist::Point(t));
+                table.insert(
+                    DistKey {
+                        op,
+                        size,
+                        contention: 1,
+                    },
+                    CommDist::Point(t),
+                );
             }
         }
         TimingModel::distributions(table)
@@ -875,16 +1003,19 @@ mod tests {
     #[test]
     fn simple_send_recv_pipelines_time() {
         // proc 0 computes 1 s then sends to proc 1, which waits.
-        let m = Model::new()
-            .with_stmt(runon2(
-                "procnum == 0",
-                vec![serial("1.0"), send("100", "0", "1")],
-                "procnum == 1",
-                vec![recv("100", "0", "1")],
-            ));
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![serial("1.0"), send("100", "0", "1")],
+            "procnum == 1",
+            vec![recv("100", "0", "1")],
+        ));
         let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.25)).unwrap();
         // proc 1 resumes at depart(1.0) + 0.25.
-        assert!((p.finish_times[1] - 1.25).abs() < 1e-12, "{:?}", p.finish_times);
+        assert!(
+            (p.finish_times[1] - 1.25).abs() < 1e-12,
+            "{:?}",
+            p.finish_times
+        );
         assert!((p.blocked_time[1] - 1.25).abs() < 1e-12);
         assert_eq!(p.messages, 1);
     }
@@ -919,18 +1050,20 @@ mod tests {
     fn ping_pong_round_trip() {
         let m = Model::new().with_stmt(looped(
             "5",
-            vec![
-                runon2(
-                    "procnum == 0",
-                    vec![send("64", "0", "1"), recv("64", "1", "0")],
-                    "procnum == 1",
-                    vec![recv("64", "0", "1"), send("64", "1", "0")],
-                ),
-            ],
+            vec![runon2(
+                "procnum == 0",
+                vec![send("64", "0", "1"), recv("64", "1", "0")],
+                "procnum == 1",
+                vec![recv("64", "0", "1"), send("64", "1", "0")],
+            )],
         ));
         let p = evaluate(&m, &EvalConfig::new(2), &fixed_timing(0.1)).unwrap();
         // Each iteration costs ~2 × 0.1 s (plus tiny local send costs).
-        assert!(p.makespan >= 0.99 && p.makespan < 1.2, "makespan {}", p.makespan);
+        assert!(
+            p.makespan >= 0.99 && p.makespan < 1.2,
+            "makespan {}",
+            p.makespan
+        );
     }
 
     #[test]
@@ -1020,7 +1153,11 @@ mod tests {
     fn collective_synchronises_all_procs() {
         let mut table = DistTable::new();
         table.insert(
-            DistKey { op: Op::Barrier, size: 0, contention: 4 },
+            DistKey {
+                op: Op::Barrier,
+                size: 0,
+                contention: 4,
+            },
             CommDist::Point(0.5),
         );
         let timing = TimingModel::distributions(table);
@@ -1052,10 +1189,19 @@ mod tests {
         // A model whose timing has real spread.
         let mut table = DistTable::new();
         let h = pevpm_dist::Histogram::from_samples(
-            &(0..100).map(|i| 0.01 + (i as f64) * 1e-4).collect::<Vec<_>>(),
+            &(0..100)
+                .map(|i| 0.01 + (i as f64) * 1e-4)
+                .collect::<Vec<_>>(),
             1e-4,
         );
-        table.insert(DistKey { op: Op::Send, size: 64, contention: 1 }, CommDist::Hist(h));
+        table.insert(
+            DistKey {
+                op: Op::Send,
+                size: 64,
+                contention: 1,
+            },
+            CommDist::Hist(h),
+        );
         let timing = TimingModel::distributions(table);
         let m = Model::new().with_stmt(looped(
             "20",
@@ -1113,7 +1259,11 @@ mod tests {
         let p = evaluate(&m, &EvalConfig::new(3), &fixed_timing(0.1)).unwrap();
         // First wildcard matches proc 2's message (arrival 1.1), second
         // matches proc 1's (arrival 2.1).
-        assert!((p.finish_times[0] - 2.1).abs() < 1e-9, "{:?}", p.finish_times);
+        assert!(
+            (p.finish_times[0] - 2.1).abs() < 1e-9,
+            "{:?}",
+            p.finish_times
+        );
     }
 
     #[test]
@@ -1154,8 +1304,12 @@ mod tests {
             vec![irecv("64", "0", "1", "h"), serial("0.5"), wait("h")],
         ));
         let timing = fixed_timing(0.3);
-        let tb = evaluate(&blocking, &EvalConfig::new(2), &timing).unwrap().makespan;
-        let to = evaluate(&overlapped, &EvalConfig::new(2), &timing).unwrap().makespan;
+        let tb = evaluate(&blocking, &EvalConfig::new(2), &timing)
+            .unwrap()
+            .makespan;
+        let to = evaluate(&overlapped, &EvalConfig::new(2), &timing)
+            .unwrap()
+            .makespan;
         // Blocking: 0.3 + 0.5 ≈ 0.8; overlapped: max(0.3, 0.5) ≈ 0.5.
         assert!((tb - 0.8).abs() < 0.02, "blocking {tb}");
         assert!((to - 0.5).abs() < 0.02, "overlapped {to}");
@@ -1202,7 +1356,11 @@ mod tests {
         let mut table = DistTable::new();
         let samples: Vec<f64> = (0..500).map(|i| 0.01 + (i % 53) as f64 * 1e-4).collect();
         table.insert(
-            DistKey { op: Op::Send, size: 64, contention: 1 },
+            DistKey {
+                op: Op::Send,
+                size: 64,
+                contention: 1,
+            },
             CommDist::Hist(pevpm_dist::Histogram::from_samples(&samples, 1e-4)),
         );
         let timing = TimingModel::distributions(table);

@@ -1,0 +1,208 @@
+//! Determinism contract of the parallel replication engine.
+//!
+//! Replica `i` of a Monte-Carlo batch is seeded from `(base_seed, i)`
+//! alone, and results are collected in replica-index order, so running a
+//! batch on 1 thread and on N threads must produce **bitwise identical**
+//! predictions — every float, every label, every race report. These tests
+//! are the regression gate for that contract: any scheduling-dependent
+//! state sneaking into an evaluation (shared RNG, thread-order
+//! aggregation, unsorted race reports) fails them.
+
+use pevpm::model::build::*;
+use pevpm::model::{Model, Stmt};
+use pevpm::replicate;
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, monte_carlo, EvalConfig, Prediction};
+use pevpm_dist::{CommDist, DistKey, DistTable, Histogram, Op};
+
+/// A stochastic timing model: histogram entries with real spread, so each
+/// evaluation's RNG draws matter.
+fn noisy_timing() -> TimingModel {
+    let samples: Vec<f64> = (0..400)
+        .map(|i| 1e-4 + (i % 37) as f64 * 3e-6 + (i % 11) as f64 * 7e-6)
+        .collect();
+    let mut table = DistTable::new();
+    for op in [Op::Send, Op::Isend] {
+        for &size in &[1u64, 1 << 24] {
+            table.insert(
+                DistKey {
+                    op,
+                    size,
+                    contention: 1,
+                },
+                CommDist::Hist(Histogram::from_samples(&samples, 5e-6)),
+            );
+        }
+    }
+    TimingModel::distributions(table)
+}
+
+/// A model exercising every observable the engine reports: a ring
+/// exchange (labelled blocking receives → loss_by_label), nonblocking
+/// sends (scoreboard occupancy → sb_peak), and a wildcard fan-in with
+/// several simultaneous candidates (→ race reports).
+fn stress_model() -> Model {
+    Model::new()
+        .with_stmt(looped(
+            "6",
+            vec![
+                Stmt::Message {
+                    kind: pevpm::MsgKind::Isend,
+                    size: e("1024"),
+                    from: e("procnum"),
+                    to: e("(procnum + 1) % numprocs"),
+                    handle: None,
+                    label: None,
+                },
+                labelled(
+                    recv("1024", "(procnum - 1) % numprocs", "procnum"),
+                    "ring-recv",
+                ),
+                serial("0.0001"),
+            ],
+        ))
+        .with_stmt(Stmt::Runon {
+            branches: vec![
+                (
+                    e("procnum == 0"),
+                    vec![
+                        serial("0.01"), // let every sender land first
+                        labelled(recv("8", "0-1", "0"), "fanin"),
+                        recv("8", "0-1", "0"),
+                        recv("8", "0-1", "0"),
+                    ],
+                ),
+                (e("procnum != 0"), vec![send("8", "procnum", "0")]),
+            ],
+        })
+}
+
+/// Bitwise comparison of every field of two predictions.
+fn assert_identical(a: &Prediction, b: &Prediction, what: &str) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(a.nprocs, b.nprocs, "{what}: nprocs");
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "{what}: makespan"
+    );
+    assert_eq!(
+        bits(&a.finish_times),
+        bits(&b.finish_times),
+        "{what}: finish_times"
+    );
+    assert_eq!(
+        bits(&a.compute_time),
+        bits(&b.compute_time),
+        "{what}: compute_time"
+    );
+    assert_eq!(bits(&a.send_time), bits(&b.send_time), "{what}: send_time");
+    assert_eq!(
+        bits(&a.blocked_time),
+        bits(&b.blocked_time),
+        "{what}: blocked_time"
+    );
+    assert_eq!(a.messages, b.messages, "{what}: messages");
+    assert_eq!(a.steps, b.steps, "{what}: steps");
+    assert_eq!(a.sb_peak, b.sb_peak, "{what}: sb_peak");
+    assert_eq!(a.races, b.races, "{what}: races");
+    assert_eq!(
+        a.loss_by_label.len(),
+        b.loss_by_label.len(),
+        "{what}: loss labels"
+    );
+    for (label, loss) in &a.loss_by_label {
+        let other = b
+            .loss_by_label
+            .get(label)
+            .unwrap_or_else(|| panic!("{what}: label {label:?} missing from one side"));
+        assert_eq!(loss.to_bits(), other.to_bits(), "{what}: loss[{label}]");
+    }
+}
+
+#[test]
+fn monte_carlo_is_bitwise_identical_at_any_thread_count() {
+    let timing = noisy_timing();
+    let model = stress_model();
+    let reps = 12;
+    let serial_cfg = EvalConfig::new(4).with_seed(0xD5).with_threads(1);
+    let serial = monte_carlo(&model, &serial_cfg, &timing, reps).unwrap();
+
+    // The stochastic timing must actually exercise the RNG, or this test
+    // proves nothing.
+    assert!(serial.stderr > 0.0, "timing model produced no spread");
+    assert!(!serial.runs[0].races.is_empty(), "fan-in produced no races");
+    assert!(
+        !serial.runs[0].loss_by_label.is_empty(),
+        "no labelled losses"
+    );
+
+    for threads in [2, 3, 4, 8] {
+        let cfg = serial_cfg.clone().with_threads(threads);
+        let par = monte_carlo(&model, &cfg, &timing, reps).unwrap();
+        assert_eq!(
+            serial.mean.to_bits(),
+            par.mean.to_bits(),
+            "{threads} threads: mean"
+        );
+        assert_eq!(
+            serial.stderr.to_bits(),
+            par.stderr.to_bits(),
+            "{threads} threads: stderr"
+        );
+        assert_eq!(
+            serial.min.to_bits(),
+            par.min.to_bits(),
+            "{threads} threads: min"
+        );
+        assert_eq!(
+            serial.max.to_bits(),
+            par.max.to_bits(),
+            "{threads} threads: max"
+        );
+        assert_eq!(serial.runs.len(), par.runs.len());
+        for (i, (a, b)) in serial.runs.iter().zip(&par.runs).enumerate() {
+            assert_identical(a, b, &format!("{threads} threads, replica {i}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_replicas_match_standalone_evaluations() {
+    // Each replica of a parallel batch must equal a standalone `evaluate`
+    // with the derived seed — the batch adds no hidden state.
+    let timing = noisy_timing();
+    let model = stress_model();
+    let base = 0xABCD;
+    let cfg = EvalConfig::new(4).with_seed(base).with_threads(4);
+    let mc = monte_carlo(&model, &cfg, &timing, 6).unwrap();
+    for (i, run) in mc.runs.iter().enumerate() {
+        let solo_cfg = EvalConfig::new(4).with_seed(replicate::replica_seed(base, i as u64));
+        let solo = evaluate(&model, &solo_cfg, &timing).unwrap();
+        assert_identical(&solo, run, &format!("replica {i} vs standalone"));
+    }
+}
+
+#[test]
+fn thread_count_zero_resolves_to_all_cores_and_stays_deterministic() {
+    let timing = noisy_timing();
+    let model = stress_model();
+    let serial = monte_carlo(
+        &model,
+        &EvalConfig::new(4).with_seed(7).with_threads(1),
+        &timing,
+        8,
+    )
+    .unwrap();
+    let auto = monte_carlo(
+        &model,
+        &EvalConfig::new(4).with_seed(7), // default threads = 0 = all cores
+        &timing,
+        8,
+    )
+    .unwrap();
+    assert_eq!(serial.mean.to_bits(), auto.mean.to_bits());
+    for (a, b) in serial.runs.iter().zip(&auto.runs) {
+        assert_identical(a, b, "auto threads");
+    }
+}

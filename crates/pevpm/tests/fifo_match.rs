@@ -1,0 +1,181 @@
+//! Regression tests for the scoreboard's message-matching semantics:
+//! MPI's non-overtaking rule (per-pair FIFO) and the stability of the
+//! race report (sorted, deduplicated).
+
+use pevpm::model::build::*;
+use pevpm::model::{Model, Stmt};
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, EvalConfig};
+use pevpm_dist::{CommDist, DistKey, DistTable, Op};
+
+/// Point timings where an 8-byte message takes `small` seconds and a
+/// 1 MiB message takes `big` seconds, for both blocking and nonblocking
+/// sends at low and high contention.
+fn sized_timing(small: f64, big: f64) -> TimingModel {
+    let mut table = DistTable::new();
+    for op in [Op::Send, Op::Isend] {
+        for contention in [1u32, 2, 4] {
+            table.insert(
+                DistKey {
+                    op,
+                    size: 8,
+                    contention,
+                },
+                CommDist::Point(small),
+            );
+            table.insert(
+                DistKey {
+                    op,
+                    size: 1 << 20,
+                    contention,
+                },
+                CommDist::Point(big),
+            );
+        }
+    }
+    TimingModel::distributions(table)
+}
+
+#[test]
+fn receives_match_in_send_order_not_arrival_order() {
+    // Proc 1 posts a slow 1 MiB message (seq 0, arrives ~2.0 s) and then a
+    // fast 8-byte message (seq 1, arrives ~0.2 s). MPI's non-overtaking
+    // rule says proc 0's first receive must still match the *first* send:
+    //
+    //   FIFO:      recv#1 completes ≈ 2.0, serial 1 s, recv#2 ready → ≈ 3.0
+    //   earliest-  recv#1 completes ≈ 0.2, serial 1 s, recv#2 waits for
+    //   arrival:   the big message → ≈ 2.0
+    //
+    // so a makespan near 3 s proves per-pair FIFO matching.
+    let m = Model::new().with_stmt(runon2(
+        "procnum == 1",
+        vec![isend("1048576", "1", "0"), isend("8", "1", "0")],
+        "procnum == 0",
+        vec![
+            recv("1048576", "1", "0"),
+            serial("1.0"),
+            recv("8", "1", "0"),
+        ],
+    ));
+    let p = evaluate(&m, &EvalConfig::new(2), &sized_timing(0.2, 2.0)).unwrap();
+    assert!(
+        p.makespan > 2.5,
+        "first receive overtook the first send: makespan {} (expected ≈ 3.0)",
+        p.makespan
+    );
+    assert!(
+        p.makespan < 3.5,
+        "makespan {} far beyond the FIFO chain",
+        p.makespan
+    );
+}
+
+#[test]
+fn wildcard_receives_also_respect_per_pair_fifo() {
+    // Same shape but the receives are wildcards: the non-overtaking rule
+    // still applies per pair, so the first wildcard must take the slow
+    // seq-0 message even though the fast seq-1 message arrived first.
+    let m = Model::new().with_stmt(runon2(
+        "procnum == 1",
+        vec![isend("1048576", "1", "0"), isend("8", "1", "0")],
+        "procnum == 0",
+        vec![recv("8", "0-1", "0"), serial("1.0"), recv("8", "0-1", "0")],
+    ));
+    let p = evaluate(&m, &EvalConfig::new(2), &sized_timing(0.2, 2.0)).unwrap();
+    assert!(
+        p.makespan > 2.5,
+        "wildcard receive overtook the pair's FIFO head: makespan {}",
+        p.makespan
+    );
+}
+
+#[test]
+fn races_are_sorted_and_deduplicated() {
+    // Two independent racy fan-ins. Proc 3's races fire *earlier in
+    // virtual time* than proc 0's, so insertion order alone would list
+    // proc 3 first; the report contract says the vector is sorted. Each
+    // fan-in also repeats the same two-candidate situation, which must
+    // collapse to a single entry per distinct (proc, description).
+    let m = Model::new().with_stmt(Stmt::Runon {
+        branches: vec![
+            (
+                e("procnum == 0"),
+                vec![
+                    serial("20"), // both senders land long before any match
+                    looped("4", vec![labelled(recv("8", "0-1", "0"), "late-fanin")]),
+                ],
+            ),
+            (
+                e("procnum == 1"),
+                vec![send("8", "1", "0"), send("8", "1", "0")],
+            ),
+            (
+                e("procnum == 2"),
+                vec![send("8", "2", "0"), send("8", "2", "0")],
+            ),
+            (
+                e("procnum == 3"),
+                vec![
+                    serial("10"),
+                    looped("4", vec![labelled(recv("8", "0-1", "3"), "early-fanin")]),
+                ],
+            ),
+            (
+                e("procnum == 4"),
+                vec![send("8", "4", "3"), send("8", "4", "3")],
+            ),
+            (
+                e("procnum == 5"),
+                vec![send("8", "5", "3"), send("8", "5", "3")],
+            ),
+        ],
+    });
+    let p = evaluate(&m, &EvalConfig::new(6), &sized_timing(0.1, 1.0)).unwrap();
+
+    assert!(!p.races.is_empty(), "fan-ins should race");
+    let mut expected = p.races.clone();
+    expected.sort();
+    assert_eq!(p.races, expected, "race report must be sorted");
+    expected.dedup();
+    assert_eq!(p.races, expected, "race report must be deduplicated");
+
+    // Both fan-ins appear, in proc order, exactly once per description.
+    assert!(p
+        .races
+        .iter()
+        .any(|(p_, d)| *p_ == 0 && d.contains("late-fanin")));
+    assert!(p
+        .races
+        .iter()
+        .any(|(p_, d)| *p_ == 3 && d.contains("early-fanin")));
+    let first_proc0 = p.races.iter().position(|(p_, _)| *p_ == 0).unwrap();
+    let first_proc3 = p.races.iter().position(|(p_, _)| *p_ == 3).unwrap();
+    assert!(
+        first_proc0 < first_proc3,
+        "sorted by proc number: {:?}",
+        p.races
+    );
+}
+
+#[test]
+fn fifo_makespan_is_stable_across_repeated_evaluations() {
+    // The FIFO chain plus deterministic point timings must give the exact
+    // same result on every evaluation, at any seed — matching never
+    // depends on traversal order.
+    let m = Model::new().with_stmt(runon2(
+        "procnum == 1",
+        vec![isend("1048576", "1", "0"), isend("8", "1", "0")],
+        "procnum == 0",
+        vec![
+            recv("1048576", "1", "0"),
+            serial("1.0"),
+            recv("8", "1", "0"),
+        ],
+    ));
+    let timing = sized_timing(0.2, 2.0);
+    let base = evaluate(&m, &EvalConfig::new(2).with_seed(1), &timing).unwrap();
+    for seed in [2u64, 99, 0xFFFF] {
+        let p = evaluate(&m, &EvalConfig::new(2).with_seed(seed), &timing).unwrap();
+        assert_eq!(p.makespan.to_bits(), base.makespan.to_bits());
+    }
+}

@@ -13,7 +13,14 @@ fn point_timing(t: f64) -> TimingModel {
     let mut table = DistTable::new();
     for op in [Op::Send, Op::Isend] {
         for &size in &[1u64, 1 << 24] {
-            table.insert(DistKey { op, size, contention: 1 }, CommDist::Point(t));
+            table.insert(
+                DistKey {
+                    op,
+                    size,
+                    contention: 1,
+                },
+                CommDist::Point(t),
+            );
         }
     }
     TimingModel::distributions(table)

@@ -8,8 +8,8 @@
 //!
 //! Run with `cargo run --release --example contention_explorer [max_nodes]`.
 
-use pevpm_mpibench::{run_p2p, P2pConfig};
 use pevpm_dist::Ecdf;
+use pevpm_mpibench::{run_p2p, P2pConfig};
 
 fn main() {
     let max_nodes: usize = std::env::args()
@@ -46,7 +46,11 @@ fn main() {
     let cfg = P2pConfig::perseus(max_nodes.max(4), 1, vec![1024], 80, 11);
     let res = run_p2p(&cfg).expect("benchmark failed");
     let h = res.by_size[0].histogram(24);
-    let peak = h.pdf_series().map(|(_, m)| m).fold(0.0f64, f64::max).max(1e-12);
+    let peak = h
+        .pdf_series()
+        .map(|(_, m)| m)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     for (mid, mass) in h.pdf_series() {
         if mass > 0.0 {
             let bar = "#".repeat(((mass / peak) * 40.0).round() as usize);

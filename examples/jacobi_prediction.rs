@@ -32,7 +32,11 @@ fn main() {
     );
 
     // --- 2. MPIBench database for this machine shape ---------------------
-    let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 200,
+        serial_secs: 3.24e-3,
+    };
     let halo = cfg.halo_bytes();
     let shape = MachineShape { nodes, ppn };
     println!("Benchmarking {shape} with MPIBench (halo size {halo} B)...");
@@ -72,7 +76,11 @@ fn main() {
         run.time * 1e3,
         run.checksum,
         reference,
-        if (run.checksum - reference).abs() < 1e-3 { "correct" } else { "WRONG" }
+        if (run.checksum - reference).abs() < 1e-3 {
+            "correct"
+        } else {
+            "WRONG"
+        }
     );
     println!(
         "Prediction error: {:+.2}%",

@@ -44,14 +44,21 @@ fn bench_machine(cluster: ClusterConfig, nodes: usize, sizes: &[u64], seed: u64)
 }
 
 fn main() {
-    let cfg = JacobiConfig { xsize: 256, iterations: 200, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 200,
+        serial_secs: 3.24e-3,
+    };
     let sizes = [cfg.halo_bytes() / 2, cfg.halo_bytes(), cfg.halo_bytes() * 2];
     let model = jacobi::model(&cfg);
     let t_serial = cfg.iterations as f64 * cfg.serial_secs;
 
     println!("What-if: Jacobi speedup under alternative interconnects");
     println!("(same PEVPM model; per-machine MPIBench databases)\n");
-    println!("{:<7} {:>14} {:>14} {:>14}", "procs", "fast-ethernet", "gigabit", "low-latency");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14}",
+        "procs", "fast-ethernet", "gigabit", "low-latency"
+    );
 
     for nodes in [2usize, 4, 8, 16, 32, 64] {
         let mut row = format!("{nodes:<7}");

@@ -48,7 +48,11 @@ fn fig5_model_evaluates_without_deadlock_for_even_proc_counts() {
 #[test]
 fn fig5_prediction_tracks_measured_jacobi() {
     // Use the real benchmark-driven pipeline at a reduced scale.
-    let cfg = JacobiConfig { xsize: 256, iterations: 40, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 40,
+        serial_secs: 3.24e-3,
+    };
     let table = pevpm_bench::fig6::shape_table(
         pevpm_mpibench::MachineShape { nodes: 4, ppn: 1 },
         &[512, 1024, 2048],

@@ -10,7 +10,11 @@ use pevpm_mpibench::MachineShape;
 
 #[test]
 fn predicted_loss_breakdown_matches_measured_traces() {
-    let cfg = JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 50,
+        serial_secs: 3.24e-3,
+    };
     let nodes = 8;
 
     // Measured: trace the real Jacobi run.
@@ -23,12 +27,8 @@ fn predicted_loss_breakdown_matches_measured_traces() {
     let measured_comm: f64 = b.iter().map(|r| r.send + r.blocked).sum();
 
     // Predicted: evaluate the model against a matched benchmark database.
-    let table = pevpm_bench::fig6::shape_table(
-        MachineShape { nodes, ppn: 1 },
-        &[512, 1024, 2048],
-        30,
-        21,
-    );
+    let table =
+        pevpm_bench::fig6::shape_table(MachineShape { nodes, ppn: 1 }, &[512, 1024, 2048], 30, 21);
     let pred = evaluate(
         &jacobi::model(&cfg),
         &EvalConfig::new(nodes).with_seed(5),
@@ -41,7 +41,11 @@ fn predicted_loss_breakdown_matches_measured_traces() {
 
     // Compute is exact by construction (same calibrated constant).
     let compute_err = (predicted_compute - measured_compute).abs() / measured_compute;
-    assert!(compute_err < 0.01, "compute breakdown off by {:.1}%", compute_err * 100.0);
+    assert!(
+        compute_err < 0.01,
+        "compute breakdown off by {:.1}%",
+        compute_err * 100.0
+    );
 
     // Communication totals must agree to within the prediction tolerance.
     let comm_err = (predicted_comm - measured_comm).abs() / measured_comm;
@@ -69,7 +73,11 @@ fn predicted_loss_breakdown_matches_measured_traces() {
 
 #[test]
 fn traced_jacobi_comm_fraction_grows_with_scale() {
-    let cfg = JacobiConfig { xsize: 256, iterations: 20, serial_secs: 3.24e-3 };
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 20,
+        serial_secs: 3.24e-3,
+    };
     let frac = |nodes: usize| {
         let mut world = WorldConfig::perseus(nodes, 1, 31);
         world.record_trace = true;

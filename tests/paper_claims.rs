@@ -15,7 +15,11 @@ fn pingpong_baselines_overestimate_performance_increasingly() {
             MachineShape { nodes: 4, ppn: 1 },
             MachineShape { nodes: 16, ppn: 1 },
         ],
-        jacobi: JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 },
+        jacobi: JacobiConfig {
+            xsize: 256,
+            iterations: 50,
+            serial_secs: 3.24e-3,
+        },
         bench_reps: 25,
         seed: 31,
     };
@@ -48,7 +52,11 @@ fn distribution_predictions_within_five_percent() {
             MachineShape { nodes: 8, ppn: 1 },
             MachineShape { nodes: 8, ppn: 2 },
         ],
-        jacobi: JacobiConfig { xsize: 256, iterations: 50, serial_secs: 3.24e-3 },
+        jacobi: JacobiConfig {
+            xsize: 256,
+            iterations: 50,
+            serial_secs: 3.24e-3,
+        },
         bench_reps: 30,
         seed: 37,
     };
@@ -78,7 +86,10 @@ fn benchmark_figures_reproduce_shapes() {
         seed: 41,
     });
     let penalty = figs12::contention_penalty_1k(&res).unwrap();
-    assert!(penalty > 1.05, "1 KB contention penalty too small: {penalty}");
+    assert!(
+        penalty > 1.05,
+        "1 KB contention penalty too small: {penalty}"
+    );
     let (_, knee) = figs12::knee_analysis(&res);
     assert_eq!(knee, Some(16384));
 
@@ -103,7 +114,11 @@ fn fft_and_farm_predictions_are_accurate() {
         iterations: 6,
     };
     for row in ext::run_fft(&[4], &fft_cfg, 8, 47) {
-        assert!(row.error().abs() < 0.15, "FFT error {:.1}%", row.error() * 100.0);
+        assert!(
+            row.error().abs() < 0.15,
+            "FFT error {:.1}%",
+            row.error() * 100.0
+        );
     }
     let farm_cfg = grove_pevpm::apps::FarmConfig {
         tasks: 24,
@@ -112,7 +127,11 @@ fn fft_and_farm_predictions_are_accurate() {
         ..Default::default()
     };
     for row in ext::run_farm(&[5], &farm_cfg, 8, 53) {
-        assert!(row.error().abs() < 0.15, "farm error {:.1}%", row.error() * 100.0);
+        assert!(
+            row.error().abs() < 0.15,
+            "farm error {:.1}%",
+            row.error() * 100.0
+        );
     }
 }
 
@@ -122,7 +141,11 @@ fn fft_and_farm_predictions_are_accurate() {
 fn ablations_behave_as_documented() {
     let rows = ablate::run_bins(
         MachineShape { nodes: 4, ppn: 1 },
-        &JacobiConfig { xsize: 256, iterations: 30, serial_secs: 3.24e-3 },
+        &JacobiConfig {
+            xsize: 256,
+            iterations: 30,
+            serial_secs: 3.24e-3,
+        },
         &[1, 8, 64],
         20,
         59,

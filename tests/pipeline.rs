@@ -1,9 +1,9 @@
 //! End-to-end integration: MPIBench → benchmark database → (save/load) →
 //! PEVPM prediction vs packet-level measurement, across crate boundaries.
 
+use grove_pevpm::dist::{io, DistTable, Op};
 use grove_pevpm::mpibench::{run_p2p, P2pConfig};
 use grove_pevpm::mpisim::{World, WorldConfig};
-use grove_pevpm::dist::{io, DistTable, Op};
 use grove_pevpm::pevpm::model::build::*;
 use grove_pevpm::pevpm::timing::TimingModel;
 use grove_pevpm::pevpm::vm::{evaluate, EvalConfig};
@@ -92,7 +92,10 @@ fn database_is_contention_indexed() {
         .map(|_| table.sample_at(Op::Isend, 1024.0, 16.0, &mut rng).unwrap())
         .sum::<f64>()
         / 500.0;
-    assert!((mean_hi - hi).abs() / hi < 0.05, "sampling mean {mean_hi} vs {hi}");
+    assert!(
+        (mean_hi - hi).abs() / hi < 0.05,
+        "sampling mean {mean_hi} vs {hi}"
+    );
 }
 
 /// Deterministic reproduction across the whole stack: same seeds, same

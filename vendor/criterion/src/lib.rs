@@ -1,0 +1,124 @@
+//! Offline vendored mini benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use: [`Criterion`],
+//! [`Criterion::bench_function`], `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing is a simple calibrated loop: each benchmark is warmed up, the
+//! iteration count is scaled to a target measurement window, and the
+//! median of several samples is reported.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times and record the total elapsed time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    target: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target: Duration::from_millis(300),
+            samples: 7,
+        }
+    }
+}
+
+impl Criterion {
+    /// Measure one benchmark and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration: find an iteration count filling the target window.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= self.target / 10 || iters >= 1 << 30 {
+                break b.elapsed.as_secs_f64() / iters as f64;
+            }
+            let grown = if b.elapsed.is_zero() {
+                iters * 100
+            } else {
+                ((self.target.as_secs_f64() / 10.0 / b.elapsed.as_secs_f64()).ceil() as u64)
+                    .saturating_mul(iters)
+                    .max(iters + 1)
+            };
+            iters = grown.min(1 << 30);
+        };
+        let per_sample =
+            ((self.target.as_secs_f64() / self.samples as f64 / per_iter).ceil() as u64).max(1);
+
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters: per_sample,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / per_sample as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        let (lo, hi) = (times[0], times[times.len() - 1]);
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_time(lo),
+            format_time(median),
+            format_time(hi)
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Group benchmark functions under one registry entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

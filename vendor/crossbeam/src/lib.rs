@@ -1,0 +1,142 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! The workspace builds in air-gapped environments, so this crate provides
+//! the two crossbeam facilities the code uses, implemented over `std`:
+//!
+//! - [`channel::unbounded`] MPMC-style channels (`Sender` is `Clone`; the
+//!   receiver side wraps `std::sync::mpsc` behind a mutex so `Receiver` can
+//!   also be cloned and shared),
+//! - [`thread::scope`] scoped threads (over `std::thread::scope`, available
+//!   since Rust 1.63).
+
+pub mod channel {
+    //! Unbounded channels with the crossbeam-channel surface the
+    //! simulator's rank/scheduler plumbing relies on.
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only when the channel is disconnected.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive: `None` when no message is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.try_recv().ok()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam-utils surface.
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(5u32).unwrap();
+        tx.send(6).unwrap();
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Ok(6));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn channel_crosses_threads() {
+        let (tx, rx) = super::channel::unbounded();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            for i in 0..100u64 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+        });
+    }
+}

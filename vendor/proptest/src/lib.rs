@@ -1,0 +1,166 @@
+//! Offline vendored mini property-testing engine exposing the subset of the
+//! `proptest` macro/strategy surface this workspace's tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! - [`prop_assert!`] / [`prop_assert_eq!`],
+//! - range strategies over integers and floats, tuple strategies,
+//!   [`collection::vec`] with exact or ranged lengths, and a char-class
+//!   `"[...]{lo,hi}"` string strategy,
+//! - [`ProptestConfig::with_cases`].
+//!
+//! Generation is deterministic: each test function derives its RNG seed
+//! from its own name, so failures reproduce without a regression file.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest defaults to 256; this engine's strategies are
+        // cheap but some properties drive whole simulations, so default a
+        // little lower while staying statistically meaningful.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test's name so every property is independent but
+    /// reproducible run-to-run.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Assert a property-level condition (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert property-level equality (panics with both values on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!($($fmt)*);
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` body runs
+/// for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}

@@ -1,0 +1,190 @@
+//! Value-generation strategies: ranges, tuples, and a char-class string
+//! pattern.
+
+use crate::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty : $u:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i32: u32, i64: u64, isize: usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// `&str` patterns act as string strategies. Supported syntax is the
+/// char-class form `[chars]{lo,hi}` (with `\x` escapes and `a-z` ranges);
+/// anything else is generated verbatim.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_char_class(self) {
+            Some((chars, lo, hi)) => {
+                let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                (0..len)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// Parse `[class]{lo,hi}` into (expanded alphabet, lo, hi).
+fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = {
+        let mut idx = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == ']' {
+                idx = Some(i);
+                break;
+            }
+        }
+        idx?
+    };
+    let class = &rest[..close];
+    let quant = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = quant.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+
+    let mut chars = Vec::new();
+    let raw: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < raw.len() {
+        let c = raw[i];
+        if c == '\\' && i + 1 < raw.len() {
+            chars.push(raw[i + 1]);
+            i += 2;
+        } else if i + 2 < raw.len() && raw[i + 1] == '-' && raw[i + 2] != ']' {
+            let (a, b) = (c as u32, raw[i + 2] as u32);
+            for code in a..=b {
+                if let Some(ch) = char::from_u32(code) {
+                    chars.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            chars.push(c);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || hi < lo {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let a = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&b));
+            let c = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&c));
+        }
+    }
+
+    #[test]
+    fn char_class_patterns_generate_members() {
+        let mut rng = TestRng::from_name("chars");
+        let pat = "[0-9a-z+\\-*/%()=<>&|! .,]{0,40}";
+        let (chars, lo, hi) = parse_char_class(pat).unwrap();
+        assert!(chars.contains(&'-') && chars.contains(&'z') && chars.contains(&'0'));
+        assert_eq!((lo, hi), (0, 40));
+        for _ in 0..200 {
+            let s = pat.generate(&mut rng);
+            assert!(s.chars().count() <= 40);
+            assert!(s.chars().all(|c| chars.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::from_name("tuples");
+        let (a, b, c) = (0usize..4, 1u64..10, 0.0f64..1.0).generate(&mut rng);
+        assert!(a < 4 && (1..10).contains(&b) && (0.0..1.0).contains(&c));
+    }
+}

@@ -1,0 +1,66 @@
+//! Named generators. `SmallRng` matches `rand 0.8` on 64-bit platforms:
+//! Xoshiro256++ with the SplitMix64 `seed_from_u64` expansion.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic PRNG (Xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        if seed.iter().all(|&b| b == 0) {
+            // Xoshiro must not start from the all-zero state; follow
+            // rand_xoshiro and reseed from u64 zero.
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        SmallRng { s }
+    }
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as rand_xoshiro does for its generators.
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        SmallRng { s }
+    }
+}
