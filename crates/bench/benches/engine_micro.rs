@@ -154,12 +154,77 @@ fn replication_throughput(c: &mut Criterion) {
     );
 }
 
+/// Cost of the observability hooks: the same evaluation with no sink
+/// (default config — the hooks reduce to one branch per event), with a
+/// metrics registry attached, and with timeline recording on. The no-sink
+/// variant is the guard: it must stay within noise (<5%) of what the
+/// engine did before instrumentation existed.
+fn instrumentation_overhead(c: &mut Criterion) {
+    use pevpm_obs::Registry;
+    use std::sync::Arc;
+
+    let mut table = DistTable::new();
+    let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
+    for &contention in &[2u32, 64] {
+        table.insert(
+            DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention,
+            },
+            CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
+        );
+    }
+    let timing = TimingModel::distributions(table);
+    let cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 60,
+        serial_secs: 3.24e-3,
+    };
+    let model = jacobi::model(&cfg);
+
+    let no_sink = EvalConfig::new(16).with_seed(1);
+    let registry = Arc::new(Registry::new());
+    let with_metrics = EvalConfig::new(16)
+        .with_seed(1)
+        .with_metrics(registry.clone());
+    let with_timeline = EvalConfig::new(16).with_seed(1).with_timeline();
+
+    c.bench_function("pevpm: evaluation, no sink", |b| {
+        b.iter(|| black_box(evaluate(&model, &no_sink, &timing).unwrap().makespan))
+    });
+    c.bench_function("pevpm: evaluation, metrics registry", |b| {
+        b.iter(|| black_box(evaluate(&model, &with_metrics, &timing).unwrap().makespan))
+    });
+    c.bench_function("pevpm: evaluation, timeline recording", |b| {
+        b.iter(|| black_box(evaluate(&model, &with_timeline, &timing).unwrap().makespan))
+    });
+
+    // One-shot replication-throughput comparison: a 32-replication batch
+    // with and without a metrics sink attached.
+    let plain = monte_carlo(&model, &no_sink, &timing, 32).unwrap();
+    let metered = monte_carlo(&model, &with_metrics, &timing, 32).unwrap();
+    assert_eq!(
+        plain.mean.to_bits(),
+        metered.mean.to_bits(),
+        "instrumentation must not perturb results"
+    );
+    println!(
+        "pevpm: replication throughput {:.0} evals/s (no sink) vs {:.0} evals/s (metrics), \
+         sink overhead {:+.1}%",
+        plain.evals_per_sec,
+        metered.evals_per_sec,
+        (plain.evals_per_sec / metered.evals_per_sec.max(1e-9) - 1.0) * 100.0,
+    );
+}
+
 criterion_group!(
     benches,
     netsim_throughput,
     mpisim_pingpong,
     histogram_sampling,
     pevpm_eval,
-    replication_throughput
+    replication_throughput,
+    instrumentation_overhead
 );
 criterion_main!(benches);

@@ -21,7 +21,7 @@ fn main() {
     eprintln!("[tcost] timing PEVPM evaluation vs packet-level execution...");
     let results: Vec<_> = shapes
         .iter()
-        .map(|&s| tcost::run(s, &jacobi, 30, 11))
+        .map(|&s| tcost::run(s, &jacobi, 30, 8, 11))
         .collect();
     println!("T-cost: model evaluation cost (1000-iteration Jacobi)\n");
     println!("{}", tcost::render(&results));

@@ -11,6 +11,9 @@
 //! pevpm predict  --model FILE.c --db DB.dist --procs N
 //!                [--mode dist|avg|min] [--pingpong] [--param k=v ...]
 //!                [--seed S] [--reps R] [--threads T]
+//!                [--trace-out TRACE.json] [--metrics-out METRICS.json]
+//! pevpm trace    --nodes N [--ppn P] [--xsize X] [--iters I]
+//!                [--db DB.dist] [--trace-out TRACE.json]
 //! ```
 //!
 //! Command implementations return their printable output so they are unit
@@ -24,7 +27,9 @@ use pevpm::vm::{evaluate, EvalConfig};
 use pevpm_dist::{io as dist_io, CommDist, DistTable, Op};
 use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
+use pevpm_obs::{diag, Registry, Verbosity};
 use std::path::Path;
+use std::sync::Arc;
 
 /// CLI error type: a message to print on stderr.
 #[derive(Debug)]
@@ -73,18 +78,55 @@ USAGE:
 
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
                  [--pingpong] [--param k=v ...] [--seed S] [--reps R]
-                 [--threads T]
+                 [--threads T] [--trace-out TRACE.json] [--metrics-out M.json]
       Evaluate the annotated program's PEVPM model against a database.
       --reps R > 1 runs a Monte-Carlo batch of R derived-seed replications
-      (mean +/- stderr); --threads T as for bench.
+      (mean +/- stderr); --threads T as for bench. --trace-out writes the
+      predicted timeline as Chrome trace_event JSON (open in
+      chrome://tracing or https://ui.perfetto.dev); --metrics-out dumps the
+      engine's metrics registry (sweep/match counts, contention and
+      scoreboard-occupancy histograms, per-directive losses) as JSON.
+
+  pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
+                 [--xsize X] [--iters I] [--serial-ms MS] [--seed S]
+                 [--db DB.dist] [--trace-out TRACE.json]
+      Run the Jacobi example on the simulated cluster with tracing enabled
+      and print the per-rank compute/send/blocked breakdown. --trace-out
+      writes a merged Chrome trace with the PEVPM *predicted* timeline
+      (pid 1) next to the *measured* per-rank timeline (pid 2); the
+      prediction samples --db when given, else an analytic Hockney model.
+
+GLOBAL FLAGS:
+  -q / --quiet     suppress informational stderr output
+  --verbose        enable debug stderr output
+
+`bench` also accepts --trace-out (Chrome trace of one benchmark replica)
+and --metrics-out (per-size latency histograms as metrics JSON).
 ";
 
 /// Boolean flags that never consume a following token.
-const BOOL_FLAGS: &[&str] = &["pingpong", "verbose", "help"];
+const BOOL_FLAGS: &[&str] = &["pingpong", "verbose", "quiet", "help"];
 
 /// Dispatch a full argument vector (without the program name).
 pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
+    // The parser only understands `--long` options; accept the
+    // conventional short spellings for the global verbosity flags.
+    let tokens: Vec<String> = tokens
+        .into_iter()
+        .map(|t| match t.as_str() {
+            "-q" => "--quiet".to_string(),
+            "-v" => "--verbose".to_string(),
+            _ => t,
+        })
+        .collect();
     let args = Args::parse_with_flags(tokens, BOOL_FLAGS)?;
+    diag::set_verbosity(if args.has("quiet") {
+        Verbosity::Quiet
+    } else if args.has("verbose") {
+        Verbosity::Verbose
+    } else {
+        Verbosity::Normal
+    });
     let Some(cmd) = args.positional().first().map(|s| s.as_str()) else {
         return err(USAGE);
     };
@@ -94,9 +136,14 @@ pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
         "fit" => cmd_fit(&args),
         "annotate" => cmd_annotate(&args),
         "predict" => cmd_predict(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
+}
+
+fn write_text(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|e| CliError(format!("cannot write {path}: {e}")))
 }
 
 fn cluster_for(machine: &str, nodes: usize) -> Result<ClusterConfig, CliError> {
@@ -129,7 +176,13 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         other => return err(format!("unknown pattern {other:?}")),
     };
     let out = args.require("out")?;
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
 
+    diag::info(&format!(
+        "benchmarking {nodes}x{ppn} on {machine} ({} sizes, {reps} reps, {replicas} replica(s))",
+        sizes.len()
+    ));
     let world = WorldConfig {
         cluster: cluster_for(machine, nodes)?,
         procs_per_node: ppn,
@@ -137,7 +190,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         protocol: ProtocolConfig::default(),
         seed,
         virtual_deadline: None,
-        record_trace: false,
+        record_trace: trace_out.is_some(),
     };
     let res = run_p2p_reps(
         &P2pConfig {
@@ -173,6 +226,30 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
             s.summary.mean().unwrap_or(0.0) * 1e6,
             s.summary.max().unwrap_or(0.0) * 1e6,
         ));
+    }
+    if let Some(path) = trace_out {
+        let traces = res.traces.as_deref().unwrap_or(&[]);
+        let chrome = pevpm_mpisim::trace::chrome_trace(traces);
+        write_text(path, &chrome.to_json())?;
+        report.push_str(&format!(
+            "benchmark trace ({} events, first replica) written to {path}\n",
+            chrome.len()
+        ));
+    }
+    if let Some(path) = metrics_out {
+        let reg = Registry::new();
+        reg.counter("bench.replicas").add(replicas as u64);
+        for s in &res.by_size {
+            reg.counter("bench.samples").add(s.samples.len() as u64);
+            let lo = s.summary.min().unwrap_or(0.0) * 1e6;
+            let hi = (s.summary.max().unwrap_or(0.0) * 1e6).max(lo + 1e-9);
+            let h = reg.histogram(&format!("bench.latency_us.size_{}", s.size), lo, hi, 64);
+            for &sample in &s.samples {
+                h.record(sample * 1e6);
+            }
+        }
+        write_text(path, &reg.to_json())?;
+        report.push_str(&format!("benchmark metrics written to {path}\n"));
     }
     report.push_str(&format!("database written to {out}\n"));
     Ok(report)
@@ -333,6 +410,10 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         }
     };
 
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
+    let registry = metrics_out.map(|_| Arc::new(Registry::new()));
+
     let mut cfg = EvalConfig::new(procs).with_seed(seed).with_threads(threads);
     for kv in args.values("param") {
         let Some((k, v)) = kv.split_once('=') else {
@@ -343,18 +424,58 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
             .map_err(|_| CliError(format!("--param {k}: bad number {v:?}")))?;
         cfg = cfg.with_param(k, v);
     }
+    if let Some(reg) = &registry {
+        cfg = cfg.with_metrics(reg.clone());
+    }
+    if trace_out.is_some() {
+        cfg = cfg.with_timeline();
+    }
+
+    // Write the sinks requested on the command line; returns report lines.
+    let dump_sinks = |pred: Option<&pevpm::Prediction>| -> Result<String, CliError> {
+        let mut extra = String::new();
+        if let (Some(path), Some(p)) = (trace_out, pred) {
+            let chrome = pevpm::trace_export::chrome_trace(p);
+            write_text(path, &chrome.to_json())?;
+            extra.push_str(&format!(
+                "predicted timeline ({} spans) written to {path}\n",
+                chrome.len()
+            ));
+        }
+        if let (Some(path), Some(reg)) = (metrics_out, &registry) {
+            write_text(path, &reg.to_json())?;
+            extra.push_str(&format!("engine metrics written to {path}\n"));
+        }
+        Ok(extra)
+    };
 
     if reps == 0 {
         return err("--reps must be at least 1");
     }
     if reps > 1 {
+        diag::info(&format!("running {reps} Monte-Carlo replications..."));
         let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps)
             .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
-        return Ok(format!(
+        let mut out = format!(
             "predicted makespan: {:.6} s +/- {:.6} (stderr) over {procs} procs\n\
-             {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n",
-            mc.mean, mc.stderr, reps, mc.wall_secs, mc.evals_per_sec, mc.min, mc.max
-        ));
+             {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
+             {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
+            mc.mean,
+            mc.stderr,
+            reps,
+            mc.wall_secs,
+            mc.evals_per_sec,
+            mc.min,
+            mc.max,
+            mc.profile.workers.len(),
+            mc.profile.utilization() * 100.0,
+            mc.total_steps(),
+            mc.mean_steps(),
+        );
+        // The trace sink gets the first replication: its seed is the one a
+        // `--reps 1` run with the same --seed would use.
+        out.push_str(&dump_sinks(mc.runs.first())?);
+        return Ok(out);
     }
 
     let p =
@@ -378,6 +499,114 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
             out.push_str(&format!("  proc {proc_}: {what}\n"));
         }
     }
+    out.push_str(&dump_sinks(Some(&p))?);
+    Ok(out)
+}
+
+/// `pevpm trace`: run the Jacobi example with measured tracing on, print
+/// the per-rank breakdown, and optionally export predicted + measured
+/// timelines as one Chrome trace.
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    use pevpm_apps::jacobi::{self, JacobiConfig};
+
+    let nodes: usize = args
+        .require("nodes")?
+        .parse()
+        .map_err(|_| CliError("--nodes must be an integer".into()))?;
+    let ppn: usize = args.get_parsed("ppn", 1)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let machine = args.get("machine").unwrap_or("perseus");
+    let xsize: usize = args.get_parsed("xsize", 256)?;
+    let iters: usize = args.get_parsed("iters", 50)?;
+    let serial_ms: f64 = args.get_parsed("serial-ms", 3.24)?;
+    let trace_out = args.get("trace-out");
+
+    let nprocs = nodes * ppn;
+    if nprocs == 0 || !xsize.is_multiple_of(nprocs.max(1)) {
+        return err(format!(
+            "--xsize {xsize} must be divisible by nodes*ppn = {nprocs}"
+        ));
+    }
+    let jcfg = JacobiConfig {
+        xsize,
+        iterations: iters,
+        serial_secs: serial_ms * 1e-3,
+    };
+
+    diag::info(&format!(
+        "tracing {iters}-iteration Jacobi ({xsize}x{xsize}) on {nodes}x{ppn} {machine}"
+    ));
+    let world = WorldConfig {
+        cluster: cluster_for(machine, nodes)?,
+        procs_per_node: ppn,
+        placement: Placement::Block,
+        protocol: ProtocolConfig::default(),
+        seed,
+        virtual_deadline: None,
+        record_trace: true,
+    };
+    let measured = jacobi::run_measured(world, &jcfg)
+        .map_err(|e| CliError(format!("measured run failed: {e}")))?;
+    let traces = measured.report.traces.as_deref().unwrap_or(&[]);
+    let breakdown = pevpm_mpisim::breakdown(traces);
+
+    // Predicted counterpart: sample --db when given, else fall back to an
+    // analytic Hockney model (Fast-Ethernet-era constants).
+    let timing = match args.get("db") {
+        Some(path) => TimingModel::distributions(
+            dist_io::load_table(Path::new(path))
+                .map_err(|e| CliError(format!("cannot load {path}: {e}")))?,
+        ),
+        None => TimingModel::hockney(100e-6, 12.5e6),
+    };
+    let cfg = EvalConfig::new(nprocs).with_seed(seed).with_timeline();
+    let pred = evaluate(&jacobi::model(&jcfg), &cfg, &timing)
+        .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+
+    let mut out = format!(
+        "measured makespan:  {:.6} s over {nprocs} ranks ({} messages)\n\
+         predicted makespan: {:.6} s ({})\n\n\
+         per-rank breakdown (seconds):\n\
+         {:>5} {:>10} {:>10} {:>10} {:>10} {:>8} {:>6}\n",
+        measured.time,
+        measured.report.messages,
+        pred.makespan,
+        if args.has("db") {
+            "measured distributions"
+        } else {
+            "analytic Hockney model"
+        },
+        "rank",
+        "compute",
+        "send",
+        "blocked",
+        "coll",
+        "msgs",
+        "comm%",
+    );
+    for (r, b) in breakdown.iter().enumerate() {
+        out.push_str(&format!(
+            "{r:>5} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>8} {:>5.1}%\n",
+            b.compute,
+            b.send,
+            b.blocked,
+            b.collective,
+            b.messages,
+            b.comm_fraction() * 100.0,
+        ));
+    }
+
+    if let Some(path) = trace_out {
+        let mut chrome = pevpm::trace_export::chrome_trace(&pred);
+        chrome.merge(pevpm_mpisim::trace::chrome_trace(traces));
+        write_text(path, &chrome.to_json())?;
+        out.push_str(&format!(
+            "\nmerged predicted+measured trace ({} events) written to {path}\n\
+             open in chrome://tracing or https://ui.perfetto.dev\n",
+            chrome.len()
+        ));
+    }
+    diag::debug(&format!("net stats: {:?}", measured.report.net_stats));
     Ok(out)
 }
 
@@ -488,6 +717,101 @@ mod tests {
         assert!(out.contains("predicted makespan"), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_and_sinks() {
+        let dir = tmpdir();
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        let db = dir.join("trace_db.dist");
+        let model = dir.join("trace_pp.c");
+
+        // trace: breakdown table + merged predicted/measured Chrome JSON.
+        let out = run_cmd(&format!(
+            "trace --nodes 4 --xsize 64 --iters 10 --trace-out {}",
+            trace.display()
+        ))
+        .unwrap();
+        assert!(out.contains("measured makespan"), "{out}");
+        assert!(out.contains("predicted makespan"), "{out}");
+        assert!(out.contains("comm%"), "{out}");
+        let js = std::fs::read_to_string(&trace).unwrap();
+        let n = pevpm_obs::chrome::validate(&js).expect("schema-valid trace");
+        assert!(n > 0, "trace has complete events");
+        assert!(js.contains("PEVPM predicted"), "both pids present");
+        assert!(js.contains("mpisim measured"), "both pids present");
+
+        // predict --trace-out/--metrics-out on a tiny model.
+        std::fs::write(
+            &model,
+            "\
+// PEVPM Loop iterations = 5
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+",
+        )
+        .unwrap();
+        run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 10 --out {}",
+            db.display()
+        ))
+        .unwrap();
+        let out = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2 --trace-out {} --metrics-out {}",
+            model.display(),
+            db.display(),
+            trace.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(out.contains("predicted timeline"), "{out}");
+        assert!(out.contains("engine metrics"), "{out}");
+        let js = std::fs::read_to_string(&trace).unwrap();
+        assert!(pevpm_obs::chrome::validate(&js).unwrap() > 0);
+        let mj = pevpm_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("metrics JSON parses");
+        let hists = mj.get("histograms").and_then(|h| h.as_object()).unwrap();
+        assert!(hists.contains_key("vm.contention_at_injection"));
+        assert!(hists.contains_key("vm.scoreboard_occupancy"));
+
+        // Monte-Carlo predict still writes the sinks (first replication).
+        let out = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2 --reps 3 --trace-out {}",
+            model.display(),
+            db.display(),
+            trace.display()
+        ))
+        .unwrap();
+        assert!(out.contains("3 replications"), "{out}");
+        assert!(out.contains("worker(s)"), "{out}");
+        assert!(out.contains("predicted timeline"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_verbosity_flags_are_accepted() {
+        // -q / -v map to --quiet / --verbose rather than being rejected or
+        // swallowed as positionals. (The verbosity level itself is global
+        // process state, so it is not asserted here — tests run in
+        // parallel.)
+        assert!(run_cmd("help -q").unwrap().contains("USAGE"));
+        assert!(run_cmd("help -v").unwrap().contains("USAGE"));
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub trait Sampler {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
     /// The mean of the underlying distribution.
     fn mean(&self) -> f64;
-    /// Inverse CDF at probability `q` (clamped to [0,1]).
+    /// Inverse CDF at probability `q` (clamped to `[0, 1]`).
     fn quantile(&self, q: f64) -> f64;
 }
 

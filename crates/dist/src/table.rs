@@ -133,7 +133,7 @@ impl CommDist {
         }
     }
 
-    /// Inverse CDF at `q` (clamped to [0,1]).
+    /// Inverse CDF at `q` (clamped to `[0, 1]`).
     pub fn quantile(&self, q: f64) -> f64 {
         let q = q.clamp(0.0, 1.0);
         match self {

@@ -14,7 +14,7 @@ use crate::clock::ClockModel;
 use parking_lot::Mutex;
 use pevpm_dist::{CommDist, DistKey, DistTable, Op};
 use pevpm_dist::{Histogram, Summary};
-use pevpm_mpisim::{SimError, World, WorldConfig};
+use pevpm_mpisim::{SimError, TraceEvent, World, WorldConfig};
 use std::sync::Arc;
 
 /// Pairing pattern for the point-to-point test.
@@ -180,6 +180,11 @@ pub struct P2pResult {
     pub pairs: u32,
     /// Per-size distributions, in the order of `P2pConfig::sizes`.
     pub by_size: Vec<P2pSizeResult>,
+    /// Per-rank operation timelines of the benchmark execution; `Some`
+    /// when `P2pConfig::world.record_trace` is set. For merged
+    /// multi-replica results ([`run_p2p_reps`]) this is the first
+    /// replica's trace.
+    pub traces: Option<Vec<Vec<TraceEvent>>>,
 }
 
 impl P2pResult {
@@ -269,7 +274,7 @@ pub fn run_p2p(cfg: &P2pConfig) -> Result<P2pResult, SimError> {
     let (pattern, direction) = (cfg.pattern, cfg.direction);
     let clock2 = clock.clone();
 
-    World::run(cfg.world.clone(), move |rank| {
+    let report = World::run(cfg.world.clone(), move |rank| {
         let r = rank.rank();
         let (send_to, recv_from, sends_here, recvs_here) = pattern.role(r, n, direction);
         for (si, &size) in sizes.iter().enumerate() {
@@ -343,6 +348,7 @@ pub fn run_p2p(cfg: &P2pConfig) -> Result<P2pResult, SimError> {
         ppn: cfg.world.procs_per_node,
         pairs: cfg.pattern.concurrency(n, cfg.direction),
         by_size,
+        traces: report.traces,
     })
 }
 

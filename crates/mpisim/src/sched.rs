@@ -398,10 +398,12 @@ impl Engine {
                         .filter(|(r, _)| !self.finished[*r])
                         .map(|(r, d)| (r, d.clone().unwrap_or_else(|| "<unknown>".into())))
                         .collect();
-                    return Err(SimError::Deadlock {
+                    let err = SimError::Deadlock {
                         time: self.net.now(),
                         blocked,
-                    });
+                    };
+                    pevpm_obs::diag::debug(&format!("mpisim: {err}"));
+                    return Err(err);
                 }
                 (Some(tr), Some(tn)) => tr.min(tn),
                 (Some(tr), None) => tr,
@@ -409,6 +411,9 @@ impl Engine {
             };
             if let Some(dl) = deadline {
                 if t_next > dl {
+                    pevpm_obs::diag::debug(&format!(
+                        "mpisim: virtual deadline exceeded at {t_next}"
+                    ));
                     return Err(SimError::DeadlineExceeded { time: t_next });
                 }
             }
@@ -450,7 +455,10 @@ impl Engine {
                     }
                     return Ok(());
                 }
-                Call::Aborted(message) => return Err(SimError::RankPanic { rank: r, message }),
+                Call::Aborted(message) => {
+                    pevpm_obs::diag::warn(&format!("mpisim: rank {r} aborted: {message}"));
+                    return Err(SimError::RankPanic { rank: r, message });
+                }
                 Call::Compute(d) => {
                     let wake = self.clocks[r] + d;
                     self.clocks[r] = wake;

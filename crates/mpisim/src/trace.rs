@@ -9,6 +9,7 @@
 //! answerable for any rank program.
 
 use pevpm_netsim::Time;
+use pevpm_obs::chrome::{ChromeTrace, Span, PID_MEASURED};
 
 /// What kind of operation an event covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +109,57 @@ pub fn breakdown(traces: &[Vec<TraceEvent>]) -> Vec<RankBreakdown> {
         .collect()
 }
 
+impl TraceKind {
+    /// Lower-case operation name (Chrome-trace slice name / category).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Compute => "compute",
+            TraceKind::Send => "send",
+            TraceKind::Isend => "isend",
+            TraceKind::Recv => "recv",
+            TraceKind::Irecv => "irecv",
+            TraceKind::Wait => "wait",
+        }
+    }
+}
+
+/// Convert measured per-rank timelines into a Chrome `trace_event` trace,
+/// under the workspace convention **pid 2 = "mpisim measured"** with one
+/// thread row per rank. Merge with
+/// `pevpm::trace_export::chrome_trace` output to view predicted and
+/// measured timelines side by side in `chrome://tracing` / Perfetto.
+pub fn chrome_trace(traces: &[Vec<TraceEvent>]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    trace.name_process(PID_MEASURED, "mpisim measured");
+    for (r, events) in traces.iter().enumerate() {
+        trace.name_thread(PID_MEASURED, r as u32, &format!("rank {r}"));
+        for e in events {
+            let name = e.kind.name();
+            let mut args = Vec::new();
+            if let Some(p) = e.peer {
+                args.push(("peer".to_string(), p.to_string()));
+            }
+            if e.bytes > 0 {
+                args.push(("bytes".to_string(), e.bytes.to_string()));
+            }
+            trace.push(Span {
+                pid: PID_MEASURED,
+                tid: r as u32,
+                name: if e.in_collective {
+                    format!("{name} [coll]")
+                } else {
+                    name.to_string()
+                },
+                cat: name.to_string(),
+                ts_us: e.start.as_secs_f64() * 1e6,
+                dur_us: e.duration() * 1e6,
+                args,
+            });
+        }
+    }
+    trace
+}
+
 /// Render a compact ASCII timeline of the first `max_events` events of
 /// each rank (debugging aid).
 pub fn render_timeline(traces: &[Vec<TraceEvent>], max_events: usize) -> String {
@@ -189,5 +241,24 @@ mod tests {
         let b = breakdown(&[vec![]]);
         assert_eq!(b[0], RankBreakdown::default());
         assert_eq!(b[0].comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn chrome_export_is_schema_valid_and_carries_metadata() {
+        let traces = vec![
+            vec![
+                ev(TraceKind::Compute, 0, 1_000_000, false),
+                ev(TraceKind::Send, 1_000_000, 1_500_000, false),
+            ],
+            vec![ev(TraceKind::Recv, 0, 1_500_000, true)],
+        ];
+        let trace = chrome_trace(&traces);
+        assert_eq!(trace.len(), 3);
+        let js = trace.to_json();
+        assert_eq!(pevpm_obs::chrome::validate(&js), Ok(3));
+        assert!(js.contains("mpisim measured"));
+        assert!(js.contains("rank 1"));
+        assert!(js.contains("recv [coll]"));
+        assert!(js.contains("\"peer\": \"1\""));
     }
 }

@@ -1,0 +1,265 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the [Trace Event Format] consumed by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: a `{"traceEvents": [...]}` document of
+//! *complete* events (`"ph": "X"`) with microsecond timestamps, plus
+//! process/thread-name metadata events so timelines are labelled.
+//!
+//! The convention used throughout the workspace:
+//!
+//! - **pid 1, "PEVPM predicted"** — the VM's per-process virtual
+//!   timelines (one tid per virtual process);
+//! - **pid 2, "mpisim measured"** — the packet-level simulator's per-rank
+//!   [`TraceEvent`](../../pevpm_mpisim/trace/struct.TraceEvent.html)
+//!   timelines (one tid per rank).
+//!
+//! Loading one file containing both gives the paper's
+//! predicted-vs-measured comparison as a side-by-side flamegraph.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::{escape, num, Json};
+
+/// Conventional pid for predicted (PEVPM) timelines.
+pub const PID_PREDICTED: u32 = 1;
+/// Conventional pid for measured (`mpisim`) timelines.
+pub const PID_MEASURED: u32 = 2;
+
+/// One complete event: a named span on a `(pid, tid)` track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Process id (timeline group).
+    pub pid: u32,
+    /// Thread id (row within the group).
+    pub tid: u32,
+    /// Event name (shown on the slice).
+    pub name: String,
+    /// Category tag (filterable in the viewer).
+    pub cat: String,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Extra key/value arguments shown in the details pane.
+    pub args: Vec<(String, String)>,
+}
+
+/// Builder for a trace file.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    spans: Vec<Span>,
+    /// `(pid, tid, name)` thread-name metadata; `tid = u32::MAX` names the
+    /// process itself.
+    names: Vec<(u32, u32, String)>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Append a span.
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Name a process (timeline group header).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.names.push((pid, u32::MAX, name.to_string()));
+    }
+
+    /// Name a thread (row label).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.names.push((pid, tid, name.to_string()));
+    }
+
+    /// Append every span and name of `other`.
+    pub fn merge(&mut self, other: ChromeTrace) {
+        self.spans.extend(other.spans);
+        self.names.extend(other.names);
+    }
+
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace has no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The spans recorded so far.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Serialise to Chrome `trace_event` JSON.
+    pub fn to_json(&self) -> String {
+        let mut events: Vec<String> = Vec::with_capacity(self.spans.len() + self.names.len());
+        for (pid, tid, name) in &self.names {
+            if *tid == u32::MAX {
+                events.push(format!(
+                    "{{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": {pid}, \"tid\": 0, \
+                     \"args\": {{\"name\": \"{}\"}}}}",
+                    escape(name)
+                ));
+            } else {
+                events.push(format!(
+                    "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": {pid}, \"tid\": {tid}, \
+                     \"args\": {{\"name\": \"{}\"}}}}",
+                    escape(name)
+                ));
+            }
+        }
+        for s in &self.spans {
+            let mut args = String::new();
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    args.push_str(", ");
+                }
+                args.push_str(&format!("\"{}\": \"{}\"", escape(k), escape(v)));
+            }
+            events.push(format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"{}\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": {}, \"tid\": {}, \"args\": {{{args}}}}}",
+                escape(&s.name),
+                escape(&s.cat),
+                num(s.ts_us),
+                num(s.dur_us),
+                s.pid,
+                s.tid,
+            ));
+        }
+        format!(
+            "{{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n  {}\n]}}\n",
+            events.join(",\n  ")
+        )
+    }
+}
+
+/// Validate that `src` is a schema-valid Chrome trace document: it parses
+/// as JSON, has a `traceEvents` array, and every `"ph": "X"` event carries
+/// the required keys (`ph`, `ts`, `dur`, `pid`, `tid`, `name`) with
+/// `dur >= 0`. Returns the number of complete events.
+pub fn validate(src: &str) -> Result<usize, String> {
+    let doc = crate::json::parse(src)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut complete = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or(format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i} has no ph"))?;
+        if ph != "X" {
+            continue;
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if obj.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("event {i} missing numeric {key:?}"));
+            }
+        }
+        if obj.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("event {i} missing name"));
+        }
+        if obj.get("dur").and_then(Json::as_num).unwrap() < 0.0 {
+            return Err(format!("event {i} has negative dur"));
+        }
+        complete += 1;
+    }
+    Ok(complete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.name_process(PID_PREDICTED, "PEVPM predicted");
+        t.name_thread(PID_PREDICTED, 0, "proc 0");
+        t.push(Span {
+            pid: PID_PREDICTED,
+            tid: 0,
+            name: "compute".into(),
+            cat: "compute".into(),
+            ts_us: 0.0,
+            dur_us: 1000.0,
+            args: vec![("label".into(), "jacobi \"halo\"".into())],
+        });
+        t.push(Span {
+            pid: PID_PREDICTED,
+            tid: 0,
+            name: "blocked".into(),
+            cat: "blocked".into(),
+            ts_us: 1000.0,
+            dur_us: 250.5,
+            args: vec![],
+        });
+        t
+    }
+
+    #[test]
+    fn emits_schema_valid_json() {
+        let js = sample().to_json();
+        assert_eq!(validate(&js), Ok(2));
+        for key in [
+            "\"ph\"", "\"ts\"", "\"dur\"", "\"pid\"", "\"tid\"", "\"name\"",
+        ] {
+            assert!(js.contains(key), "missing {key} in {js}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_and_len_counts() {
+        let mut a = sample();
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        let b = sample();
+        a.merge(b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(validate(&a.to_json()), Ok(4));
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate(r#"{"no": "events"}"#).is_err());
+        assert!(
+            validate(r#"{"traceEvents": [{"ph": "X", "ts": 0, "pid": 1, "tid": 1, "name": "x"}]}"#)
+                .is_err(),
+            "missing dur must fail"
+        );
+        assert!(validate(
+            r#"{"traceEvents": [{"ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1, "name": "x"}]}"#
+        )
+        .is_err(), "negative dur must fail");
+        // Metadata-only documents are valid with zero complete events.
+        assert_eq!(
+            validate(r#"{"traceEvents": [{"ph": "M", "name": "process_name"}]}"#),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn escapes_names_safely() {
+        let mut t = ChromeTrace::new();
+        t.push(Span {
+            pid: 1,
+            tid: 0,
+            name: "weird \"name\"\nwith\\stuff".into(),
+            cat: "c".into(),
+            ts_us: 0.0,
+            dur_us: 1.0,
+            args: vec![],
+        });
+        assert_eq!(validate(&t.to_json()), Ok(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The emitted JSON is consumed by external viewers (`chrome://tracing`,
+//! Perfetto), so its exact shape is a compatibility surface: any change to
+//! field names, quoting, number formatting or event ordering shows up here
+//! as a diff against the stored golden file.
+//!
+//! To regenerate after an intentional format change:
+//! `BLESS=1 cargo test -p pevpm-obs --test chrome_golden`
+
+use pevpm_obs::chrome::{validate, ChromeTrace, Span, PID_MEASURED, PID_PREDICTED};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("predicted_measured.json")
+}
+
+/// A fixed two-pid trace exercising every exporter feature: process and
+/// thread metadata, span args, escaping, and fractional timestamps.
+fn sample() -> ChromeTrace {
+    let mut t = ChromeTrace::new();
+    t.name_process(PID_PREDICTED, "PEVPM predicted");
+    t.name_thread(PID_PREDICTED, 0, "proc 0");
+    t.push(Span {
+        pid: PID_PREDICTED,
+        tid: 0,
+        name: "serial \"inner\"".into(),
+        cat: "compute".into(),
+        ts_us: 0.0,
+        dur_us: 1234.5,
+        args: vec![("phase".into(), "compute".into())],
+    });
+    t.push(Span {
+        pid: PID_PREDICTED,
+        tid: 0,
+        name: "blocked".into(),
+        cat: "blocked".into(),
+        ts_us: 1234.5,
+        dur_us: 100.25,
+        args: vec![],
+    });
+    let mut m = ChromeTrace::new();
+    m.name_process(PID_MEASURED, "mpisim measured");
+    m.name_thread(PID_MEASURED, 1, "rank 1");
+    m.push(Span {
+        pid: PID_MEASURED,
+        tid: 1,
+        name: "recv [coll]".into(),
+        cat: "recv".into(),
+        ts_us: 10.0,
+        dur_us: 42.0,
+        args: vec![("peer".into(), "0".into()), ("bytes".into(), "1024".into())],
+    });
+    t.merge(m);
+    t
+}
+
+#[test]
+fn exporter_output_matches_golden_file() {
+    let actual = sample().to_json();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with BLESS=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "Chrome exporter output drifted from the golden file; if the change \
+         is intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_file_is_schema_valid() {
+    let js = std::fs::read_to_string(golden_path()).expect("golden file present");
+    assert_eq!(validate(&js), Ok(3));
+    // The keys the trace-event spec requires on complete events.
+    for key in [
+        "\"ph\"", "\"ts\"", "\"dur\"", "\"pid\"", "\"tid\"", "\"name\"",
+    ] {
+        assert!(js.contains(key), "golden file missing {key}");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Directive parameters are kept *symbolic* in `procnum`, `numprocs` and
 //! user-defined parameters (paper §6: "important program and machine
-//! parameters … are retained symbolically in PEVPM models, [so] those
+//! parameters … are retained symbolically in PEVPM models, \[so\] those
 //! models can be easily re-evaluated under different input and
 //! environmental conditions"). This module provides the lexer, a Pratt
 //! parser and an evaluator for that language.

@@ -49,10 +49,13 @@ pub mod expr;
 pub mod model;
 pub mod replicate;
 pub mod timing;
+pub mod trace_export;
 pub mod vm;
 
 pub use annotate::{parse_annotations, AnnotateError, JACOBI_FIG5};
 pub use expr::{parse as parse_expr, Env, Expr, ExprError};
 pub use model::{CollOp, Model, MsgKind, Stmt};
 pub use timing::{PredictionMode, TimingModel};
-pub use vm::{evaluate, monte_carlo, EvalConfig, McPrediction, PevpmError, Prediction};
+pub use vm::{
+    evaluate, monte_carlo, EvalConfig, McPrediction, PevpmError, Prediction, SpanKind, TimelineSpan,
+};

@@ -19,6 +19,58 @@
 //! `1` forces the serial path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What one replication worker did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WorkerStat {
+    /// Replicas this worker executed.
+    pub jobs: usize,
+    /// Wall-clock seconds the worker spent inside replica evaluations.
+    pub busy_secs: f64,
+}
+
+/// Profile of one replication batch: how the work spread over workers and
+/// how much of their wall time was useful. Surfaced in
+/// [`McPrediction::profile`](crate::vm::McPrediction) and the `tcost`
+/// report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicateProfile {
+    /// Per-worker statistics, in worker-spawn order (a single entry for
+    /// the serial path).
+    pub workers: Vec<WorkerStat>,
+    /// Wall-clock seconds from batch start to the last worker finishing.
+    pub wall_secs: f64,
+}
+
+impl ReplicateProfile {
+    /// Total replicas executed.
+    pub fn total_jobs(&self) -> usize {
+        self.workers.iter().map(|w| w.jobs).sum()
+    }
+
+    /// Summed busy seconds across workers.
+    pub fn busy_secs(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_secs).sum()
+    }
+
+    /// Summed idle seconds across workers: each worker's share of the
+    /// batch wall time not spent evaluating (work-stealing imbalance,
+    /// scheduling gaps).
+    pub fn idle_secs(&self) -> f64 {
+        (self.workers.len() as f64 * self.wall_secs - self.busy_secs()).max(0.0)
+    }
+
+    /// Fraction of worker wall time spent evaluating, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let total = self.workers.len() as f64 * self.wall_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            (self.busy_secs() / total).clamp(0.0, 1.0)
+        }
+    }
+}
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -66,25 +118,64 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    try_parallel_map_profiled(n, threads, f).map(|(out, _)| out)
+}
+
+/// [`try_parallel_map`] that additionally reports a [`ReplicateProfile`]:
+/// per-worker replica counts and busy wall time. Profiling costs two
+/// `Instant::now` calls per replica — negligible against any real
+/// evaluation — and does not affect results (replica seeding is
+/// index-derived, never time-derived).
+pub fn try_parallel_map_profiled<T, E, F>(
+    n: usize,
+    threads: usize,
+    f: F,
+) -> Result<(Vec<T>, ReplicateProfile), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
     let threads = resolve_threads(threads).min(n.max(1));
+    let batch_start = Instant::now();
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut stat = WorkerStat::default();
+        let out: Result<Vec<T>, E> = (0..n)
+            .map(|i| {
+                let t0 = Instant::now();
+                let r = f(i);
+                stat.busy_secs += t0.elapsed().as_secs_f64();
+                stat.jobs += 1;
+                r
+            })
+            .collect();
+        let profile = ReplicateProfile {
+            workers: vec![stat],
+            wall_secs: batch_start.elapsed().as_secs_f64(),
+        };
+        return out.map(|v| (v, profile));
     }
 
+    // One worker's output: its stats plus the (index, result) pairs it ran.
+    type Bucket<T, E> = (WorkerStat, Vec<(usize, Result<T, E>)>);
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, Result<T, E>)>> = crossbeam::thread::scope(|scope| {
+    let buckets: Vec<Bucket<T, E>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local = Vec::new();
+                    let mut stat = WorkerStat::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        let t0 = Instant::now();
                         local.push((i, f(i)));
+                        stat.busy_secs += t0.elapsed().as_secs_f64();
+                        stat.jobs += 1;
                     }
-                    local
+                    (stat, local)
                 })
             })
             .collect();
@@ -95,15 +186,20 @@ where
     })
     .expect("replication scope panicked");
 
+    let wall_secs = batch_start.elapsed().as_secs_f64();
     let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
-    for (i, r) in buckets.into_iter().flatten() {
-        slots[i] = Some(r);
+    let mut workers = Vec::with_capacity(buckets.len());
+    for (stat, bucket) in buckets {
+        workers.push(stat);
+        for (i, r) in bucket {
+            slots[i] = Some(r);
+        }
     }
     let mut out = Vec::with_capacity(n);
     for slot in slots {
         out.push(slot.expect("replication index not produced")?);
     }
-    Ok(out)
+    Ok((out, ReplicateProfile { workers, wall_secs }))
 }
 
 #[cfg(test)]
@@ -145,5 +241,33 @@ mod tests {
     fn empty_and_singleton_batches() {
         assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn profile_accounts_for_every_job() {
+        for threads in [1usize, 3] {
+            let (out, profile) = try_parallel_map_profiled(25, threads, Ok::<_, ()>).unwrap();
+            assert_eq!(out.len(), 25);
+            assert_eq!(profile.total_jobs(), 25);
+            assert_eq!(profile.workers.len(), threads.min(25));
+            assert!(profile.wall_secs >= 0.0);
+            assert!(profile.busy_secs() >= 0.0);
+            let u = profile.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+    }
+
+    #[test]
+    fn profile_on_error_still_reports_lowest_index() {
+        let r = try_parallel_map_profiled(10, 4, |i| if i >= 4 { Err(i) } else { Ok(i) });
+        assert_eq!(r.unwrap_err(), 4);
+    }
+
+    #[test]
+    fn empty_profile_is_harmless() {
+        let p = ReplicateProfile::default();
+        assert_eq!(p.total_jobs(), 0);
+        assert_eq!(p.utilization(), 0.0);
+        assert_eq!(p.idle_secs(), 0.0);
     }
 }

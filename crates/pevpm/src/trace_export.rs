@@ -1,0 +1,84 @@
+//! Chrome-trace export of predicted timelines.
+//!
+//! Converts a [`Prediction`] recorded with
+//! [`EvalConfig::record_timeline`](crate::vm::EvalConfig::record_timeline)
+//! into the `trace_event` format via [`pevpm_obs::chrome`], under the
+//! workspace convention **pid 1 = "PEVPM predicted"** with one thread row
+//! per virtual process. Merge with `pevpm_mpisim::trace::chrome_trace` to
+//! get the paper's predicted-vs-measured comparison in one Perfetto view.
+
+use crate::vm::Prediction;
+use pevpm_obs::chrome::{ChromeTrace, Span, PID_PREDICTED};
+
+/// Build a Chrome trace from a prediction's recorded timelines.
+///
+/// Span names prefer the directive label (so the flamegraph slices carry
+/// the same names as the loss report); unlabelled spans fall back to the
+/// span-kind category. Timestamps are virtual seconds scaled to
+/// microseconds, the unit the trace viewers expect.
+pub fn chrome_trace(pred: &Prediction) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    trace.name_process(PID_PREDICTED, "PEVPM predicted");
+    for (p, spans) in pred.timeline.iter().enumerate() {
+        trace.name_thread(PID_PREDICTED, p as u32, &format!("proc {p}"));
+        for s in spans {
+            let cat = s.kind.category();
+            trace.push(Span {
+                pid: PID_PREDICTED,
+                tid: p as u32,
+                name: s.label.clone().unwrap_or_else(|| cat.to_string()),
+                cat: cat.to_string(),
+                ts_us: s.start * 1e6,
+                dur_us: (s.end - s.start) * 1e6,
+                args: vec![("phase".into(), cat.to_string())],
+            });
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build::*;
+    use crate::model::Model;
+    use crate::timing::TimingModel;
+    use crate::vm::{evaluate, EvalConfig};
+
+    fn predicted() -> Prediction {
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![serial("1.0"), labelled(send("100", "0", "1"), "halo-send")],
+            "procnum == 1",
+            vec![labelled(recv("100", "0", "1"), "halo-recv")],
+        ));
+        let cfg = EvalConfig::new(2).with_timeline();
+        evaluate(&m, &cfg, &TimingModel::hockney(100e-6, 12.5e6)).unwrap()
+    }
+
+    #[test]
+    fn exports_valid_trace_with_labels() {
+        let pred = predicted();
+        assert!(!pred.timeline.is_empty());
+        let trace = chrome_trace(&pred);
+        assert!(!trace.is_empty());
+        let js = trace.to_json();
+        let n = pevpm_obs::chrome::validate(&js).expect("schema-valid");
+        assert_eq!(n, trace.len());
+        assert!(js.contains("halo-recv"), "{js}");
+        assert!(js.contains("PEVPM predicted"));
+    }
+
+    #[test]
+    fn timeline_off_by_default_gives_empty_trace() {
+        let m = Model::new().with_stmt(serial("1.0"));
+        let pred = evaluate(
+            &m,
+            &EvalConfig::new(2),
+            &TimingModel::hockney(100e-6, 12.5e6),
+        )
+        .unwrap();
+        assert!(pred.timeline.is_empty());
+        assert!(chrome_trace(&pred).is_empty());
+    }
+}

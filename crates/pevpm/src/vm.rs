@@ -25,9 +25,11 @@ use crate::expr::{standard_env, Env, ExprError};
 use crate::model::{CollOp, Model, MsgKind, Stmt};
 use crate::timing::TimingModel;
 use pevpm_dist::Op;
+use pevpm_obs::{Counter, FixedHistogram, Registry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Evaluation parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +50,16 @@ pub struct EvalConfig {
     /// `0` = all available cores, `1` = serial. Results are bitwise
     /// identical at any setting (see [`crate::replicate`]).
     pub threads: usize,
+    /// Metrics sink. When installed the VM records sweep/match phase
+    /// counts, the contention level at every message injection, scoreboard
+    /// occupancy, and per-directive loss attribution into it (see the
+    /// `vm.*` names in DESIGN.md). `None` (the default) costs one branch
+    /// per event.
+    pub metrics: Option<Arc<Registry>>,
+    /// Record per-process virtual timelines ([`Prediction::timeline`]) for
+    /// Chrome-trace export. Off by default: timelines allocate per
+    /// directive executed.
+    pub record_timeline: bool,
 }
 
 impl EvalConfig {
@@ -60,6 +72,8 @@ impl EvalConfig {
             rndv_threshold: 16.0 * 1024.0,
             max_steps: 500_000_000,
             threads: 0,
+            metrics: None,
+            record_timeline: false,
         }
     }
 
@@ -80,6 +94,55 @@ impl EvalConfig {
         self.threads = threads;
         self
     }
+
+    /// Builder: install a metrics registry.
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Builder: record per-process timelines.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+}
+
+/// What a [`TimelineSpan`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// `Serial` directive computation.
+    Compute,
+    /// Local (sender-side) cost of an eager send.
+    Send,
+    /// Blocked in a receive, rendezvous send or collective.
+    Blocked,
+}
+
+impl SpanKind {
+    /// Lower-case category name (Chrome-trace `cat`).
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Compute => "compute",
+            SpanKind::Send => "send",
+            SpanKind::Blocked => "blocked",
+        }
+    }
+}
+
+/// One span of a virtual process's predicted timeline. Spans tile each
+/// process's clock exactly: the durations of a process's spans sum to its
+/// finish time (zero-length spans are dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSpan {
+    /// What the process was doing.
+    pub kind: SpanKind,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds), `>= start`.
+    pub end: f64,
+    /// Directive label, when the directive carried one.
+    pub label: Option<String>,
 }
 
 /// The result of one PEVPM evaluation.
@@ -115,6 +178,10 @@ pub struct Prediction {
     pub steps: u64,
     /// Peak number of in-flight messages on the contention scoreboard.
     pub sb_peak: usize,
+    /// Per-process predicted timelines; non-empty only when
+    /// [`EvalConfig::record_timeline`] was set. Export with
+    /// [`crate::trace_export::chrome_trace`].
+    pub timeline: Vec<Vec<TimelineSpan>>,
 }
 
 /// Evaluation failures.
@@ -280,6 +347,42 @@ struct Proc<'m> {
     handles: HashMap<String, (usize, u64)>,
 }
 
+/// Metric handles resolved once per evaluation, so the per-event cost with
+/// a registry installed is a single relaxed atomic RMW (and a single
+/// `Option` branch without one).
+struct VmMetrics {
+    sweep_phases: Arc<Counter>,
+    match_phases: Arc<Counter>,
+    contention: Arc<FixedHistogram>,
+    occupancy: Arc<FixedHistogram>,
+}
+
+/// Bin count / range of the engine's contention histograms: contention
+/// levels are scoreboard populations, integers that rarely exceed a few
+/// hundred; one bin per level up to 256 (clamped above).
+const CONTENTION_BINS: usize = 256;
+
+impl VmMetrics {
+    fn resolve(registry: &Registry) -> VmMetrics {
+        VmMetrics {
+            sweep_phases: registry.counter("vm.sweep_phases"),
+            match_phases: registry.counter("vm.match_phases"),
+            contention: registry.histogram(
+                "vm.contention_at_injection",
+                0.0,
+                CONTENTION_BINS as f64,
+                CONTENTION_BINS,
+            ),
+            occupancy: registry.histogram(
+                "vm.scoreboard_occupancy",
+                0.0,
+                CONTENTION_BINS as f64,
+                CONTENTION_BINS,
+            ),
+        }
+    }
+}
+
 struct Vm<'m> {
     cfg: &'m EvalConfig,
     timing: &'m TimingModel,
@@ -295,6 +398,9 @@ struct Vm<'m> {
     messages: u64,
     loss_by_label: HashMap<String, f64>,
     races: Vec<(usize, String)>,
+    metrics: Option<VmMetrics>,
+    /// Per-proc predicted timelines, when `cfg.record_timeline`.
+    timeline: Option<Vec<Vec<TimelineSpan>>>,
 }
 
 /// Evaluate a model: the public entry point of the PEVPM engine.
@@ -343,6 +449,10 @@ pub fn evaluate(
         messages: 0,
         loss_by_label: HashMap::new(),
         races: Vec::new(),
+        metrics: cfg.metrics.as_deref().map(VmMetrics::resolve),
+        timeline: cfg
+            .record_timeline
+            .then(|| (0..cfg.nprocs).map(|_| Vec::new()).collect()),
     };
     vm.run()?;
 
@@ -354,6 +464,22 @@ pub fn evaluate(
 
     let finish_times: Vec<f64> = vm.procs.iter().map(|p| p.clock).collect();
     let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
+
+    // End-of-run aggregates go to the registry in one pass (cheap, and
+    // keeps the per-event hot path down to the phase/histogram hooks).
+    if let Some(registry) = &cfg.metrics {
+        registry.counter("vm.evaluations").inc();
+        registry.counter("vm.steps").add(vm.steps);
+        registry.counter("vm.messages").add(vm.messages);
+        registry.counter("vm.races").add(vm.races.len() as u64);
+        registry
+            .histogram("vm.sb_peak", 0.0, CONTENTION_BINS as f64, CONTENTION_BINS)
+            .record(vm.sb_peak as f64);
+        for (label, loss) in &vm.loss_by_label {
+            registry.gauge(&format!("vm.loss_secs.{label}")).add(*loss);
+        }
+    }
+
     Ok(Prediction {
         nprocs: cfg.nprocs,
         makespan,
@@ -366,6 +492,7 @@ pub fn evaluate(
         races: vm.races,
         steps: vm.steps,
         sb_peak: vm.sb_peak,
+        timeline: vm.timeline.take().unwrap_or_default(),
     })
 }
 
@@ -387,11 +514,33 @@ pub struct McPrediction {
     pub wall_secs: f64,
     /// Replication throughput (evaluations per wall-clock second).
     pub evals_per_sec: f64,
+    /// How the batch spread over worker threads (replica counts, busy vs
+    /// idle wall time per worker).
+    pub profile: crate::replicate::ReplicateProfile,
     /// The individual replications, in seed order.
     pub runs: Vec<Prediction>,
 }
 
 impl McPrediction {
+    /// Total directive executions swept across every replication.
+    pub fn total_steps(&self) -> u64 {
+        self.runs.iter().map(|p| p.steps).sum()
+    }
+
+    /// Mean directive executions per replication.
+    pub fn mean_steps(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.total_steps() as f64 / self.runs.len() as f64
+        }
+    }
+
+    /// Largest contention-scoreboard peak seen by any replication.
+    pub fn max_sb_peak(&self) -> usize {
+        self.runs.iter().map(|p| p.sb_peak).max().unwrap_or(0)
+    }
+
     /// Histogram of the replication makespans with `bins` equal-width bins
     /// spanning the observed range.
     pub fn makespan_histogram(&self, bins: usize) -> pevpm_dist::Histogram {
@@ -424,8 +573,8 @@ pub fn monte_carlo(
     // Replica i is seeded from (cfg.seed, i) alone, so fanning the batch
     // across threads cannot change any replica's result; collection is in
     // index order, so the aggregate is bitwise identical to a serial loop.
-    let runs: Vec<Prediction> =
-        crate::replicate::try_parallel_map(replications, cfg.threads, |i| {
+    let (runs, profile): (Vec<Prediction>, _) =
+        crate::replicate::try_parallel_map_profiled(replications, cfg.threads, |i| {
             let mut c = cfg.clone();
             c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
             evaluate(model, &c, timing)
@@ -448,6 +597,7 @@ pub fn monte_carlo(
         } else {
             0.0
         },
+        profile,
         runs,
     })
 }
@@ -473,9 +623,27 @@ impl<'m> Vm<'m> {
         }
     }
 
+    /// Record a timeline span for proc `p` (zero-length spans dropped, so
+    /// spans tile each process's clock exactly).
+    fn record_span(&mut self, p: usize, kind: SpanKind, start: f64, end: f64, label: Option<&str>) {
+        if let Some(timeline) = &mut self.timeline {
+            if end > start {
+                timeline[p].push(TimelineSpan {
+                    kind,
+                    start,
+                    end,
+                    label: label.map(str::to_string),
+                });
+            }
+        }
+    }
+
     /// Run every unblocked process to its next decision point. Returns
     /// whether any process executed at least one directive.
     fn sweep(&mut self) -> Result<bool, PevpmError> {
+        if let Some(m) = &self.metrics {
+            m.sweep_phases.inc();
+        }
         let mut advanced = false;
         for p in 0..self.procs.len() {
             while !self.procs[p].finished && self.procs[p].blocked.is_none() {
@@ -528,8 +696,13 @@ impl<'m> Vm<'m> {
                         "negative serial time {t} at {label:?}"
                     )));
                 }
+                let start = self.procs[p].clock;
                 self.procs[p].clock += t;
                 self.procs[p].compute_time += t;
+                if self.timeline.is_some() {
+                    let label = label.clone();
+                    self.record_span(p, SpanKind::Compute, start, start + t, label.as_deref());
+                }
             }
             Stmt::Loop { count, var, body } => {
                 let n = count.eval_usize(&self.procs[p].env)? as u64;
@@ -713,6 +886,9 @@ impl<'m> Vm<'m> {
         // with the correlated quantile (calibrated weight 0.4).
         let u: f64 = rand::Rng::gen(&mut self.rng);
         let contention = (self.scoreboard.len() + 1) as f64;
+        if let Some(m) = &self.metrics {
+            m.contention.record(contention);
+        }
         let op = op_for_kind(kind);
         let q = self.quantile_with_fallback(op, size, contention, u);
         let qmin = self.quantile_with_fallback(op, size, contention, 0.0);
@@ -743,6 +919,9 @@ impl<'m> Vm<'m> {
             if let Some(l) = &label {
                 *self.loss_by_label.entry(l.clone()).or_insert(0.0) += local;
             }
+            if self.timeline.is_some() {
+                self.record_span(p, SpanKind::Send, depart, depart + local, label.as_deref());
+            }
         }
         Ok(())
     }
@@ -772,6 +951,10 @@ impl<'m> Vm<'m> {
         //    current contention level (scoreboard population), using each
         //    message's own Monte-Carlo draw.
         let contention = self.scoreboard.len() as f64;
+        if let Some(m) = &self.metrics {
+            m.match_phases.inc();
+            m.occupancy.record(contention);
+        }
         for i in 0..self.scoreboard.len() {
             if self.scoreboard[i].arrival.is_none() {
                 let m = &self.scoreboard[i];
@@ -936,6 +1119,13 @@ impl<'m> Vm<'m> {
         self.procs[p].blocked_time += dt;
         if let Some(label) = block.label() {
             *self.loss_by_label.entry(label.to_string()).or_insert(0.0) += dt;
+        }
+        if self.timeline.is_some() && dt > 0.0 {
+            let name = block
+                .label()
+                .map(str::to_string)
+                .unwrap_or_else(|| block.describe());
+            self.record_span(p, SpanKind::Blocked, since, since + dt, Some(&name));
         }
     }
 }
@@ -1432,5 +1622,82 @@ mod tests {
         let m = Model::new().with_stmt(serial("mystery"));
         let err = evaluate(&m, &EvalConfig::new(1), &fixed_timing(0.0)).unwrap_err();
         assert!(matches!(err, PevpmError::Expr(_)), "{err}");
+    }
+
+    #[test]
+    fn metrics_registry_records_engine_activity() {
+        let registry = Arc::new(Registry::new());
+        let m = Model::new().with_stmt(looped(
+            "5",
+            vec![runon2(
+                "procnum == 0",
+                vec![send("64", "0", "1")],
+                "procnum == 1",
+                vec![labelled(recv("64", "0", "1"), "ring-recv")],
+            )],
+        ));
+        let cfg = EvalConfig::new(2).with_metrics(registry.clone());
+        let p = evaluate(&m, &cfg, &fixed_timing(0.1)).unwrap();
+
+        assert_eq!(registry.counter("vm.evaluations").get(), 1);
+        assert_eq!(registry.counter("vm.steps").get(), p.steps);
+        assert_eq!(registry.counter("vm.messages").get(), p.messages);
+        assert!(registry.counter("vm.sweep_phases").get() > 0);
+        assert!(registry.counter("vm.match_phases").get() > 0);
+        let contention = registry.histogram("vm.contention_at_injection", 0.0, 1.0, 1);
+        assert_eq!(contention.count(), p.messages, "one sample per injection");
+        let occupancy = registry.histogram("vm.scoreboard_occupancy", 0.0, 1.0, 1);
+        assert!(occupancy.count() > 0);
+        let loss = registry.gauge("vm.loss_secs.ring-recv").get();
+        let expected = p.loss_by_label.get("ring-recv").copied().unwrap();
+        assert!((loss - expected).abs() < 1e-12, "loss {loss} vs {expected}");
+    }
+
+    #[test]
+    fn metrics_accumulate_across_monte_carlo_replicas() {
+        let registry = Arc::new(Registry::new());
+        let m = Model::new().with_stmt(runon2(
+            "procnum == 0",
+            vec![send("64", "0", "1")],
+            "procnum == 1",
+            vec![recv("64", "0", "1")],
+        ));
+        let cfg = EvalConfig::new(2)
+            .with_metrics(registry.clone())
+            .with_threads(2);
+        let mc = monte_carlo(&m, &cfg, &fixed_timing(0.1), 8).unwrap();
+        assert_eq!(registry.counter("vm.evaluations").get(), 8);
+        assert_eq!(registry.counter("vm.steps").get(), mc.total_steps());
+        assert_eq!(mc.max_sb_peak(), 1);
+        assert!((mc.mean_steps() - mc.total_steps() as f64 / 8.0).abs() < 1e-12);
+        assert_eq!(mc.profile.total_jobs(), 8);
+    }
+
+    #[test]
+    fn timeline_spans_tile_each_process_clock() {
+        let m = Model::new().with_stmt(looped(
+            "3",
+            vec![runon2(
+                "procnum == 0",
+                vec![serial("0.5"), send("64", "0", "1")],
+                "procnum == 1",
+                vec![recv("64", "0", "1"), serial("0.2")],
+            )],
+        ));
+        let p = evaluate(&m, &EvalConfig::new(2).with_timeline(), &fixed_timing(0.1)).unwrap();
+        assert_eq!(p.timeline.len(), 2);
+        for (proc_, spans) in p.timeline.iter().enumerate() {
+            assert!(!spans.is_empty(), "proc {proc_} has no spans");
+            let mut sum = 0.0;
+            for s in spans {
+                assert!(s.end >= s.start, "span {s:?} runs backwards");
+                sum += s.end - s.start;
+            }
+            assert!(
+                (sum - p.finish_times[proc_]).abs() < 1e-9,
+                "proc {proc_}: spans sum to {sum}, finish {}",
+                p.finish_times[proc_]
+            );
+        }
     }
 }
