@@ -59,6 +59,37 @@ fn histogram_sampling(c: &mut Criterion) {
     });
 }
 
+/// Off-grid table sampling — the Monte-Carlo hot path: a (size, contention)
+/// query between grid points blends up to four neighbour distributions.
+/// The interpreted row allocates axis and neighbour vectors per draw; the
+/// compiled row is allocation-free.
+fn table_sampling(c: &mut Criterion) {
+    use pevpm_dist::CompiledTable;
+
+    let mut table = DistTable::new();
+    let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
+    for &size in &[512u64, 1024, 4096] {
+        for &contention in &[1u32, 8, 64] {
+            table.insert(
+                DistKey {
+                    op: Op::Send,
+                    size,
+                    contention,
+                },
+                CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
+            );
+        }
+    }
+    let compiled = CompiledTable::compile(&table).unwrap();
+    let mut rng = SmallRng::seed_from_u64(7);
+    c.bench_function("dist: off-grid blended sample (interpreted)", |b| {
+        b.iter(|| black_box(table.sample_at(Op::Send, 2000.0, 5.0, &mut rng)))
+    });
+    c.bench_function("dist: off-grid blended sample (compiled)", |b| {
+        b.iter(|| black_box(compiled.sample_at(Op::Send, 2000.0, 5.0, &mut rng)))
+    });
+}
+
 fn pevpm_eval(c: &mut Criterion) {
     let mut table = DistTable::new();
     let samples: Vec<f64> = (0..1000).map(|i| 250e-6 + (i % 97) as f64 * 1e-6).collect();
@@ -72,22 +103,49 @@ fn pevpm_eval(c: &mut Criterion) {
             CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
         );
     }
-    let timing = TimingModel::distributions(table);
+    let timing = TimingModel::distributions(table.clone());
+    let interpreted = TimingModel::interpreted(table);
     let cfg = JacobiConfig {
         xsize: 256,
         iterations: 100,
         serial_secs: 3.24e-3,
     };
     let model = jacobi::model(&cfg);
-    c.bench_function("pevpm: 32-proc 100-iter Jacobi evaluation", |b| {
-        b.iter(|| {
-            black_box(
-                evaluate(&model, &EvalConfig::new(32).with_seed(1), &timing)
-                    .unwrap()
-                    .makespan,
-            )
-        })
-    });
+
+    // Both sampling paths invert the same uniforms, so the predictions are
+    // bitwise identical — only the wall clock separates the two rows.
+    let a = evaluate(&model, &EvalConfig::new(32).with_seed(1), &timing).unwrap();
+    let b = evaluate(&model, &EvalConfig::new(32).with_seed(1), &interpreted).unwrap();
+    assert_eq!(
+        a.makespan.to_bits(),
+        b.makespan.to_bits(),
+        "compiled sampler must not perturb predictions"
+    );
+
+    c.bench_function(
+        "pevpm: 32-proc 100-iter Jacobi evaluation (compiled)",
+        |b| {
+            b.iter(|| {
+                black_box(
+                    evaluate(&model, &EvalConfig::new(32).with_seed(1), &timing)
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        },
+    );
+    c.bench_function(
+        "pevpm: 32-proc 100-iter Jacobi evaluation (interpreted)",
+        |b| {
+            b.iter(|| {
+                black_box(
+                    evaluate(&model, &EvalConfig::new(32).with_seed(1), &interpreted)
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        },
+    );
 }
 
 /// Replication throughput of the parallel Monte-Carlo engine: the same
@@ -223,6 +281,7 @@ criterion_group!(
     netsim_throughput,
     mpisim_pingpong,
     histogram_sampling,
+    table_sampling,
     pevpm_eval,
     replication_throughput,
     instrumentation_overhead

@@ -1,0 +1,62 @@
+//! Profiling harness for the VM + sampler hot path.
+//!
+//! Runs the 8-replication 64x2 Jacobi batch (the `tcost_eval_speed`
+//! acceptance workload) under three timing models — analytic Hockney
+//! (VM-core floor), compiled sampler tables, and the interpreted
+//! `DistTable` baseline — printing wall time, mean makespan, and
+//! evaluations/sec for each. The mean must be bitwise identical between
+//! compiled and interpreted; Hockney isolates VM cost from sampling cost.
+//!
+//! Build with `cargo build --release --example profile_eval`, then point a
+//! profiler at `target/release/examples/profile_eval` (e.g.
+//! `gprofng collect app -o prof.er target/release/examples/profile_eval`).
+
+use pevpm::timing::TimingModel;
+use pevpm::vm::{monte_carlo, EvalConfig};
+use pevpm_apps::jacobi::{self, JacobiConfig};
+use pevpm_bench::fig6;
+use pevpm_mpibench::MachineShape;
+
+fn main() {
+    let jacobi_cfg = JacobiConfig {
+        xsize: 256,
+        iterations: 1000,
+        serial_secs: 3.24e-3,
+    };
+    let shape = MachineShape { nodes: 64, ppn: 2 };
+    let table = fig6::shape_table(
+        shape,
+        &[
+            jacobi_cfg.halo_bytes() / 2,
+            jacobi_cfg.halo_bytes(),
+            jacobi_cfg.halo_bytes() * 2,
+        ],
+        30,
+        11,
+    );
+    let model = jacobi::model(&jacobi_cfg);
+    let nprocs = 128;
+    let variants: Vec<(&str, TimingModel)> = vec![
+        ("hockney    ", TimingModel::hockney(8.4e-6, 320e6)),
+        ("compiled   ", TimingModel::distributions(table.clone())),
+        ("interpreted", TimingModel::interpreted(table)),
+    ];
+    for (name, timing) in &variants {
+        for trial in 0..2 {
+            let t = std::time::Instant::now();
+            let mc = monte_carlo(
+                &model,
+                &EvalConfig::new(nprocs).with_seed(11).with_threads(1),
+                timing,
+                8,
+            )
+            .unwrap();
+            println!(
+                "{name} trial {trial}: wall={:.3}s mean={:.6} evals/s={:.2}",
+                t.elapsed().as_secs_f64(),
+                mc.mean,
+                mc.evals_per_sec
+            );
+        }
+    }
+}

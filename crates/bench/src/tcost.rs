@@ -29,11 +29,32 @@ use pevpm_mpibench::MachineShape;
 use pevpm_mpisim::WorldConfig;
 use std::time::Instant;
 
+/// Which sampling path the PEVPM engine uses for the cost experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerMode {
+    /// Compiled tables — the default allocation-free fast path.
+    Compiled,
+    /// Interpreted `DistTable` lookups — the pre-compilation baseline,
+    /// kept to measure what the compiled layer buys.
+    Interpreted,
+}
+
+impl std::fmt::Display for SamplerMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SamplerMode::Compiled => "compiled",
+            SamplerMode::Interpreted => "interpreted",
+        })
+    }
+}
+
 /// Result of the evaluation-cost experiment.
 #[derive(Debug, Clone)]
 pub struct CostResult {
     /// Machine shape evaluated.
     pub shape: MachineShape,
+    /// Sampling path the PEVPM batch ran with.
+    pub sampler: SamplerMode,
     /// Monte-Carlo replications in the PEVPM batch.
     pub reps: usize,
     /// Virtual (simulated program) time of the run, in seconds.
@@ -80,16 +101,43 @@ impl CostResult {
     pub fn steps_per_sec(&self) -> f64 {
         self.steps as f64 / self.pevpm_wall.max(1e-12)
     }
+
+    /// Complete PEVPM evaluations per wall-clock second across the batch.
+    pub fn evals_per_sec(&self) -> f64 {
+        self.reps as f64 / self.pevpm_wall.max(1e-12)
+    }
 }
 
 /// Run the cost comparison for one shape: an `mc_reps`-replication PEVPM
-/// Monte-Carlo batch against a single packet-level execution.
+/// Monte-Carlo batch against a single packet-level execution, using the
+/// default compiled sampling path.
 pub fn run(
     shape: MachineShape,
     jacobi_cfg: &JacobiConfig,
     bench_reps: usize,
     mc_reps: usize,
     seed: u64,
+) -> CostResult {
+    run_with(
+        shape,
+        jacobi_cfg,
+        bench_reps,
+        mc_reps,
+        seed,
+        SamplerMode::Compiled,
+    )
+}
+
+/// As [`run`], but with an explicit sampler mode. The compiled and
+/// interpreted paths draw the same RNG stream, so their makespans are
+/// bitwise identical for histogram/point tables — only wall time differs.
+pub fn run_with(
+    shape: MachineShape,
+    jacobi_cfg: &JacobiConfig,
+    bench_reps: usize,
+    mc_reps: usize,
+    seed: u64,
+    sampler: SamplerMode,
 ) -> CostResult {
     let table = crate::fig6::shape_table(
         shape,
@@ -101,7 +149,10 @@ pub fn run(
         bench_reps,
         seed,
     );
-    let timing = TimingModel::distributions(table);
+    let timing = match sampler {
+        SamplerMode::Compiled => TimingModel::distributions(table),
+        SamplerMode::Interpreted => TimingModel::interpreted(table),
+    };
     let model = jacobi::model(jacobi_cfg);
     let nprocs = shape.nodes * shape.ppn;
 
@@ -123,6 +174,7 @@ pub fn run(
 
     CostResult {
         shape,
+        sampler,
         reps: mc_reps,
         virtual_secs: mc.mean.max(measured.time),
         pevpm_wall: mc.wall_secs,
@@ -141,6 +193,7 @@ pub fn render(results: &[CostResult]) -> String {
         .map(|r| {
             vec![
                 r.shape.to_string(),
+                r.sampler.to_string(),
                 crate::report::secs(r.virtual_secs),
                 crate::report::secs(r.pevpm_eval_wall()),
                 crate::report::secs(r.mpisim_wall),
@@ -156,6 +209,7 @@ pub fn render(results: &[CostResult]) -> String {
     crate::report::table(
         &[
             "shape",
+            "sampler",
             "virtual",
             "pevpm-eval",
             "mpisim-wall",
@@ -168,6 +222,63 @@ pub fn render(results: &[CostResult]) -> String {
         ],
         &rows,
     )
+}
+
+/// Serialise cost results as machine-readable JSON (the `BENCH_tcost.json`
+/// CI artifact): one record per (shape, sampler) run plus a `speedups`
+/// section pairing compiled against interpreted runs of the same shape.
+pub fn to_json(results: &[CostResult]) -> String {
+    use pevpm_obs::json::{escape, num};
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"sampler\": \"{}\", \"reps\": {}, \
+             \"virtual_secs\": {}, \"pevpm_wall_secs\": {}, \"mpisim_wall_secs\": {}, \
+             \"evals_per_sec\": {}, \"steps\": {}, \"mean_steps\": {}, \
+             \"steps_per_sec\": {}, \"sb_peak\": {}, \"realtime_factor\": {}, \
+             \"vs_packet_sim\": {}}}{}\n",
+            escape(&r.shape.to_string()),
+            r.sampler,
+            r.reps,
+            num(r.virtual_secs),
+            num(r.pevpm_wall),
+            num(r.mpisim_wall),
+            num(r.evals_per_sec()),
+            r.steps,
+            num(r.mean_steps),
+            num(r.steps_per_sec()),
+            r.sb_peak,
+            num(r.realtime_factor()),
+            num(r.vs_packet_sim()),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    let pairs: Vec<(String, f64)> = results
+        .iter()
+        .filter(|r| r.sampler == SamplerMode::Compiled)
+        .filter_map(|c| {
+            let base = results.iter().find(|r| {
+                r.sampler == SamplerMode::Interpreted
+                    && r.shape.nodes == c.shape.nodes
+                    && r.shape.ppn == c.shape.ppn
+            })?;
+            Some((
+                c.shape.to_string(),
+                c.evals_per_sec() / base.evals_per_sec().max(1e-12),
+            ))
+        })
+        .collect();
+    for (i, (shape, speedup)) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"compiled_vs_interpreted\": {}}}{}\n",
+            escape(shape),
+            num(*speedup),
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -221,5 +332,40 @@ mod tests {
         let table = render(&[res]);
         assert!(table.contains("workers"));
         assert!(table.contains("util"));
+    }
+
+    #[test]
+    fn compiled_and_interpreted_runs_agree_and_serialize() {
+        let cfg = JacobiConfig {
+            xsize: 64,
+            iterations: 20,
+            serial_secs: 1e-4,
+        };
+        let shape = MachineShape { nodes: 4, ppn: 1 };
+        let c = run_with(shape, &cfg, 10, 3, 7, SamplerMode::Compiled);
+        let i = run_with(shape, &cfg, 10, 3, 7, SamplerMode::Interpreted);
+        // Same RNG streams, same tables: only wall time may differ.
+        assert_eq!(c.virtual_secs.to_bits(), i.virtual_secs.to_bits());
+        assert_eq!(c.steps, i.steps);
+        assert_eq!(c.sb_peak, i.sb_peak);
+
+        let js = to_json(&[c, i]);
+        let parsed = pevpm_obs::json::parse(&js).expect("BENCH_tcost.json parses");
+        let results = parsed.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("sampler").and_then(|s| s.as_str()),
+            Some("compiled")
+        );
+        assert!(results[0]
+            .get("evals_per_sec")
+            .and_then(|v| v.as_num())
+            .is_some_and(|v| v > 0.0));
+        let speedups = parsed.get("speedups").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(speedups.len(), 1);
+        assert!(speedups[0]
+            .get("compiled_vs_interpreted")
+            .and_then(|v| v.as_num())
+            .is_some_and(|v| v > 0.0));
     }
 }

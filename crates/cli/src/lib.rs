@@ -24,7 +24,7 @@ pub mod args;
 use args::{ArgError, Args};
 use pevpm::timing::{PredictionMode, TimingModel};
 use pevpm::vm::{evaluate, EvalConfig};
-use pevpm_dist::{io as dist_io, CommDist, DistTable, Op};
+use pevpm_dist::{io as dist_io, CommDist, CompileOptions, DistTable, Op};
 use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
 use pevpm_obs::{diag, Registry, Verbosity};
@@ -77,8 +77,9 @@ USAGE:
       Parse `// PEVPM` annotations and print the extracted model.
 
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
-                 [--pingpong] [--param k=v ...] [--seed S] [--reps R]
-                 [--threads T] [--trace-out TRACE.json] [--metrics-out M.json]
+                 [--pingpong] [--exact-quantiles] [--param k=v ...] [--seed S]
+                 [--reps R] [--threads T] [--trace-out TRACE.json]
+                 [--metrics-out M.json]
       Evaluate the annotated program's PEVPM model against a database.
       --reps R > 1 runs a Monte-Carlo batch of R derived-seed replications
       (mean +/- stderr); --threads T as for bench. --trace-out writes the
@@ -86,10 +87,13 @@ USAGE:
       chrome://tracing or https://ui.perfetto.dev); --metrics-out dumps the
       engine's metrics registry (sweep/match counts, contention and
       scoreboard-occupancy histograms, per-directive losses) as JSON.
+      --exact-quantiles answers fitted-distribution inverse-CDF queries by
+      exact bisection instead of the compiled quantile lookup table
+      (slower; bounds the LUT's <=0.1% relative interpolation error).
 
   pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
                  [--xsize X] [--iters I] [--serial-ms MS] [--seed S]
-                 [--db DB.dist] [--trace-out TRACE.json]
+                 [--db DB.dist] [--exact-quantiles] [--trace-out TRACE.json]
       Run the Jacobi example on the simulated cluster with tracing enabled
       and print the per-rank compute/send/blocked breakdown. --trace-out
       writes a merged Chrome trace with the PEVPM *predicted* timeline
@@ -105,7 +109,7 @@ and --metrics-out (per-size latency histograms as metrics JSON).
 ";
 
 /// Boolean flags that never consume a following token.
-const BOOL_FLAGS: &[&str] = &["pingpong", "verbose", "quiet", "help"];
+const BOOL_FLAGS: &[&str] = &["pingpong", "exact-quantiles", "verbose", "quiet", "help"];
 
 /// Dispatch a full argument vector (without the program name).
 pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
@@ -253,6 +257,18 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
     }
     report.push_str(&format!("database written to {out}\n"));
     Ok(report)
+}
+
+/// Sampler-compilation options selected on the command line.
+///
+/// `--exact-quantiles` disables the fitted-distribution quantile LUT and
+/// answers every inverse-CDF query by exact bisection — slower, but useful
+/// to bound the LUT's (documented, <=0.1% relative) interpolation error.
+fn compile_options(args: &Args) -> CompileOptions {
+    CompileOptions {
+        exact_quantiles: args.has("exact-quantiles"),
+        ..CompileOptions::default()
+    }
 }
 
 fn load_db(args: &Args) -> Result<DistTable, CliError> {
@@ -404,7 +420,9 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         TimingModel::pingpong_only(&table, mode)
     } else {
         match mode {
-            PredictionMode::FullDistribution => TimingModel::distributions(table),
+            PredictionMode::FullDistribution => {
+                TimingModel::distributions_with(table, compile_options(args))
+            }
             PredictionMode::Average => TimingModel::point(table, pevpm_dist::PointKind::Average),
             PredictionMode::Minimum => TimingModel::point(table, pevpm_dist::PointKind::Minimum),
         }
@@ -553,9 +571,10 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     // Predicted counterpart: sample --db when given, else fall back to an
     // analytic Hockney model (Fast-Ethernet-era constants).
     let timing = match args.get("db") {
-        Some(path) => TimingModel::distributions(
+        Some(path) => TimingModel::distributions_with(
             dist_io::load_table(Path::new(path))
                 .map_err(|e| CliError(format!("cannot load {path}: {e}")))?,
+            compile_options(args),
         ),
         None => TimingModel::hockney(100e-6, 12.5e6),
     };
@@ -707,9 +726,16 @@ mod tests {
         assert!(out.contains("8 replications"), "{out}");
         assert!(out.contains("stderr"), "{out}");
 
-        // Fitted database predicts too.
+        // Fitted database predicts too, with and without the quantile LUT.
         let out = run_cmd(&format!(
             "predict --model {} --db {} --procs 2 --param rounds=20",
+            model.display(),
+            fitted.display()
+        ))
+        .unwrap();
+        assert!(out.contains("predicted makespan"), "{out}");
+        let out = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2 --param rounds=20 --exact-quantiles",
             model.display(),
             fitted.display()
         ))

@@ -1,0 +1,788 @@
+//! The compiled sampling fast path: allocation-free Monte-Carlo draws.
+//!
+//! [`crate::DistTable`] is the flexible, mutable benchmark database, but its
+//! query path allocates four `Vec`s per draw (size axis, size axis as f64,
+//! per-column contention axis, neighbour list) and walks histogram counts
+//! linearly to invert the CDF. PEVPM draws one sample *per message*, so for
+//! a 64-process Jacobi run the interpreted path performs millions of
+//! allocations per evaluation.
+//!
+//! [`CompiledTable`] is an immutable compilation of a `DistTable` that
+//! removes all of that:
+//!
+//! - per-op size axes and per-column contention axes are flattened into
+//!   sorted slices, so neighbour selection is pure `partition_point` with
+//!   zero allocation;
+//! - each [`crate::CommDist`] becomes a [`CompiledDist`]: histograms carry
+//!   an inclusive cumulative-count prefix array, turning the inverse CDF
+//!   into an exact `O(log bins)` binary search that is **bitwise identical**
+//!   to the interpreted linear walk (cumulative counts are integers below
+//!   2^53, so the float prefix is exact); parametric fits carry a monotone
+//!   quantile lookup table with linear interpolation, replacing the
+//!   80-iteration CDF bisection per draw (the exact bisection is retained
+//!   for the tail beyond [`LUT_TAIL_Q`] and, with
+//!   [`CompileOptions::exact_quantiles`], for every draw);
+//! - the up-to-4 blended neighbour sets are cached keyed by the exact
+//!   `(size, contention)` query bits — contention is a small-integer
+//!   scoreboard population and each program sends a handful of distinct
+//!   message sizes, so nearly every draw after the first hits the cache.
+//!
+//! Compilation also *validates* the table: an empty histogram (nothing to
+//! sample) is a hard [`CompileError`] instead of a silent 0.0 draw.
+//!
+//! The contract, enforced by property tests (`tests/prop_compiled.rs`):
+//! for histogram and point distributions, `CompiledTable::sample_at`
+//! matches `DistTable::sample_at` **draw-for-draw on the same RNG stream**
+//! (bitwise). For `Fit` distributions the LUT introduces a bounded
+//! interpolation error: relative error ≤ [`LUT_REL_ERROR`] against the
+//! exact bisection for quantiles in `[0, LUT_TAIL_Q]` at the default
+//! [`CompileOptions::lut_points`] resolution (tail quantiles always use the
+//! exact bisection).
+
+use crate::fit::ParametricFit;
+use crate::table::{size_weight, CommDist, DistKey, DistTable, Op};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Quantile beyond which compiled `Fit` distributions fall back to the
+/// exact bisection instead of the lookup table: the extreme right tail of
+/// shifted-exponential/log-normal/gamma fits is too curved for uniform-grid
+/// linear interpolation. 127/128 — exactly representable, so the LUT region
+/// boundary is stable.
+pub const LUT_TAIL_Q: f64 = 0.992_187_5;
+
+/// Documented relative-error bound of the `Fit` quantile LUT against the
+/// exact bisection over `q ∈ [0, LUT_TAIL_Q]` at the default
+/// [`CompileOptions::lut_points`]. Asserted by `tests/prop_compiled.rs`.
+pub const LUT_REL_ERROR: f64 = 1e-3;
+
+/// Blend-cache entries kept per op grid. Real programs query a handful of
+/// (size, contention) cells; the cap only guards against degenerate
+/// workloads with unbounded distinct queries.
+const BLEND_CACHE_CAP: usize = 4096;
+
+/// Errors raised while compiling a [`DistTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A grid cell holds a histogram with no observations: there is nothing
+    /// to sample, and silently drawing 0.0 seconds would corrupt
+    /// predictions.
+    EmptyHistogram {
+        /// The offending grid coordinate.
+        key: DistKey,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::EmptyHistogram { key } => write!(
+                f,
+                "empty histogram at op={} size={} contention={}: \
+                 nothing to sample from",
+                key.op, key.size, key.contention
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Options controlling table compilation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompileOptions {
+    /// Answer every `Fit` quantile with the exact 80-iteration bisection
+    /// instead of the lookup table (the CLI's `--exact-quantiles`). Slow;
+    /// used to bound LUT error and for bit-exact reproduction of pre-LUT
+    /// results.
+    pub exact_quantiles: bool,
+    /// Knots in each `Fit` quantile lookup table (uniform in `q` over
+    /// `[0, LUT_TAIL_Q]`). Must be at least 2; the default (1025) keeps the
+    /// relative interpolation error under [`LUT_REL_ERROR`].
+    pub lut_points: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            exact_quantiles: false,
+            lut_points: 1025,
+        }
+    }
+}
+
+// -------------------------------------------------------------- dists --
+
+/// A histogram compiled for `O(log bins)` exact inverse-CDF evaluation.
+///
+/// `prefix[i]` is the inclusive cumulative count of bins `0..=i`, stored as
+/// `f64`. Counts are integers far below 2^53, so every prefix value is
+/// exact and comparisons against `q * total` are bitwise identical to the
+/// interpreted running-sum walk in [`crate::Histogram::quantile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledHist {
+    origin: f64,
+    bin_width: f64,
+    prefix: Vec<f64>,
+    total: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+}
+
+impl CompiledHist {
+    fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        let target = q * self.total;
+        // First bin whose inclusive cumulative count reaches `target`. It
+        // necessarily has a positive count (a zero-count bin shares its
+        // prefix with its predecessor, so it can never be the *first*
+        // crossing), exactly like the interpreted walk's `continue`.
+        let i = self.prefix.partition_point(|&p| p < target);
+        if i >= self.prefix.len() {
+            return self.max;
+        }
+        let cum = if i == 0 { 0.0 } else { self.prefix[i - 1] };
+        let c = self.prefix[i] - cum;
+        let frac = (target - cum) / c;
+        let left = self.origin + i as f64 * self.bin_width;
+        let lo = left.max(self.min);
+        let hi = (left + self.bin_width).min(self.max);
+        let hi = hi.max(lo);
+        lo + frac * (hi - lo)
+    }
+}
+
+/// A parametric fit compiled to a monotone quantile lookup table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFit {
+    fit: ParametricFit,
+    /// Quantile knots at `q = k * LUT_TAIL_Q / (len - 1)`; empty in
+    /// exact-quantiles mode.
+    lut: Vec<f64>,
+    mean: f64,
+    min: f64,
+}
+
+impl CompiledFit {
+    fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.fit.shift;
+        }
+        if self.lut.is_empty() || q > LUT_TAIL_Q {
+            return self.fit.quantile(q);
+        }
+        let t = q * (self.lut.len() - 1) as f64 / LUT_TAIL_Q;
+        let i = (t as usize).min(self.lut.len() - 2);
+        let frac = t - i as f64;
+        self.lut[i] + frac * (self.lut[i + 1] - self.lut[i])
+    }
+}
+
+/// One grid distribution compiled for fast repeated evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledDist {
+    /// Empirical histogram with a cumulative-count prefix array.
+    Hist(CompiledHist),
+    /// Parametric fit with a quantile lookup table.
+    Fit(CompiledFit),
+    /// Degenerate point mass.
+    Point(f64),
+}
+
+impl CompiledDist {
+    fn compile(key: DistKey, dist: &CommDist, opts: &CompileOptions) -> Result<Self, CompileError> {
+        Ok(match dist {
+            CommDist::Hist(h) => {
+                if h.is_empty() {
+                    return Err(CompileError::EmptyHistogram { key });
+                }
+                let mut prefix = Vec::with_capacity(h.counts().len());
+                let mut running: u64 = 0;
+                for &c in h.counts() {
+                    running += c;
+                    prefix.push(running as f64);
+                }
+                CompiledDist::Hist(CompiledHist {
+                    origin: h.origin(),
+                    bin_width: h.bin_width(),
+                    prefix,
+                    total: h.total() as f64,
+                    min: h.summary().min().unwrap_or(0.0),
+                    max: h.summary().max().unwrap_or(0.0),
+                    mean: h.summary().mean().unwrap_or(0.0),
+                })
+            }
+            CommDist::Fit(f) => {
+                let lut = if opts.exact_quantiles {
+                    Vec::new()
+                } else {
+                    let n = opts.lut_points.max(2);
+                    (0..n)
+                        .map(|k| f.quantile(k as f64 * LUT_TAIL_Q / (n - 1) as f64))
+                        .collect()
+                };
+                CompiledDist::Fit(CompiledFit {
+                    mean: f.mean(),
+                    min: f.shift,
+                    fit: f.clone(),
+                    lut,
+                })
+            }
+            CommDist::Point(v) => CompiledDist::Point(*v),
+        })
+    }
+
+    /// Inverse CDF at `q` (clamped to `[0, 1]`). Bitwise identical to
+    /// [`CommDist::quantile`] for `Hist`/`Point`; LUT-approximate for
+    /// `Fit` unless compiled with `exact_quantiles`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        match self {
+            CompiledDist::Hist(h) => h.quantile(q),
+            CompiledDist::Fit(f) => f.quantile(q),
+            CompiledDist::Point(v) => *v,
+        }
+    }
+
+    /// Mean of the distribution (precomputed at compile time; bitwise
+    /// identical to [`CommDist::mean`]).
+    pub fn mean(&self) -> f64 {
+        match self {
+            CompiledDist::Hist(h) => h.mean,
+            CompiledDist::Fit(f) => f.mean,
+            CompiledDist::Point(v) => *v,
+        }
+    }
+
+    /// Minimum (0-quantile; bitwise identical to [`CommDist::min`]).
+    pub fn min(&self) -> f64 {
+        match self {
+            CompiledDist::Hist(h) => h.min,
+            CompiledDist::Fit(f) => f.min,
+            CompiledDist::Point(v) => *v,
+        }
+    }
+}
+
+// -------------------------------------------------------------- blend --
+
+/// Up to four neighbour distributions with bilinear weights: the compiled,
+/// fixed-size analogue of the interpreted `Vec<(&CommDist, f64)>`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Blend {
+    idx: [u32; 4],
+    w: [f64; 4],
+    n: u8,
+}
+
+impl Blend {
+    #[inline]
+    fn push(&mut self, idx: u32, w: f64) {
+        self.idx[self.n as usize] = idx;
+        self.w[self.n as usize] = w;
+        self.n += 1;
+    }
+}
+
+/// Index-returning variant of [`crate::table::bracket`] over a
+/// pre-flattened f64 axis.
+/// Axes hold distinct values, so the value-level and index-level brackets
+/// select identical neighbours.
+#[inline]
+fn bracket_idx(axis: &[f64], x: f64) -> Option<(usize, usize, f64)> {
+    if axis.is_empty() {
+        return None;
+    }
+    let n = axis.len();
+    if x <= axis[0] {
+        return Some((0, 0, 0.0));
+    }
+    if x >= axis[n - 1] {
+        return Some((n - 1, n - 1, 0.0));
+    }
+    let hi = axis.partition_point(|&a| a <= x);
+    let (lo_f, hi_f) = (axis[hi - 1], axis[hi]);
+    if (hi_f - lo_f).abs() < f64::EPSILON {
+        return Some((hi - 1, hi, 0.0));
+    }
+    Some((hi - 1, hi, (x - lo_f) / (hi_f - lo_f)))
+}
+
+// ---------------------------------------------------------------- grid --
+
+/// All distributions of one operation, flattened: `sizes` is the sorted
+/// size axis; column `s` spans `dists[col_start[s]..col_start[s + 1]]`,
+/// sorted by contention.
+struct OpGrid {
+    op: Op,
+    sizes: Vec<u64>,
+    sizes_f: Vec<f64>,
+    col_start: Vec<u32>,
+    conts: Vec<u32>,
+    conts_f: Vec<f64>,
+    dists: Vec<CompiledDist>,
+    /// Distinct contention levels across all columns (the compiled
+    /// equivalent of [`DistTable::contentions`]).
+    all_conts: Vec<u32>,
+    /// Memoised blends keyed by the exact query bits. Contention is an
+    /// integer scoreboard population and sizes repeat per message kind, so
+    /// the working set is tiny.
+    cache: RwLock<HashMap<(u64, u64), Blend>>,
+}
+
+impl Clone for OpGrid {
+    fn clone(&self) -> Self {
+        OpGrid {
+            op: self.op,
+            sizes: self.sizes.clone(),
+            sizes_f: self.sizes_f.clone(),
+            col_start: self.col_start.clone(),
+            conts: self.conts.clone(),
+            conts_f: self.conts_f.clone(),
+            dists: self.dists.clone(),
+            all_conts: self.all_conts.clone(),
+            // A fresh empty cache: memoisation is semantically invisible.
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for OpGrid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpGrid")
+            .field("op", &self.op)
+            .field("sizes", &self.sizes)
+            .field("cells", &self.dists.len())
+            .finish()
+    }
+}
+
+impl OpGrid {
+    /// The up-to-four neighbours of `(size, contention)` with bilinear
+    /// weights — the allocation-free mirror of `DistTable::neighbours`,
+    /// replicating its iteration order and skip rules exactly (including
+    /// degenerate zero-weight corners) so blended sums are bitwise equal.
+    fn blend_uncached(&self, size: f64, contention: f64) -> Option<Blend> {
+        let (i_lo, i_hi, _) = bracket_idx(&self.sizes_f, size)?;
+        let (s_lo, s_hi) = (self.sizes[i_lo], self.sizes[i_hi]);
+        let ws = size_weight(s_lo, s_hi, size);
+        let mut b = Blend::default();
+        for (si, wsize) in [(i_lo, 1.0 - ws), (i_hi, ws)] {
+            if wsize == 0.0 && s_lo != s_hi {
+                continue;
+            }
+            let (c0, c1) = (self.col_start[si] as usize, self.col_start[si + 1] as usize);
+            let Some((j_lo, j_hi, wc)) = bracket_idx(&self.conts_f[c0..c1], contention) else {
+                continue;
+            };
+            let (c_lo, c_hi) = (self.conts[c0 + j_lo], self.conts[c0 + j_hi]);
+            for (cj, wcont) in [(j_lo, 1.0 - wc), (j_hi, wc)] {
+                if wcont == 0.0 && c_lo != c_hi {
+                    continue;
+                }
+                b.push((c0 + cj) as u32, wsize * wcont);
+            }
+        }
+        (b.n > 0).then_some(b)
+    }
+
+    fn blend(&self, size: f64, contention: f64) -> Option<Blend> {
+        let key = (size.to_bits(), contention.to_bits());
+        if let Some(b) = self.cache.read().ok()?.get(&key) {
+            return Some(*b);
+        }
+        let b = self.blend_uncached(size, contention)?;
+        if let Ok(mut cache) = self.cache.write() {
+            if cache.len() < BLEND_CACHE_CAP {
+                cache.insert(key, b);
+            }
+        }
+        Some(b)
+    }
+
+    /// Weighted reduction over the blend, mirroring the interpreted
+    /// accumulation order so results stay bitwise identical.
+    #[inline]
+    fn reduce(&self, b: &Blend, mut f: impl FnMut(&CompiledDist) -> f64) -> Option<f64> {
+        let mut wsum = 0.0;
+        for k in 0..b.n as usize {
+            wsum += b.w[k];
+        }
+        if wsum <= 0.0 {
+            return None;
+        }
+        let mut sum = 0.0;
+        for k in 0..b.n as usize {
+            sum += f(&self.dists[b.idx[k] as usize]) * b.w[k];
+        }
+        Some(sum / wsum)
+    }
+}
+
+// --------------------------------------------------------------- table --
+
+/// An immutable compilation of a [`DistTable`] for allocation-free queries.
+///
+/// Produced once by [`CompiledTable::compile`]; shared immutably (the blend
+/// cache is internally synchronised, so `&CompiledTable` is `Sync` and can
+/// be queried from parallel Monte-Carlo replication workers).
+#[derive(Debug, Clone)]
+pub struct CompiledTable {
+    /// Indexed by [`Op::index`]; `None` where the op has no data.
+    grids: Vec<Option<OpGrid>>,
+    options: CompileOptions,
+    len: usize,
+}
+
+impl CompiledTable {
+    /// Compile with default [`CompileOptions`].
+    pub fn compile(table: &DistTable) -> Result<Self, CompileError> {
+        Self::compile_with(table, CompileOptions::default())
+    }
+
+    /// Compile with explicit options. Validates the table: empty
+    /// histograms are a hard error.
+    pub fn compile_with(table: &DistTable, options: CompileOptions) -> Result<Self, CompileError> {
+        // `DistTable::iter` yields keys in (op, size, contention) order, so
+        // each op's grid streams out as complete size columns with sorted
+        // contention levels — exactly the flat layout OpGrid wants.
+        struct Builder {
+            op: Op,
+            sizes: Vec<u64>,
+            col_start: Vec<u32>,
+            conts: Vec<u32>,
+            dists: Vec<CompiledDist>,
+        }
+        let mut builders: Vec<Option<Builder>> = (0..Op::ALL.len()).map(|_| None).collect();
+        for (key, dist) in table.iter() {
+            let b = builders[key.op.index()].get_or_insert_with(|| Builder {
+                op: key.op,
+                sizes: Vec::new(),
+                col_start: Vec::new(),
+                conts: Vec::new(),
+                dists: Vec::new(),
+            });
+            if b.sizes.last() != Some(&key.size) {
+                b.col_start.push(b.conts.len() as u32);
+                b.sizes.push(key.size);
+            }
+            b.conts.push(key.contention);
+            b.dists.push(CompiledDist::compile(key, dist, &options)?);
+        }
+        let mut len = 0usize;
+        let mut grids: Vec<Option<OpGrid>> = (0..Op::ALL.len()).map(|_| None).collect();
+        for (slot, b) in grids.iter_mut().zip(builders) {
+            let Some(mut b) = b else { continue };
+            b.col_start.push(b.conts.len() as u32);
+            let mut all_conts = b.conts.clone();
+            all_conts.sort_unstable();
+            all_conts.dedup();
+            len += b.dists.len();
+            *slot = Some(OpGrid {
+                op: b.op,
+                sizes_f: b.sizes.iter().map(|&s| s as f64).collect(),
+                sizes: b.sizes,
+                col_start: b.col_start,
+                conts_f: b.conts.iter().map(|&c| c as f64).collect(),
+                conts: b.conts,
+                dists: b.dists,
+                all_conts,
+                cache: RwLock::new(HashMap::new()),
+            });
+        }
+        Ok(CompiledTable {
+            grids,
+            options,
+            len,
+        })
+    }
+
+    /// The options this table was compiled with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Number of compiled grid cells across all operations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no distributions were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Operations present, in [`Op::ALL`] order.
+    pub fn ops(&self) -> impl Iterator<Item = Op> + '_ {
+        self.grids.iter().filter_map(|g| g.as_ref().map(|g| g.op))
+    }
+
+    /// Sorted distinct message sizes measured for `op` (flat slice; no
+    /// allocation — use this instead of [`DistTable::sizes`] in hot code).
+    pub fn sizes(&self, op: Op) -> &[u64] {
+        self.grids[op.index()]
+            .as_ref()
+            .map(|g| g.sizes.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Sorted distinct contention levels measured for `op` (flat slice; no
+    /// allocation — use this instead of [`DistTable::contentions`] in hot
+    /// code).
+    pub fn contentions(&self, op: Op) -> &[u32] {
+        self.grids[op.index()]
+            .as_ref()
+            .map(|g| g.all_conts.as_slice())
+            .unwrap_or(&[])
+    }
+
+    #[inline]
+    fn grid(&self, op: Op) -> Option<&OpGrid> {
+        self.grids[op.index()].as_ref()
+    }
+
+    /// Interpolated inverse CDF at probability `q` for the query point.
+    /// Bitwise identical to [`DistTable::quantile_at`] for histogram/point
+    /// grids.
+    pub fn quantile_at(&self, op: Op, size: f64, contention: f64, q: f64) -> Option<f64> {
+        let g = self.grid(op)?;
+        let b = g.blend(size, contention)?;
+        g.reduce(&b, |d| d.quantile(q))
+    }
+
+    /// Draw one communication time: one uniform variate, blended across
+    /// neighbour quantile functions — the same single-draw discipline as
+    /// [`DistTable::sample_at`], so RNG streams stay aligned.
+    pub fn sample_at<R: Rng + ?Sized>(
+        &self,
+        op: Op,
+        size: f64,
+        contention: f64,
+        rng: &mut R,
+    ) -> Option<f64> {
+        let u = rng.gen::<f64>();
+        self.quantile_at(op, size, contention, u)
+    }
+
+    /// Interpolated mean at the query point (bitwise identical to
+    /// [`DistTable::mean_at`]).
+    pub fn mean_at(&self, op: Op, size: f64, contention: f64) -> Option<f64> {
+        let g = self.grid(op)?;
+        let b = g.blend(size, contention)?;
+        g.reduce(&b, |d| d.mean())
+    }
+
+    /// Interpolated minimum at the query point (bitwise identical to
+    /// [`DistTable::min_at`]).
+    pub fn min_at(&self, op: Op, size: f64, contention: f64) -> Option<f64> {
+        let g = self.grid(op)?;
+        let b = g.blend(size, contention)?;
+        g.reduce(&b, |d| d.min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use crate::sample::PointKind;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grid_table() -> DistTable {
+        let mut t = DistTable::new();
+        for &size in &[64u64, 1024, 16384] {
+            for &c in &[1u32, 4, 32] {
+                let samples: Vec<f64> = (0..200)
+                    .map(|i| (size as f64) * 1e-7 * (c as f64) + ((i * 37) % 100) as f64 * 1e-6)
+                    .collect();
+                t.insert(
+                    DistKey {
+                        op: Op::Isend,
+                        size,
+                        contention: c,
+                    },
+                    CommDist::Hist(Histogram::from_samples(&samples, 1e-6)),
+                );
+            }
+        }
+        // A ragged column: one size measured at an extra contention level.
+        t.insert(
+            DistKey {
+                op: Op::Isend,
+                size: 1024,
+                contention: 64,
+            },
+            CommDist::Point(3.3e-3),
+        );
+        t
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_on_and_off_grid() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        assert_eq!(c.len(), t.len());
+        for &size in &[1.0, 64.0, 300.0, 1024.0, 5000.0, 16384.0, 1e9] {
+            for &cont in &[0.0, 1.0, 2.5, 4.0, 17.0, 32.0, 64.0, 500.0] {
+                for &q in &[0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+                    let a = t.quantile_at(Op::Isend, size, cont, q);
+                    let b = c.quantile_at(Op::Isend, size, cont, q);
+                    assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "quantile mismatch at size={size} cont={cont} q={q}: {a:?} vs {b:?}"
+                    );
+                }
+                assert_eq!(
+                    t.mean_at(Op::Isend, size, cont).map(f64::to_bits),
+                    c.mean_at(Op::Isend, size, cont).map(f64::to_bits)
+                );
+                assert_eq!(
+                    t.min_at(Op::Isend, size, cont).map(f64::to_bits),
+                    c.min_at(Op::Isend, size, cont).map(f64::to_bits)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_at_is_draw_for_draw_identical() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        let mut r1 = SmallRng::seed_from_u64(99);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        for i in 0..500 {
+            let size = 32.0 + (i * 97 % 20000) as f64;
+            let cont = (i % 50) as f64;
+            let a = t.sample_at(Op::Isend, size, cont, &mut r1).unwrap();
+            let b = c.sample_at(Op::Isend, size, cont, &mut r2).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "draw {i} diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn missing_op_is_none() {
+        let c = CompiledTable::compile(&grid_table()).unwrap();
+        assert_eq!(c.quantile_at(Op::Barrier, 1.0, 1.0, 0.5), None);
+        assert!(c.sizes(Op::Barrier).is_empty());
+        assert!(c.contentions(Op::Barrier).is_empty());
+    }
+
+    #[test]
+    fn axes_match_interpreted_accessors() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        assert_eq!(c.sizes(Op::Isend), t.sizes(Op::Isend).as_slice());
+        assert_eq!(
+            c.contentions(Op::Isend),
+            t.contentions(Op::Isend).as_slice()
+        );
+        assert_eq!(c.ops().collect::<Vec<_>>(), t.ops().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_histogram_is_a_compile_error() {
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey {
+                op: Op::Send,
+                size: 8,
+                contention: 1,
+            },
+            CommDist::Hist(Histogram::new(0.0, 1.0)),
+        );
+        let err = CompiledTable::compile(&t).unwrap_err();
+        assert!(matches!(err, CompileError::EmptyHistogram { key } if key.size == 8));
+        assert!(t.validate().is_err());
+        assert!(grid_table().validate().is_ok());
+    }
+
+    #[test]
+    fn fit_lut_tracks_exact_bisection() {
+        let fit = ParametricFit {
+            kind: crate::FitKind::ShiftedLogNormal,
+            shift: 2.5e-4,
+            p1: -8.0,
+            p2: 0.6,
+        };
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention: 1,
+            },
+            CommDist::Fit(fit.clone()),
+        );
+        let lut = CompiledTable::compile(&t).unwrap();
+        let exact = CompiledTable::compile_with(
+            &t,
+            CompileOptions {
+                exact_quantiles: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0 * LUT_TAIL_Q;
+            let a = lut.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+            let e = exact.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+            let rel = (a - e).abs() / e.abs().max(1e-300);
+            assert!(
+                rel <= LUT_REL_ERROR,
+                "q={q}: lut {a} vs exact {e} ({rel:e})"
+            );
+        }
+        // Tail quantiles fall back to the exact bisection in both modes.
+        for &q in &[LUT_TAIL_Q + 1e-6, 0.999, 0.99999, 1.0] {
+            let a = lut.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+            let e = exact.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+            assert_eq!(a.to_bits(), e.to_bits(), "tail q={q}");
+        }
+        // Exact mode matches the interpreted table bitwise everywhere.
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                exact
+                    .quantile_at(Op::Send, 1024.0, 1.0, q)
+                    .map(f64::to_bits),
+                t.quantile_at(Op::Send, 1024.0, 1.0, q).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn blend_cache_hits_are_consistent() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        // Same query twice: second hits the cache, same bits.
+        let a = c.quantile_at(Op::Isend, 777.0, 3.0, 0.5).unwrap();
+        let b = c.quantile_at(Op::Isend, 777.0, 3.0, 0.5).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        // A clone starts with a cold cache but answers identically.
+        let c2 = c.clone();
+        let d = c2.quantile_at(Op::Isend, 777.0, 3.0, 0.5).unwrap();
+        assert_eq!(a.to_bits(), d.to_bits());
+    }
+
+    #[test]
+    fn collapsed_tables_compile_to_points() {
+        let t = grid_table().collapsed(PointKind::Minimum);
+        let c = CompiledTable::compile(&t).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let v = c.sample_at(Op::Isend, 64.0, 1.0, &mut rng).unwrap();
+        assert_eq!(
+            v.to_bits(),
+            t.min_at(Op::Isend, 64.0, 1.0).unwrap().to_bits()
+        );
+    }
+}

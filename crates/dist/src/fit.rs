@@ -176,6 +176,35 @@ impl ParametricFit {
         }
     }
 
+    /// Inverse CDF at `q` (clamped to `[0, 1]`) by numerical bisection.
+    ///
+    /// This is the *exact* (to f64 bisection convergence) quantile: 80
+    /// halvings of a bracket that starts at `mean + 20σ` and doubles until
+    /// it covers `q`. It is the reference that
+    /// [`crate::compiled::CompiledDist`]'s quantile lookup table is built
+    /// from and validated against, and the path used when a table is
+    /// compiled with `exact_quantiles`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.shift;
+        }
+        let mut lo = self.shift;
+        let mut hi = self.mean() + 20.0 * self.variance().sqrt().max(1e-12);
+        while self.cdf(hi) < q && hi - self.shift < 1e12 {
+            hi = self.shift + (hi - self.shift) * 2.0;
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
     /// Draw one sample from the fitted distribution.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match self.kind {

@@ -204,7 +204,18 @@ pub fn read_table(text: &str) -> Result<DistTable, ParseError> {
                         counts.push(parse_num(tok, clineno)?);
                     }
                 }
-                CommDist::Hist(Histogram::from_parts(origin, width, counts, summary))
+                let h = Histogram::from_parts(origin, width, counts, summary);
+                if h.is_empty() {
+                    return Err(err(
+                        clineno,
+                        format!(
+                            "empty histogram for op={} size={} contention={}: \
+                             nothing to sample from",
+                            key.op, key.size, key.contention
+                        ),
+                    ));
+                }
+                CommDist::Hist(h)
             }
             other => return Err(err(lineno, format!("unknown body tag {other:?}"))),
         };
@@ -383,6 +394,17 @@ mod tests {
         let back = load_table(&path).unwrap();
         assert_eq!(t, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_empty_histogram() {
+        let doc = "PEVPM-DIST v1\n\
+                   entry op=send size=8 contention=1\n\
+                   hist origin=0 width=1e-6\n\
+                   summary count=0 mean=0 m2=0 min=0 max=0 sum=0\n\
+                   counts\n";
+        let e = read_table(doc).unwrap_err();
+        assert!(e.message.contains("empty histogram"), "{e}");
     }
 
     #[test]

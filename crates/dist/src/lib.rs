@@ -19,10 +19,15 @@
 //!   table with arbitrary (size, #in-flight-messages) coordinates.
 //! - [`io`] — a compact, versioned, human-readable text format for saving and
 //!   reloading benchmark databases (`.dist` files).
+//! - [`CompiledTable`] — an immutable, allocation-free compilation of a
+//!   [`DistTable`] for the Monte-Carlo hot path: flat sorted axes, exact
+//!   prefix-sum histogram inversion, quantile lookup tables for fits, and a
+//!   memoised neighbour-blend cache.
 //!
 //! All times are `f64` seconds. All sampling is driven by a caller-supplied
 //! [`rand::Rng`], so experiments are reproducible given a seed.
 
+pub mod compiled;
 pub mod ecdf;
 pub mod fit;
 pub mod histogram;
@@ -31,6 +36,7 @@ pub mod sample;
 pub mod summary;
 pub mod table;
 
+pub use compiled::{CompileError, CompileOptions, CompiledDist, CompiledTable};
 pub use ecdf::Ecdf;
 pub use fit::{FitKind, ParametricFit};
 pub use histogram::Histogram;

@@ -82,6 +82,24 @@ impl Op {
     pub fn from_name(s: &str) -> Option<Op> {
         Op::ALL.iter().copied().find(|o| o.name() == s)
     }
+
+    /// Position of this operation in [`Op::ALL`]: a dense index used for
+    /// flat per-op storage (e.g. [`crate::compiled::CompiledTable`]).
+    pub fn index(self) -> usize {
+        match self {
+            Op::Send => 0,
+            Op::Isend => 1,
+            Op::Recv => 2,
+            Op::Barrier => 3,
+            Op::Bcast => 4,
+            Op::Reduce => 5,
+            Op::Allreduce => 6,
+            Op::Gather => 7,
+            Op::Scatter => 8,
+            Op::Allgather => 9,
+            Op::Alltoall => 10,
+        }
+    }
 }
 
 impl std::fmt::Display for Op {
@@ -138,38 +156,34 @@ impl CommDist {
         let q = q.clamp(0.0, 1.0);
         match self {
             CommDist::Hist(h) => h.quantile(q).unwrap_or(0.0),
-            CommDist::Fit(f) => {
-                // Invert the CDF numerically by bisection; fits are cheap and
-                // this path is not hot (PEVPM mostly uses histograms).
-                if q <= 0.0 {
-                    return f.shift;
-                }
-                let mut lo = f.shift;
-                let mut hi = f.mean() + 20.0 * f.variance().sqrt().max(1e-12);
-                while f.cdf(hi) < q && hi - f.shift < 1e12 {
-                    hi = f.shift + (hi - f.shift) * 2.0;
-                }
-                for _ in 0..80 {
-                    let mid = 0.5 * (lo + hi);
-                    if f.cdf(mid) < q {
-                        lo = mid;
-                    } else {
-                        hi = mid;
-                    }
-                }
-                0.5 * (lo + hi)
-            }
+            CommDist::Fit(f) => f.quantile(q),
             CommDist::Point(v) => *v,
         }
     }
 
     /// Draw one sample.
+    ///
+    /// # Panics
+    /// Panics on an empty histogram: an empty distribution has no samples
+    /// to draw, and silently returning a 0.0 communication time would
+    /// corrupt predictions. Empty histograms are rejected up front by
+    /// [`DistTable::validate`], which both the `.dist` loader and
+    /// [`crate::compiled::CompiledTable::compile`] run, so this panic is
+    /// unreachable for tables that came through either path.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match self {
-            CommDist::Hist(h) => h.sample(rng).unwrap_or(0.0),
+            CommDist::Hist(h) => h
+                .sample(rng)
+                .expect("empty histogram in CommDist::sample (run DistTable::validate)"),
             CommDist::Fit(f) => f.sample(rng),
             CommDist::Point(v) => *v,
         }
+    }
+
+    /// True for a histogram with no observations — a distribution nothing
+    /// can be drawn from. See [`DistTable::validate`].
+    pub fn is_vacuous(&self) -> bool {
+        matches!(self, CommDist::Hist(h) if h.is_empty())
     }
 
     /// Collapse to a degenerate point distribution at the given statistic.
@@ -242,18 +256,31 @@ impl DistTable {
     }
 
     /// Distinct message sizes measured for `op`.
+    ///
+    /// PERF regression note: this allocates a fresh `Vec` on every call
+    /// (the BTreeMap keys are already size-ordered, so no sort is needed,
+    /// but the collection itself is O(n) heap work). Hot loops — anything
+    /// per-message or per-draw — must not call this; they go through
+    /// [`crate::compiled::CompiledTable`], whose axes are flat slices
+    /// precomputed once at compile time.
     pub fn sizes(&self, op: Op) -> Vec<u64> {
+        // Keys iterate in (size, contention) order, so the projected sizes
+        // are already sorted; dedup alone suffices.
         let mut v: Vec<u64> = self
             .entries
             .get(&op)
             .map(|m| m.keys().map(|&(s, _)| s).collect())
             .unwrap_or_default();
-        v.sort_unstable();
+        debug_assert!(v.windows(2).all(|w| w[0] <= w[1]));
         v.dedup();
         v
     }
 
     /// Distinct contention levels measured for `op`.
+    ///
+    /// PERF regression note: allocates and sorts per call (contentions are
+    /// *not* globally ordered in the `(size, contention)` key space). Hot
+    /// loops must use [`crate::compiled::CompiledTable`] instead.
     pub fn contentions(&self, op: Op) -> Vec<u32> {
         let mut v: Vec<u32> = self
             .entries
@@ -265,55 +292,37 @@ impl DistTable {
         v
     }
 
-    /// Surrounding grid coordinates of `x` in a sorted axis, with the blend
-    /// weight of the upper neighbour. Clamped at the edges.
-    fn bracket<T: Copy + PartialOrd + Into<f64>>(axis: &[T], x: f64) -> Option<(T, T, f64)> {
-        if axis.is_empty() {
-            return None;
+    /// Check that every stored distribution can actually be sampled from:
+    /// empty histograms (no observations) are rejected with the offending
+    /// grid key. Run by the `.dist` loader and by
+    /// [`crate::compiled::CompiledTable::compile`], so a vacuous
+    /// distribution is a hard error at load/compile time instead of a
+    /// silent 0.0 communication time at sampling time.
+    pub fn validate(&self) -> Result<(), crate::compiled::CompileError> {
+        for (key, dist) in self.iter() {
+            if dist.is_vacuous() {
+                return Err(crate::compiled::CompileError::EmptyHistogram { key });
+            }
         }
-        let first = axis[0];
-        let last = axis[axis.len() - 1];
-        if x <= first.into() {
-            return Some((first, first, 0.0));
-        }
-        if x >= last.into() {
-            return Some((last, last, 0.0));
-        }
-        let hi_idx = axis.partition_point(|&a| a.into() <= x);
-        let lo = axis[hi_idx - 1];
-        let hi = axis[hi_idx];
-        let (lo_f, hi_f) = (lo.into(), hi.into());
-        if (hi_f - lo_f).abs() < f64::EPSILON {
-            return Some((lo, hi, 0.0));
-        }
-        Some((lo, hi, (x - lo_f) / (hi_f - lo_f)))
-    }
-
-    /// Weight along the size axis is computed in log2 space, since message
-    /// sizes are sampled geometrically and time grows ~linearly in size so
-    /// log-space blending is much closer to linear interpolation of latency
-    /// curves on the geometric grid used by MPIBench.
-    fn size_weight(lo: u64, hi: u64, size: f64) -> f64 {
-        if lo == hi {
-            return 0.0;
-        }
-        let l = ((lo as f64) + 1.0).log2();
-        let h = ((hi as f64) + 1.0).log2();
-        (((size + 1.0).log2() - l) / (h - l)).clamp(0.0, 1.0)
+        Ok(())
     }
 
     /// The up-to-four surrounding grid distributions of `(size, contention)`
     /// with their bilinear weights. Returns `None` if the op has no data.
+    ///
+    /// PERF regression note: allocates four `Vec`s per call. This is the
+    /// reference implementation that `CompiledTable`'s zero-allocation
+    /// blend is property-tested against draw-for-draw; keep them in
+    /// lockstep (both route through [`bracket`] / [`size_weight`]).
     fn neighbours(&self, op: Op, size: f64, contention: f64) -> Option<Vec<(&CommDist, f64)>> {
         let grid = self.entries.get(&op)?;
         if grid.is_empty() {
             return None;
         }
         let sizes = self.sizes(op);
-        let (s_lo, s_hi, _) =
-            Self::bracket(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>(), size)
-                .map(|(a, b, w)| (a as u64, b as u64, w))?;
-        let ws = Self::size_weight(s_lo, s_hi, size);
+        let (s_lo, s_hi, _) = bracket(&sizes.iter().map(|&s| s as f64).collect::<Vec<_>>(), size)
+            .map(|(a, b, w)| (a as u64, b as u64, w))?;
+        let ws = size_weight(s_lo, s_hi, size);
 
         // Contention axes can differ per size column; bracket per column.
         let mut out: Vec<(&CommDist, f64)> = Vec::with_capacity(4);
@@ -325,7 +334,7 @@ impl DistTable {
                 .range((s, 0)..=(s, u32::MAX))
                 .map(|(&(_, c), _)| c)
                 .collect();
-            let Some((c_lo, c_hi, wc)) = Self::bracket(&col, contention) else {
+            let Some((c_lo, c_hi, wc)) = bracket(&col, contention) else {
                 continue;
             };
             for (c, wcont) in [(c_lo, 1.0 - wc), (c_hi, wc)] {
@@ -437,6 +446,48 @@ impl DistTable {
         }
         t
     }
+}
+
+/// Surrounding grid coordinates of `x` in a sorted axis, with the blend
+/// weight of the upper neighbour. Clamped at the edges.
+///
+/// Shared by the interpreted [`DistTable`] path and the compiled
+/// [`crate::compiled::CompiledTable`] path so both select bitwise-identical
+/// neighbours and weights.
+pub(crate) fn bracket<T: Copy + PartialOrd + Into<f64>>(axis: &[T], x: f64) -> Option<(T, T, f64)> {
+    if axis.is_empty() {
+        return None;
+    }
+    let first = axis[0];
+    let last = axis[axis.len() - 1];
+    if x <= first.into() {
+        return Some((first, first, 0.0));
+    }
+    if x >= last.into() {
+        return Some((last, last, 0.0));
+    }
+    let hi_idx = axis.partition_point(|&a| a.into() <= x);
+    let lo = axis[hi_idx - 1];
+    let hi = axis[hi_idx];
+    let (lo_f, hi_f) = (lo.into(), hi.into());
+    if (hi_f - lo_f).abs() < f64::EPSILON {
+        return Some((lo, hi, 0.0));
+    }
+    Some((lo, hi, (x - lo_f) / (hi_f - lo_f)))
+}
+
+/// Weight along the size axis is computed in log2 space, since message
+/// sizes are sampled geometrically and time grows ~linearly in size so
+/// log-space blending is much closer to linear interpolation of latency
+/// curves on the geometric grid used by MPIBench. Shared by the interpreted
+/// and compiled lookup paths.
+pub(crate) fn size_weight(lo: u64, hi: u64, size: f64) -> f64 {
+    if lo == hi {
+        return 0.0;
+    }
+    let l = ((lo as f64) + 1.0).log2();
+    let h = ((hi as f64) + 1.0).log2();
+    (((size + 1.0).log2() - l) / (h - l)).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

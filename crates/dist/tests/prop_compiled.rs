@@ -1,0 +1,184 @@
+//! Property tests for the compiled sampling layer: on randomly generated
+//! distribution tables, [`CompiledTable`] must be observationally identical
+//! to the interpreted [`DistTable`] — draw-for-draw and bitwise for
+//! histogram/point tables, and within the documented LUT error bound
+//! ([`LUT_REL_ERROR`]) for fitted tables.
+
+use pevpm_dist::compiled::{LUT_REL_ERROR, LUT_TAIL_Q};
+use pevpm_dist::{
+    CommDist, CompileOptions, CompiledTable, DistKey, DistTable, FitKind, Histogram, Op,
+    ParametricFit,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed grid axes; properties pick random prefixes so table shapes vary
+/// from a single cell to a 4x4 grid.
+const SIZES: &[u64] = &[16, 256, 4096, 65536];
+const CONTS: &[u32] = &[1, 2, 8, 32];
+
+/// Build a random histogram/point table on `nsizes x nconts` grid cells,
+/// deterministically from `seed`.
+fn random_table(seed: u64, nsizes: usize, nconts: usize) -> DistTable {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = DistTable::new();
+    for &size in &SIZES[..nsizes] {
+        for &c in &CONTS[..nconts] {
+            let dist = if rng.gen_bool(0.25) {
+                CommDist::Point(rng.gen_range(1e-6..1e-2))
+            } else {
+                let base = rng.gen_range(1e-5..1e-3);
+                let spread = rng.gen_range(1e-6..1e-3);
+                let n = rng.gen_range(1usize..300);
+                let samples: Vec<f64> = (0..n).map(|_| base + rng.gen::<f64>() * spread).collect();
+                let bin_width = spread / rng.gen_range(2.0..50.0);
+                CommDist::Hist(Histogram::from_samples(&samples, bin_width))
+            };
+            t.insert(
+                DistKey {
+                    op: Op::Isend,
+                    size,
+                    contention: c,
+                },
+                dist,
+            );
+        }
+    }
+    t
+}
+
+/// Build a single-entry fitted table with random parameters.
+fn random_fit(seed: u64, kindsel: usize) -> ParametricFit {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shift = rng.gen_range(1e-6..1e-3);
+    match kindsel % 3 {
+        0 => ParametricFit {
+            kind: FitKind::ShiftedExponential,
+            shift,
+            p1: rng.gen_range(1e2..1e6),
+            p2: 0.0,
+        },
+        1 => ParametricFit {
+            kind: FitKind::ShiftedLogNormal,
+            shift,
+            p1: rng.gen_range(-12.0..-4.0),
+            p2: rng.gen_range(0.05..1.5),
+        },
+        _ => ParametricFit {
+            kind: FitKind::ShiftedGamma,
+            shift,
+            p1: rng.gen_range(0.5..6.0),
+            p2: rng.gen_range(1e-6..1e-3),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram/point tables: compiled quantiles, means, and minima are
+    /// bitwise identical to the interpreted table at on-grid, off-grid,
+    /// and out-of-range query points.
+    #[test]
+    fn compiled_quantiles_match_interpreted_bitwise(
+        seed in 0u64..1_000_000,
+        nsizes in 1usize..5,
+        nconts in 1usize..5,
+        size in 1.0f64..200_000.0,
+        cont in 0.0f64..64.0,
+        q in 0.0f64..1.0,
+    ) {
+        let t = random_table(seed, nsizes, nconts);
+        let c = CompiledTable::compile(&t).unwrap();
+        // The generated point plus grid corners and far extrapolations.
+        let sizes = [size, 16.0, 65536.0, 1e9];
+        let conts = [cont, 1.0, 32.0, 500.0];
+        let qs = [q, 0.0, 1.0];
+        for &s in &sizes {
+            for &co in &conts {
+                for &qq in &qs {
+                    prop_assert_eq!(
+                        t.quantile_at(Op::Isend, s, co, qq).map(f64::to_bits),
+                        c.quantile_at(Op::Isend, s, co, qq).map(f64::to_bits),
+                        "quantile mismatch at size={} cont={} q={}", s, co, qq
+                    );
+                }
+                prop_assert_eq!(
+                    t.mean_at(Op::Isend, s, co).map(f64::to_bits),
+                    c.mean_at(Op::Isend, s, co).map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    t.min_at(Op::Isend, s, co).map(f64::to_bits),
+                    c.min_at(Op::Isend, s, co).map(f64::to_bits)
+                );
+            }
+        }
+    }
+
+    /// Histogram/point tables: `sample_at` consumes exactly one uniform per
+    /// call and inverts it identically, so two identically seeded RNG
+    /// streams stay in lockstep across interleaved interpreted/compiled
+    /// sampling.
+    #[test]
+    fn compiled_sampling_is_draw_for_draw_identical(
+        seed in 0u64..1_000_000,
+        nsizes in 1usize..5,
+        nconts in 1usize..5,
+        rng_seed in 0u64..1_000_000,
+    ) {
+        let t = random_table(seed, nsizes, nconts);
+        let c = CompiledTable::compile(&t).unwrap();
+        let mut r1 = SmallRng::seed_from_u64(rng_seed);
+        let mut r2 = SmallRng::seed_from_u64(rng_seed);
+        for i in 0..64 {
+            let size = 1.0 + (i * 977 % 100_000) as f64;
+            let cont = (i % 40) as f64;
+            let a = t.sample_at(Op::Isend, size, cont, &mut r1).unwrap();
+            let b = c.sample_at(Op::Isend, size, cont, &mut r2).unwrap();
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "draw {} diverged: {} vs {}", i, a, b);
+        }
+    }
+
+    /// Fitted tables: the quantile LUT stays within the documented relative
+    /// error of exact bisection on [0, LUT_TAIL_Q]; tail quantiles and
+    /// `--exact-quantiles` mode are bitwise identical to the interpreted
+    /// table.
+    #[test]
+    fn fit_lut_respects_documented_error_bound(
+        seed in 0u64..1_000_000,
+        kindsel in 0usize..3,
+        q in 0.0f64..1.0,
+    ) {
+        let fit = random_fit(seed, kindsel);
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey { op: Op::Send, size: 1024, contention: 1 },
+            CommDist::Fit(fit),
+        );
+        let lut = CompiledTable::compile(&t).unwrap();
+        let exact = CompiledTable::compile_with(
+            &t,
+            CompileOptions { exact_quantiles: true, ..CompileOptions::default() },
+        )
+        .unwrap();
+
+        let a = lut.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+        let e = exact.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap();
+        if q <= LUT_TAIL_Q {
+            let rel = (a - e).abs() / e.abs().max(1e-300);
+            prop_assert!(
+                rel <= LUT_REL_ERROR,
+                "q={}: lut {} vs exact {} (rel {:e})", q, a, e, rel
+            );
+        } else {
+            // Past the LUT tail both modes bisect exactly.
+            prop_assert_eq!(a.to_bits(), e.to_bits(), "tail q={}", q);
+        }
+        // Exact mode always matches the interpreted table bitwise.
+        prop_assert_eq!(
+            e.to_bits(),
+            t.quantile_at(Op::Send, 1024.0, 1.0, q).unwrap().to_bits()
+        );
+    }
+}

@@ -503,7 +503,7 @@ mod tests {
                 ..
             } => {
                 assert_eq!(*kind, MsgKind::Send);
-                let mut params = crate::expr::Env::new();
+                let mut params = crate::expr::Env::default();
                 params.insert("xsize".into(), 256.0);
                 let env = standard_env(3, 8, &params);
                 assert_eq!(size.eval(&env).unwrap(), 1024.0);

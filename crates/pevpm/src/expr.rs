@@ -103,8 +103,60 @@ fn err<T>(message: impl Into<String>) -> Result<T, ExprError> {
     })
 }
 
-/// Variable bindings for evaluation.
-pub type Env = HashMap<String, f64>;
+/// A fast, non-cryptographic string hasher (FxHash-style multiply-rotate
+/// mix) for the interpreter environment. `Expr::Var` resolution happens on
+/// the Monte-Carlo hot path — once per variable reference per directive per
+/// replication — where SipHash's per-lookup cost is measurable. Environment
+/// keys are short, trusted model identifiers, so HashDoS resistance buys
+/// nothing here.
+#[derive(Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::K);
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.mix(b as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Variable bindings for evaluation. Construct with `Env::default()` (the
+/// custom hasher has no `new`).
+pub type Env = HashMap<String, f64, std::hash::BuildHasherDefault<FastHasher>>;
 
 /// Build an environment with the two standard PEVPM variables plus user
 /// parameters.
@@ -431,7 +483,7 @@ pub fn parse(src: &str) -> Result<Expr, ExprError> {
     Ok(e)
 }
 
-fn sizeof(arg: &Expr) -> Result<f64, ExprError> {
+pub(crate) fn sizeof(arg: &Expr) -> Result<f64, ExprError> {
     let Expr::Var(ty) = arg else {
         return err("sizeof expects a type name");
     };
@@ -674,7 +726,7 @@ mod tests {
         assert!(parse("(1").is_err());
         assert!(parse("1 2").is_err(), "trailing tokens must error");
 
-        let env = Env::new();
+        let env = Env::default();
         assert!(parse("nope").unwrap().eval(&env).is_err());
         assert!(parse("1/0").unwrap().eval(&env).is_err());
         assert!(parse("5 % 0").unwrap().eval(&env).is_err());
@@ -685,7 +737,7 @@ mod tests {
 
     #[test]
     fn eval_usize_validates() {
-        let env = Env::new();
+        let env = Env::default();
         assert_eq!(parse("1000").unwrap().eval_usize(&env).unwrap(), 1000);
         assert_eq!(parse("3.6").unwrap().eval_usize(&env).unwrap(), 4);
         assert!(parse("0-5").unwrap().eval_usize(&env).is_err());
@@ -737,7 +789,7 @@ mod tests {
 
     #[test]
     fn short_circuit_avoids_rhs_errors() {
-        let env = Env::new();
+        let env = Env::default();
         // RHS divides by zero but LHS decides.
         assert_eq!(parse("0 && 1/0").unwrap().eval(&env).unwrap(), 0.0);
         assert_eq!(parse("1 || 1/0").unwrap().eval(&env).unwrap(), 1.0);

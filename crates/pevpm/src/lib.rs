@@ -46,8 +46,10 @@
 
 pub mod annotate;
 pub mod expr;
+pub(crate) mod lower;
 pub mod model;
 pub mod replicate;
+pub mod scoreboard;
 pub mod timing;
 pub mod trace_export;
 pub mod vm;
@@ -55,6 +57,7 @@ pub mod vm;
 pub use annotate::{parse_annotations, AnnotateError, JACOBI_FIG5};
 pub use expr::{parse as parse_expr, Env, Expr, ExprError};
 pub use model::{CollOp, Model, MsgKind, Stmt};
+pub use scoreboard::{Handle, PairFifo, Slab};
 pub use timing::{PredictionMode, TimingModel};
 pub use vm::{
     evaluate, monte_carlo, EvalConfig, McPrediction, PevpmError, Prediction, SpanKind, TimelineSpan,

@@ -396,7 +396,7 @@ mod tests {
     fn check_bindings_finds_missing_params() {
         let m = jacobi_like();
         // xsize bound by params; iterations must come from extra.
-        assert!(m.check_bindings(&Env::new()).is_err());
+        assert!(m.check_bindings(&Env::default()).is_err());
         let extra: Env = [("iterations".to_string(), 10.0)].into_iter().collect();
         assert!(m.check_bindings(&extra).is_ok());
     }

@@ -15,7 +15,7 @@
 //! A purely analytic [`TimingModel::hockney`] (`T = l + b/W`) is included
 //! as the classic textbook baseline.
 
-use pevpm_dist::{DistTable, Op, PointKind};
+use pevpm_dist::{CompileOptions, CompiledTable, DistTable, Op, PointKind};
 use rand::Rng;
 
 /// How per-message times are drawn from the benchmark data.
@@ -46,6 +46,13 @@ pub enum TimingModel {
     Empirical {
         /// The benchmark database (possibly pre-collapsed or sliced).
         table: DistTable,
+        /// The table compiled for the allocation-free sampling fast path
+        /// ([`pevpm_dist::compiled`]). `None` only for models built with
+        /// [`TimingModel::interpreted`], which exists so benchmarks can
+        /// measure the compiled path's speedup; every normal constructor
+        /// compiles. Queries answer bitwise identically either way for
+        /// histogram/point tables.
+        compiled: Option<CompiledTable>,
         /// Sampling mode.
         mode: PredictionMode,
         /// If set, every query uses this fixed contention level instead of
@@ -63,10 +70,49 @@ pub enum TimingModel {
 }
 
 impl TimingModel {
+    /// Compile `table` for the sampling fast path.
+    ///
+    /// # Panics
+    /// Panics when the table fails validation (an empty histogram —
+    /// nothing to sample from). The `.dist` loader rejects such tables at
+    /// parse time, so this fires only on malformed programmatic tables.
+    fn compile(table: &DistTable, options: CompileOptions) -> CompiledTable {
+        CompiledTable::compile_with(table, options)
+            .unwrap_or_else(|e| panic!("invalid benchmark table: {e}"))
+    }
+
     /// The PEVPM method: full distributions, contention-indexed.
+    ///
+    /// # Panics
+    /// Panics on a table with an empty histogram (see
+    /// [`DistTable::validate`]).
     pub fn distributions(table: DistTable) -> Self {
+        Self::distributions_with(table, CompileOptions::default())
+    }
+
+    /// [`TimingModel::distributions`] with explicit compile options — e.g.
+    /// `exact_quantiles` to answer `Fit` quantiles by the exact bisection
+    /// instead of the lookup table (the CLI's `--exact-quantiles`).
+    ///
+    /// # Panics
+    /// Panics on a table with an empty histogram.
+    pub fn distributions_with(table: DistTable, options: CompileOptions) -> Self {
+        TimingModel::Empirical {
+            compiled: Some(Self::compile(&table, options)),
+            table,
+            mode: PredictionMode::FullDistribution,
+            fixed_contention: None,
+        }
+    }
+
+    /// The PEVPM method *without* the compiled fast path: every query runs
+    /// the interpreted [`DistTable`] lookup. Exists so benchmarks can
+    /// measure the compiled path's speedup; predictions are bitwise
+    /// identical for histogram/point tables.
+    pub fn interpreted(table: DistTable) -> Self {
         TimingModel::Empirical {
             table,
+            compiled: None,
             mode: PredictionMode::FullDistribution,
             fixed_contention: None,
         }
@@ -74,12 +120,16 @@ impl TimingModel {
 
     /// Point-statistic mode over the full contention-indexed database
     /// ("averages from MPIBench n×p process benchmarks" in §6).
+    ///
+    /// # Panics
+    /// Panics on a table with an empty histogram.
     pub fn point(table: DistTable, kind: PointKind) -> Self {
         let mode = match kind {
             PointKind::Average => PredictionMode::Average,
             PointKind::Minimum => PredictionMode::Minimum,
         };
         TimingModel::Empirical {
+            compiled: Some(Self::compile(&table, CompileOptions::default())),
             table,
             mode,
             fixed_contention: None,
@@ -89,14 +139,19 @@ impl TimingModel {
     /// Restrict the database to its lowest measured contention level (the
     /// 2×1 ping-pong slice) and answer every query from it — what a
     /// conventional benchmark provides.
+    ///
+    /// # Panics
+    /// Panics on a table with an empty histogram.
     pub fn pingpong_only(table: &DistTable, mode: PredictionMode) -> Self {
         let level = table
             .ops()
             .flat_map(|op| table.contentions(op))
             .min()
             .unwrap_or(1);
+        let table = table.at_contention(level);
         TimingModel::Empirical {
-            table: table.at_contention(level),
+            compiled: Some(Self::compile(&table, CompileOptions::default())),
+            table,
             mode,
             fixed_contention: Some(level as f64),
         }
@@ -130,14 +185,18 @@ impl TimingModel {
         match self {
             TimingModel::Empirical {
                 table,
+                compiled,
                 mode,
                 fixed_contention,
             } => {
                 let c = fixed_contention.unwrap_or(contention);
-                match mode {
-                    PredictionMode::FullDistribution => table.quantile_at(op, size, c, u),
-                    PredictionMode::Average => table.mean_at(op, size, c),
-                    PredictionMode::Minimum => table.min_at(op, size, c),
+                match (mode, compiled) {
+                    (PredictionMode::FullDistribution, Some(ct)) => ct.quantile_at(op, size, c, u),
+                    (PredictionMode::FullDistribution, None) => table.quantile_at(op, size, c, u),
+                    (PredictionMode::Average, Some(ct)) => ct.mean_at(op, size, c),
+                    (PredictionMode::Average, None) => table.mean_at(op, size, c),
+                    (PredictionMode::Minimum, Some(ct)) => ct.min_at(op, size, c),
+                    (PredictionMode::Minimum, None) => table.min_at(op, size, c),
                 }
             }
             TimingModel::Hockney { latency, bandwidth } => Some(latency + size / bandwidth),
@@ -162,14 +221,18 @@ impl TimingModel {
         match self {
             TimingModel::Empirical {
                 table,
+                compiled,
                 fixed_contention,
                 ..
             } => {
                 let c = fixed_contention.unwrap_or(1.0);
                 let alt = if op == Op::Send { Op::Isend } else { Op::Send };
-                table
-                    .min_at(op, size, c)
-                    .or_else(|| table.min_at(alt, size, c))
+                let min_at = |o: Op| match compiled {
+                    Some(ct) => ct.min_at(o, size, c),
+                    None => table.min_at(o, size, c),
+                };
+                min_at(op)
+                    .or_else(|| min_at(alt))
                     .map(|m| m * Self::SENDER_SHARE)
                     .unwrap_or(0.0)
             }
@@ -259,6 +322,43 @@ mod tests {
         );
         let m = TimingModel::distributions(t);
         assert!((m.send_local_cost(Op::Send, 1024.0) - 56.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_and_interpreted_models_agree_bitwise() {
+        let fast = TimingModel::distributions(table());
+        let slow = TimingModel::interpreted(table());
+        for &size in &[1.0, 512.0, 1024.0, 4096.0] {
+            for &c in &[0.5, 1.0, 3.0, 8.0, 20.0] {
+                for i in 0..=10 {
+                    let u = i as f64 / 10.0;
+                    assert_eq!(
+                        fast.quantile_time(Op::Send, size, c, u).map(f64::to_bits),
+                        slow.quantile_time(Op::Send, size, c, u).map(f64::to_bits),
+                        "size={size} c={c} u={u}"
+                    );
+                }
+            }
+            assert_eq!(
+                fast.send_local_cost(Op::Send, size).to_bits(),
+                slow.send_local_cost(Op::Send, size).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid benchmark table")]
+    fn empty_histogram_table_is_rejected_at_construction() {
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey {
+                op: Op::Send,
+                size: 8,
+                contention: 1,
+            },
+            CommDist::Hist(Histogram::new(0.0, 1.0)),
+        );
+        let _ = TimingModel::distributions(t);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! program deadlock" capability. Blocked time is attributed to directive
 //! labels, giving the per-source performance-loss report of §5.
 
-use crate::expr::{standard_env, Env, ExprError};
-use crate::model::{CollOp, Model, MsgKind, Stmt};
+use crate::expr::{Env, ExprError};
+use crate::lower::{lower_model, LStmt, Label, Names};
+use crate::model::{CollOp, Model, MsgKind};
+use crate::scoreboard::{Handle, PairFifo, Slab};
 use crate::timing::TimingModel;
 use pevpm_dist::Op;
 use pevpm_obs::{Counter, FixedHistogram, Registry};
@@ -67,7 +69,7 @@ impl EvalConfig {
     pub fn new(nprocs: usize) -> Self {
         EvalConfig {
             nprocs,
-            params: Env::new(),
+            params: Env::default(),
             seed: 1,
             rndv_threshold: 16.0 * 1024.0,
             max_steps: 500_000_000,
@@ -239,15 +241,14 @@ impl From<ExprError> for PevpmError {
 
 // ------------------------------------------------------------------ VM --
 
-/// A scoreboard entry: one message in flight.
+/// A scoreboard entry: one message in flight. Pair identity and FIFO
+/// position live in the [`PairFifo`] index, not here.
 #[derive(Debug, Clone)]
 struct SbMsg {
     from: usize,
-    to: usize,
     size: f64,
     kind: MsgKind,
     depart: f64,
-    seq: u64,
     /// The message's Monte-Carlo draw (probability coordinate). Shared by
     /// the sender-side cost and the transit-time lookup so that both land
     /// on the same mode of a multi-modal distribution.
@@ -256,45 +257,45 @@ struct SbMsg {
     sender_blocked: bool,
 }
 
-/// Why a process is blocked.
-#[derive(Debug, Clone)]
-enum Block {
+/// Why a process is blocked. Labels borrow from the model (`'m`), so
+/// blocking and unblocking a process never copies label strings — part of
+/// the allocation-free hot-path contract.
+#[derive(Debug, Clone, Copy)]
+enum Block<'m> {
     /// Waiting for message `seq` from `from`; `None` = wildcard source
     /// (`from = -1` in the directive, i.e. MPI_ANY_SOURCE).
     Recv {
         from: Option<usize>,
         seq: u64,
-        label: Option<String>,
+        label: Option<Label<'m>>,
     },
     /// Blocking rendezvous send: waiting for scoreboard message `msg` to be
-    /// consumed by its receiver.
-    SendRndv { msg: usize, label: Option<String> },
+    /// consumed by its receiver. The slab handle stays valid however many
+    /// other messages are matched and removed in the meantime.
+    SendRndv {
+        msg: Handle,
+        label: Option<Label<'m>>,
+    },
     /// Waiting at collective instance `instance`.
     Collective {
         op: CollOp,
         size: f64,
         instance: u64,
-        label: Option<String>,
+        label: Option<Label<'m>>,
     },
 }
 
-impl Block {
+impl<'m> Block<'m> {
     fn describe(&self) -> String {
         match self {
             Block::Recv { from, seq, label } => format!(
                 "Recv(from={}, seq={seq}){}",
                 from.map(|f| f.to_string()).unwrap_or_else(|| "ANY".into()),
-                label
-                    .as_deref()
-                    .map(|l| format!(" at {l}"))
-                    .unwrap_or_default()
+                label.map(|l| format!(" at {}", l.text)).unwrap_or_default()
             ),
             Block::SendRndv { msg, label } => format!(
                 "Send[rendezvous](msg={msg}){}",
-                label
-                    .as_deref()
-                    .map(|l| format!(" at {l}"))
-                    .unwrap_or_default()
+                label.map(|l| format!(" at {}", l.text)).unwrap_or_default()
             ),
             Block::Collective {
                 op,
@@ -303,48 +304,47 @@ impl Block {
                 ..
             } => format!(
                 "Collective({op:?}, instance={instance}){}",
-                label
-                    .as_deref()
-                    .map(|l| format!(" at {l}"))
-                    .unwrap_or_default()
+                label.map(|l| format!(" at {}", l.text)).unwrap_or_default()
             ),
         }
     }
 
-    fn label(&self) -> Option<&str> {
+    fn label(&self) -> Option<Label<'m>> {
         match self {
             Block::Recv { label, .. }
             | Block::SendRndv { label, .. }
-            | Block::Collective { label, .. } => label.as_deref(),
+            | Block::Collective { label, .. } => *label,
         }
     }
 }
 
 /// One level of the directive interpreter's control stack.
 struct Frame<'m> {
-    stmts: &'m [Stmt],
+    stmts: &'m [LStmt<'m>],
     idx: usize,
     /// Remaining iterations of this block (loops re-enter; plain blocks
     /// have 1).
     remaining: u64,
-    /// Loop induction variable: `(name, total_iterations)`. The current
+    /// Loop induction variable: `(slot, total_iterations)`. The current
     /// 0-based index is `total - remaining`.
-    var: Option<(&'m str, u64)>,
+    var: Option<(u32, u64)>,
 }
 
 struct Proc<'m> {
-    env: Env,
+    /// Slot-indexed variable environment (see [`crate::lower`]); `None` =
+    /// unbound.
+    env: Vec<Option<f64>>,
     clock: f64,
     stack: Vec<Frame<'m>>,
-    blocked: Option<(Block, f64)>,
+    blocked: Option<(Block<'m>, f64)>,
     finished: bool,
     compute_time: f64,
     send_time: f64,
     blocked_time: f64,
     coll_count: u64,
-    /// Outstanding nonblocking-receive handles: name → (source, reserved
-    /// per-pair sequence number).
-    handles: HashMap<String, (usize, u64)>,
+    /// Outstanding nonblocking-receive handles, indexed by interned handle
+    /// slot: `(source, reserved per-pair sequence number)`.
+    handles: Vec<Option<(usize, u64)>>,
 }
 
 /// Metric handles resolved once per evaluation, so the per-event cost with
@@ -386,17 +386,23 @@ impl VmMetrics {
 struct Vm<'m> {
     cfg: &'m EvalConfig,
     timing: &'m TimingModel,
+    /// Variable-name table of the lowered model, for error messages.
+    names: &'m Names,
     procs: Vec<Proc<'m>>,
-    scoreboard: Vec<SbMsg>,
-    /// Per (from, to) pair: next send sequence number.
-    pair_send_seq: HashMap<(usize, usize), u64>,
-    /// Per (from, to) pair: next receive sequence number.
-    pair_recv_seq: HashMap<(usize, usize), u64>,
+    /// In-flight messages: a generational slab, so matches remove in O(1)
+    /// and rendezvous senders hold stable [`Handle`]s.
+    scoreboard: Slab<SbMsg>,
+    /// Per (from, to) sequence counters and FIFO queues over the slab.
+    fifo: PairFifo,
     rng: SmallRng,
     steps: u64,
     sb_peak: usize,
     messages: u64,
-    loss_by_label: HashMap<String, f64>,
+    /// Per-label loss accumulators, indexed by [`Label::slot`]; `touched`
+    /// marks labels that saw at least one attributable event (so the
+    /// reported map has exactly the keys the string-keyed version had).
+    loss: Vec<f64>,
+    loss_touched: Vec<bool>,
     races: Vec<(usize, String)>,
     metrics: Option<VmMetrics>,
     /// Per-proc predicted timelines, when `cfg.record_timeline`.
@@ -416,38 +422,56 @@ pub fn evaluate(
     }
     model.check_bindings(&merged).map_err(PevpmError::from)?;
 
+    // Compile the directive tree to slot-indexed form once; the sweep loop
+    // then resolves variables by array index, not string hash.
+    let lowered = lower_model(model).map_err(PevpmError::from)?;
+    let mut base: Vec<Option<f64>> = vec![None; lowered.names.len()];
+    for (k, v) in &merged {
+        if let Some(slot) = lowered.names.get(k) {
+            base[slot as usize] = Some(*v);
+        }
+    }
+    // Standard variables override same-named parameters, as in
+    // `standard_env`.
+    base[lowered.numprocs as usize] = Some(cfg.nprocs as f64);
+
     let procs: Vec<Proc> = (0..cfg.nprocs)
-        .map(|p| Proc {
-            env: standard_env(p, cfg.nprocs, &merged),
-            clock: 0.0,
-            stack: vec![Frame {
-                stmts: &model.stmts,
-                idx: 0,
-                remaining: 1,
-                var: None,
-            }],
-            blocked: None,
-            finished: model.stmts.is_empty(),
-            compute_time: 0.0,
-            send_time: 0.0,
-            blocked_time: 0.0,
-            coll_count: 0,
-            handles: HashMap::new(),
+        .map(|p| {
+            let mut env = base.clone();
+            env[lowered.procnum as usize] = Some(p as f64);
+            Proc {
+                env,
+                clock: 0.0,
+                stack: vec![Frame {
+                    stmts: &lowered.stmts,
+                    idx: 0,
+                    remaining: 1,
+                    var: None,
+                }],
+                blocked: None,
+                finished: lowered.stmts.is_empty(),
+                compute_time: 0.0,
+                send_time: 0.0,
+                blocked_time: 0.0,
+                coll_count: 0,
+                handles: vec![None; lowered.nhandles],
+            }
         })
         .collect();
 
     let mut vm = Vm {
         cfg,
         timing,
+        names: &lowered.names,
         procs,
-        scoreboard: Vec::new(),
-        pair_send_seq: HashMap::new(),
-        pair_recv_seq: HashMap::new(),
+        scoreboard: Slab::new(),
+        fifo: PairFifo::new(cfg.nprocs),
         rng: SmallRng::seed_from_u64(cfg.seed),
         steps: 0,
         sb_peak: 0,
         messages: 0,
-        loss_by_label: HashMap::new(),
+        loss: vec![0.0; lowered.labels.len()],
+        loss_touched: vec![false; lowered.labels.len()],
         races: Vec::new(),
         metrics: cfg.metrics.as_deref().map(VmMetrics::resolve),
         timeline: cfg
@@ -465,6 +489,14 @@ pub fn evaluate(
     let finish_times: Vec<f64> = vm.procs.iter().map(|p| p.clock).collect();
     let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
 
+    // Materialise the label-keyed loss report from the slot accumulators.
+    let mut loss_by_label: HashMap<String, f64> = HashMap::new();
+    for (i, name) in lowered.labels.list().iter().enumerate() {
+        if vm.loss_touched[i] {
+            loss_by_label.insert(name.clone(), vm.loss[i]);
+        }
+    }
+
     // End-of-run aggregates go to the registry in one pass (cheap, and
     // keeps the per-event hot path down to the phase/histogram hooks).
     if let Some(registry) = &cfg.metrics {
@@ -475,7 +507,7 @@ pub fn evaluate(
         registry
             .histogram("vm.sb_peak", 0.0, CONTENTION_BINS as f64, CONTENTION_BINS)
             .record(vm.sb_peak as f64);
-        for (label, loss) in &vm.loss_by_label {
+        for (label, loss) in &loss_by_label {
             registry.gauge(&format!("vm.loss_secs.{label}")).add(*loss);
         }
     }
@@ -488,7 +520,7 @@ pub fn evaluate(
         blocked_time: vm.procs.iter().map(|p| p.blocked_time).collect(),
         finish_times,
         messages: vm.messages,
-        loss_by_label: vm.loss_by_label,
+        loss_by_label,
         races: vm.races,
         steps: vm.steps,
         sb_peak: vm.sb_peak,
@@ -672,26 +704,34 @@ impl<'m> Vm<'m> {
             if frame.remaining > 1 {
                 frame.remaining -= 1;
                 frame.idx = 0;
-                if let Some((name, total)) = frame.var {
+                if let Some((slot, total)) = frame.var {
                     let iter = (total - frame.remaining) as f64;
-                    self.procs[p].env.insert(name.to_string(), iter);
+                    // Laps overwrite the binding in place: a slot store,
+                    // no hashing, no allocation.
+                    self.procs[p].env[slot as usize] = Some(iter);
                 }
             } else {
                 let popped = self.procs[p].stack.pop().unwrap();
-                if let Some((name, _)) = popped.var {
-                    self.procs[p].env.remove(name);
+                if let Some((slot, _)) = popped.var {
+                    self.procs[p].env[slot as usize] = None;
                 }
             }
         }
 
+        let names = self.names;
         let frame = self.procs[p].stack.last_mut().unwrap();
-        let stmt = &frame.stmts[frame.idx];
+        // Copy the `&'m [LStmt]` out of the frame so `stmt` borrows the
+        // lowered model, not the frame — labels can then be threaded
+        // through as `&'m str` while `self` is mutably borrowed.
+        let stmts: &'m [LStmt<'m>] = frame.stmts;
+        let stmt = &stmts[frame.idx];
         frame.idx += 1;
 
         match stmt {
-            Stmt::Serial { time, label, .. } => {
-                let t = time.eval(&self.procs[p].env)?;
+            LStmt::Serial { time, label } => {
+                let t = time.eval(&self.procs[p].env, names)?;
                 if t < 0.0 {
+                    let label = label.map(|l| l.text);
                     return Err(PevpmError::BadModel(format!(
                         "negative serial time {t} at {label:?}"
                     )));
@@ -700,28 +740,32 @@ impl<'m> Vm<'m> {
                 self.procs[p].clock += t;
                 self.procs[p].compute_time += t;
                 if self.timeline.is_some() {
-                    let label = label.clone();
-                    self.record_span(p, SpanKind::Compute, start, start + t, label.as_deref());
+                    self.record_span(
+                        p,
+                        SpanKind::Compute,
+                        start,
+                        start + t,
+                        label.map(|l| l.text),
+                    );
                 }
             }
-            Stmt::Loop { count, var, body } => {
-                let n = count.eval_usize(&self.procs[p].env)? as u64;
+            LStmt::Loop { count, var, body } => {
+                let n = count.eval_usize(&self.procs[p].env, names)? as u64;
                 if n > 0 && !body.is_empty() {
-                    let var = var.as_ref().map(|v| (v.as_str(), n));
-                    if let Some((name, _)) = var {
-                        self.procs[p].env.insert(name.to_string(), 0.0);
+                    if let Some(slot) = *var {
+                        self.procs[p].env[slot as usize] = Some(0.0);
                     }
                     self.procs[p].stack.push(Frame {
                         stmts: body,
                         idx: 0,
                         remaining: n,
-                        var,
+                        var: var.map(|slot| (slot, n)),
                     });
                 }
             }
-            Stmt::Runon { branches } => {
+            LStmt::Runon { branches } => {
                 for (cond, body) in branches {
-                    if cond.eval_bool(&self.procs[p].env)? {
+                    if cond.eval_bool(&self.procs[p].env, names)? {
                         if !body.is_empty() {
                             self.procs[p].stack.push(Frame {
                                 stmts: body,
@@ -734,10 +778,15 @@ impl<'m> Vm<'m> {
                     }
                 }
             }
-            Stmt::Wait { handle, label } => {
-                let Some((from, seq)) = self.procs[p].handles.remove(handle) else {
+            LStmt::Wait {
+                handle,
+                handle_name,
+                label,
+            } => {
+                let Some((from, seq)) = self.procs[p].handles[*handle as usize].take() else {
+                    let label = label.map(|l| l.text);
                     return Err(PevpmError::BadModel(format!(
-                        "proc {p}: Wait on unbound handle {handle:?} at {label:?}"
+                        "proc {p}: Wait on unbound handle {handle_name:?} at {label:?}"
                     )));
                 };
                 let clock = self.procs[p].clock;
@@ -745,34 +794,44 @@ impl<'m> Vm<'m> {
                     Block::Recv {
                         from: Some(from),
                         seq,
-                        label: label.clone(),
+                        label: *label,
                     },
                     clock,
                 ));
             }
-            Stmt::Message {
+            LStmt::Message {
                 kind,
                 size,
                 from,
                 to,
                 handle,
+                handle_name,
                 label,
             } => {
                 // `from = -1` (or any negative value) on a Recv means
-                // MPI_ANY_SOURCE.
-                let from_raw = from.eval(&self.procs[p].env)?;
+                // MPI_ANY_SOURCE. `ltext` is the label as the plain
+                // optional string the diagnostics print.
+                let ltext = label.map(|l| l.text);
+                let from_raw = from.eval(&self.procs[p].env, names)?;
                 let wildcard = from_raw < -0.5 && *kind == MsgKind::Recv;
+                // Reuse the evaluation above rather than walking the
+                // expression again, replicating `eval_usize` validation.
                 let from_v = if wildcard {
                     0
+                } else if !from_raw.is_finite() || from_raw < -0.5 {
+                    return Err(ExprError {
+                        message: format!("expected a non-negative integer, got {from_raw}"),
+                    }
+                    .into());
                 } else {
-                    from.eval_usize(&self.procs[p].env)?
+                    from_raw.round() as usize
                 };
-                let to_v = to.eval_usize(&self.procs[p].env)?;
-                let size_v = size.eval(&self.procs[p].env)?;
+                let to_v = to.eval_usize(&self.procs[p].env, names)?;
+                let size_v = size.eval(&self.procs[p].env, names)?;
                 if (!wildcard && from_v >= self.cfg.nprocs) || to_v >= self.cfg.nprocs {
                     return Err(PevpmError::BadModel(format!(
                         "message endpoint out of range: from={from_raw} to={to_v} \
-                         (numprocs={}) at {label:?}",
+                         (numprocs={}) at {ltext:?}",
                         self.cfg.nprocs
                     )));
                 }
@@ -780,15 +839,15 @@ impl<'m> Vm<'m> {
                     MsgKind::Send | MsgKind::Isend => {
                         if from_v != p {
                             return Err(PevpmError::BadModel(format!(
-                                "proc {p} executing a send whose from={from_v} at {label:?}"
+                                "proc {p} executing a send whose from={from_v} at {ltext:?}"
                             )));
                         }
-                        self.post_send(p, *kind, size_v, to_v, label.clone())?;
+                        self.post_send(p, *kind, size_v, to_v, *label)?;
                     }
                     MsgKind::Recv => {
                         if to_v != p {
                             return Err(PevpmError::BadModel(format!(
-                                "proc {p} executing a recv whose to={to_v} at {label:?}"
+                                "proc {p} executing a recv whose to={to_v} at {ltext:?}"
                             )));
                         }
                         let clock = self.procs[p].clock;
@@ -797,17 +856,17 @@ impl<'m> Vm<'m> {
                                 Block::Recv {
                                     from: None,
                                     seq: 0,
-                                    label: label.clone(),
+                                    label: *label,
                                 },
                                 clock,
                             ));
                         } else {
-                            let seq = self.next_recv_seq(from_v, p);
+                            let seq = self.fifo.reserve_recv(from_v, p);
                             self.procs[p].blocked = Some((
                                 Block::Recv {
                                     from: Some(from_v),
                                     seq,
-                                    label: label.clone(),
+                                    label: *label,
                                 },
                                 clock,
                             ));
@@ -816,35 +875,37 @@ impl<'m> Vm<'m> {
                     MsgKind::Irecv => {
                         if to_v != p {
                             return Err(PevpmError::BadModel(format!(
-                                "proc {p} executing an irecv whose to={to_v} at {label:?}"
+                                "proc {p} executing an irecv whose to={to_v} at {ltext:?}"
                             )));
                         }
                         if wildcard {
                             return Err(PevpmError::BadModel(format!(
-                                "wildcard MPI_Irecv is not supported at {label:?}"
+                                "wildcard MPI_Irecv is not supported at {ltext:?}"
                             )));
                         }
                         let Some(h) = handle else {
                             return Err(PevpmError::BadModel(format!(
-                                "MPI_Irecv without a handle at {label:?}"
+                                "MPI_Irecv without a handle at {ltext:?}"
                             )));
                         };
-                        if self.procs[p].handles.contains_key(h) {
+                        let h = *h as usize;
+                        if self.procs[p].handles[h].is_some() {
+                            let h = handle_name.unwrap_or_default();
                             return Err(PevpmError::BadModel(format!(
-                                "proc {p}: handle {h:?} already outstanding at {label:?}"
+                                "proc {p}: handle {h:?} already outstanding at {ltext:?}"
                             )));
                         }
                         // Reserve the per-pair FIFO slot now (post order),
                         // but don't block: the matching wait is a separate
                         // decision point, and anything executed in between
                         // overlaps the transfer.
-                        let seq = self.next_recv_seq(from_v, p);
-                        self.procs[p].handles.insert(h.clone(), (from_v, seq));
+                        let seq = self.fifo.reserve_recv(from_v, p);
+                        self.procs[p].handles[h] = Some((from_v, seq));
                     }
                 }
             }
-            Stmt::Collective { op, size, label } => {
-                let size_v = size.eval(&self.procs[p].env)?;
+            LStmt::Collective { op, size, label } => {
+                let size_v = size.eval(&self.procs[p].env, names)?;
                 let inst = self.procs[p].coll_count;
                 let clock = self.procs[p].clock;
                 self.procs[p].blocked = Some((
@@ -852,7 +913,7 @@ impl<'m> Vm<'m> {
                         op: *op,
                         size: size_v,
                         instance: inst,
-                        label: label.clone(),
+                        label: *label,
                     },
                     clock,
                 ));
@@ -867,14 +928,9 @@ impl<'m> Vm<'m> {
         kind: MsgKind,
         size: f64,
         to: usize,
-        label: Option<String>,
+        label: Option<Label<'m>>,
     ) -> Result<(), PevpmError> {
-        let seq = {
-            let s = self.pair_send_seq.entry((p, to)).or_insert(0);
-            let v = *s;
-            *s += 1;
-            v
-        };
+        let seq = self.fifo.next_send_seq(p, to);
         self.messages += 1;
         let rndv = kind == MsgKind::Send && size >= self.cfg.rndv_threshold;
         // One Monte-Carlo draw per message: the sender-side cost uses the
@@ -890,58 +946,62 @@ impl<'m> Vm<'m> {
             m.contention.record(contention);
         }
         let op = op_for_kind(kind);
-        let q = self.quantile_with_fallback(op, size, contention, u);
-        let qmin = self.quantile_with_fallback(op, size, contention, 0.0);
+        let q = Self::quantile_with_fallback(self.timing, op, size, contention, u);
+        let qmin = Self::quantile_with_fallback(self.timing, op, size, contention, 0.0);
         let local = match (q, qmin) {
             (Some(q), Some(m)) => TimingModel::SENDER_SHARE * (m + 0.4 * (q - m)),
             _ => 0.0,
         };
         let depart = self.procs[p].clock;
-        self.scoreboard.push(SbMsg {
+        let msg = self.scoreboard.insert(SbMsg {
             from: p,
-            to,
             size,
             kind,
             depart,
-            seq,
             u,
             arrival: None,
             sender_blocked: rndv,
         });
+        self.fifo.enqueue(p, to, seq, msg);
         self.sb_peak = self.sb_peak.max(self.scoreboard.len());
         if rndv {
-            let msg = self.scoreboard.len() - 1;
             self.procs[p].blocked = Some((Block::SendRndv { msg, label }, depart));
         } else {
             self.procs[p].clock += local;
             self.procs[p].send_time += local;
             // Send-side costs are part of the loss report too.
-            if let Some(l) = &label {
-                *self.loss_by_label.entry(l.clone()).or_insert(0.0) += local;
+            if let Some(l) = label {
+                self.add_loss(l, local);
             }
             if self.timeline.is_some() {
-                self.record_span(p, SpanKind::Send, depart, depart + local, label.as_deref());
+                self.record_span(
+                    p,
+                    SpanKind::Send,
+                    depart,
+                    depart + local,
+                    label.map(|l| l.text),
+                );
             }
         }
         Ok(())
     }
 
     /// Quantile lookup with the Send↔Isend fallback (benchmark databases
-    /// often measure only one of the two point-to-point flavours).
-    fn quantile_with_fallback(&self, op: Op, size: f64, contention: f64, u: f64) -> Option<f64> {
-        self.timing
-            .quantile_time(op, size, contention, u)
-            .or_else(|| {
-                let alt = if op == Op::Send { Op::Isend } else { Op::Send };
-                self.timing.quantile_time(alt, size, contention, u)
-            })
-    }
-
-    fn next_recv_seq(&mut self, from: usize, to: usize) -> u64 {
-        let s = self.pair_recv_seq.entry((from, to)).or_insert(0);
-        let v = *s;
-        *s += 1;
-        v
+    /// often measure only one of the two point-to-point flavours). An
+    /// associated function (not a method) so callers can hold disjoint
+    /// mutable borrows of other `Vm` fields — e.g. filling arrivals through
+    /// `scoreboard.iter_mut()`.
+    fn quantile_with_fallback(
+        timing: &TimingModel,
+        op: Op,
+        size: f64,
+        contention: f64,
+        u: f64,
+    ) -> Option<f64> {
+        timing.quantile_time(op, size, contention, u).or_else(|| {
+            let alt = if op == Op::Send { Op::Isend } else { Op::Send };
+            timing.quantile_time(alt, size, contention, u)
+        })
     }
 
     /// Determine arrival times, match messages to receives, resolve
@@ -955,14 +1015,15 @@ impl<'m> Vm<'m> {
             m.match_phases.inc();
             m.occupancy.record(contention);
         }
-        for i in 0..self.scoreboard.len() {
-            if self.scoreboard[i].arrival.is_none() {
-                let m = &self.scoreboard[i];
+        // No RNG is consumed here — each message replays its stored draw
+        // `u` — so slab iteration order cannot perturb the draw sequence.
+        let timing = self.timing;
+        for m in self.scoreboard.iter_mut() {
+            if m.arrival.is_none() {
                 let op = op_for_kind(m.kind);
-                let dt = self
-                    .quantile_with_fallback(op, m.size, contention, m.u)
+                let dt = Self::quantile_with_fallback(timing, op, m.size, contention, m.u)
                     .ok_or(PevpmError::MissingTiming { op, size: m.size })?;
-                self.scoreboard[i].arrival = Some(self.scoreboard[i].depart + dt.max(0.0));
+                m.arrival = Some(m.depart + dt.max(0.0));
             }
         }
 
@@ -976,31 +1037,26 @@ impl<'m> Vm<'m> {
                 continue;
             };
             let (from, seq) = (*from, *seq);
-            let idx = match from {
-                Some(from) => self
-                    .scoreboard
-                    .iter()
-                    .position(|m| m.from == from && m.to == p && m.seq == seq),
+            let handle = match from {
+                Some(from) => self.fifo.take(from, p, seq),
                 None => {
-                    // Wildcard: FIFO heads only, earliest arrival wins
-                    // (ties broken by sender rank for determinism).
-                    let mut best: Option<(f64, usize, usize)> = None;
+                    // Wildcard: per-pair FIFO heads only, earliest arrival
+                    // wins (ties broken by sender rank for determinism).
+                    let mut best: Option<(f64, Handle, usize)> = None;
                     let mut candidates = 0usize;
-                    for (i, m) in self.scoreboard.iter().enumerate() {
-                        if m.to != p {
-                            continue;
-                        }
-                        let head = *self.pair_recv_seq.get(&(m.from, p)).unwrap_or(&0);
-                        if m.seq != head {
-                            continue;
-                        }
+                    for (sender, h) in self.fifo.heads(p) {
                         candidates += 1;
-                        let a = m.arrival.expect("sampled above");
-                        if best.is_none() || (a, m.from) < (best.unwrap().0, best.unwrap().2) {
-                            best = Some((a, i, m.from));
+                        let a = self
+                            .scoreboard
+                            .get(h)
+                            .expect("fifo handles are live")
+                            .arrival
+                            .expect("sampled above");
+                        if best.is_none() || (a, sender) < (best.unwrap().0, best.unwrap().2) {
+                            best = Some((a, h, sender));
                         }
                     }
-                    if let Some((_, i, sender)) = best {
+                    if let Some((_, h, sender)) = best {
                         if candidates > 1 {
                             // Multiple in-flight messages could have
                             // matched: which one wins depends on timing —
@@ -1009,6 +1065,7 @@ impl<'m> Vm<'m> {
                                 .blocked
                                 .as_ref()
                                 .and_then(|(b, _)| b.label())
+                                .map(|l| l.text)
                                 .unwrap_or("<unlabelled wildcard recv>")
                                 .to_string();
                             self.races.push((
@@ -1020,20 +1077,23 @@ impl<'m> Vm<'m> {
                             ));
                         }
                         // Consume this pair's FIFO head.
-                        *self.pair_recv_seq.entry((sender, p)).or_insert(0) += 1;
-                        Some(i)
+                        let consumed = self.fifo.consume_head(sender, p);
+                        debug_assert_eq!(consumed, Some(h));
+                        Some(h)
                     } else {
                         None
                     }
                 }
             };
-            let Some(idx) = idx else {
+            let Some(handle) = handle else {
                 continue; // no matching message posted yet
             };
-            let arrival = self.scoreboard[idx].arrival.expect("sampled above");
-            let sender = self.scoreboard[idx].from;
-            let sender_blocked = self.scoreboard[idx].sender_blocked;
-            self.scoreboard.swap_remove(idx);
+            let msg = self
+                .scoreboard
+                .remove(handle)
+                .expect("fifo handles are live");
+            let arrival = msg.arrival.expect("sampled above");
+            let sender = msg.from;
 
             let (block, since) = self.procs[p].blocked.take().unwrap();
             let wake = self.procs[p].clock.max(arrival);
@@ -1041,10 +1101,9 @@ impl<'m> Vm<'m> {
             self.procs[p].clock = wake;
             woke = true;
 
-            if sender_blocked {
+            if msg.sender_blocked {
                 // Rendezvous: the sender completes when the receiver does.
-                if let Some((Block::SendRndv { .. }, s_since)) = self.procs[sender].blocked.clone()
-                {
+                if let Some((Block::SendRndv { .. }, s_since)) = self.procs[sender].blocked {
                     let (sblock, _) = self.procs[sender].blocked.take().unwrap();
                     let swake = self.procs[sender].clock.max(wake);
                     self.account_block(sender, &sblock, s_since, swake);
@@ -1052,12 +1111,6 @@ impl<'m> Vm<'m> {
                 }
             }
         }
-
-        // Rebuild rendezvous sender block indices: swap_remove above may
-        // have moved entries, so senders track messages by identity
-        // (from, to, seq) instead. To keep the implementation simple and
-        // correct we re-derive: a sender blocked on SendRndv whose message
-        // is gone from the scoreboard was woken above.
 
         // 3. Resolve collectives once every process waits on the same
         //    instance.
@@ -1114,18 +1167,30 @@ impl<'m> Vm<'m> {
         Ok(woke)
     }
 
-    fn account_block(&mut self, p: usize, block: &Block, since: f64, wake: f64) {
+    /// Attribute `dt` seconds of loss to `label`: an indexed add on the
+    /// slot accumulator — no hashing, no allocation.
+    fn add_loss(&mut self, label: Label<'m>, dt: f64) {
+        let i = label.slot as usize;
+        self.loss[i] += dt;
+        self.loss_touched[i] = true;
+    }
+
+    fn account_block(&mut self, p: usize, block: &Block<'m>, since: f64, wake: f64) {
         let dt = (wake - since).max(0.0);
         self.procs[p].blocked_time += dt;
         if let Some(label) = block.label() {
-            *self.loss_by_label.entry(label.to_string()).or_insert(0.0) += dt;
+            self.add_loss(label, dt);
         }
         if self.timeline.is_some() && dt > 0.0 {
-            let name = block
-                .label()
-                .map(str::to_string)
-                .unwrap_or_else(|| block.describe());
-            self.record_span(p, SpanKind::Blocked, since, since + dt, Some(&name));
+            match block.label() {
+                Some(label) => {
+                    self.record_span(p, SpanKind::Blocked, since, since + dt, Some(label.text))
+                }
+                None => {
+                    let name = block.describe();
+                    self.record_span(p, SpanKind::Blocked, since, since + dt, Some(&name));
+                }
+            }
         }
     }
 }

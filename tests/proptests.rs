@@ -107,7 +107,7 @@ proptest! {
     /// successfully-parsed expressions evaluate deterministically.
     #[test]
     fn expr_parser_total(src in "[0-9a-z+\\-*/%()=<>&|! .,]{0,40}") {
-        let env = Env::new();
+        let env = Env::default();
         if let Ok(e) = parse_expr(&src) {
             let a = e.eval(&env);
             let b = e.eval(&env);
