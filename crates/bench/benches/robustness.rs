@@ -1,0 +1,94 @@
+//! Robustness: Jacobi prediction error across a fault grid (frame loss ×
+//! link degradation), comparing the stale clean-machine database against
+//! one refreshed on the degraded machine.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench robustness`.
+//! Writes a machine-readable `BENCH_robustness.json` (override the path
+//! with `BENCH_ROBUSTNESS_OUT`). Set `BENCH_ROBUSTNESS_TINY=1` for the CI
+//! smoke grid (8×1, 100 iterations) — the full run sweeps the paper's
+//! 64×2 shape and anchors the zero-fault prediction bitwise against the
+//! clean-pipeline baseline.
+
+use pevpm_apps::jacobi::JacobiConfig;
+use pevpm_bench::robustness::{self, GridPoint, RobustnessConfig};
+use pevpm_mpibench::MachineShape;
+
+/// Healthy-machine 64×2 Monte-Carlo mean of the clean pipeline
+/// (`bench_reps=30, mc_reps=8, seed=11`, compiled sampler). The fault
+/// layer must not perturb this by a single bit when disabled.
+const BASELINE_64X2_MEAN: f64 = 0.648_736_049_328_806_8;
+
+fn main() {
+    let tiny = std::env::var("BENCH_ROBUSTNESS_TINY").is_ok();
+    let cfg = if tiny {
+        RobustnessConfig {
+            shape: MachineShape { nodes: 8, ppn: 1 },
+            jacobi: JacobiConfig {
+                xsize: 256,
+                iterations: 100,
+                serial_secs: 3.24e-3,
+            },
+            bench_reps: 15,
+            mc_reps: 4,
+            seed: 11,
+            grid: vec![
+                GridPoint {
+                    loss_prob: 0.0,
+                    rate_factor: 1.0,
+                },
+                GridPoint {
+                    loss_prob: 0.01,
+                    rate_factor: 1.0,
+                },
+                GridPoint {
+                    loss_prob: 0.0,
+                    rate_factor: 0.5,
+                },
+            ],
+        }
+    } else {
+        RobustnessConfig::default()
+    };
+
+    eprintln!(
+        "[robustness] sweeping {} fault grid points on {} ({}-iteration Jacobi)...",
+        cfg.grid.len(),
+        cfg.shape,
+        cfg.jacobi.iterations
+    );
+    let res = robustness::run(&cfg);
+
+    println!(
+        "Robustness: prediction error on a degraded {} machine\n",
+        cfg.shape
+    );
+    println!("{}", robustness::render(&res));
+    println!(
+        "clean baseline: predicted {:.6} s, measured {:.6} s\n\
+         'err(clean)' uses the stale healthy-machine database; 'err(degr)' \
+         re-benchmarks the degraded machine first. The PEVPM pipeline stays \
+         accurate under faults provided the database is refreshed.",
+        res.baseline_mean, res.baseline_measured
+    );
+
+    let expected = (!tiny).then_some(BASELINE_64X2_MEAN);
+    if let Some(expected) = expected {
+        assert_eq!(
+            res.baseline_mean.to_bits(),
+            expected.to_bits(),
+            "faults-disabled 64x2 prediction drifted from the clean baseline: \
+             got {:.16}, expected {expected:.16}",
+            res.baseline_mean
+        );
+        eprintln!("[robustness] zero-fault baseline bitwise-identical to {expected}");
+    }
+
+    let out = std::env::var("BENCH_ROBUSTNESS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_robustness.json").to_string()
+    });
+    let json = robustness::to_json(&res, expected);
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("[robustness] machine-readable results written to {out}"),
+        Err(e) => eprintln!("[robustness] cannot write {out}: {e}"),
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`tcost`]   | §6 evaluation-cost claim: PEVPM evaluation speed vs simulated execution |
 //! | [`ext`]     | FFT and task-farm measured-vs-predicted extensions |
 //! | [`ablate`]  | Ablations: histogram bin granularity, clock-sync error |
+//! | [`robustness`] | Extension: prediction error on a fault-degraded machine, clean vs refreshed database |
 //! | [`report`]  | Small text-table formatting helpers shared by the benches |
 
 pub mod ablate;
@@ -21,4 +22,5 @@ pub mod fig6;
 pub mod figs12;
 pub mod figs34;
 pub mod report;
+pub mod robustness;
 pub mod tcost;

@@ -48,10 +48,10 @@ impl Args {
                 let value = match inline {
                     Some(v) => v,
                     None if bool_flags.contains(&key.as_str()) => "true".to_string(),
-                    None => match iter.peek() {
-                        Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    None => match iter.next_if(|next| !next.starts_with("--")) {
+                        Some(next) => next,
                         // A trailing option with no value acts as a flag.
-                        _ => "true".to_string(),
+                        None => "true".to_string(),
                     },
                 };
                 args.opts.entry(key).or_default().push(value);

@@ -19,6 +19,10 @@
 //! Command implementations return their printable output so they are unit
 //! testable; `main.rs` is a thin shell.
 
+// The CLI fronts untrusted input (files, flags): every failure must map
+// to a structured CliError with an exit code, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod args;
 
 use args::{ArgError, Args};
@@ -26,18 +30,60 @@ use pevpm::timing::{PredictionMode, TimingModel};
 use pevpm::vm::{evaluate, EvalConfig};
 use pevpm_dist::{io as dist_io, CommDist, CompileOptions, DistTable, Op};
 use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
-use pevpm_mpisim::{ClusterConfig, Placement, ProtocolConfig, WorldConfig};
+use pevpm_mpisim::{ClusterConfig, FaultPlan, Placement, ProtocolConfig, WorldConfig};
 use pevpm_obs::{diag, Registry, Verbosity};
 use std::path::Path;
 use std::sync::Arc;
 
-/// CLI error type: a message to print on stderr.
+/// Exit code for usage errors (bad flags, unknown commands/machines).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for input/model errors (unreadable or invalid files,
+/// failed runs, replication failures).
+pub const EXIT_INPUT: i32 = 3;
+/// Exit code for budget-exceeded / deadlock terminations: the model was
+/// well-formed but evaluation had to be aborted.
+pub const EXIT_BUDGET: i32 = 4;
+
+/// CLI error type: a message to print on stderr plus the process exit
+/// code mandated by the documented contract (0 ok, 2 usage, 3
+/// input/model error, 4 budget exceeded or deadlock).
 #[derive(Debug)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Message printed on stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(m: impl Into<String>) -> Self {
+        CliError {
+            message: m.into(),
+            code: EXIT_USAGE,
+        }
+    }
+
+    /// An input or model error (exit code 3).
+    pub fn input(m: impl Into<String>) -> Self {
+        CliError {
+            message: m.into(),
+            code: EXIT_INPUT,
+        }
+    }
+
+    /// A budget-exceeded / deadlock termination (exit code 4).
+    pub fn budget(m: impl Into<String>) -> Self {
+        CliError {
+            message: m.into(),
+            code: EXIT_BUDGET,
+        }
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -45,12 +91,26 @@ impl std::error::Error for CliError {}
 
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
-        CliError(e.0)
+        CliError::usage(e.0)
     }
 }
 
 fn err<T>(m: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError(m.into()))
+    Err(CliError::usage(m))
+}
+
+/// Map an evaluation failure onto the exit-code contract: deadlocks and
+/// budget aborts are *terminations* (4); everything else — unknown
+/// parameters, missing distributions, replication quorum failures — is a
+/// model/input error (3).
+fn eval_error(e: pevpm::vm::PevpmError) -> CliError {
+    use pevpm::vm::PevpmError;
+    match &e {
+        PevpmError::Deadlock { .. } | PevpmError::Budget(_) => {
+            CliError::budget(format!("evaluation failed: {e}"))
+        }
+        _ => CliError::input(format!("evaluation failed: {e}")),
+    }
 }
 
 /// Usage text.
@@ -58,14 +118,17 @@ pub const USAGE: &str = "\
 pevpm — MPI communication benchmarking and performance modelling (reproduction)
 
 USAGE:
-  pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
+  pevpm bench    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency|ideal]
                  [--pattern ring|halfsplit|adjacent] [--sizes 512,1024,...]
                  [--reps R] [--replicas K] [--threads T] [--seed S]
-                 --out DB.dist
+                 [--faults PLAN.toml] --out DB.dist
       Run MPIBench on a simulated cluster and save the distribution database.
       --replicas K merges K independent derived-seed runs; --threads T fans
       replicas over T worker threads (0 = all cores, 1 = serial) with
-      bitwise-identical output at any thread count.
+      bitwise-identical output at any thread count. --faults degrades the
+      simulated network with a TOML fault scenario (random frame loss,
+      per-link degradation, link flaps, background traffic, node pauses) so
+      the same sweep can be re-measured on an unhealthy machine.
 
   pevpm inspect  --db DB.dist
       Summarise a distribution database.
@@ -91,14 +154,16 @@ USAGE:
       exact bisection instead of the compiled quantile lookup table
       (slower; bounds the LUT's <=0.1% relative interpolation error).
 
-  pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency]
+  pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency|ideal]
                  [--xsize X] [--iters I] [--serial-ms MS] [--seed S]
-                 [--db DB.dist] [--exact-quantiles] [--trace-out TRACE.json]
+                 [--db DB.dist] [--faults PLAN.toml] [--exact-quantiles]
+                 [--trace-out TRACE.json]
       Run the Jacobi example on the simulated cluster with tracing enabled
       and print the per-rank compute/send/blocked breakdown. --trace-out
       writes a merged Chrome trace with the PEVPM *predicted* timeline
-      (pid 1) next to the *measured* per-rank timeline (pid 2); the
-      prediction samples --db when given, else an analytic Hockney model.
+      (pid 1) next to the *measured* per-rank timeline (pid 2) and, when
+      --faults is given, injected-fault marks (pid 3); the prediction
+      samples --db when given, else an analytic Hockney model.
 
 GLOBAL FLAGS:
   -q / --quiet     suppress informational stderr output
@@ -106,6 +171,12 @@ GLOBAL FLAGS:
 
 `bench` also accepts --trace-out (Chrome trace of one benchmark replica)
 and --metrics-out (per-size latency histograms as metrics JSON).
+
+EXIT CODES:
+  0  success
+  2  usage error (bad flags, unknown command/machine)
+  3  input or model error (unreadable/invalid files, failed runs)
+  4  evaluation terminated: run budget exceeded or deadlock detected
 ";
 
 /// Boolean flags that never consume a following token.
@@ -147,32 +218,64 @@ pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
 }
 
 fn write_text(path: &str, contents: &str) -> Result<(), CliError> {
-    std::fs::write(path, contents).map_err(|e| CliError(format!("cannot write {path}: {e}")))
+    std::fs::write(path, contents).map_err(|e| CliError::input(format!("cannot write {path}: {e}")))
 }
 
-fn cluster_for(machine: &str, nodes: usize) -> Result<ClusterConfig, CliError> {
-    match machine {
-        "perseus" => Ok(ClusterConfig::perseus(nodes)),
-        "gigabit" => Ok(ClusterConfig::gigabit(nodes)),
-        "lowlatency" => Ok(ClusterConfig::lowlatency(nodes)),
-        other => err(format!(
-            "unknown machine {other:?} (perseus|gigabit|lowlatency)"
-        )),
+/// Machines selectable with `--machine`, in the order shown to the user.
+pub const MACHINES: &[&str] = &["perseus", "gigabit", "lowlatency", "ideal"];
+
+/// Resolve `--machine` (default `perseus`). An unknown machine is a hard
+/// usage error listing the valid names — never a silent fallback.
+fn resolve_machine(args: &Args) -> Result<&'static str, CliError> {
+    let m = args.get("machine").unwrap_or("perseus");
+    MACHINES.iter().copied().find(|k| *k == m).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown machine {m:?}; valid machines: {}",
+            MACHINES.join(", ")
+        ))
+    })
+}
+
+fn cluster_for(args: &Args, nodes: usize) -> Result<ClusterConfig, CliError> {
+    let mut cluster = match resolve_machine(args)? {
+        "gigabit" => ClusterConfig::gigabit(nodes),
+        "lowlatency" => ClusterConfig::lowlatency(nodes),
+        "ideal" => ClusterConfig::ideal(nodes),
+        _ => ClusterConfig::perseus(nodes),
+    };
+    cluster.faults = load_faults(args, &cluster)?;
+    Ok(cluster)
+}
+
+/// Load and validate a `--faults PLAN.toml` fault scenario. Errors name
+/// the file (and line, for parse failures) and exit with code 3.
+fn load_faults(args: &Args, cluster: &ClusterConfig) -> Result<Option<FaultPlan>, CliError> {
+    let Some(path) = args.get("faults") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("cannot read {path}: {e}")))?;
+    let plan = FaultPlan::parse_toml(&text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    plan.validate(cluster)
+        .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    if plan.is_empty() {
+        diag::info(&format!("fault plan {path} is empty (no-op)"));
     }
+    Ok(Some(plan))
 }
 
 fn cmd_bench(args: &Args) -> Result<String, CliError> {
     let nodes: usize = args
         .require("nodes")?
         .parse()
-        .map_err(|_| CliError("--nodes must be an integer".into()))?;
+        .map_err(|_| CliError::usage("--nodes must be an integer"))?;
     let ppn: usize = args.get_parsed("ppn", 1)?;
     let reps: usize = args.get_parsed("reps", 60)?;
     let replicas: usize = args.get_parsed("replicas", 1)?;
     let threads: usize = args.get_parsed("threads", 0)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
     let sizes: Vec<u64> = args.get_list("sizes", vec![256, 512, 1024, 2048, 4096])?;
-    let machine = args.get("machine").unwrap_or("perseus");
+    let machine = resolve_machine(args)?;
     let pattern = match args.get("pattern").unwrap_or("ring") {
         "ring" => PairPattern::Ring,
         "halfsplit" => PairPattern::HalfSplit,
@@ -188,7 +291,7 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         sizes.len()
     ));
     let world = WorldConfig {
-        cluster: cluster_for(machine, nodes)?,
+        cluster: cluster_for(args, nodes)?,
         procs_per_node: ppn,
         placement: Placement::Block,
         protocol: ProtocolConfig::default(),
@@ -210,12 +313,12 @@ fn cmd_bench(args: &Args) -> Result<String, CliError> {
         replicas,
         threads,
     )
-    .map_err(|e| CliError(format!("benchmark failed: {e}")))?;
+    .map_err(|e| CliError::input(format!("benchmark failed: {e}")))?;
 
     let mut table = DistTable::new();
     res.add_to_table(&mut table, Op::Send, 100);
     dist_io::save_table(&table, Path::new(out))
-        .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+        .map_err(|e| CliError::input(format!("cannot write {out}: {e}")))?;
 
     let mut report = format!(
         "benchmarked {nodes}x{ppn} on {machine} ({} messages/size, pattern {:?})\n",
@@ -273,7 +376,8 @@ fn compile_options(args: &Args) -> CompileOptions {
 
 fn load_db(args: &Args) -> Result<DistTable, CliError> {
     let path = args.require("db")?;
-    dist_io::load_table(Path::new(path)).map_err(|e| CliError(format!("cannot load {path}: {e}")))
+    dist_io::load_table(Path::new(path))
+        .map_err(|e| CliError::input(format!("cannot load {path}: {e}")))
 }
 
 fn cmd_inspect(args: &Args) -> Result<String, CliError> {
@@ -305,7 +409,7 @@ fn cmd_fit(args: &Args) -> Result<String, CliError> {
     let before = dist_io::write_table(&table).len();
     let after = dist_io::write_table(&fitted).len();
     dist_io::save_table(&fitted, Path::new(out_path))
-        .map_err(|e| CliError(format!("cannot write {out_path}: {e}")))?;
+        .map_err(|e| CliError::input(format!("cannot write {out_path}: {e}")))?;
     Ok(format!(
         "fitted {} entries: {} -> {} bytes ({:.1}x smaller), written to {out_path}\n",
         fitted.len(),
@@ -383,9 +487,10 @@ fn cmd_annotate(args: &Args) -> Result<String, CliError> {
     let Some(path) = args.positional().get(1) else {
         return err("usage: pevpm annotate FILE.c");
     };
-    let src =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-    let model = pevpm::parse_annotations(&src).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("cannot read {path}: {e}")))?;
+    let model =
+        pevpm::parse_annotations(&src).map_err(|e| CliError::input(format!("{path}: {e}")))?;
     Ok(format!(
         "{} directives, free parameters {:?}\n{}",
         model.num_stmts(),
@@ -399,16 +504,16 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let procs: usize = args
         .require("procs")?
         .parse()
-        .map_err(|_| CliError("--procs must be an integer".into()))?;
+        .map_err(|_| CliError::usage("--procs must be an integer"))?;
     let seed: u64 = args.get_parsed("seed", 1)?;
     let reps: usize = args.get_parsed("reps", 1)?;
     let threads: usize = args.get_parsed("threads", 0)?;
     let table = load_db(args)?;
 
     let src = std::fs::read_to_string(model_path)
-        .map_err(|e| CliError(format!("cannot read {model_path}: {e}")))?;
-    let model =
-        pevpm::parse_annotations(&src).map_err(|e| CliError(format!("{model_path}: {e}")))?;
+        .map_err(|e| CliError::input(format!("cannot read {model_path}: {e}")))?;
+    let model = pevpm::parse_annotations(&src)
+        .map_err(|e| CliError::input(format!("{model_path}: {e}")))?;
 
     let mode = match args.get("mode").unwrap_or("dist") {
         "dist" => PredictionMode::FullDistribution,
@@ -439,7 +544,7 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         };
         let v: f64 = v
             .parse()
-            .map_err(|_| CliError(format!("--param {k}: bad number {v:?}")))?;
+            .map_err(|_| CliError::usage(format!("--param {k}: bad number {v:?}")))?;
         cfg = cfg.with_param(k, v);
     }
     if let Some(reg) = &registry {
@@ -472,8 +577,7 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     }
     if reps > 1 {
         diag::info(&format!("running {reps} Monte-Carlo replications..."));
-        let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps)
-            .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+        let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps).map_err(eval_error)?;
         let mut out = format!(
             "predicted makespan: {:.6} s +/- {:.6} (stderr) over {procs} procs\n\
              {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
@@ -496,15 +600,14 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         return Ok(out);
     }
 
-    let p =
-        evaluate(&model, &cfg, &timing).map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+    let p = evaluate(&model, &cfg, &timing).map_err(eval_error)?;
 
     let mut out = format!(
         "predicted makespan: {:.6} s over {} procs ({} messages)\n",
         p.makespan, p.nprocs, p.messages
     );
     let mut losses: Vec<(&String, &f64)> = p.loss_by_label.iter().collect();
-    losses.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
+    losses.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal));
     if !losses.is_empty() {
         out.push_str("top blocking sources:\n");
         for (label, loss) in losses.iter().take(5) {
@@ -530,10 +633,10 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let nodes: usize = args
         .require("nodes")?
         .parse()
-        .map_err(|_| CliError("--nodes must be an integer".into()))?;
+        .map_err(|_| CliError::usage("--nodes must be an integer"))?;
     let ppn: usize = args.get_parsed("ppn", 1)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
-    let machine = args.get("machine").unwrap_or("perseus");
+    let machine = resolve_machine(args)?;
     let xsize: usize = args.get_parsed("xsize", 256)?;
     let iters: usize = args.get_parsed("iters", 50)?;
     let serial_ms: f64 = args.get_parsed("serial-ms", 3.24)?;
@@ -555,7 +658,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
         "tracing {iters}-iteration Jacobi ({xsize}x{xsize}) on {nodes}x{ppn} {machine}"
     ));
     let world = WorldConfig {
-        cluster: cluster_for(machine, nodes)?,
+        cluster: cluster_for(args, nodes)?,
         procs_per_node: ppn,
         placement: Placement::Block,
         protocol: ProtocolConfig::default(),
@@ -564,7 +667,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
         record_trace: true,
     };
     let measured = jacobi::run_measured(world, &jcfg)
-        .map_err(|e| CliError(format!("measured run failed: {e}")))?;
+        .map_err(|e| CliError::input(format!("measured run failed: {e}")))?;
     let traces = measured.report.traces.as_deref().unwrap_or(&[]);
     let breakdown = pevpm_mpisim::breakdown(traces);
 
@@ -573,14 +676,13 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let timing = match args.get("db") {
         Some(path) => TimingModel::distributions_with(
             dist_io::load_table(Path::new(path))
-                .map_err(|e| CliError(format!("cannot load {path}: {e}")))?,
+                .map_err(|e| CliError::input(format!("cannot load {path}: {e}")))?,
             compile_options(args),
         ),
         None => TimingModel::hockney(100e-6, 12.5e6),
     };
     let cfg = EvalConfig::new(nprocs).with_seed(seed).with_timeline();
-    let pred = evaluate(&jacobi::model(&jcfg), &cfg, &timing)
-        .map_err(|e| CliError(format!("evaluation failed: {e}")))?;
+    let pred = evaluate(&jacobi::model(&jcfg), &cfg, &timing).map_err(eval_error)?;
 
     let mut out = format!(
         "measured makespan:  {:.6} s over {nprocs} ranks ({} messages)\n\
@@ -618,6 +720,7 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
     if let Some(path) = trace_out {
         let mut chrome = pevpm::trace_export::chrome_trace(&pred);
         chrome.merge(pevpm_mpisim::trace::chrome_trace(traces));
+        chrome.merge(pevpm_mpisim::fault_marks(&measured.report.fault_events));
         write_text(path, &chrome.to_json())?;
         out.push_str(&format!(
             "\nmerged predicted+measured trace ({} events) written to {path}\n\
@@ -847,5 +950,155 @@ mod tests {
         assert!(run_cmd("bench --out /tmp/x.dist").is_err()); // missing --nodes
         assert!(run_cmd("bench --nodes 2 --machine warp --out /tmp/x.dist").is_err());
         assert!(run_cmd("annotate").is_err());
+    }
+
+    #[test]
+    fn exit_codes_follow_the_contract() {
+        // usage: missing flags, unknown command, unknown machine.
+        assert_eq!(run_cmd("frobnicate").unwrap_err().code, EXIT_USAGE);
+        assert_eq!(
+            run_cmd("bench --out /tmp/x.dist").unwrap_err().code,
+            EXIT_USAGE
+        );
+        assert_eq!(
+            run_cmd("bench --nodes 2 --machine warp --out /tmp/x.dist")
+                .unwrap_err()
+                .code,
+            EXIT_USAGE
+        );
+        // input: unreadable files.
+        assert_eq!(
+            run_cmd("inspect --db /no/such.dist").unwrap_err().code,
+            EXIT_INPUT
+        );
+        assert_eq!(
+            run_cmd("predict --model /no/such.c --procs 2 --db /no/such.dist")
+                .unwrap_err()
+                .code,
+            EXIT_INPUT
+        );
+    }
+
+    #[test]
+    fn unknown_machine_lists_valid_machines() {
+        let e = run_cmd("bench --nodes 2 --machine warp --out /tmp/x.dist").unwrap_err();
+        for m in MACHINES {
+            assert!(e.message.contains(m), "{} missing from: {e}", m);
+        }
+    }
+
+    #[test]
+    fn deadlocked_model_exits_with_budget_code() {
+        let dir = tmpdir();
+        let db = dir.join("dl_db.dist");
+        let model = dir.join("deadlock.c");
+        run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 10 --out {}",
+            db.display()
+        ))
+        .unwrap();
+        // Both procs receive, nobody sends.
+        std::fs::write(
+            &model,
+            "\
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 1
+// PEVPM &       to = 0
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+",
+        )
+        .unwrap();
+        let e = run_cmd(&format!(
+            "predict --model {} --db {} --procs 2",
+            model.display(),
+            db.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_BUDGET, "{e}");
+        assert!(e.message.contains("deadlock at t="), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faults_flag_loads_validates_and_degrades() {
+        let dir = tmpdir();
+        let db = dir.join("faults_db.dist");
+        let plan = dir.join("plan.toml");
+
+        // Unreadable and invalid plans are input errors naming the file.
+        let e = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 10 --faults /no/plan.toml --out {}",
+            db.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_INPUT);
+        assert!(e.message.contains("/no/plan.toml"), "{e}");
+
+        std::fs::write(&plan, "loss_prob = 1.5\n").unwrap();
+        let e = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 10 --faults {} --out {}",
+            plan.display(),
+            db.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_INPUT);
+        assert!(e.message.contains("plan.toml"), "{e}");
+        assert!(e.message.contains("loss_prob"), "{e}");
+
+        // A node index out of range for the machine is caught up front.
+        std::fs::write(&plan, "[[degrade]]\nnode = 99\nrate_factor = 0.5\n").unwrap();
+        let e = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 10 --faults {} --out {}",
+            plan.display(),
+            db.display()
+        ))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_INPUT, "{e}");
+
+        // A valid lossy plan runs and degrades the measured latencies.
+        let clean = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --out {}",
+            db.display()
+        ))
+        .unwrap();
+        std::fs::write(&plan, "loss_prob = 0.05\n").unwrap();
+        let lossy = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --faults {} --out {}",
+            plan.display(),
+            db.display()
+        ))
+        .unwrap();
+        let max_us = |out: &str| -> f64 {
+            let line = out.lines().find(|l| l.contains("1024 B:")).unwrap();
+            let max = line.split("max").nth(1).unwrap();
+            max.trim().trim_end_matches("us").trim().parse().unwrap()
+        };
+        assert!(
+            max_us(&lossy) > max_us(&clean),
+            "5% frame loss must inflate the max latency: clean {clean} lossy {lossy}"
+        );
+
+        // An empty plan is accepted (and is a no-op by the determinism
+        // property test's guarantee).
+        std::fs::write(&plan, "# no faults\n").unwrap();
+        let out = run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --faults {} --out {}",
+            plan.display(),
+            db.display()
+        ))
+        .unwrap();
+        assert_eq!(max_us(&out), max_us(&clean), "empty plan is a no-op");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,4 +1,9 @@
 //! The `pevpm` binary: thin shell over [`pevpm_cli::run`].
+//!
+//! Exit codes follow the documented contract: 0 success, 2 usage error,
+//! 3 input/model error, 4 budget exceeded or deadlock.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 fn main() {
     let tokens: Vec<String> = std::env::args().skip(1).collect();
@@ -6,7 +11,7 @@ fn main() {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

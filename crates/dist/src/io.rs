@@ -118,7 +118,9 @@ pub fn read_table(text: &str) -> Result<DistTable, ParseError> {
             continue;
         }
         let mut fields = line.split_whitespace();
-        let tag = fields.next().unwrap();
+        let tag = fields
+            .next()
+            .ok_or_else(|| err(lineno, "empty entry line"))?;
         if tag != "entry" {
             return Err(err(lineno, format!("expected 'entry', got {tag:?}")));
         }
@@ -224,15 +226,40 @@ pub fn read_table(text: &str) -> Result<DistTable, ParseError> {
     Ok(table)
 }
 
+/// Error loading a `.dist` file: always names the offending file, so a
+/// CLI can print it verbatim without wrapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// Path of the file that failed to load.
+    pub path: std::path::PathBuf,
+    /// What went wrong (I/O error text or `line N: …` parse error).
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// Save a table to a file.
 pub fn save_table(table: &DistTable, path: &std::path::Path) -> std::io::Result<()> {
     std::fs::write(path, write_table(table))
 }
 
-/// Load a table from a file.
-pub fn load_table(path: &std::path::Path) -> Result<DistTable, Box<dyn std::error::Error>> {
-    let text = std::fs::read_to_string(path)?;
-    Ok(read_table(&text)?)
+/// Load a table from a file. Errors name the file and, for parse
+/// failures, the 1-based line number.
+pub fn load_table(path: &std::path::Path) -> Result<DistTable, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| LoadError {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    read_table(&text).map_err(|e| LoadError {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
 }
 
 fn run_length(counts: &[u64]) -> Vec<(u64, usize)> {
@@ -405,6 +432,23 @@ mod tests {
                    counts\n";
         let e = read_table(doc).unwrap_err();
         assert!(e.message.contains("empty histogram"), "{e}");
+    }
+
+    #[test]
+    fn load_errors_name_the_file() {
+        let missing = std::path::Path::new("/no/such/dir/table.dist");
+        let e = load_table(missing).unwrap_err();
+        assert!(e.to_string().contains("table.dist"), "{e}");
+
+        let dir = std::env::temp_dir().join("pevpm_dist_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.dist");
+        std::fs::write(&path, "PEVPM-DIST v1\nentry op=warp size=1 contention=1\n").unwrap();
+        let e = load_table(&path).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("corrupt.dist"), "{text}");
+        assert!(text.contains("line 2"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod compiled;
 pub mod ecdf;
 pub mod fit;
 pub mod histogram;
+// io parses untrusted files: every failure must be a structured error.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod io;
 pub mod sample;
 pub mod summary;

@@ -39,11 +39,11 @@ pub use config::{Placement, ProtocolConfig, WorldConfig};
 pub use msg::{MsgMeta, Request, SrcSel, TagSel, COLLECTIVE_TAG_BASE};
 pub use rank::{decode_f64s, encode_f64s, Rank};
 pub use sched::{RunReport, SimError, World};
-pub use trace::{breakdown, RankBreakdown, TraceEvent, TraceKind};
+pub use trace::{breakdown, fault_marks, RankBreakdown, TraceEvent, TraceKind};
 
 // Payload buffer type used by the rank API, re-exported so dependants do
 // not need a direct `bytes` dependency.
 pub use bytes::Bytes;
 
 // Re-export the substrate types callers need for configuration.
-pub use pevpm_netsim::{ClusterConfig, Dur, Time};
+pub use pevpm_netsim::{ClusterConfig, Dur, FaultEvent, FaultKind, FaultPlan, Time};

@@ -31,7 +31,7 @@ use crate::trace::TraceEvent;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pevpm_netsim::network::{Completion, NetStats, TransferId};
-use pevpm_netsim::{Dur, Network, Time};
+use pevpm_netsim::{Dur, FaultEvent, Network, Time};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,6 +51,9 @@ pub struct RunReport {
     /// Per-rank operation timelines; `Some` when
     /// `WorldConfig::record_trace` was set.
     pub traces: Option<Vec<Vec<TraceEvent>>>,
+    /// Injected-fault occurrences from the network's fault plan, for
+    /// degraded-run reports and trace marks. Empty without a plan.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 /// Why a simulation failed.
@@ -333,6 +336,7 @@ impl Engine {
             } else {
                 None
             },
+            fault_events: self.net.take_fault_events(),
         }
     }
 

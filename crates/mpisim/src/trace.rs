@@ -8,8 +8,11 @@
 //! be compared — and they make "where does the time go?" questions
 //! answerable for any rank program.
 
-use pevpm_netsim::Time;
+use pevpm_netsim::{FaultEvent, Time};
 use pevpm_obs::chrome::{ChromeTrace, Span, PID_MEASURED};
+
+/// Conventional pid for injected-fault marks (one thread row per node).
+pub const PID_FAULTS: u32 = 3;
 
 /// What kind of operation an event covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +163,37 @@ pub fn chrome_trace(traces: &[Vec<TraceEvent>]) -> ChromeTrace {
     trace
 }
 
+/// Convert injected-fault occurrences into Chrome-trace marks under
+/// **pid 3 = "fault injection"**, one thread row per affected node.
+/// Merged alongside the predicted (pid 1) and measured (pid 2) timelines,
+/// the marks show *when* the machine was being degraded — e.g. which
+/// blocked-receive spans line up with a link-flap window.
+pub fn fault_marks(events: &[FaultEvent]) -> ChromeTrace {
+    let mut trace = ChromeTrace::new();
+    if events.is_empty() {
+        return trace;
+    }
+    trace.name_process(PID_FAULTS, "fault injection");
+    let mut named: Vec<usize> = events.iter().map(|e| e.node).collect();
+    named.sort_unstable();
+    named.dedup();
+    for n in named {
+        trace.name_thread(PID_FAULTS, n as u32, &format!("node {n}"));
+    }
+    for e in events {
+        trace.push(Span {
+            pid: PID_FAULTS,
+            tid: e.node as u32,
+            name: e.kind.name().to_string(),
+            cat: "fault".to_string(),
+            ts_us: e.at.as_secs_f64() * 1e6,
+            dur_us: 0.0,
+            args: Vec::new(),
+        });
+    }
+    trace
+}
+
 /// Render a compact ASCII timeline of the first `max_events` events of
 /// each rank (debugging aid).
 pub fn render_timeline(traces: &[Vec<TraceEvent>], max_events: usize) -> String {
@@ -234,6 +268,36 @@ mod tests {
         assert!(text.contains("rank 0"));
         assert!(text.contains("… 2 more events"));
         assert_eq!(text.matches("recv").count(), 3);
+    }
+
+    #[test]
+    fn fault_marks_render_one_row_per_node() {
+        use pevpm_netsim::{FaultKind, Time as NTime};
+        let events = vec![
+            FaultEvent {
+                at: NTime(1_000_000),
+                node: 2,
+                kind: FaultKind::InjectedLoss,
+            },
+            FaultEvent {
+                at: NTime(2_000_000),
+                node: 2,
+                kind: FaultKind::FlapDrop,
+            },
+            FaultEvent {
+                at: NTime(0),
+                node: 0,
+                kind: FaultKind::BackgroundStart,
+            },
+        ];
+        let t = fault_marks(&events);
+        assert_eq!(t.len(), 3);
+        let js = t.to_json();
+        assert_eq!(pevpm_obs::chrome::validate(&js), Ok(3));
+        assert!(js.contains("fault injection"));
+        assert!(js.contains("injected_loss"));
+        assert!(js.contains("node 2"));
+        assert!(fault_marks(&[]).is_empty(), "no plan, no marks");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! over TCP with a 16 KB eager/rendezvous threshold, and Linux-2.2-era TCP
 //! retransmission timeouts (200 ms minimum RTO, exponential backoff).
 
+use crate::faults::FaultPlan;
 use crate::time::Dur;
 
 /// Identifier of a physical node (host).
@@ -87,6 +88,10 @@ pub struct ClusterConfig {
     pub local_bw_bps: u64,
     /// Fixed latency for intra-node transfers.
     pub local_latency: Dur,
+    /// Optional fault-injection scenario (degraded-machine operation).
+    /// `None` — and, bitwise-identically, an empty plan — leaves the
+    /// emergent model untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -115,6 +120,7 @@ impl ClusterConfig {
             per_frame_overhead: Dur::from_micros(9),
             local_bw_bps: 1_200_000_000, // ~150 MB/s memcpy on a 500 MHz P-III
             local_latency: Dur::from_micros(15),
+            faults: None,
         }
     }
 
@@ -148,6 +154,7 @@ impl ClusterConfig {
             per_frame_overhead: Dur::from_micros(2),
             local_bw_bps: 1_200_000_000,
             local_latency: Dur::from_micros(15),
+            faults: None,
         }
     }
 
@@ -178,6 +185,7 @@ impl ClusterConfig {
             per_frame_overhead: Dur::from_nanos(800),
             local_bw_bps: 1_200_000_000,
             local_latency: Dur::from_micros(10),
+            faults: None,
         }
     }
 
@@ -209,6 +217,7 @@ impl ClusterConfig {
             per_frame_overhead: Dur::ZERO,
             local_bw_bps: 1_200_000_000,
             local_latency: Dur::ZERO,
+            faults: None,
         }
     }
 
@@ -261,6 +270,10 @@ impl ClusterConfig {
         }
         if self.mtu == 0 {
             return Err("mtu must be positive".into());
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self)
+                .map_err(|e| format!("fault plan: {e}"))?;
         }
         Ok(())
     }

@@ -1,3 +1,7 @@
+// Hostile-input hardening: library code must surface structured errors,
+// never unwrap. Test code (cfg(test)) is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! Packet-level discrete-event simulator of a commodity Ethernet cluster.
 //!
 //! This crate is the hardware substrate of the reproduction: it stands in
@@ -25,9 +29,13 @@
 //! ```
 
 pub mod config;
+pub mod faults;
 pub mod network;
 pub mod time;
 
 pub use config::{ClusterConfig, NodeId, SwitchId};
+pub use faults::{
+    Background, FaultError, FaultEvent, FaultKind, FaultPlan, LinkDegrade, LinkFlap, Pause,
+};
 pub use network::{Completion, NetStats, Network, TransferId};
 pub use time::{wire_time, Dur, Time};

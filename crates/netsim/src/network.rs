@@ -22,6 +22,7 @@
 //! commodity clusters.
 
 use crate::config::{ClusterConfig, NodeId};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan};
 use crate::time::{wire_time, Dur, Time};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +66,16 @@ pub struct NetStats {
     /// quantity whose limit the paper's §3 saturation analysis computes
     /// against the 2.1 Gbit/s matrix-card capacity.
     pub trunk_peak_backlog: u64,
+    /// Frames lost to injected random per-frame loss
+    /// ([`FaultPlan::loss_prob`]); also counted in `frames_dropped`.
+    pub faults_injected_losses: u64,
+    /// Frames lost inside link-flap windows; also counted in
+    /// `frames_dropped`.
+    pub faults_flap_drops: u64,
+    /// Frames deferred or slowed by pause windows.
+    pub faults_paused_frames: u64,
+    /// Background cross-traffic transfers injected by the fault plan.
+    pub faults_background_transfers: u64,
 }
 
 /// A FIFO queue server: a resource that serves frames one at a time at a
@@ -163,6 +174,9 @@ struct Transfer {
     completed: bool,
     /// Whether the frame path crosses switches (has a trunk hop).
     inter_switch: bool,
+    /// Fault-plan cross-traffic: occupies queues like any transfer but
+    /// never surfaces a [`Completion`] to the protocol layer.
+    background: bool,
 }
 
 /// The discrete-event network simulator.
@@ -179,6 +193,42 @@ pub struct Network {
     rng: SmallRng,
     stats: NetStats,
     completions: Vec<Completion>,
+    /// Runtime form of the fault plan; `None` when the plan needs no
+    /// per-event checks (no plan, or degrade/background only).
+    faults: Option<ActiveFaults>,
+    /// Injected-fault occurrences, for trace marks. Empty unless a fault
+    /// plan is active.
+    fault_events: Vec<FaultEvent>,
+}
+
+/// Per-event runtime state compiled from a [`FaultPlan`]. Only the parts
+/// that must be consulted on the hot path live here; rate degradation is
+/// applied to the [`Server`] rates once at construction and background
+/// bursts are pre-scheduled as ordinary events.
+#[derive(Debug, Clone, Default)]
+struct ActiveFaults {
+    loss_prob: f64,
+    /// `(node, window_start, window_end)` link-down windows.
+    flaps: Vec<(NodeId, Time, Time)>,
+    /// `(node, window_start, window_end, slowdown)`; `slowdown == 0`
+    /// defers to the window end, `>= 1` multiplies NIC service time.
+    pauses: Vec<(NodeId, Time, Time, f64)>,
+}
+
+impl ActiveFaults {
+    fn flap_active(&self, node: NodeId, now: Time) -> bool {
+        self.flaps
+            .iter()
+            .any(|&(n, from, to)| n == node && now >= from && now < to)
+    }
+
+    /// An active pause window for `node`, as `(window_end, slowdown)`.
+    fn pause_at(&self, node: NodeId, now: Time) -> Option<(Time, f64)> {
+        self.pauses
+            .iter()
+            .find(|&&(n, from, to, _)| n == node && now >= from && now < to)
+            .map(|&(_, _, to, slowdown)| (to, slowdown))
+    }
 }
 
 /// Heap payload; ordering is (time, insertion sequence) so ties are broken
@@ -248,10 +298,12 @@ impl HeapEv {
 impl Network {
     /// Create a network for the given cluster with a deterministic RNG seed.
     pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid cluster config");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cluster config: {e}");
+        }
         let nodes = cfg.nodes;
         let nswitches = cfg.num_switches();
-        Network {
+        let mut net = Network {
             nic: (0..nodes)
                 .map(|_| Server::new(cfg.link_bw_bps, u64::MAX / 4))
                 .collect(),
@@ -268,8 +320,60 @@ impl Network {
             rng: SmallRng::seed_from_u64(seed),
             stats: NetStats::default(),
             completions: Vec::new(),
+            faults: None,
+            fault_events: Vec::new(),
             cfg,
             now: Time::ZERO,
+        };
+        if let Some(plan) = net.cfg.faults.clone() {
+            net.apply_fault_plan(&plan);
+        }
+        net
+    }
+
+    /// Apply a validated fault plan: degrade link rates, pre-schedule
+    /// background bursts, and compile the per-event windows. Called once
+    /// from the constructor; an empty plan is a no-op (the
+    /// pay-for-what-you-use contract).
+    fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for d in &plan.degrade {
+            let scale = |rate: u64| ((rate as f64 * d.rate_factor) as u64).max(1);
+            self.nic[d.node].rate_bps = scale(self.nic[d.node].rate_bps);
+            self.port[d.node].rate_bps = scale(self.port[d.node].rate_bps);
+        }
+        for b in &plan.background {
+            for k in 0..b.count {
+                let at = Time::from_secs_f64(b.start_secs + k as f64 * b.period_secs);
+                self.start_background_transfer(at, b.src, b.dst, b.bytes);
+            }
+        }
+        if plan.loss_prob > 0.0 || !plan.flaps.is_empty() || !plan.pauses.is_empty() {
+            self.faults = Some(ActiveFaults {
+                loss_prob: plan.loss_prob,
+                flaps: plan
+                    .flaps
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.node,
+                            Time::from_secs_f64(f.from_secs),
+                            Time::from_secs_f64(f.to_secs),
+                        )
+                    })
+                    .collect(),
+                pauses: plan
+                    .pauses
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.node,
+                            Time::from_secs_f64(p.at_secs),
+                            Time::from_secs_f64(p.at_secs + p.duration_secs),
+                            p.slowdown,
+                        )
+                    })
+                    .collect(),
+            });
         }
     }
 
@@ -327,6 +431,7 @@ impl Network {
             paced: false,
             completed: false,
             inter_switch,
+            background: false,
         });
 
         if src == dst {
@@ -342,6 +447,36 @@ impl Network {
 
         self.inject_frames(tid, at + self.cfg.send_overhead, 0, 0);
         tid
+    }
+
+    /// Inject a fault-plan background burst: moves through the same queue
+    /// servers as user traffic, retransmits on drops, but never surfaces
+    /// a [`Completion`].
+    fn start_background_transfer(&mut self, at: Time, src: NodeId, dst: NodeId, bytes: u64) {
+        let tid = TransferId(self.transfers.len() as u64);
+        let inter_switch = self.cfg.switch_of(src) != self.cfg.switch_of(dst);
+        self.transfers.push(Transfer {
+            src,
+            dst,
+            bytes,
+            nframes: self.cfg.frames_for(bytes),
+            next_expected: 0,
+            epoch: 0,
+            retx_armed: false,
+            rto: self.cfg.rto_base,
+            retransmissions: 0,
+            paced: false,
+            completed: false,
+            inter_switch,
+            background: true,
+        });
+        self.stats.faults_background_transfers += 1;
+        self.fault_events.push(FaultEvent {
+            at,
+            node: src,
+            kind: FaultKind::BackgroundStart,
+        });
+        self.inject_frames(tid, at + self.cfg.send_overhead, 0, 0);
     }
 
     /// Queue frames `from_seq..nframes` of a transfer for injection at the
@@ -407,7 +542,9 @@ impl Network {
             if *et > t {
                 break;
             }
-            let Reverse((et, _, hev)) = self.heap.pop().unwrap();
+            let Some(Reverse((et, _, hev))) = self.heap.pop() else {
+                break;
+            };
             self.now = et;
             self.stats.events_processed += 1;
             self.handle(et, hev.unpack());
@@ -470,7 +607,54 @@ impl Network {
                         // go-back-N will resend them.
                     }
                     hop => {
-                        let wire = self.cfg.frame_wire_bytes(tr.bytes, seq);
+                        let mut wire = self.cfg.frame_wire_bytes(tr.bytes, seq);
+                        // Injected faults: every check below is gated on an
+                        // active plan, so the no-fault path is untouched
+                        // (same branches, same RNG draws).
+                        if self.faults.is_some() {
+                            if let Hop::Nic(n) | Hop::Port(n) = hop {
+                                let down =
+                                    self.faults.as_ref().is_some_and(|f| f.flap_active(n, now));
+                                if down {
+                                    self.stats.faults_flap_drops += 1;
+                                    self.fault_events.push(FaultEvent {
+                                        at: now,
+                                        node: n,
+                                        kind: FaultKind::FlapDrop,
+                                    });
+                                    self.frame_dropped(now, tid, seq);
+                                    return;
+                                }
+                            }
+                            if let Hop::Nic(n) = hop {
+                                let pause = self.faults.as_ref().and_then(|f| f.pause_at(n, now));
+                                if let Some((window_end, slowdown)) = pause {
+                                    self.stats.faults_paused_frames += 1;
+                                    self.fault_events.push(FaultEvent {
+                                        at: now,
+                                        node: n,
+                                        kind: FaultKind::Paused,
+                                    });
+                                    if slowdown == 0.0 {
+                                        // Full pause: re-arrive when the
+                                        // window closes.
+                                        self.push(
+                                            window_end,
+                                            Ev::Arrive {
+                                                tid,
+                                                seq,
+                                                epoch,
+                                                hop_idx,
+                                            },
+                                        );
+                                        return;
+                                    }
+                                    // Slowdown: the NIC serves this frame
+                                    // `slowdown ×` slower.
+                                    wire = (wire as f64 * slowdown) as u64;
+                                }
+                            }
+                        }
                         let jit = self.jitter();
                         let (accepted, droppable) = match hop {
                             Hop::Nic(n) => (self.nic[n].accept(now, wire, jit), false),
@@ -492,6 +676,22 @@ impl Network {
                             Some(done) => {
                                 if hop_idx == 0 {
                                     self.stats.frames_sent += 1;
+                                    // Injected per-frame loss: the frame
+                                    // occupied the NIC (it was transmitted)
+                                    // but never reaches the next hop. The
+                                    // RNG is only consulted when the plan
+                                    // sets a positive probability.
+                                    let loss = self.faults.as_ref().map_or(0.0, |f| f.loss_prob);
+                                    if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                                        self.stats.faults_injected_losses += 1;
+                                        self.fault_events.push(FaultEvent {
+                                            at: now,
+                                            node: tr.src,
+                                            kind: FaultKind::InjectedLoss,
+                                        });
+                                        self.frame_dropped(now, tid, seq);
+                                        return;
+                                    }
                                 }
                                 self.push(
                                     done + self.cfg.hop_latency,
@@ -505,42 +705,7 @@ impl Network {
                             }
                             None => {
                                 debug_assert!(droppable);
-                                self.stats.frames_dropped += 1;
-                                // Desynchronise flows that dropped together:
-                                // jitter the timeout like per-connection TCP
-                                // timers would.
-                                let jfrac: f64 = if self.cfg.rto_jitter > 0.0 {
-                                    self.rng.gen::<f64>() * self.cfg.rto_jitter
-                                } else {
-                                    0.0
-                                };
-                                let fast_delay = self.cfg.fast_retx_delay;
-                                let t = &mut self.transfers[tid.0 as usize];
-                                if !t.retx_armed {
-                                    t.retx_armed = true;
-                                    // Fast retransmit needs >= 3 successor
-                                    // frames to trigger duplicate ACKs; a
-                                    // tail loss must wait out the RTO.
-                                    let fast = seq + 3 < t.nframes;
-                                    let delay = if fast {
-                                        Dur::from_nanos(
-                                            (fast_delay.as_nanos() as f64 * (1.0 + jfrac)) as u64,
-                                        )
-                                    } else {
-                                        Dur::from_nanos(
-                                            (t.rto.as_nanos() as f64 * (1.0 + jfrac)) as u64,
-                                        )
-                                    };
-                                    let ep = t.epoch;
-                                    self.push(
-                                        now + delay,
-                                        Ev::Retransmit {
-                                            tid,
-                                            epoch: ep,
-                                            fast,
-                                        },
-                                    );
-                                }
+                                self.frame_dropped(now, tid, seq);
                             }
                         }
                     }
@@ -549,10 +714,51 @@ impl Network {
         }
     }
 
+    /// A frame of `tid` was lost (buffer overflow or injected fault):
+    /// count the drop and arm go-back-N recovery — fast retransmit when
+    /// enough successor frames can raise duplicate ACKs, otherwise the
+    /// full RTO, both jittered to desynchronise flows that dropped
+    /// together the way per-connection TCP timers would.
+    fn frame_dropped(&mut self, now: Time, tid: TransferId, seq: u64) {
+        self.stats.frames_dropped += 1;
+        let jfrac: f64 = if self.cfg.rto_jitter > 0.0 {
+            self.rng.gen::<f64>() * self.cfg.rto_jitter
+        } else {
+            0.0
+        };
+        let fast_delay = self.cfg.fast_retx_delay;
+        let t = &mut self.transfers[tid.0 as usize];
+        if !t.retx_armed {
+            t.retx_armed = true;
+            // Fast retransmit needs >= 3 successor frames to trigger
+            // duplicate ACKs; a tail loss must wait out the RTO.
+            let fast = seq + 3 < t.nframes;
+            let delay = if fast {
+                Dur::from_nanos((fast_delay.as_nanos() as f64 * (1.0 + jfrac)) as u64)
+            } else {
+                Dur::from_nanos((t.rto.as_nanos() as f64 * (1.0 + jfrac)) as u64)
+            };
+            let ep = t.epoch;
+            self.push(
+                now + delay,
+                Ev::Retransmit {
+                    tid,
+                    epoch: ep,
+                    fast,
+                },
+            );
+        }
+    }
+
     fn complete(&mut self, tid: TransferId, at: Time) {
         let tr = &mut self.transfers[tid.0 as usize];
         debug_assert!(!tr.completed, "transfer completed twice");
         tr.completed = true;
+        if tr.background {
+            // Fault-plan cross-traffic is invisible to the protocol layer:
+            // no Completion, no goodput accounting.
+            return;
+        }
         self.stats.transfers_completed += 1;
         self.stats.bytes_delivered += tr.bytes;
         self.completions.push(Completion {
@@ -565,6 +771,16 @@ impl Network {
     /// Whether the given transfer has been delivered.
     pub fn is_completed(&self, tid: TransferId) -> bool {
         self.transfers[tid.0 as usize].completed
+    }
+
+    /// Injected-fault occurrences so far (empty without an active plan).
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.fault_events
+    }
+
+    /// Drain the recorded injected-fault occurrences.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.fault_events)
     }
 }
 
@@ -781,6 +997,172 @@ mod tests {
         assert_eq!(s.trunk_bytes, 2 * 1538);
         assert!(s.trunk_peak_backlog >= 1538);
         assert!(s.trunk_peak_backlog <= 2 * 1538);
+    }
+
+    #[test]
+    fn injected_loss_drops_frames_but_transfers_recover() {
+        let mut cfg = ClusterConfig::ideal(4);
+        cfg.faults = Some(crate::faults::FaultPlan {
+            loss_prob: 0.2,
+            ..Default::default()
+        });
+        let mut net = Network::new(cfg, 3);
+        for i in 0..3usize {
+            net.start_transfer(Time::ZERO, i, 3, 15_000);
+        }
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 3, "all transfers must complete despite loss");
+        let s = net.stats();
+        assert!(s.faults_injected_losses > 0, "expected injected losses");
+        assert_eq!(s.frames_dropped, s.faults_injected_losses);
+        assert!(s.retransmissions > 0);
+        assert!(net
+            .fault_events()
+            .iter()
+            .any(|e| e.kind == crate::faults::FaultKind::InjectedLoss));
+    }
+
+    #[test]
+    fn degraded_link_slows_delivery_proportionally() {
+        let clean = {
+            let mut net = ideal(2);
+            net.start_transfer(Time::ZERO, 0, 1, 15_000);
+            net.run_to_completion()[0].delivered_at.as_nanos()
+        };
+        let mut cfg = ClusterConfig::ideal(2);
+        cfg.faults = Some(crate::faults::FaultPlan {
+            degrade: vec![crate::faults::LinkDegrade {
+                node: 0,
+                rate_factor: 0.5,
+            }],
+            ..Default::default()
+        });
+        let mut net = Network::new(cfg, 1);
+        net.start_transfer(Time::ZERO, 0, 1, 15_000);
+        let slow = net.run_to_completion()[0].delivered_at.as_nanos();
+        // The sender NIC at half rate roughly doubles the serialisation
+        // time that dominates this pipeline.
+        assert!(
+            slow > clean * 18 / 10,
+            "half-rate link should ~double delivery: clean={clean} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn link_flap_window_loses_frames_then_recovers() {
+        let mut cfg = ClusterConfig::ideal(2);
+        cfg.faults = Some(crate::faults::FaultPlan {
+            flaps: vec![crate::faults::LinkFlap {
+                node: 0,
+                from_secs: 0.0,
+                to_secs: 0.005,
+            }],
+            ..Default::default()
+        });
+        let mut net = Network::new(cfg, 1);
+        net.start_transfer(Time::ZERO, 0, 1, 1_000);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!(net.stats().faults_flap_drops > 0);
+        // Delivery can only happen after the link comes back up.
+        assert!(done[0].delivered_at >= Time::from_secs_f64(0.005));
+    }
+
+    #[test]
+    fn background_traffic_contends_but_is_invisible() {
+        let quiet = {
+            let mut net = ideal(3);
+            net.start_transfer(Time::ZERO, 1, 0, 15_000);
+            net.run_to_completion()[0].delivered_at.as_nanos()
+        };
+        let mut cfg = ClusterConfig::ideal(3);
+        cfg.faults = Some(crate::faults::FaultPlan {
+            background: vec![crate::faults::Background {
+                src: 2,
+                dst: 0,
+                bytes: 15_000,
+                start_secs: 0.0,
+                period_secs: 0.001,
+                count: 4,
+            }],
+            ..Default::default()
+        });
+        let mut net = Network::new(cfg, 1);
+        let tid = net.start_transfer(Time::ZERO, 1, 0, 15_000);
+        let done = net.run_to_completion();
+        // Only the user transfer surfaces; the bursts contend at port 0.
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, tid);
+        assert_eq!(net.stats().faults_background_transfers, 4);
+        assert_eq!(net.stats().transfers_completed, 1);
+        assert!(
+            done[0].delivered_at.as_nanos() > quiet,
+            "cross-traffic should delay the user transfer"
+        );
+    }
+
+    #[test]
+    fn pause_defers_and_slowdown_stretches() {
+        let clean = {
+            let mut net = ideal(2);
+            net.start_transfer(Time::ZERO, 0, 1, 1_000);
+            net.run_to_completion()[0].delivered_at
+        };
+        let paused = {
+            let mut cfg = ClusterConfig::ideal(2);
+            cfg.faults = Some(crate::faults::FaultPlan {
+                pauses: vec![crate::faults::Pause {
+                    node: 0,
+                    at_secs: 0.0,
+                    duration_secs: 0.01,
+                    slowdown: 0.0,
+                }],
+                ..Default::default()
+            });
+            let mut net = Network::new(cfg, 1);
+            net.start_transfer(Time::ZERO, 0, 1, 1_000);
+            let done = net.run_to_completion();
+            assert!(net.stats().faults_paused_frames > 0);
+            done[0].delivered_at
+        };
+        assert!(paused >= Time::from_secs_f64(0.01));
+        let slowed = {
+            let mut cfg = ClusterConfig::ideal(2);
+            cfg.faults = Some(crate::faults::FaultPlan {
+                pauses: vec![crate::faults::Pause {
+                    node: 0,
+                    at_secs: 0.0,
+                    duration_secs: 0.01,
+                    slowdown: 4.0,
+                }],
+                ..Default::default()
+            });
+            let mut net = Network::new(cfg, 1);
+            net.start_transfer(Time::ZERO, 0, 1, 1_000);
+            net.run_to_completion()[0].delivered_at
+        };
+        assert!(slowed > clean && slowed < paused);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut cfg = ClusterConfig::perseus(8);
+            cfg.faults = Some(crate::faults::FaultPlan {
+                loss_prob: 0.05,
+                ..Default::default()
+            });
+            let mut net = Network::new(cfg, seed);
+            for i in 0..4usize {
+                net.start_transfer(Time::ZERO, i, i + 4, 16_384);
+            }
+            let mut done = net.run_to_completion();
+            done.sort_by_key(|c| c.id);
+            done.iter()
+                .map(|c| c.delivered_at.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
     }
 
     #[test]

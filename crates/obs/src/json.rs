@@ -60,6 +60,14 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Member `key` of an object value.
     pub fn get(&self, key: &str) -> Option<&Json> {
         self.as_object().and_then(|m| m.get(key))

@@ -18,8 +18,38 @@
 //! Thread counts are expressed as `0 = use all available parallelism`;
 //! `1` forces the serial path.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Why one replication job failed, for the panic-isolated map.
+#[derive(Debug, Clone)]
+pub enum JobError<E> {
+    /// The job returned an error.
+    Err(E),
+    /// The job panicked; the payload is the panic message.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for JobError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Err(e) => write!(f, "{e}"),
+            JobError::Panic(m) => write!(f, "panicked: {m}"),
+        }
+    }
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
 
 /// What one replication worker did.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -202,6 +232,36 @@ where
     Ok((out, ReplicateProfile { workers, wall_secs }))
 }
 
+/// [`try_parallel_map_profiled`] with per-job panic isolation: every job
+/// runs under [`catch_unwind`], so one panicking replication neither
+/// aborts the process nor poisons its worker — the worker moves on to the
+/// next job. Returns **all** per-index outcomes (in index order), letting
+/// the caller apply a quorum policy instead of failing on the first
+/// error. A default-hook suppression is *not* installed: the panic
+/// message still prints to stderr, which is the wanted diagnostic.
+pub fn isolated_map_profiled<T, E, F>(
+    n: usize,
+    threads: usize,
+    f: F,
+) -> (Vec<Result<T, JobError<E>>>, ReplicateProfile)
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let isolated = |i: usize| -> Result<Result<T, JobError<E>>, std::convert::Infallible> {
+        Ok(match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(JobError::Err(e)),
+            Err(payload) => Err(JobError::Panic(panic_message(payload))),
+        })
+    };
+    match try_parallel_map_profiled(n, threads, isolated) {
+        Ok(pair) => pair,
+        Err(e) => match e {},
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +321,36 @@ mod tests {
     fn profile_on_error_still_reports_lowest_index() {
         let r = try_parallel_map_profiled(10, 4, |i| if i >= 4 { Err(i) } else { Ok(i) });
         assert_eq!(r.unwrap_err(), 4);
+    }
+
+    #[test]
+    fn isolated_map_survives_panicking_jobs() {
+        // Silence the default panic hook for this test: the panics are
+        // intentional and the backtraces would pollute test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1usize, 4] {
+            let (out, profile) = isolated_map_profiled(12, threads, |i| {
+                if i % 5 == 2 {
+                    panic!("boom at {i}");
+                }
+                if i % 5 == 3 {
+                    return Err(format!("err at {i}"));
+                }
+                Ok(i * 10)
+            });
+            assert_eq!(out.len(), 12);
+            assert_eq!(profile.total_jobs(), 12, "panicked jobs still counted");
+            for (i, r) in out.iter().enumerate() {
+                match (i % 5, r) {
+                    (2, Err(JobError::Panic(m))) => assert!(m.contains(&format!("boom at {i}"))),
+                    (3, Err(JobError::Err(m))) => assert!(m.contains(&format!("err at {i}"))),
+                    (_, Ok(v)) => assert_eq!(*v, i * 10),
+                    other => panic!("index {i}: unexpected outcome {other:?}"),
+                }
+            }
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]

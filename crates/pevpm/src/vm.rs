@@ -45,9 +45,16 @@ pub struct EvalConfig {
     /// Messages at least this large use blocking-rendezvous semantics for
     /// `Send` (the sender cannot complete before the receiver matches).
     pub rndv_threshold: f64,
-    /// Safety valve: abort after this many directive executions per
-    /// evaluation.
-    pub max_steps: u64,
+    /// Resource limits for one evaluation: a runaway (livelocked or
+    /// hostile) model is aborted with a structured
+    /// [`PevpmError::Budget`] carrying partial results instead of
+    /// spinning forever.
+    pub budget: RunBudget,
+    /// Replication quorum for [`monte_carlo`]: the prediction completes
+    /// (with the failures surfaced in [`McPrediction::failures`]) if at
+    /// least this many replications succeed. `None` requires **all**
+    /// replications to succeed — the historical behaviour.
+    pub quorum: Option<usize>,
     /// Worker threads for replicated evaluation ([`monte_carlo`]):
     /// `0` = all available cores, `1` = serial. Results are bitwise
     /// identical at any setting (see [`crate::replicate`]).
@@ -72,7 +79,8 @@ impl EvalConfig {
             params: Env::default(),
             seed: 1,
             rndv_threshold: 16.0 * 1024.0,
-            max_steps: 500_000_000,
+            budget: RunBudget::default(),
+            quorum: None,
             threads: 0,
             metrics: None,
             record_timeline: false,
@@ -107,6 +115,131 @@ impl EvalConfig {
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
         self
+    }
+
+    /// Builder: set the evaluation budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder: set the replication quorum (`k` of n must succeed).
+    pub fn with_quorum(mut self, k: usize) -> Self {
+        self.quorum = Some(k);
+        self
+    }
+}
+
+/// Resource limits for a single evaluation.
+///
+/// The defaults keep the historical safety valve (500 M directive
+/// executions) and leave the time axes unlimited. Note that a *wall*-time
+/// limit makes failure timing-dependent (results of successful runs stay
+/// bitwise deterministic; whether a borderline run fails may vary) — use
+/// the step or virtual-time axes when reproducible aborts matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunBudget {
+    /// Maximum directive executions per evaluation.
+    pub max_steps: u64,
+    /// Maximum virtual time any process clock may reach, seconds.
+    pub max_virtual_secs: f64,
+    /// Maximum wall-clock seconds per evaluation (checked every 64 Ki
+    /// steps).
+    pub max_wall_secs: f64,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget {
+            max_steps: 500_000_000,
+            max_virtual_secs: f64::INFINITY,
+            max_wall_secs: f64::INFINITY,
+        }
+    }
+}
+
+impl RunBudget {
+    /// Builder: cap directive executions.
+    pub fn with_max_steps(mut self, n: u64) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Builder: cap virtual time.
+    pub fn with_max_virtual_secs(mut self, secs: f64) -> Self {
+        self.max_virtual_secs = secs;
+        self
+    }
+
+    /// Builder: cap wall-clock time.
+    pub fn with_max_wall_secs(mut self, secs: f64) -> Self {
+        self.max_wall_secs = secs;
+        self
+    }
+}
+
+/// Which [`RunBudget`] axis was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetAxis {
+    /// `max_steps`.
+    Steps,
+    /// `max_virtual_secs`.
+    VirtualTime,
+    /// `max_wall_secs`.
+    WallTime,
+}
+
+impl BudgetAxis {
+    /// Human-readable axis name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetAxis::Steps => "step limit",
+            BudgetAxis::VirtualTime => "virtual-time limit",
+            BudgetAxis::WallTime => "wall-time limit",
+        }
+    }
+}
+
+/// Diagnostic report attached to [`PevpmError::Budget`]: where the
+/// evaluation was when the budget fired, in the same shape as the
+/// deadlock report, plus the partial per-process results.
+#[derive(Debug, Clone)]
+pub struct BudgetReport {
+    /// The exhausted axis.
+    pub axis: BudgetAxis,
+    /// Directive executions performed.
+    pub steps: u64,
+    /// Largest process clock at abort, seconds.
+    pub virtual_time: f64,
+    /// Wall-clock seconds elapsed in the evaluation.
+    pub wall_secs: f64,
+    /// Partial result: each process's virtual clock at abort.
+    pub clocks: Vec<f64>,
+    /// Partial result: which processes had already finished.
+    pub finished: Vec<bool>,
+    /// Deadlock-style diagnostic: `(procnum, description)` of every
+    /// process blocked at abort (a livelocked model typically has none —
+    /// that is what distinguishes it from a deadlock).
+    pub blocked: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for BudgetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self.finished.iter().filter(|&&x| x).count();
+        write!(
+            f,
+            "evaluation budget exceeded ({}) at t={:.6}s after {} steps ({:.3}s wall): {}/{} procs finished",
+            self.axis.name(),
+            self.virtual_time,
+            self.steps,
+            self.wall_secs,
+            done,
+            self.finished.len()
+        )?;
+        for (p, d) in &self.blocked {
+            write!(f, " [proc {p}: {d}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -207,8 +340,29 @@ pub enum PevpmError {
     },
     /// The model is malformed (e.g. a Send whose `from` is another rank).
     BadModel(String),
-    /// `max_steps` exceeded.
-    StepLimit,
+    /// A [`RunBudget`] limit was hit; the report carries the partial
+    /// results and a deadlock-style diagnostic.
+    Budget(Box<BudgetReport>),
+    /// A replication worker panicked ([`monte_carlo`] isolates worker
+    /// panics instead of aborting the process).
+    ReplicaPanic {
+        /// Index of the panicking replication.
+        index: usize,
+        /// The panic payload.
+        message: String,
+    },
+    /// Fewer than the required quorum of replications succeeded.
+    QuorumFailed {
+        /// Replications that succeeded.
+        succeeded: usize,
+        /// Quorum that was required.
+        required: usize,
+        /// Total replications attempted.
+        total: usize,
+        /// The lowest-index failure (what a serial loop would have hit
+        /// first).
+        first_failure: Box<PevpmError>,
+    },
 }
 
 impl std::fmt::Display for PevpmError {
@@ -226,7 +380,19 @@ impl std::fmt::Display for PevpmError {
                 write!(f, "timing model has no data for op={op} size={size}")
             }
             PevpmError::BadModel(m) => write!(f, "bad model: {m}"),
-            PevpmError::StepLimit => write!(f, "evaluation step limit exceeded"),
+            PevpmError::Budget(report) => write!(f, "{report}"),
+            PevpmError::ReplicaPanic { index, message } => {
+                write!(f, "replication {index} panicked: {message}")
+            }
+            PevpmError::QuorumFailed {
+                succeeded,
+                required,
+                total,
+                first_failure,
+            } => write!(
+                f,
+                "replication quorum failed: {succeeded}/{total} succeeded, {required} required; first failure: {first_failure}"
+            ),
         }
     }
 }
@@ -396,6 +562,8 @@ struct Vm<'m> {
     fifo: PairFifo,
     rng: SmallRng,
     steps: u64,
+    /// Wall-clock start of the evaluation, for the budget's wall axis.
+    started: std::time::Instant,
     sb_peak: usize,
     messages: u64,
     /// Per-label loss accumulators, indexed by [`Label::slot`]; `touched`
@@ -468,6 +636,7 @@ pub fn evaluate(
         fifo: PairFifo::new(cfg.nprocs),
         rng: SmallRng::seed_from_u64(cfg.seed),
         steps: 0,
+        started: std::time::Instant::now(),
         sb_peak: 0,
         messages: 0,
         loss: vec![0.0; lowered.labels.len()],
@@ -551,6 +720,11 @@ pub struct McPrediction {
     pub profile: crate::replicate::ReplicateProfile,
     /// The individual replications, in seed order.
     pub runs: Vec<Prediction>,
+    /// Replications that failed, as `(replication index, description)`,
+    /// in index order. Non-empty only when [`EvalConfig::quorum`] allowed
+    /// the batch to complete despite failures — the prediction then
+    /// aggregates the surviving runs and this field is the warning.
+    pub failures: Vec<(usize, String)>,
 }
 
 impl McPrediction {
@@ -605,13 +779,54 @@ pub fn monte_carlo(
     // Replica i is seeded from (cfg.seed, i) alone, so fanning the batch
     // across threads cannot change any replica's result; collection is in
     // index order, so the aggregate is bitwise identical to a serial loop.
-    let (runs, profile): (Vec<Prediction>, _) =
-        crate::replicate::try_parallel_map_profiled(replications, cfg.threads, |i| {
+    // Each replication runs panic-isolated: a worker that panics (bad
+    // timing table, hostile model) is recorded as a failure, not a
+    // process abort.
+    let (outcomes, profile) =
+        crate::replicate::isolated_map_profiled(replications, cfg.threads, |i| {
             let mut c = cfg.clone();
             c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
             evaluate(model, &c, timing)
-        })?;
+        });
     let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut runs: Vec<Prediction> = Vec::with_capacity(replications);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut first_failure: Option<PevpmError> = None;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(p) => runs.push(p),
+            Err(job_err) => {
+                failures.push((i, job_err.to_string()));
+                if first_failure.is_none() {
+                    first_failure = Some(match job_err {
+                        crate::replicate::JobError::Err(e) => e,
+                        crate::replicate::JobError::Panic(message) => {
+                            PevpmError::ReplicaPanic { index: i, message }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    // k-of-n quorum: with `quorum: None` every replication must succeed
+    // (the historical contract) and the lowest-index failure is returned —
+    // exactly what a serial loop would have reported first.
+    let required = cfg.quorum.unwrap_or(replications).clamp(1, replications);
+    if let Some(first) = first_failure {
+        if runs.len() < required {
+            if cfg.quorum.is_none() {
+                return Err(first);
+            }
+            return Err(PevpmError::QuorumFailed {
+                succeeded: runs.len(),
+                required,
+                total: replications,
+                first_failure: Box::new(first),
+            });
+        }
+    }
 
     let mut makespans = pevpm_dist::Summary::new();
     for p in &runs {
@@ -631,6 +846,7 @@ pub fn monte_carlo(
         },
         profile,
         runs,
+        failures,
     })
 }
 
@@ -653,6 +869,25 @@ impl<'m> Vm<'m> {
                 return Err(PevpmError::Deadlock { time, blocked });
             }
         }
+    }
+
+    /// Build the structured abort report for an exhausted budget axis:
+    /// partial per-process results plus the deadlock-style blocked list.
+    fn budget_error(&self, axis: BudgetAxis) -> PevpmError {
+        PevpmError::Budget(Box::new(BudgetReport {
+            axis,
+            steps: self.steps,
+            virtual_time: self.procs.iter().map(|p| p.clock).fold(0.0, f64::max),
+            wall_secs: self.started.elapsed().as_secs_f64(),
+            clocks: self.procs.iter().map(|p| p.clock).collect(),
+            finished: self.procs.iter().map(|p| p.finished).collect(),
+            blocked: self
+                .procs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.blocked.as_ref().map(|(b, _)| (i, b.describe())))
+                .collect(),
+        }))
     }
 
     /// Record a timeline span for proc `p` (zero-length spans dropped, so
@@ -681,8 +916,21 @@ impl<'m> Vm<'m> {
             while !self.procs[p].finished && self.procs[p].blocked.is_none() {
                 advanced |= self.step(p)?;
                 self.steps += 1;
-                if self.steps > self.cfg.max_steps {
-                    return Err(PevpmError::StepLimit);
+                let budget = self.cfg.budget;
+                if self.steps > budget.max_steps {
+                    return Err(self.budget_error(BudgetAxis::Steps));
+                }
+                // A livelocked model (e.g. an unbounded loop of serial
+                // work) never deadlocks — the clock axis is what stops it.
+                if self.procs[p].clock > budget.max_virtual_secs {
+                    return Err(self.budget_error(BudgetAxis::VirtualTime));
+                }
+                // The wall clock is only consulted every 64 Ki steps: an
+                // Instant read per directive would dominate the hot path.
+                if self.steps & 0xFFFF == 0
+                    && self.started.elapsed().as_secs_f64() > budget.max_wall_secs
+                {
+                    return Err(self.budget_error(BudgetAxis::WallTime));
                 }
             }
         }
