@@ -93,6 +93,21 @@ pub struct Fig6Result {
 /// the benchmark pattern matches the application's locality class
 /// (regular-local halo exchange ⇒ ring).
 pub fn shape_table(shape: MachineShape, sizes: &[u64], reps: usize, seed: u64) -> DistTable {
+    shape_table_ops(shape, sizes, reps, seed, &[Op::Send])
+}
+
+/// [`shape_table`] recording the measured distributions under several MPI
+/// operations at once. The ring-exchange timings stand in for every
+/// point-to-point flavour (the engine's Send↔Isend fallback covers the
+/// gap when only one is recorded); recording both explicitly gives
+/// fuzzed programs (`pevpm-testkit`) exact-key lookups.
+pub fn shape_table_ops(
+    shape: MachineShape,
+    sizes: &[u64],
+    reps: usize,
+    seed: u64,
+    ops: &[Op],
+) -> DistTable {
     let p2p = P2pConfig {
         world: WorldConfig::perseus(shape.nodes, shape.ppn, seed),
         sizes: sizes.to_vec(),
@@ -105,7 +120,35 @@ pub fn shape_table(shape: MachineShape, sizes: &[u64], reps: usize, seed: u64) -
     };
     let res = run_p2p(&p2p).expect("MPIBench ring benchmark failed");
     let mut table = DistTable::new();
-    res.add_to_table(&mut table, Op::Send, 100);
+    for &op in ops {
+        res.add_to_table(&mut table, op, 100);
+    }
+    table
+}
+
+/// Measure the *uncontended* one-way transit distribution: a single
+/// HalfSplit pair on a `2×1` world, barrier-resynchronised before every
+/// message, recorded at contention 1. This is the distribution a program
+/// with at most one message in flight at a time samples from — the
+/// `pevpm-testkit` statistical oracle pairs it with token-relay programs,
+/// where the ring-exchange table's contention level would systematically
+/// overcharge every hop.
+pub fn oneway_table_ops(sizes: &[u64], reps: usize, seed: u64, ops: &[Op]) -> DistTable {
+    let p2p = P2pConfig {
+        world: WorldConfig::perseus(2, 1, seed),
+        sizes: sizes.to_vec(),
+        repetitions: reps,
+        warmup: (reps / 10).max(2),
+        sync_every: 1,
+        pattern: PairPattern::HalfSplit,
+        direction: Direction::OneWay,
+        clock: None,
+    };
+    let res = run_p2p(&p2p).expect("MPIBench one-way benchmark failed");
+    let mut table = DistTable::new();
+    for &op in ops {
+        res.add_to_table(&mut table, op, 100);
+    }
     table
 }
 

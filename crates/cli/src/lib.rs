@@ -141,11 +141,18 @@ USAGE:
 
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
                  [--pingpong] [--exact-quantiles] [--param k=v ...] [--seed S]
-                 [--reps R] [--threads T] [--trace-out TRACE.json]
-                 [--metrics-out M.json]
+                 [--reps R] [--threads T] [--quorum K]
+                 [--max-steps N] [--max-virtual-secs S]
+                 [--trace-out TRACE.json] [--metrics-out M.json]
       Evaluate the annotated program's PEVPM model against a database.
       --reps R > 1 runs a Monte-Carlo batch of R derived-seed replications
-      (mean +/- stderr); --threads T as for bench. --trace-out writes the
+      (mean +/- stderr); --threads T as for bench. --quorum K lets the
+      batch complete when at least K replications succeed: failed
+      replications are listed in the report and counted in the
+      mc.replica_failures metric instead of aborting. --max-steps /
+      --max-virtual-secs bound each evaluation (directive executions /
+      simulated seconds); a replication over budget fails with a
+      structured diagnostic (exit 4 unless --quorum absorbs it). --trace-out writes the
       predicted timeline as Chrome trace_event JSON (open in
       chrome://tracing or https://ui.perfetto.dev); --metrics-out dumps the
       engine's metrics registry (sweep/match counts, contention and
@@ -164,6 +171,20 @@ USAGE:
       (pid 1) next to the *measured* per-rank timeline (pid 2) and, when
       --faults is given, injected-fault marks (pid 3); the prediction
       samples --db when given, else an analytic Hockney model.
+
+  pevpm fuzz     [--mode differential|metamorphic|ks|diagnostics|all]
+                 [--programs N] [--seed S] [--alpha A] [--reps R]
+                 [--ks-runs K] [--bench-reps B] [--out DIR]
+                 [--replay FILE.model]
+      Differential conformance fuzzing: generate N random well-formed
+      model programs per mode and gate them with the oracle hierarchy
+      (bitwise interpreted/compiled/unfolded agreement, two-sample KS at
+      significance A against mpisim co-simulation, size-scaling and
+      empty-fault-plan metamorphic relations, deadlock diagnostics).
+      Failing programs are shrunk to minimal counterexamples; --out DIR
+      writes each as a replayable .model artifact. --replay re-runs one
+      artifact under its recorded oracle and reports whether it still
+      reproduces. Counterexamples (or a reproducing replay) exit 3.
 
 GLOBAL FLAGS:
   -q / --quiet     suppress informational stderr output
@@ -212,6 +233,7 @@ pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
         "annotate" => cmd_annotate(&args),
         "predict" => cmd_predict(&args),
         "trace" => cmd_trace(&args),
+        "fuzz" => cmd_fuzz(&args),
         "help" | "--help" => Ok(USAGE.to_string()),
         other => err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -575,9 +597,41 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     if reps == 0 {
         return err("--reps must be at least 1");
     }
+    if let Some(q) = args.get("quorum") {
+        let q: usize = q
+            .parse()
+            .map_err(|_| CliError::usage("--quorum must be an integer"))?;
+        if q == 0 || q > reps {
+            return err(format!("--quorum {q} must be in 1..=--reps ({reps})"));
+        }
+        cfg = cfg.with_quorum(q);
+    }
+    let mut budget = pevpm::vm::RunBudget::default();
+    let mut budgeted = false;
+    if let Some(s) = args.get("max-steps") {
+        let n: u64 = s
+            .parse()
+            .map_err(|_| CliError::usage("--max-steps must be an integer"))?;
+        budget = budget.with_max_steps(n);
+        budgeted = true;
+    }
+    if let Some(s) = args.get("max-virtual-secs") {
+        let secs: f64 = s
+            .parse()
+            .map_err(|_| CliError::usage("--max-virtual-secs must be a number"))?;
+        budget = budget.with_max_virtual_secs(secs);
+        budgeted = true;
+    }
+    if budgeted {
+        cfg = cfg.with_budget(budget);
+    }
     if reps > 1 {
         diag::info(&format!("running {reps} Monte-Carlo replications..."));
         let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps).map_err(eval_error)?;
+        if let Some(reg) = &registry {
+            reg.counter("mc.replica_failures")
+                .add(mc.failures.len() as u64);
+        }
         let mut out = format!(
             "predicted makespan: {:.6} s +/- {:.6} (stderr) over {procs} procs\n\
              {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
@@ -594,6 +648,15 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
             mc.total_steps(),
             mc.mean_steps(),
         );
+        if !mc.failures.is_empty() {
+            out.push_str(&format!(
+                "{} replication(s) failed (quorum met; prediction aggregates the rest):\n",
+                mc.failures.len()
+            ));
+            for (idx, what) in &mc.failures {
+                out.push_str(&format!("  replication {idx}: {what}\n"));
+            }
+        }
         // The trace sink gets the first replication: its seed is the one a
         // `--reps 1` run with the same --seed would use.
         out.push_str(&dump_sinks(mc.runs.first())?);
@@ -729,6 +792,108 @@ fn cmd_trace(args: &Args) -> Result<String, CliError> {
         ));
     }
     diag::debug(&format!("net stats: {:?}", measured.report.net_stats));
+    Ok(out)
+}
+
+/// `pevpm fuzz`: differential conformance fuzzing of the PEVPM engine
+/// against itself (bitwise) and against mpisim (statistically), plus
+/// metamorphic and diagnostics oracles. See `pevpm-testkit` for the
+/// oracle hierarchy; this command is a thin front-end over its
+/// deterministic campaign driver.
+fn cmd_fuzz(args: &Args) -> Result<String, CliError> {
+    use pevpm_testkit::campaign::{self, CampaignConfig, Mode};
+    use pevpm_testkit::Counterexample;
+
+    let campaign_cfg = |mode: Mode| -> Result<CampaignConfig, CliError> {
+        Ok(CampaignConfig {
+            mode,
+            programs: args.get_parsed("programs", 50)?,
+            seed: args.get_parsed("seed", 2004)?,
+            alpha: args.get_parsed("alpha", 1e-5)?,
+            replications: args.get_parsed("reps", 3)?,
+            ks_runs: args.get_parsed("ks-runs", 40)?,
+            bench_reps: args.get_parsed("bench-reps", 40)?,
+        })
+    };
+
+    // Replay one artifact under its recorded oracle.
+    if let Some(path) = args.get("replay") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::input(format!("cannot read {path}: {e}")))?;
+        let cx =
+            Counterexample::parse(&text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        let cfg = campaign_cfg(Mode::Differential)?;
+        return match campaign::replay(&cx, &cfg) {
+            Err(f) => Err(CliError::input(format!(
+                "counterexample reproduces (oracle {}, seed {}): {f}\n{}",
+                cx.oracle,
+                cx.seed,
+                cx.render()
+            ))),
+            Ok(()) => Ok(format!(
+                "counterexample did not reproduce (oracle {}, seed {}, {} directive(s))\n",
+                cx.oracle,
+                cx.seed,
+                cx.program.directives()
+            )),
+        };
+    }
+
+    let modes: Vec<Mode> = match args.get("mode").unwrap_or("differential") {
+        "all" => Mode::ALL.to_vec(),
+        m => vec![Mode::from_name(m).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown mode {m:?} (differential|metamorphic|ks|diagnostics|all)"
+            ))
+        })?],
+    };
+    let out_dir = args.get("out");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::input(format!("cannot create {dir}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    let mut total_failures = 0usize;
+    for mode in modes {
+        let cfg = campaign_cfg(mode)?;
+        diag::info(&format!(
+            "fuzzing {} programs under the {mode} oracle (seed {})...",
+            cfg.programs, cfg.seed
+        ));
+        let res = campaign::run_campaign(&cfg);
+        out.push_str(&format!(
+            "{mode}: {} program(s), {} directive(s), {} counterexample(s)\n",
+            res.programs,
+            res.directives,
+            res.failures.len()
+        ));
+        for cx in &res.failures {
+            total_failures += 1;
+            out.push_str(&format!(
+                "  seed {}: {} ({} directive(s), shrunk from {})\n",
+                cx.seed,
+                cx.failure,
+                cx.program.directives(),
+                cx.original_directives
+            ));
+            if let Some(dir) = out_dir {
+                let path = Path::new(dir).join(cx.file_name());
+                std::fs::write(&path, cx.render()).map_err(|e| {
+                    CliError::input(format!("cannot write {}: {e}", path.display()))
+                })?;
+                out.push_str(&format!("  artifact written to {}\n", path.display()));
+            } else {
+                out.push_str(&cx.render());
+            }
+        }
+    }
+    if total_failures > 0 {
+        return Err(CliError::input(format!(
+            "{out}{total_failures} counterexample(s) found"
+        )));
+    }
+    out.push_str("ok — all oracles passed\n");
     Ok(out)
 }
 
@@ -1026,6 +1191,125 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.code, EXIT_BUDGET, "{e}");
         assert!(e.message.contains("deadlock at t="), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quorum_partial_failures_reach_report_and_metrics() {
+        let dir = tmpdir();
+        let db = dir.join("quorum_db.dist");
+        let model = dir.join("quorum_model.c");
+        let metrics = dir.join("quorum_metrics.json");
+
+        // A hand-written table with a *wide* send-latency histogram:
+        // per-replication makespans spread over ~[1, 3] s, so a
+        // virtual-time budget between the observed extremes fails some
+        // replications and not others — deterministically, given --seed.
+        let samples: Vec<f64> = (0..40).map(|i| 1.0 + 0.05 * i as f64).collect();
+        let mut table = DistTable::new();
+        table.insert(
+            pevpm_dist::DistKey {
+                op: Op::Send,
+                size: 1024,
+                contention: 1,
+            },
+            CommDist::Hist(pevpm_dist::Histogram::from_samples(&samples, 0.1)),
+        );
+        std::fs::write(&db, dist_io::write_table(&table)).unwrap();
+        std::fs::write(
+            &model,
+            "\
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+",
+        )
+        .unwrap();
+
+        let base = format!(
+            "predict --model {} --db {} --procs 2 --reps 16 --seed 9",
+            model.display(),
+            db.display()
+        );
+        let out = run_cmd(&base).unwrap();
+        let range = out
+            .lines()
+            .find_map(|l| l.split("range [").nth(1))
+            .unwrap_or_else(|| panic!("no range in {out}"));
+        let (lo, hi) = range
+            .trim_end_matches(|c| c != ']')
+            .trim_end_matches(']')
+            .trim_end_matches(" s")
+            .split_once(", ")
+            .unwrap();
+        let (lo, hi): (f64, f64) = (lo.parse().unwrap(), hi.parse().unwrap());
+        assert!(hi > lo, "jitter must spread the makespans: [{lo}, {hi}]");
+        let threshold = (lo + hi) / 2.0;
+
+        // Without a quorum, the budget kills the whole batch (exit 4).
+        let e = run_cmd(&format!("{base} --max-virtual-secs {threshold}")).unwrap_err();
+        assert_eq!(e.code, EXIT_BUDGET, "{e}");
+        assert!(e.message.contains("budget exceeded"), "{e}");
+
+        // With --quorum 1 the batch completes, the report lists the
+        // failed replications, and the count reaches --metrics-out.
+        let out = run_cmd(&format!(
+            "{base} --max-virtual-secs {threshold} --quorum 1 --metrics-out {}",
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(out.contains("predicted makespan"), "{out}");
+        assert!(out.contains("replication(s) failed (quorum met"), "{out}");
+        assert!(out.contains("budget exceeded"), "{out}");
+        let mj = pevpm_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("metrics JSON parses");
+        let failed = mj
+            .get("counters")
+            .and_then(|c| c.as_object())
+            .and_then(|c| c.get("mc.replica_failures"))
+            .and_then(|v| v.as_num())
+            .unwrap_or_else(|| panic!("mc.replica_failures missing from {mj:?}"));
+        assert!(
+            (1.0..=15.0).contains(&failed),
+            "a strict-interior budget fails some but not all of 16 replications, got {failed}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fuzz_smoke_flags_and_replay() {
+        // A tiny clean campaign passes and says so.
+        let out = run_cmd("fuzz --mode differential --programs 5 --seed 11").unwrap();
+        assert!(out.contains("differential: 5 program(s)"), "{out}");
+        assert!(out.contains("0 counterexample(s)"), "{out}");
+        assert!(out.contains("ok — all oracles passed"), "{out}");
+
+        // Flag errors follow the exit-code contract.
+        assert_eq!(run_cmd("fuzz --mode bogus").unwrap_err().code, EXIT_USAGE);
+        assert_eq!(
+            run_cmd("fuzz --replay /no/such.model").unwrap_err().code,
+            EXIT_INPUT
+        );
+
+        // A non-artifact file is an input error naming the header.
+        let dir = tmpdir();
+        let bogus = dir.join("bogus.model");
+        std::fs::write(&bogus, "hello\n").unwrap();
+        let e = run_cmd(&format!("fuzz --replay {}", bogus.display())).unwrap_err();
+        assert_eq!(e.code, EXIT_INPUT);
+        assert!(e.message.contains("not a counterexample artifact"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

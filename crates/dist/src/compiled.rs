@@ -198,6 +198,18 @@ pub enum CompiledDist {
     Point(f64),
 }
 
+/// Flip the lowest mantissa bit of a finite non-zero value — a one-ULP
+/// divergence between the compiled and interpreted sampling paths, used
+/// to prove the conformance harness actually detects compiled-path bugs.
+#[cfg(feature = "divergence-injection")]
+fn divergence_nudge(v: f64) -> f64 {
+    if v.is_finite() && v != 0.0 {
+        f64::from_bits(v.to_bits() ^ 1)
+    } else {
+        v
+    }
+}
+
 impl CompiledDist {
     fn compile(key: DistKey, dist: &CommDist, opts: &CompileOptions) -> Result<Self, CompileError> {
         Ok(match dist {
@@ -245,11 +257,14 @@ impl CompiledDist {
     /// [`CommDist::quantile`] for `Hist`/`Point`; LUT-approximate for
     /// `Fit` unless compiled with `exact_quantiles`.
     pub fn quantile(&self, q: f64) -> f64 {
-        match self {
+        let v = match self {
             CompiledDist::Hist(h) => h.quantile(q),
             CompiledDist::Fit(f) => f.quantile(q),
             CompiledDist::Point(v) => *v,
-        }
+        };
+        #[cfg(feature = "divergence-injection")]
+        let v = divergence_nudge(v);
+        v
     }
 
     /// Mean of the distribution (precomputed at compile time; bitwise

@@ -457,4 +457,63 @@ mod tests {
         let e = read_table(doc).unwrap_err();
         assert_eq!(e.line, 3);
     }
+
+    /// A file cut off mid-document (interrupted benchmark run, partial
+    /// copy) must point at the line where the document ends, for every
+    /// truncation point of a real serialised table.
+    #[test]
+    fn truncated_files_report_the_final_line() {
+        let full = write_table(&sample_table());
+        let dir = std::env::temp_dir().join("pevpm_dist_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("truncated.dist");
+        let lines: Vec<&str> = full.lines().collect();
+        // Cut after each prefix that ends on an entry or hist line —
+        // those leave a dangling record the parser must flag.
+        for cut in 1..lines.len() {
+            let doc: String = lines[..cut].iter().map(|l| format!("{l}\n")).collect();
+            std::fs::write(&path, &doc).unwrap();
+            match load_table(&path) {
+                Ok(t) => {
+                    // A cut between complete records parses; it must
+                    // just hold fewer entries.
+                    assert!(t.len() < sample_table().len(), "cut {cut}");
+                }
+                Err(e) => {
+                    let text = e.to_string();
+                    assert!(text.contains("truncated.dist"), "cut {cut}: {text}");
+                    // The reported line must be within the truncated
+                    // document — the parser cannot blame a line that
+                    // does not exist.
+                    let reported: usize = text
+                        .split("line ")
+                        .nth(1)
+                        .and_then(|s| s.split(&[':', ' '][..]).next().and_then(|n| n.parse().ok()))
+                        .unwrap_or_else(|| panic!("cut {cut}: no line in {text:?}"));
+                    assert!(reported <= cut, "cut {cut}: {text}");
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A non-UTF8 file (binary garbage handed to `--table`) must fail
+    /// with the file name and the encoding problem, not a line number —
+    /// there are no lines to blame before decoding succeeds.
+    #[test]
+    fn non_utf8_files_report_encoding_not_a_line() {
+        let dir = std::env::temp_dir().join("pevpm_dist_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("binary.dist");
+        std::fs::write(&path, [0x50u8, 0x45, 0x56, 0xff, 0xfe, 0x00, 0x80]).unwrap();
+        let e = load_table(&path).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("binary.dist"), "{text}");
+        assert!(
+            text.to_lowercase().contains("utf-8") || text.to_lowercase().contains("utf8"),
+            "{text}"
+        );
+        assert!(!text.contains("line "), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
 }

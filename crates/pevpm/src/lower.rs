@@ -291,15 +291,25 @@ pub(crate) struct LoweredModel<'m> {
     pub(crate) labels: Names,
 }
 
-/// Lower `model.stmts`. Errors only on programs that could never evaluate
-/// (unknown builtin, bad `sizeof`) — valid models always lower.
-pub(crate) fn lower_model(model: &Model) -> Result<LoweredModel<'_>, ExprError> {
+/// Lower `model.stmts`, with constant folding made optional. Errors only
+/// on programs that could never evaluate (unknown builtin, bad `sizeof`)
+/// — valid models always lower. Folding is a pure
+/// optimisation — `fold: false` must produce bitwise-identical evaluations
+/// — which is exactly what the differential conformance harness
+/// (`pevpm-testkit`) checks by running both variants over fuzzed programs.
+pub(crate) fn lower_model_with(model: &Model, fold: bool) -> Result<LoweredModel<'_>, ExprError> {
     let mut names = Names::default();
     let procnum = names.intern("procnum");
     let numprocs = names.intern("numprocs");
     let mut handles = Names::default();
     let mut labels = Names::default();
-    let stmts = lower_block(&model.stmts, &mut names, &mut handles, &mut labels)?;
+    let mut cx = LowerCx {
+        names: &mut names,
+        handles: &mut handles,
+        labels: &mut labels,
+        fold,
+    };
+    let stmts = lower_block(&model.stmts, &mut cx)?;
     Ok(LoweredModel {
         stmts,
         names,
@@ -310,6 +320,14 @@ pub(crate) fn lower_model(model: &Model) -> Result<LoweredModel<'_>, ExprError> 
     })
 }
 
+/// Shared lowering state: the three interners plus the fold switch.
+struct LowerCx<'a> {
+    names: &'a mut Names,
+    handles: &'a mut Names,
+    labels: &'a mut Names,
+    fold: bool,
+}
+
 fn lower_label<'m>(label: &'m Option<String>, labels: &mut Names) -> Option<Label<'m>> {
     label.as_deref().map(|text| Label {
         slot: labels.intern(text),
@@ -317,39 +335,21 @@ fn lower_label<'m>(label: &'m Option<String>, labels: &mut Names) -> Option<Labe
     })
 }
 
-fn lower_block<'m>(
-    stmts: &'m [Stmt],
-    names: &mut Names,
-    handles: &mut Names,
-    labels: &mut Names,
-) -> Result<Vec<LStmt<'m>>, ExprError> {
-    stmts
-        .iter()
-        .map(|s| lower_stmt(s, names, handles, labels))
-        .collect()
+fn lower_block<'m>(stmts: &'m [Stmt], cx: &mut LowerCx<'_>) -> Result<Vec<LStmt<'m>>, ExprError> {
+    stmts.iter().map(|s| lower_stmt(s, cx)).collect()
 }
 
-fn lower_stmt<'m>(
-    stmt: &'m Stmt,
-    names: &mut Names,
-    handles: &mut Names,
-    labels: &mut Names,
-) -> Result<LStmt<'m>, ExprError> {
+fn lower_stmt<'m>(stmt: &'m Stmt, cx: &mut LowerCx<'_>) -> Result<LStmt<'m>, ExprError> {
     Ok(match stmt {
         Stmt::Loop { count, var, body } => LStmt::Loop {
-            count: lower_expr(count, names)?,
-            var: var.as_ref().map(|v| names.intern(v)),
-            body: lower_block(body, names, handles, labels)?,
+            count: lower_expr_in(count, cx)?,
+            var: var.as_ref().map(|v| cx.names.intern(v)),
+            body: lower_block(body, cx)?,
         },
         Stmt::Runon { branches } => LStmt::Runon {
             branches: branches
                 .iter()
-                .map(|(cond, body)| {
-                    Ok((
-                        lower_expr(cond, names)?,
-                        lower_block(body, names, handles, labels)?,
-                    ))
-                })
+                .map(|(cond, body)| Ok((lower_expr_in(cond, cx)?, lower_block(body, cx)?)))
                 .collect::<Result<_, ExprError>>()?,
         },
         Stmt::Message {
@@ -361,39 +361,48 @@ fn lower_stmt<'m>(
             label,
         } => LStmt::Message {
             kind: *kind,
-            size: lower_expr(size, names)?,
-            from: lower_expr(from, names)?,
-            to: lower_expr(to, names)?,
-            handle: handle.as_ref().map(|h| handles.intern(h)),
+            size: lower_expr_in(size, cx)?,
+            from: lower_expr_in(from, cx)?,
+            to: lower_expr_in(to, cx)?,
+            handle: handle.as_ref().map(|h| cx.handles.intern(h)),
             handle_name: handle.as_deref(),
-            label: lower_label(label, labels),
+            label: lower_label(label, cx.labels),
         },
         Stmt::Wait { handle, label } => LStmt::Wait {
-            handle: handles.intern(handle),
+            handle: cx.handles.intern(handle),
             handle_name: handle.as_str(),
-            label: lower_label(label, labels),
+            label: lower_label(label, cx.labels),
         },
         Stmt::Serial { time, label, .. } => LStmt::Serial {
-            time: lower_expr(time, names)?,
-            label: lower_label(label, labels),
+            time: lower_expr_in(time, cx)?,
+            label: lower_label(label, cx.labels),
         },
         Stmt::Collective { op, size, label } => LStmt::Collective {
             op: *op,
-            size: lower_expr(size, names)?,
-            label: lower_label(label, labels),
+            size: lower_expr_in(size, cx)?,
+            label: lower_label(label, cx.labels),
         },
     })
 }
 
+fn lower_expr_in(e: &Expr, cx: &mut LowerCx<'_>) -> Result<LExpr, ExprError> {
+    lower_expr_opts(e, cx.names, cx.fold)
+}
+
+#[cfg(test)]
 fn lower_expr(e: &Expr, names: &mut Names) -> Result<LExpr, ExprError> {
+    lower_expr_opts(e, names, true)
+}
+
+fn lower_expr_opts(e: &Expr, names: &mut Names, do_fold: bool) -> Result<LExpr, ExprError> {
     let l = match e {
         Expr::Num(v) => LExpr::Num(*v),
         Expr::Var(n) => LExpr::Var(names.intern(n)),
-        Expr::Unary(op, a) => LExpr::Unary(*op, Box::new(lower_expr(a, names)?)),
+        Expr::Unary(op, a) => LExpr::Unary(*op, Box::new(lower_expr_opts(a, names, do_fold)?)),
         Expr::Binary(op, a, b) => LExpr::Binary(
             *op,
-            Box::new(lower_expr(a, names)?),
-            Box::new(lower_expr(b, names)?),
+            Box::new(lower_expr_opts(a, names, do_fold)?),
+            Box::new(lower_expr_opts(b, names, do_fold)?),
         ),
         Expr::Call(name, args) => {
             if name == "sizeof" {
@@ -405,20 +414,30 @@ fn lower_expr(e: &Expr, names: &mut Names) -> Result<LExpr, ExprError> {
                 match (name.as_str(), args.len()) {
                     ("min", 2) => LExpr::Call2(
                         Fn2::Min,
-                        Box::new(lower_expr(&args[0], names)?),
-                        Box::new(lower_expr(&args[1], names)?),
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                        Box::new(lower_expr_opts(&args[1], names, do_fold)?),
                     ),
                     ("max", 2) => LExpr::Call2(
                         Fn2::Max,
-                        Box::new(lower_expr(&args[0], names)?),
-                        Box::new(lower_expr(&args[1], names)?),
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                        Box::new(lower_expr_opts(&args[1], names, do_fold)?),
                     ),
-                    ("ceil", 1) => LExpr::Call1(Fn1::Ceil, Box::new(lower_expr(&args[0], names)?)),
-                    ("floor", 1) => {
-                        LExpr::Call1(Fn1::Floor, Box::new(lower_expr(&args[0], names)?))
-                    }
-                    ("abs", 1) => LExpr::Call1(Fn1::Abs, Box::new(lower_expr(&args[0], names)?)),
-                    ("log2", 1) => LExpr::Call1(Fn1::Log2, Box::new(lower_expr(&args[0], names)?)),
+                    ("ceil", 1) => LExpr::Call1(
+                        Fn1::Ceil,
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                    ),
+                    ("floor", 1) => LExpr::Call1(
+                        Fn1::Floor,
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                    ),
+                    ("abs", 1) => LExpr::Call1(
+                        Fn1::Abs,
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                    ),
+                    ("log2", 1) => LExpr::Call1(
+                        Fn1::Log2,
+                        Box::new(lower_expr_opts(&args[0], names, do_fold)?),
+                    ),
                     (_, n) => {
                         return err(format!("unknown function {name:?} with {n} args"));
                     }
@@ -426,7 +445,7 @@ fn lower_expr(e: &Expr, names: &mut Names) -> Result<LExpr, ExprError> {
             }
         }
     };
-    Ok(fold(l, names))
+    Ok(if do_fold { fold(l, names) } else { l })
 }
 
 /// Constant-fold a variable-free subtree. Subtrees whose evaluation errors
@@ -513,6 +532,26 @@ mod tests {
             l.eval(&slots, &names).unwrap_err(),
             e.eval(&Env::default()).unwrap_err()
         );
+    }
+
+    #[test]
+    fn unfolded_lowering_evaluates_identically() {
+        for src in [
+            "4*sizeof(float)+1",
+            "max(ceil(6/4), min(6, 3)) + log2(8)",
+            "1+2*3-4/2",
+        ] {
+            let e = parse(src).unwrap();
+            let mut names = Names::default();
+            let folded = lower_expr_opts(&e, &mut names, true).unwrap();
+            let mut names2 = Names::default();
+            let plain = lower_expr_opts(&e, &mut names2, false).unwrap();
+            assert!(matches!(folded, LExpr::Num(_)), "{src} should fold");
+            assert!(!matches!(plain, LExpr::Num(_)), "{src} should stay a tree");
+            let a = folded.eval(&[], &names).unwrap();
+            let b = plain.eval(&[], &names2).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "{src}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! labels, giving the per-source performance-loss report of §5.
 
 use crate::expr::{Env, ExprError};
-use crate::lower::{lower_model, LStmt, Label, Names};
+use crate::lower::{LStmt, Label, Names};
 use crate::model::{CollOp, Model, MsgKind};
 use crate::scoreboard::{Handle, PairFifo, Slab};
 use crate::timing::TimingModel;
@@ -69,6 +69,11 @@ pub struct EvalConfig {
     /// Chrome-trace export. Off by default: timelines allocate per
     /// directive executed.
     pub record_timeline: bool,
+    /// Constant-fold expressions during lowering (the default). Folding is
+    /// a pure optimisation, so disabling it must not change any prediction
+    /// bit — the differential conformance harness (`pevpm-testkit`) runs
+    /// fuzzed programs both ways to enforce exactly that.
+    pub const_fold: bool,
 }
 
 impl EvalConfig {
@@ -84,6 +89,7 @@ impl EvalConfig {
             threads: 0,
             metrics: None,
             record_timeline: false,
+            const_fold: true,
         }
     }
 
@@ -126,6 +132,13 @@ impl EvalConfig {
     /// Builder: set the replication quorum (`k` of n must succeed).
     pub fn with_quorum(mut self, k: usize) -> Self {
         self.quorum = Some(k);
+        self
+    }
+
+    /// Builder: disable constant folding in the lowering pass (a
+    /// differential-testing hook; see [`EvalConfig::const_fold`]).
+    pub fn without_const_fold(mut self) -> Self {
+        self.const_fold = false;
         self
     }
 }
@@ -592,7 +605,8 @@ pub fn evaluate(
 
     // Compile the directive tree to slot-indexed form once; the sweep loop
     // then resolves variables by array index, not string hash.
-    let lowered = lower_model(model).map_err(PevpmError::from)?;
+    let lowered =
+        crate::lower::lower_model_with(model, cfg.const_fold).map_err(PevpmError::from)?;
     let mut base: Vec<Option<f64>> = vec![None; lowered.names.len()];
     for (k, v) in &merged {
         if let Some(slot) = lowered.names.get(k) {

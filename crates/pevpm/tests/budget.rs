@@ -14,7 +14,7 @@ use pevpm::model::build::*;
 use pevpm::model::Model;
 use pevpm::timing::TimingModel;
 use pevpm::vm::{evaluate, monte_carlo, BudgetAxis, EvalConfig, PevpmError, RunBudget};
-use pevpm_dist::{CommDist, DistKey, DistTable, Op};
+use pevpm_dist::{CommDist, DistKey, DistTable, Histogram, Op};
 
 fn fixed_timing(t: f64) -> TimingModel {
     let mut table = DistTable::new();
@@ -190,6 +190,77 @@ fn monte_carlo_quorum_failure_is_structured() {
             assert!(matches!(*first_failure, PevpmError::Deadlock { .. }));
         }
         other => panic!("expected QuorumFailed, got {other}"),
+    }
+}
+
+#[test]
+fn quorum_met_with_partial_failures_surfaces_every_report() {
+    // Stochastic timing: each replication draws its own send latency, so
+    // per-replication makespans genuinely differ. A virtual-time budget
+    // placed strictly between the fastest and slowest replication then
+    // fails *some* replications deterministically while the rest succeed
+    // — the quorum path that used to go uncovered: the batch completes,
+    // and every failure must be surfaced in `McPrediction::failures`
+    // rather than silently dropped from the aggregate.
+    let samples: Vec<f64> = (0..40).map(|i| 1.0 + 0.05 * i as f64).collect();
+    let mut table = DistTable::new();
+    table.insert(
+        DistKey {
+            op: Op::Send,
+            size: 64,
+            contention: 1,
+        },
+        CommDist::Hist(Histogram::from_samples(&samples, 0.1)),
+    );
+    let timing = TimingModel::distributions(table);
+    let m = Model::new().with_stmt(runon2(
+        "procnum == 0",
+        vec![send("64", "0", "1")],
+        "procnum == 1",
+        vec![recv("64", "0", "1")],
+    ));
+
+    let reps = 16;
+    let free = monte_carlo(&m, &EvalConfig::new(2), &timing, reps).unwrap();
+    assert!(
+        free.max > free.min,
+        "timing jitter must spread the makespans: [{}, {}]",
+        free.min,
+        free.max
+    );
+    let threshold = (free.min + free.max) / 2.0;
+
+    let cfg = EvalConfig::new(2)
+        .with_quorum(1)
+        .with_budget(RunBudget::default().with_max_virtual_secs(threshold));
+    let mc = monte_carlo(&m, &cfg, &timing, reps).unwrap();
+    assert!(!mc.failures.is_empty(), "slow replications must fail");
+    assert!(!mc.runs.is_empty(), "fast replications must succeed");
+    assert_eq!(
+        mc.runs.len() + mc.failures.len(),
+        reps,
+        "every replication is accounted for exactly once"
+    );
+    // The aggregate covers only the survivors, so it sits below the
+    // budget that killed the rest.
+    assert!(
+        mc.max <= threshold,
+        "max {} vs threshold {threshold}",
+        mc.max
+    );
+    assert!(mc.mean <= threshold);
+    let mut last = None;
+    for (idx, what) in &mc.failures {
+        assert!(*idx < reps, "replication index {idx} out of range");
+        assert!(
+            last.is_none_or(|l| l < *idx),
+            "failures are reported in index order"
+        );
+        last = Some(*idx);
+        assert!(
+            what.contains("budget exceeded"),
+            "failure report must carry the budget diagnostic: {what}"
+        );
     }
 }
 

@@ -1,0 +1,489 @@
+//! The oracle hierarchy: bitwise differential, statistical (KS),
+//! metamorphic, and diagnostics checks over one [`TestProgram`].
+//!
+//! Every check is a pure function of `(program, table, seed)` so a
+//! failure replays exactly and the shrinker can re-run it on candidate
+//! reductions.
+
+use crate::corun;
+use crate::program::TestProgram;
+use pevpm::replicate::replica_seed;
+use pevpm::timing::TimingModel;
+use pevpm::vm::{evaluate, monte_carlo, EvalConfig, PevpmError, Prediction};
+use pevpm_dist::{DistTable, Ecdf};
+use pevpm_mpibench::MachineShape;
+use pevpm_mpisim::{FaultPlan, WorldConfig};
+use std::fmt;
+
+/// A confirmed oracle violation. `Display` is deterministic — it appears
+/// verbatim in counterexample artifacts and golden files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Failure {
+    /// Two evaluation paths disagreed bitwise.
+    Differential {
+        /// Name of the first evaluation path.
+        left: &'static str,
+        /// Name of the second evaluation path.
+        right: &'static str,
+        /// Replication index at which they diverged.
+        replication: usize,
+        /// Which field diverged (`makespan`, `finish_times[i]`, …).
+        field: String,
+        /// The first path's value, rendered exactly.
+        left_value: String,
+        /// The second path's value, rendered exactly.
+        right_value: String,
+    },
+    /// The two-sample KS statistic exceeded the critical value.
+    Ks {
+        /// Observed KS distance.
+        distance: f64,
+        /// Critical value at `alpha`.
+        critical: f64,
+        /// Significance level used.
+        alpha: f64,
+        /// Predicted-sample count.
+        predicted: usize,
+        /// Simulated-sample count.
+        simulated: usize,
+    },
+    /// Doubling every message size shrank a replication's makespan.
+    MetamorphicScaling {
+        /// Replication index that violated dominance.
+        replication: usize,
+        /// Base-program makespan.
+        base: f64,
+        /// Scaled-program makespan.
+        scaled: f64,
+    },
+    /// An empty fault plan changed the co-simulated makespan.
+    FaultIdentity {
+        /// Makespan with `faults: None`.
+        without: f64,
+        /// Makespan with `faults: Some(FaultPlan::default())`.
+        with_plan: f64,
+    },
+    /// A diagnostics-mode program produced the wrong outcome class.
+    Diagnostics {
+        /// What happened, including what was expected.
+        outcome: String,
+    },
+    /// An oracle could not even run the program (evaluation or
+    /// co-simulation error outside the accepted diagnostic classes).
+    Error {
+        /// Which step failed.
+        context: String,
+        /// The underlying error.
+        error: String,
+    },
+}
+
+impl Failure {
+    /// Stable short name of the violated oracle, used in artifact
+    /// headers and file names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Failure::Differential { .. } => "differential",
+            Failure::Ks { .. } => "ks",
+            Failure::MetamorphicScaling { .. } => "metamorphic-scaling",
+            Failure::FaultIdentity { .. } => "fault-identity",
+            Failure::Diagnostics { .. } => "diagnostics",
+            Failure::Error { .. } => "error",
+        }
+    }
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Differential {
+                left,
+                right,
+                replication,
+                field,
+                left_value,
+                right_value,
+            } => write!(
+                f,
+                "{left} vs {right} diverge at replication {replication}: \
+                 {field} = {left_value} vs {right_value}"
+            ),
+            Failure::Ks {
+                distance,
+                critical,
+                alpha,
+                predicted,
+                simulated,
+            } => write!(
+                f,
+                "KS distance {distance:.4} exceeds critical {critical:.4} \
+                 (alpha {alpha}, n={predicted} predicted vs m={simulated} simulated)"
+            ),
+            Failure::MetamorphicScaling {
+                replication,
+                base,
+                scaled,
+            } => write!(
+                f,
+                "doubling message sizes shrank replication {replication}: \
+                 base {base:.9e} > scaled {scaled:.9e}"
+            ),
+            Failure::FaultIdentity { without, with_plan } => write!(
+                f,
+                "empty FaultPlan changed the makespan: {without:.9e} \
+                 (no plan) vs {with_plan:.9e} (empty plan)"
+            ),
+            Failure::Diagnostics { outcome } => write!(f, "{outcome}"),
+            Failure::Error { context, error } => write!(f, "{context}: {error}"),
+        }
+    }
+}
+
+fn eval_err(context: &str, e: &PevpmError) -> Failure {
+    Failure::Error {
+        context: context.to_string(),
+        error: format!("{e:?}"),
+    }
+}
+
+/// Compare two predictions field-by-field at bit precision.
+fn compare(
+    left: &'static str,
+    right: &'static str,
+    replication: usize,
+    a: &Prediction,
+    b: &Prediction,
+) -> Result<(), Failure> {
+    let fail = |field: String, lv: String, rv: String| Failure::Differential {
+        left,
+        right,
+        replication,
+        field,
+        left_value: lv,
+        right_value: rv,
+    };
+    if a.makespan.to_bits() != b.makespan.to_bits() {
+        return Err(fail(
+            "makespan".into(),
+            format!("{:.17e}", a.makespan),
+            format!("{:.17e}", b.makespan),
+        ));
+    }
+    if a.finish_times.len() != b.finish_times.len() {
+        return Err(fail(
+            "finish_times.len".into(),
+            a.finish_times.len().to_string(),
+            b.finish_times.len().to_string(),
+        ));
+    }
+    for (i, (x, y)) in a.finish_times.iter().zip(&b.finish_times).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(fail(
+                format!("finish_times[{i}]"),
+                format!("{x:.17e}"),
+                format!("{y:.17e}"),
+            ));
+        }
+    }
+    if a.messages != b.messages {
+        return Err(fail(
+            "messages".into(),
+            a.messages.to_string(),
+            b.messages.to_string(),
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 1 — the interpreted, compiled, and unfolded-lowering evaluation
+/// paths must agree bitwise on every replication.
+///
+/// "Unfolded" evaluates through the compiled timing model but with
+/// constant folding disabled ([`EvalConfig::without_const_fold`]), so the
+/// lowering pipeline itself is differentially exercised, not just the
+/// sampler.
+pub fn check_differential(
+    prog: &TestProgram,
+    table: &DistTable,
+    seed: u64,
+    replications: usize,
+) -> Result<(), Failure> {
+    let model = prog.to_model();
+    let interp = TimingModel::interpreted(table.clone());
+    let compiled = TimingModel::distributions(table.clone());
+    for r in 0..replications {
+        let cfg = EvalConfig::new(prog.nprocs).with_seed(replica_seed(seed, r as u64));
+        let a = evaluate(&model, &cfg, &interp).map_err(|e| eval_err("interpreted", &e))?;
+        let b = evaluate(&model, &cfg, &compiled).map_err(|e| eval_err("compiled", &e))?;
+        let c = evaluate(&model, &cfg.clone().without_const_fold(), &compiled)
+            .map_err(|e| eval_err("unfolded", &e))?;
+        compare("interpreted", "compiled", r, &a, &b)?;
+        compare("compiled", "unfolded", r, &b, &c)?;
+    }
+    Ok(())
+}
+
+/// Critical value of the two-sample KS test at significance `alpha` for
+/// sample sizes `n` and `m`: `c(α)·sqrt((n+m)/(n·m))` with
+/// `c(α) = sqrt(-ln(α/2)/2)`.
+pub fn ks_critical(alpha: f64, n: usize, m: usize) -> f64 {
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Outcome of a passing KS check, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsReport {
+    /// Observed two-sample KS distance.
+    pub distance: f64,
+    /// Critical value it stayed under.
+    pub critical: f64,
+}
+
+/// mpisim quantises virtual time to whole nanoseconds while the PEVPM
+/// clock is a plain f64, so a degenerate (near-point-mass) makespan
+/// distribution — e.g. a pure-compute program — can sit one quantum apart
+/// on the two sides. KS distance between two point masses is 1.0 no
+/// matter how close they are, so before failing we check whether the
+/// sorted samples are pointwise within the quantisation error; if so the
+/// distributions are identical for every purpose this oracle gates.
+fn pointwise_close(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a: Vec<f64> = a.to_vec();
+    let mut b: Vec<f64> = b.to_vec();
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    a.iter().zip(&b).all(|(x, y)| (x - y).abs() <= 2e-9)
+}
+
+/// Oracle 2 — the predicted makespan distribution must pass a two-sample
+/// KS test against mpisim co-simulation on the same machine.
+///
+/// `table` must be the MPIBench measurement of `shape`
+/// ([`crate::tables::bench_table`]); predicted samples are Monte-Carlo
+/// replications, simulated samples are co-simulations under fresh world
+/// seeds. `alpha` is deliberately small: the oracle gates *gross*
+/// mismatches (wrong matching, lost contention, broken sampling), not the
+/// residual modelling error the paper itself quantifies at a few percent.
+pub fn check_ks(
+    prog: &TestProgram,
+    table: &DistTable,
+    shape: MachineShape,
+    alpha: f64,
+    predicted_runs: usize,
+    simulated_runs: usize,
+    seed: u64,
+) -> Result<KsReport, Failure> {
+    assert_eq!(
+        shape.nodes * shape.ppn,
+        prog.nprocs,
+        "benchmarked shape must match the program's process count"
+    );
+    let model = prog.to_model();
+    let cfg = EvalConfig::new(prog.nprocs).with_seed(seed);
+    let timing = TimingModel::distributions(table.clone());
+    let mc = monte_carlo(&model, &cfg, &timing, predicted_runs)
+        .map_err(|e| eval_err("monte-carlo prediction", &e))?;
+    let predicted: Vec<f64> = mc.runs.iter().map(|p| p.makespan).collect();
+
+    let mut simulated = Vec::with_capacity(simulated_runs);
+    for i in 0..simulated_runs {
+        let world = WorldConfig::perseus(
+            shape.nodes,
+            shape.ppn,
+            replica_seed(seed ^ 0x5151_5151, i as u64),
+        );
+        let t = corun::simulate(prog, world).map_err(|e| Failure::Error {
+            context: format!("co-simulation {i}"),
+            error: format!("{e:?}"),
+        })?;
+        simulated.push(t);
+    }
+
+    let d = Ecdf::new(&predicted).ks_distance(&Ecdf::new(&simulated));
+    let critical = ks_critical(alpha, predicted.len(), simulated.len());
+    if d > critical && !pointwise_close(&predicted, &simulated) {
+        return Err(Failure::Ks {
+            distance: d,
+            critical,
+            alpha,
+            predicted: predicted.len(),
+            simulated: simulated.len(),
+        });
+    }
+    Ok(KsReport {
+        distance: d,
+        critical,
+    })
+}
+
+/// Oracle 3a — scaling every message size up by `factor` must never
+/// shrink any replication's predicted makespan.
+///
+/// This is an *exact* per-replication check, not a statistical tendency:
+/// `table` must have the dominance property
+/// ([`crate::tables::synthetic_table`] over the base **and** scaled size
+/// grids), and the program must be wildcard-free (wildcard matching is
+/// arrival-order dependent, so rescaling may legally re-match).
+pub fn check_scaling(
+    prog: &TestProgram,
+    table: &DistTable,
+    factor: u64,
+    seed: u64,
+    replications: usize,
+) -> Result<(), Failure> {
+    assert!(
+        !prog.has_wildcards(),
+        "the exact scaling oracle requires wildcard-free programs"
+    );
+    let base_model = prog.to_model();
+    let scaled_model = prog.scaled_sizes(factor).to_model();
+    let timing = TimingModel::distributions(table.clone());
+    for r in 0..replications {
+        let cfg = EvalConfig::new(prog.nprocs).with_seed(replica_seed(seed, r as u64));
+        let base =
+            evaluate(&base_model, &cfg, &timing).map_err(|e| eval_err("base evaluation", &e))?;
+        let scaled = evaluate(&scaled_model, &cfg, &timing)
+            .map_err(|e| eval_err("scaled evaluation", &e))?;
+        if scaled.makespan < base.makespan {
+            return Err(Failure::MetamorphicScaling {
+                replication: r,
+                base: base.makespan,
+                scaled: scaled.makespan,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 3b — co-simulating under `faults: Some(FaultPlan::default())`
+/// must be bitwise identical to `faults: None`.
+pub fn check_fault_identity(
+    prog: &TestProgram,
+    shape: MachineShape,
+    seed: u64,
+) -> Result<(), Failure> {
+    let world = WorldConfig::perseus(shape.nodes, shape.ppn, seed);
+    let mut faulted = world.clone();
+    faulted.cluster.faults = Some(FaultPlan::default());
+    let sim = |w: WorldConfig, what: &str| {
+        corun::simulate(prog, w).map_err(|e| Failure::Error {
+            context: what.to_string(),
+            error: format!("{e:?}"),
+        })
+    };
+    let without = sim(world, "co-simulation without plan")?;
+    let with_plan = sim(faulted, "co-simulation with empty plan")?;
+    if without.to_bits() != with_plan.to_bits() {
+        return Err(Failure::FaultIdentity { without, with_plan });
+    }
+    Ok(())
+}
+
+/// Oracle 4 — diagnostics conformance for maybe-deadlocking programs.
+///
+/// A program with orphan receives has more receives than sends, so some
+/// receive can never match: the VM must report a deadlock (or exhaust a
+/// budget while stuck), never complete and never crash. A program
+/// without orphans is deadlock-free by construction and must complete.
+pub fn check_diagnostics(prog: &TestProgram, table: &DistTable, seed: u64) -> Result<(), Failure> {
+    let model = prog.to_model();
+    let cfg = EvalConfig::new(prog.nprocs).with_seed(seed);
+    let timing = TimingModel::distributions(table.clone());
+    let outcome = evaluate(&model, &cfg, &timing);
+    match (prog.has_orphans(), outcome) {
+        (false, Ok(_)) => Ok(()),
+        (true, Err(PevpmError::Deadlock { .. })) | (true, Err(PevpmError::Budget(_))) => Ok(()),
+        (true, Ok(p)) => Err(Failure::Diagnostics {
+            outcome: format!(
+                "program with orphan receives completed (makespan {:.9e}) \
+                 instead of deadlocking",
+                p.makespan
+            ),
+        }),
+        (false, Err(e)) => Err(Failure::Diagnostics {
+            outcome: format!("deadlock-free-by-construction program failed: {e:?}"),
+        }),
+        (true, Err(e)) => Err(Failure::Diagnostics {
+            outcome: format!("expected a deadlock/budget diagnostic, got: {e:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::tables::synthetic_table;
+
+    fn table_for(cfg: &GenConfig) -> DistTable {
+        let mut sizes = cfg.sizes.clone();
+        sizes.extend(cfg.sizes.iter().map(|s| s * 2));
+        synthetic_table(&sizes, 11)
+    }
+
+    #[test]
+    fn differential_oracle_accepts_generated_programs() {
+        let cfg = GenConfig::differential();
+        let table = table_for(&cfg);
+        for seed in 0..10 {
+            let p = generate(&cfg, seed);
+            check_differential(&p, &table, seed, 2).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        }
+    }
+
+    #[test]
+    fn scaling_oracle_accepts_wildcard_free_programs() {
+        let cfg = GenConfig::metamorphic();
+        let table = table_for(&cfg);
+        for seed in 0..10 {
+            let p = generate(&cfg, seed);
+            check_scaling(&p, &table, 2, seed, 2).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        }
+    }
+
+    #[test]
+    fn diagnostics_oracle_accepts_both_outcomes() {
+        let cfg = GenConfig::maybe_deadlocking();
+        let table = table_for(&cfg);
+        let (mut deadlocked, mut completed) = (0, 0);
+        for seed in 0..30 {
+            let p = generate(&cfg, seed);
+            check_diagnostics(&p, &table, seed).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            if p.has_orphans() {
+                deadlocked += 1;
+            } else {
+                completed += 1;
+            }
+        }
+        assert!(deadlocked > 0 && completed > 0, "{deadlocked}/{completed}");
+    }
+
+    #[test]
+    fn ks_critical_matches_known_values() {
+        // c(0.05) ≈ 1.358; equal n=m=100 gives 1.358·sqrt(2/100).
+        let crit = ks_critical(0.05, 100, 100);
+        assert!((crit - 1.358 * (0.02f64).sqrt()).abs() < 1e-3, "{crit}");
+        // Smaller alpha → larger critical value.
+        assert!(ks_critical(0.001, 100, 100) > crit);
+    }
+
+    #[test]
+    fn failure_display_is_deterministic() {
+        let f = Failure::Differential {
+            left: "interpreted",
+            right: "compiled",
+            replication: 3,
+            field: "makespan".into(),
+            left_value: "1".into(),
+            right_value: "2".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "interpreted vs compiled diverge at replication 3: makespan = 1 vs 2"
+        );
+        assert_eq!(f.kind(), "differential");
+    }
+}

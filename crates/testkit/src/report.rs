@@ -1,0 +1,197 @@
+//! Replayable counterexample artifacts.
+//!
+//! A counterexample is written as a single text file ("`PEVPM-FUZZ
+//! counterexample v1`") carrying the oracle that failed, the generator
+//! seed, the deterministic failure description, the **minimised** program
+//! in the [`TestProgram`] text form (parseable back), and the equivalent
+//! `// PEVPM`-annotated model for human inspection. `cli fuzz --replay`
+//! and the committed-corpus tests both consume this format.
+
+use crate::oracle::Failure;
+use crate::program::{ProgramParseError, TestProgram};
+use std::fmt;
+
+/// Artifact format version tag (the first line of every artifact).
+pub const HEADER: &str = "PEVPM-FUZZ counterexample v1";
+
+/// A minimised, replayable oracle failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// Which oracle failed ([`Failure::kind`]).
+    pub oracle: String,
+    /// Generator seed that produced the original failing program.
+    pub seed: u64,
+    /// Directive count of the original (pre-shrink) program.
+    pub original_directives: usize,
+    /// Deterministic failure description on the *minimised* program.
+    pub failure: String,
+    /// The minimised program.
+    pub program: TestProgram,
+}
+
+impl Counterexample {
+    /// Build from a failure, the seed, and the original/minimised pair.
+    pub fn new(
+        failure: &Failure,
+        seed: u64,
+        original: &TestProgram,
+        minimised: TestProgram,
+    ) -> Self {
+        Counterexample {
+            oracle: failure.kind().to_string(),
+            seed,
+            original_directives: original.directives(),
+            failure: failure.to_string(),
+            program: minimised,
+        }
+    }
+
+    /// Render the artifact text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("oracle: {}\n", self.oracle));
+        out.push_str(&format!("seed: {}\n", self.seed));
+        out.push_str(&format!("nprocs: {}\n", self.program.nprocs));
+        out.push_str(&format!(
+            "directives: {} (shrunk from {})\n",
+            self.program.directives(),
+            self.original_directives
+        ));
+        out.push_str(&format!("failure: {}\n", self.failure));
+        out.push_str("replay: cli fuzz --replay <this file>\n");
+        out.push_str("--- program ---\n");
+        out.push_str(&self.program.to_text());
+        out.push_str("--- model ---\n");
+        out.push_str(&self.program.to_annotated());
+        out
+    }
+
+    /// Parse an artifact back. The `--- model ---` section is
+    /// informational and ignored; the program section is authoritative.
+    pub fn parse(text: &str) -> Result<Counterexample, ArtifactError> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(ArtifactError::BadHeader);
+        }
+        let mut oracle = None;
+        let mut seed = None;
+        let mut original = None;
+        let mut failure = None;
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if line == "--- program ---" {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("oracle: ") {
+                oracle = Some(v.to_string());
+            } else if let Some(v) = line.strip_prefix("seed: ") {
+                seed = Some(v.parse().map_err(|_| ArtifactError::BadField("seed"))?);
+            } else if let Some(v) = line.strip_prefix("directives: ") {
+                // "N (shrunk from M)" — M is the original count.
+                let m = v
+                    .split("shrunk from ")
+                    .nth(1)
+                    .and_then(|s| s.trim_end_matches(')').parse().ok())
+                    .ok_or(ArtifactError::BadField("directives"))?;
+                original = Some(m);
+            } else if let Some(v) = line.strip_prefix("failure: ") {
+                failure = Some(v.to_string());
+            }
+        }
+        let program_text: String = lines
+            .by_ref()
+            .take_while(|l| l.trim() != "--- model ---")
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let program = TestProgram::parse(&program_text).map_err(ArtifactError::Program)?;
+        Ok(Counterexample {
+            oracle: oracle.ok_or(ArtifactError::BadField("oracle"))?,
+            seed: seed.ok_or(ArtifactError::BadField("seed"))?,
+            original_directives: original.ok_or(ArtifactError::BadField("directives"))?,
+            failure: failure.ok_or(ArtifactError::BadField("failure"))?,
+            program,
+        })
+    }
+
+    /// Stable artifact file name: `<oracle>-seed<seed>.model`.
+    pub fn file_name(&self) -> String {
+        format!("{}-seed{}.model", self.oracle, self.seed)
+    }
+}
+
+/// Why an artifact failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// First line is not [`HEADER`].
+    BadHeader,
+    /// A required header field is missing or malformed.
+    BadField(&'static str),
+    /// The program section did not parse.
+    Program(ProgramParseError),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadHeader => {
+                write!(f, "not a counterexample artifact (missing '{HEADER}')")
+            }
+            ArtifactError::BadField(name) => write!(f, "missing or malformed field '{name}'"),
+            ArtifactError::Program(e) => write!(f, "program section: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use crate::oracle::Failure;
+
+    fn sample() -> Counterexample {
+        let prog = generate(&GenConfig::differential(), 7);
+        let failure = Failure::Differential {
+            left: "interpreted",
+            right: "compiled",
+            replication: 0,
+            field: "makespan".into(),
+            left_value: "1.0".into(),
+            right_value: "2.0".into(),
+        };
+        Counterexample::new(&failure, 7, &prog, prog.clone())
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let cx = sample();
+        let text = cx.render();
+        assert!(text.starts_with(HEADER));
+        assert!(text.contains("--- program ---"));
+        assert!(text.contains("--- model ---"));
+        let back = Counterexample::parse(&text).unwrap();
+        assert_eq!(back, cx);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            Counterexample::parse("hello\nworld\n"),
+            Err(ArtifactError::BadHeader)
+        );
+        let cx = sample();
+        let no_seed = cx.render().replace("seed: 7\n", "");
+        assert_eq!(
+            Counterexample::parse(&no_seed),
+            Err(ArtifactError::BadField("seed"))
+        );
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        assert_eq!(sample().file_name(), "differential-seed7.model");
+    }
+}

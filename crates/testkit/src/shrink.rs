@@ -1,0 +1,414 @@
+//! Greedy counterexample minimisation.
+//!
+//! [`shrink`] repeatedly applies the single smallest-step reductions —
+//! drop an item, lower a loop count or inline a single-iteration loop,
+//! drop a wildcard sender, snap sizes to the smallest grid value, shorten
+//! computations, simplify pair modes, drop unused top processes — keeping
+//! a candidate only when the caller's predicate still fails on it. Every
+//! accepted candidate strictly decreases a well-founded size measure, so
+//! the pass always terminates at a locally-minimal program.
+
+use crate::program::{Item, PairMode, TestProgram};
+
+/// Total atoms in a program, with loop bodies weighted by their count —
+/// the well-founded measure the shrinker descends.
+fn atoms(items: &[Item]) -> u64 {
+    items
+        .iter()
+        .map(|i| match i {
+            Item::Loop { count, body } => 1 + u64::from(*count) * atoms(body),
+            Item::WildcardSink { senders, .. } => 1 + senders.len() as u64,
+            _ => 1,
+        })
+        .sum()
+}
+
+fn weight(p: &TestProgram) -> (u64, usize, u64) {
+    fn bytes_and_usecs(items: &[Item]) -> u64 {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Pair { bytes, .. }
+                | Item::WildcardSink { bytes, .. }
+                | Item::Coll { bytes, .. }
+                | Item::OrphanRecv { bytes, .. } => *bytes,
+                Item::Compute { usecs, .. } | Item::ComputeAll { usecs } => *usecs,
+                Item::Loop { body, .. } => bytes_and_usecs(body),
+            })
+            .sum()
+    }
+    (atoms(&p.items), p.nprocs, bytes_and_usecs(&p.items))
+}
+
+/// Every program reachable from `items` by one structural reduction.
+fn structural_candidates(items: &[Item]) -> Vec<Vec<Item>> {
+    let mut out = Vec::new();
+    for i in 0..items.len() {
+        // Drop the item entirely.
+        let mut dropped = items.to_vec();
+        dropped.remove(i);
+        out.push(dropped);
+        match &items[i] {
+            Item::Loop { count, body } => {
+                if *count > 1 {
+                    let mut v = items.to_vec();
+                    v[i] = Item::Loop {
+                        count: count - 1,
+                        body: body.clone(),
+                    };
+                    out.push(v);
+                } else {
+                    // Inline a single-iteration loop.
+                    let mut v = items.to_vec();
+                    v.splice(i..=i, body.iter().cloned());
+                    out.push(v);
+                }
+                // Recurse into the body.
+                for smaller in structural_candidates(body) {
+                    if !smaller.is_empty() {
+                        let mut v = items.to_vec();
+                        v[i] = Item::Loop {
+                            count: *count,
+                            body: smaller,
+                        };
+                        out.push(v);
+                    }
+                }
+            }
+            Item::WildcardSink {
+                sink,
+                senders,
+                bytes,
+            } if senders.len() > 1 => {
+                for s in 0..senders.len() {
+                    let mut fewer = senders.clone();
+                    fewer.remove(s);
+                    let mut v = items.to_vec();
+                    v[i] = Item::WildcardSink {
+                        sink: *sink,
+                        senders: fewer,
+                        bytes: *bytes,
+                    };
+                    out.push(v);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Every program reachable by one value reduction (sizes, durations,
+/// modes). These keep the structure but shrink the data. Byte counts are
+/// offered every smaller grid size (smallest first), so a failure that
+/// needs a minimum size settles at that grid point.
+fn value_candidates(items: &[Item], grid: &[u64]) -> Vec<Vec<Item>> {
+    fn reduce_at(items: &[Item], path: &mut Vec<Vec<Item>>, grid: &[u64]) {
+        let smaller = |bytes: u64| grid.iter().copied().filter(move |&s| s < bytes);
+        for i in 0..items.len() {
+            let mut push = |replacement: Item| {
+                let mut v = items.to_vec();
+                v[i] = replacement;
+                path.push(v);
+            };
+            match &items[i] {
+                Item::Pair {
+                    src,
+                    dst,
+                    bytes,
+                    mode,
+                } => {
+                    for b in smaller(*bytes) {
+                        push(Item::Pair {
+                            src: *src,
+                            dst: *dst,
+                            bytes: b,
+                            mode: *mode,
+                        });
+                    }
+                    if *mode != PairMode::Blocking {
+                        push(Item::Pair {
+                            src: *src,
+                            dst: *dst,
+                            bytes: *bytes,
+                            mode: PairMode::Blocking,
+                        });
+                    }
+                }
+                Item::WildcardSink {
+                    sink,
+                    senders,
+                    bytes,
+                } => {
+                    for b in smaller(*bytes) {
+                        push(Item::WildcardSink {
+                            sink: *sink,
+                            senders: senders.clone(),
+                            bytes: b,
+                        });
+                    }
+                }
+                Item::Coll { op, bytes } => {
+                    for b in smaller(*bytes) {
+                        push(Item::Coll { op: *op, bytes: b });
+                    }
+                }
+                Item::OrphanRecv { src, dst, bytes } => {
+                    for b in smaller(*bytes) {
+                        push(Item::OrphanRecv {
+                            src: *src,
+                            dst: *dst,
+                            bytes: b,
+                        });
+                    }
+                }
+                Item::Compute { proc, usecs } if *usecs > 1 => push(Item::Compute {
+                    proc: *proc,
+                    usecs: 1,
+                }),
+                Item::ComputeAll { usecs } if *usecs > 1 => push(Item::ComputeAll { usecs: 1 }),
+                Item::Loop { count, body } => {
+                    let mut inner = Vec::new();
+                    reduce_at(body, &mut inner, grid);
+                    for b in inner {
+                        let mut v = items.to_vec();
+                        v[i] = Item::Loop {
+                            count: *count,
+                            body: b,
+                        };
+                        path.push(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    reduce_at(items, &mut out, grid);
+    out
+}
+
+/// Renumber referenced processes to a compact `0..k` range (order
+/// preserving), dropping processes the program never names. `None` when
+/// that would not reduce the process count.
+fn compacted(p: &TestProgram) -> Option<TestProgram> {
+    use std::collections::{BTreeMap, BTreeSet};
+    fn collect(items: &[Item], used: &mut BTreeSet<usize>) {
+        for i in items {
+            match i {
+                Item::Pair { src, dst, .. } | Item::OrphanRecv { src, dst, .. } => {
+                    used.insert(*src);
+                    used.insert(*dst);
+                }
+                Item::Compute { proc, .. } => {
+                    used.insert(*proc);
+                }
+                Item::WildcardSink { sink, senders, .. } => {
+                    used.insert(*sink);
+                    used.extend(senders.iter().copied());
+                }
+                Item::Loop { body, .. } => collect(body, used),
+                Item::ComputeAll { .. } | Item::Coll { .. } => {}
+            }
+        }
+    }
+    let mut used = BTreeSet::new();
+    collect(&p.items, &mut used);
+    let map: BTreeMap<usize, usize> = used.iter().copied().zip(0..).collect();
+    let nprocs = map.len().max(2);
+    if nprocs >= p.nprocs {
+        return None;
+    }
+    fn apply(items: &[Item], map: &BTreeMap<usize, usize>) -> Vec<Item> {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Pair {
+                    src,
+                    dst,
+                    bytes,
+                    mode,
+                } => Item::Pair {
+                    src: map[src],
+                    dst: map[dst],
+                    bytes: *bytes,
+                    mode: *mode,
+                },
+                Item::OrphanRecv { src, dst, bytes } => Item::OrphanRecv {
+                    src: map[src],
+                    dst: map[dst],
+                    bytes: *bytes,
+                },
+                Item::Compute { proc, usecs } => Item::Compute {
+                    proc: map[proc],
+                    usecs: *usecs,
+                },
+                Item::WildcardSink {
+                    sink,
+                    senders,
+                    bytes,
+                } => Item::WildcardSink {
+                    sink: map[sink],
+                    senders: senders.iter().map(|s| map[s]).collect(),
+                    bytes: *bytes,
+                },
+                Item::Loop { count, body } => Item::Loop {
+                    count: *count,
+                    body: apply(body, map),
+                },
+                Item::ComputeAll { usecs } => Item::ComputeAll { usecs: *usecs },
+                Item::Coll { op, bytes } => Item::Coll {
+                    op: *op,
+                    bytes: *bytes,
+                },
+            })
+            .collect()
+    }
+    Some(TestProgram {
+        nprocs,
+        items: apply(&p.items, &map),
+    })
+}
+
+/// Minimise `start` with respect to `fails`, which must return `true` on
+/// `start` itself (the caller has already confirmed the failure).
+/// `sizes` is the generation grid; byte counts shrink to its smallest
+/// entry so the minimised program stays on the oracle's timing table.
+pub fn shrink<F>(start: &TestProgram, sizes: &[u64], fails: F) -> TestProgram
+where
+    F: Fn(&TestProgram) -> bool,
+{
+    let mut grid: Vec<u64> = sizes.to_vec();
+    grid.sort_unstable();
+    grid.dedup();
+    let mut cur = start.clone();
+    loop {
+        let cur_weight = weight(&cur);
+        let mut candidates: Vec<TestProgram> = Vec::new();
+        for items in structural_candidates(&cur.items) {
+            if !items.is_empty() {
+                candidates.push(TestProgram {
+                    nprocs: cur.nprocs,
+                    items,
+                });
+            }
+        }
+        // Drop and renumber unused processes. Collectives involve every
+        // process implicitly, so this changes their width — the predicate
+        // decides whether the failure survives that.
+        if let Some(c) = compacted(&cur) {
+            candidates.push(c);
+        }
+        for items in value_candidates(&cur.items, &grid) {
+            candidates.push(TestProgram {
+                nprocs: cur.nprocs,
+                items,
+            });
+        }
+        let accepted = candidates
+            .into_iter()
+            .find(|c| weight(c) < cur_weight && fails(c));
+        match accepted {
+            Some(c) => cur = c,
+            None => return cur,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    /// A predicate that only looks at structure: "contains an Isend pair
+    /// of at least 1024 bytes". The shrinker must reduce any failing
+    /// program to exactly one such pair and nothing else.
+    #[test]
+    fn shrinks_to_the_single_triggering_item() {
+        let cfg = GenConfig::differential();
+        let has_big_isend = |p: &TestProgram| {
+            fn scan(items: &[Item]) -> bool {
+                items.iter().any(|i| match i {
+                    Item::Pair { bytes, mode, .. } => *mode == PairMode::Isend && *bytes >= 1024,
+                    Item::Loop { body, .. } => scan(body),
+                    _ => false,
+                })
+            }
+            scan(&p.items)
+        };
+        let mut shrunk_any = false;
+        for seed in 0..200 {
+            let p = generate(&cfg, seed);
+            if !has_big_isend(&p) {
+                continue;
+            }
+            shrunk_any = true;
+            let small = shrink(&p, &cfg.sizes, has_big_isend);
+            assert_eq!(small.items.len(), 1, "seed {seed}: {small:?}");
+            assert!(has_big_isend(&small));
+            assert_eq!(small.nprocs, 2, "seed {seed}: procs not minimised");
+            match &small.items[0] {
+                Item::Pair { bytes, .. } => assert_eq!(*bytes, 1024, "seed {seed}"),
+                other => panic!("seed {seed}: {other:?}"),
+            }
+        }
+        assert!(shrunk_any, "no seed produced a big Isend in 200 tries");
+    }
+
+    #[test]
+    fn shrinking_terminates_on_unshrinkable_programs() {
+        let p = TestProgram {
+            nprocs: 2,
+            items: vec![Item::Pair {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                mode: PairMode::Blocking,
+            }],
+        };
+        let out = shrink(&p, &[64], |_| true);
+        assert_eq!(out, p);
+    }
+
+    #[test]
+    fn loop_counts_and_bodies_are_reduced() {
+        let p = TestProgram {
+            nprocs: 2,
+            items: vec![Item::Loop {
+                count: 4,
+                body: vec![
+                    Item::ComputeAll { usecs: 100 },
+                    Item::Pair {
+                        src: 0,
+                        dst: 1,
+                        bytes: 4096,
+                        mode: PairMode::Blocking,
+                    },
+                ],
+            }],
+        };
+        // Predicate: program still contains a Pair somewhere.
+        let has_pair = |p: &TestProgram| {
+            fn scan(items: &[Item]) -> bool {
+                items.iter().any(|i| match i {
+                    Item::Pair { .. } => true,
+                    Item::Loop { body, .. } => scan(body),
+                    _ => false,
+                })
+            }
+            scan(&p.items)
+        };
+        let small = shrink(&p, &[64, 4096], has_pair);
+        // The loop must be gone (inlined) and only the pair remain, at
+        // the smallest grid size.
+        assert_eq!(
+            small.items,
+            vec![Item::Pair {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                mode: PairMode::Blocking,
+            }]
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Replay the committed regression corpus (`crates/testkit/corpus/`).
+//!
+//! Each `*.case` file is a minimised input promoted out of proptest's
+//! local-only regression cache; each `*.model` file is a minimised fuzz
+//! counterexample artifact pinned after its bug was fixed. Both kinds
+//! replay on every `cargo test` with zero randomness, and an unknown
+//! `property` name fails the test rather than skipping — a case can
+//! never rot into a silent no-op.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pevpm_dist::Ecdf;
+use pevpm_testkit::campaign::{replay, CampaignConfig};
+use pevpm_testkit::Counterexample;
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Parse a `key = value` case file (`#` comments, blank lines ignored).
+fn parse_case(text: &str, name: &str) -> BTreeMap<String, String> {
+    let mut kv = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .unwrap_or_else(|| panic!("{name}: malformed line {line:?}"));
+        kv.insert(k.trim().to_string(), v.trim().to_string());
+    }
+    kv
+}
+
+fn field<'a>(kv: &'a BTreeMap<String, String>, name: &str, key: &str) -> &'a str {
+    kv.get(key)
+        .unwrap_or_else(|| panic!("{name}: missing key {key:?}"))
+}
+
+fn floats(s: &str, name: &str) -> Vec<f64> {
+    s.split_whitespace()
+        .map(|t| {
+            t.parse()
+                .unwrap_or_else(|_| panic!("{name}: bad float {t:?}"))
+        })
+        .collect()
+}
+
+/// The type-7 quantile/cdf consistency property from `tests/proptests.rs`
+/// (`ecdf_quantile_cdf_consistency`), replayed on a pinned witness.
+fn replay_ecdf_quantile_cdf(kv: &BTreeMap<String, String>, name: &str) {
+    let q: f64 = field(kv, name, "q")
+        .parse()
+        .unwrap_or_else(|_| panic!("{name}: bad q"));
+    let samples = floats(field(kv, name, "samples"), name);
+    assert!(!samples.is_empty(), "{name}: empty samples");
+
+    let e = Ecdf::new(&samples);
+    let x = e.quantile(q).expect("quantile on non-empty ECDF");
+    let n = samples.len() as f64;
+    assert!(
+        e.cdf(x) + 1.0 / n + 1e-9 >= q,
+        "{name}: cdf(quantile({q})) = {} < q - 1/n",
+        e.cdf(x)
+    );
+    assert!(x >= e.quantile(0.0).unwrap(), "{name}: below minimum");
+    assert!(x <= e.quantile(1.0).unwrap(), "{name}: above maximum");
+}
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = corpus_dir();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|r| r.expect("corpus dir entry").path())
+        .collect();
+    entries.sort();
+
+    let mut cases = 0usize;
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_string();
+        let ext = path.extension().and_then(|e| e.to_str());
+        match ext {
+            Some("case") => {
+                let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let kv = parse_case(&text, &name);
+                match field(&kv, &name, "property") {
+                    "ecdf-quantile-cdf-consistency" => replay_ecdf_quantile_cdf(&kv, &name),
+                    other => panic!(
+                        "{name}: unknown property {other:?} — add a replayer \
+                         in crates/testkit/tests/corpus.rs"
+                    ),
+                }
+                cases += 1;
+            }
+            Some("model") => {
+                // Pinned fuzz counterexamples document *fixed* bugs: they
+                // must now pass their recorded oracle.
+                let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+                let cx = Counterexample::parse(&text)
+                    .unwrap_or_else(|e| panic!("{name}: bad artifact: {e}"));
+                let cfg = CampaignConfig::default();
+                if let Err(f) = replay(&cx, &cfg) {
+                    panic!("{name}: pinned counterexample regressed:\n{f}");
+                }
+                cases += 1;
+            }
+            _ => {} // README.md and friends
+        }
+    }
+    assert!(cases >= 1, "corpus must contain at least one case");
+}

@@ -1,0 +1,114 @@
+//! Golden-file test for the counterexample artifact format.
+//!
+//! The artifact is a compatibility surface twice over: `cli fuzz` writes
+//! it, `cli fuzz --replay` and the committed-corpus replayer parse it
+//! back, and humans read the `--- model ---` section when triaging a
+//! failure. Any change to field names, section markers, program grammar
+//! or the annotated-model lowering shows up here as a diff against the
+//! stored golden file.
+//!
+//! To regenerate after an intentional format change:
+//! `BLESS=1 cargo test -p pevpm-testkit --test golden_report`
+
+use pevpm::model::CollOp;
+use pevpm_testkit::{Counterexample, Failure, Item, PairMode, TestProgram};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("counterexample.model")
+}
+
+/// A fixed counterexample exercising every item kind the program grammar
+/// has — each one renders into both the replayable `--- program ---`
+/// section and the human-facing `--- model ---` annotation block.
+fn sample() -> Counterexample {
+    let program = TestProgram {
+        nprocs: 4,
+        items: vec![
+            Item::ComputeAll { usecs: 250 },
+            Item::Pair {
+                src: 1,
+                dst: 0,
+                bytes: 1024,
+                mode: PairMode::Blocking,
+            },
+            Item::Loop {
+                count: 3,
+                body: vec![
+                    Item::Compute { proc: 2, usecs: 50 },
+                    Item::Pair {
+                        src: 2,
+                        dst: 3,
+                        bytes: 256,
+                        mode: PairMode::Isend,
+                    },
+                ],
+            },
+            Item::WildcardSink {
+                sink: 0,
+                senders: vec![1, 3],
+                bytes: 64,
+            },
+            Item::Coll {
+                op: CollOp::Allreduce,
+                bytes: 512,
+            },
+            Item::Pair {
+                src: 3,
+                dst: 2,
+                bytes: 4096,
+                mode: PairMode::IrecvWait,
+            },
+            Item::OrphanRecv {
+                src: 1,
+                dst: 2,
+                bytes: 128,
+            },
+        ],
+    };
+    let failure = Failure::Ks {
+        distance: 0.8125,
+        critical: 0.550_296_305_166_165_5,
+        alpha: 1e-5,
+        predicted: 40,
+        simulated: 40,
+    };
+    // original_directives deliberately larger than the program: the
+    // header records what the shrinker started from.
+    let mut cx = Counterexample::new(&failure, 2004, &program, program.clone());
+    cx.original_directives = 23;
+    cx
+}
+
+#[test]
+fn artifact_render_matches_golden_file() {
+    let actual = sample().render();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with BLESS=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "counterexample artifact drifted from the golden file; if the \
+         change is intentional, regenerate with BLESS=1 (and bump the \
+         artifact HEADER version if old artifacts no longer parse)"
+    );
+}
+
+#[test]
+fn golden_file_parses_back_to_the_fixture() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let cx = Counterexample::parse(&text).expect("golden artifact parses");
+    assert_eq!(cx, sample());
+    // The stable file name `cli fuzz --out` would use for it.
+    assert_eq!(cx.file_name(), "ks-seed2004.model");
+}
