@@ -12,6 +12,8 @@
 //!                [--mode dist|avg|min] [--pingpong] [--param k=v ...]
 //!                [--seed S] [--reps R] [--threads T]
 //!                [--trace-out TRACE.json] [--metrics-out METRICS.json]
+//! pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
+//! pevpm client   (--addr HOST:PORT | --port-file PATH) --model FILE.c --procs N
 //! pevpm trace    --nodes N [--ppn P] [--xsize X] [--iters I]
 //!                [--db DB.dist] [--trace-out TRACE.json]
 //! ```
@@ -26,13 +28,15 @@
 pub mod args;
 
 use args::{ArgError, Args};
-use pevpm::timing::{PredictionMode, TimingModel};
+use pevpm::timing::TimingModel;
 use pevpm::vm::{evaluate, EvalConfig};
 use pevpm_dist::{io as dist_io, CommDist, CompileOptions, DistTable, Op};
 use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, FaultPlan, Placement, ProtocolConfig, WorldConfig};
 use pevpm_obs::{diag, Registry, Verbosity};
-use std::path::Path;
+use pevpm_serve::plan::{self, EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
+use pevpm_serve::{Client, ServeConfig, Server};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Exit code for usage errors (bad flags, unknown commands/machines).
@@ -92,6 +96,19 @@ impl std::error::Error for CliError {}
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
         CliError::usage(e.0)
+    }
+}
+
+impl From<PlanError> for CliError {
+    fn from(e: PlanError) -> Self {
+        CliError {
+            message: e.message,
+            code: match e.kind {
+                PlanErrorKind::Usage => EXIT_USAGE,
+                PlanErrorKind::Input => EXIT_INPUT,
+                PlanErrorKind::Budget => EXIT_BUDGET,
+            },
+        }
     }
 }
 
@@ -161,6 +178,34 @@ USAGE:
       exact bisection instead of the compiled quantile lookup table
       (slower; bounds the LUT's <=0.1% relative interpolation error).
 
+  pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
+                 [--max-reps N] [--max-steps N] [--max-virtual-secs S]
+                 [--port-file PATH] [--metrics-out M.json]
+      Start the long-running prediction daemon. Every --db table is loaded
+      and content-hashed once at startup; parsed models and compiled
+      timing models are cached across requests, so a stream of what-if
+      questions pays each compilation exactly once. Requests arrive as
+      length-prefixed JSON frames (see DESIGN.md \"Prediction service\")
+      and are answered deterministically: the same request gets the same
+      bytes back whether the cache is cold, warm, or the request rides in
+      a batch. --addr defaults to 127.0.0.1:0 (OS-assigned port);
+      --port-file writes the bound address for scripts. --max-reps
+      rejects requests asking for more replications (admission control);
+      --max-steps / --max-virtual-secs cap every evaluation's run budget
+      (a tighter request cap wins). A `shutdown` request exits the loop;
+      --metrics-out then dumps the server's metrics registry (request,
+      cache and panic counters) as metrics JSON.
+
+  pevpm client   (--addr HOST:PORT | --port-file PATH) [--stats] [--ping]
+                 [--shutdown] [--batch K] [--table NAME]
+                 [predict flags: --model FILE.c --procs N ...]
+      Send requests to a running daemon and print one response JSON line
+      each. With --model, sends the same prediction `predict` would run
+      (accepts the same flags); --batch K sends it as one batch of K
+      identical items. --stats fetches the server's metrics registry
+      (cache hit/miss/compile counters included); --shutdown asks the
+      daemon to exit. Operations run in order: predict, stats, shutdown.
+
   pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency|ideal]
                  [--xsize X] [--iters I] [--serial-ms MS] [--seed S]
                  [--db DB.dist] [--faults PLAN.toml] [--exact-quantiles]
@@ -201,7 +246,16 @@ EXIT CODES:
 ";
 
 /// Boolean flags that never consume a following token.
-const BOOL_FLAGS: &[&str] = &["pingpong", "exact-quantiles", "verbose", "quiet", "help"];
+const BOOL_FLAGS: &[&str] = &[
+    "pingpong",
+    "exact-quantiles",
+    "verbose",
+    "quiet",
+    "help",
+    "stats",
+    "ping",
+    "shutdown",
+];
 
 /// Dispatch a full argument vector (without the program name).
 pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
@@ -232,6 +286,8 @@ pub fn run(tokens: Vec<String>) -> Result<String, CliError> {
         "fit" => cmd_fit(&args),
         "annotate" => cmd_annotate(&args),
         "predict" => cmd_predict(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "trace" => cmd_trace(&args),
         "fuzz" => cmd_fuzz(&args),
         "help" | "--help" => Ok(USAGE.to_string()),
@@ -521,45 +577,20 @@ fn cmd_annotate(args: &Args) -> Result<String, CliError> {
     ))
 }
 
-fn cmd_predict(args: &Args) -> Result<String, CliError> {
-    let model_path = args.require("model")?;
+/// Build a [`PredictRequest`] from `predict`/`client` flags. `src` is the
+/// annotated source (already read from `--model`).
+fn predict_request(args: &Args, src: String) -> Result<PredictRequest, CliError> {
     let procs: usize = args
         .require("procs")?
         .parse()
         .map_err(|_| CliError::usage("--procs must be an integer"))?;
-    let seed: u64 = args.get_parsed("seed", 1)?;
-    let reps: usize = args.get_parsed("reps", 1)?;
-    let threads: usize = args.get_parsed("threads", 0)?;
-    let table = load_db(args)?;
-
-    let src = std::fs::read_to_string(model_path)
-        .map_err(|e| CliError::input(format!("cannot read {model_path}: {e}")))?;
-    let model = pevpm::parse_annotations(&src)
-        .map_err(|e| CliError::input(format!("{model_path}: {e}")))?;
-
-    let mode = match args.get("mode").unwrap_or("dist") {
-        "dist" => PredictionMode::FullDistribution,
-        "avg" => PredictionMode::Average,
-        "min" => PredictionMode::Minimum,
-        other => return err(format!("unknown mode {other:?} (dist|avg|min)")),
-    };
-    let timing = if args.has("pingpong") {
-        TimingModel::pingpong_only(&table, mode)
-    } else {
-        match mode {
-            PredictionMode::FullDistribution => {
-                TimingModel::distributions_with(table, compile_options(args))
-            }
-            PredictionMode::Average => TimingModel::point(table, pevpm_dist::PointKind::Average),
-            PredictionMode::Minimum => TimingModel::point(table, pevpm_dist::PointKind::Minimum),
-        }
-    };
-
-    let trace_out = args.get("trace-out");
-    let metrics_out = args.get("metrics-out");
-    let registry = metrics_out.map(|_| Arc::new(Registry::new()));
-
-    let mut cfg = EvalConfig::new(procs).with_seed(seed).with_threads(threads);
+    let mut req = PredictRequest::new(src, procs);
+    req.mode = args.get("mode").unwrap_or("dist").to_string();
+    req.pingpong = args.has("pingpong");
+    req.exact_quantiles = args.has("exact-quantiles");
+    req.seed = args.get_parsed("seed", 1)?;
+    req.reps = args.get_parsed("reps", 1)?;
+    req.threads = args.get_parsed("threads", 0)?;
     for kv in args.values("param") {
         let Some((k, v)) = kv.split_once('=') else {
             return err(format!("--param expects k=v, got {kv:?}"));
@@ -567,8 +598,45 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         let v: f64 = v
             .parse()
             .map_err(|_| CliError::usage(format!("--param {k}: bad number {v:?}")))?;
-        cfg = cfg.with_param(k, v);
+        req.params.push((k.to_string(), v));
     }
+    if let Some(q) = args.get("quorum") {
+        req.quorum = Some(
+            q.parse()
+                .map_err(|_| CliError::usage("--quorum must be an integer"))?,
+        );
+    }
+    if let Some(s) = args.get("max-steps") {
+        req.max_steps = Some(
+            s.parse()
+                .map_err(|_| CliError::usage("--max-steps must be an integer"))?,
+        );
+    }
+    if let Some(s) = args.get("max-virtual-secs") {
+        req.max_virtual_secs = Some(
+            s.parse()
+                .map_err(|_| CliError::usage("--max-virtual-secs must be a number"))?,
+        );
+    }
+    Ok(req)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let table = load_db(args)?;
+    let src = std::fs::read_to_string(model_path)
+        .map_err(|e| CliError::input(format!("cannot read {model_path}: {e}")))?;
+    let req = predict_request(args, src)?;
+
+    let model = plan::parse_model(&req.model_src, model_path)?;
+    let mode = req.prediction_mode()?;
+    let timing = plan::build_timing(&table, mode, req.pingpong, req.compile_options())?;
+
+    let trace_out = args.get("trace-out");
+    let metrics_out = args.get("metrics-out");
+    let registry = metrics_out.map(|_| Arc::new(Registry::new()));
+
+    let mut cfg = req.eval_config()?;
     if let Some(reg) = &registry {
         cfg = cfg.with_metrics(reg.clone());
     }
@@ -594,96 +662,167 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         Ok(extra)
     };
 
-    if reps == 0 {
-        return err("--reps must be at least 1");
+    if req.reps > 1 {
+        diag::info(&format!("running {} Monte-Carlo replications...", req.reps));
     }
-    if let Some(q) = args.get("quorum") {
-        let q: usize = q
-            .parse()
-            .map_err(|_| CliError::usage("--quorum must be an integer"))?;
-        if q == 0 || q > reps {
-            return err(format!("--quorum {q} must be in 1..=--reps ({reps})"));
-        }
-        cfg = cfg.with_quorum(q);
-    }
-    let mut budget = pevpm::vm::RunBudget::default();
-    let mut budgeted = false;
-    if let Some(s) = args.get("max-steps") {
-        let n: u64 = s
-            .parse()
-            .map_err(|_| CliError::usage("--max-steps must be an integer"))?;
-        budget = budget.with_max_steps(n);
-        budgeted = true;
-    }
-    if let Some(s) = args.get("max-virtual-secs") {
-        let secs: f64 = s
-            .parse()
-            .map_err(|_| CliError::usage("--max-virtual-secs must be a number"))?;
-        budget = budget.with_max_virtual_secs(secs);
-        budgeted = true;
-    }
-    if budgeted {
-        cfg = cfg.with_budget(budget);
-    }
-    if reps > 1 {
-        diag::info(&format!("running {reps} Monte-Carlo replications..."));
-        let mc = pevpm::vm::monte_carlo(&model, &cfg, &timing, reps).map_err(eval_error)?;
-        if let Some(reg) = &registry {
-            reg.counter("mc.replica_failures")
-                .add(mc.failures.len() as u64);
-        }
-        let mut out = format!(
-            "predicted makespan: {:.6} s +/- {:.6} (stderr) over {procs} procs\n\
-             {} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
-             {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
-            mc.mean,
-            mc.stderr,
-            reps,
-            mc.wall_secs,
-            mc.evals_per_sec,
-            mc.min,
-            mc.max,
-            mc.profile.workers.len(),
-            mc.profile.utilization() * 100.0,
-            mc.total_steps(),
-            mc.mean_steps(),
-        );
-        if !mc.failures.is_empty() {
-            out.push_str(&format!(
-                "{} replication(s) failed (quorum met; prediction aggregates the rest):\n",
-                mc.failures.len()
-            ));
-            for (idx, what) in &mc.failures {
-                out.push_str(&format!("  replication {idx}: {what}\n"));
+    match plan::evaluate_plan(&model, &cfg, &timing, req.reps)? {
+        EvalOutcome::Batch(mc) => {
+            if let Some(reg) = &registry {
+                reg.counter("mc.replica_failures")
+                    .add(mc.failures.len() as u64);
             }
+            // The deterministic headline and failure lines are shared with
+            // the daemon; the wall-clock statistics are one-shot-only.
+            let mut out = plan::render_mc_headline(&mc, req.procs);
+            out.push_str(&format!(
+                "{} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
+                 {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
+                req.reps,
+                mc.wall_secs,
+                mc.evals_per_sec,
+                mc.min,
+                mc.max,
+                mc.profile.workers.len(),
+                mc.profile.utilization() * 100.0,
+                mc.total_steps(),
+                mc.mean_steps(),
+            ));
+            out.push_str(&plan::render_failures(&mc.failures));
+            // The trace sink gets the first replication: its seed is the
+            // one a `--reps 1` run with the same --seed would use.
+            out.push_str(&dump_sinks(mc.runs.first())?);
+            Ok(out)
         }
-        // The trace sink gets the first replication: its seed is the one a
-        // `--reps 1` run with the same --seed would use.
-        out.push_str(&dump_sinks(mc.runs.first())?);
-        return Ok(out);
+        EvalOutcome::Single(p) => {
+            let mut out = plan::render_single_report(&p);
+            out.push_str(&dump_sinks(Some(&p))?);
+            Ok(out)
+        }
     }
+}
 
-    let p = evaluate(&model, &cfg, &timing).map_err(eval_error)?;
+/// Parse the repeatable `--db [NAME=]PATH` table specs for `serve`.
+/// A bare path loads as table `"default"`.
+fn serve_tables(args: &Args) -> Result<Vec<(String, PathBuf)>, CliError> {
+    let specs = args.values("db");
+    if specs.is_empty() {
+        return err("serve requires at least one --db [NAME=]DB.dist");
+    }
+    let mut tables = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let (name, path) = match spec.split_once('=') {
+            Some((name, path)) if !name.is_empty() && !path.is_empty() => (name, path),
+            Some(_) => return err(format!("--db expects [NAME=]PATH, got {spec:?}")),
+            None => ("default", spec.as_str()),
+        };
+        tables.push((name.to_string(), PathBuf::from(path)));
+    }
+    Ok(tables)
+}
 
-    let mut out = format!(
-        "predicted makespan: {:.6} s over {} procs ({} messages)\n",
-        p.makespan, p.nprocs, p.messages
-    );
-    let mut losses: Vec<(&String, &f64)> = p.loss_by_label.iter().collect();
-    losses.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap_or(std::cmp::Ordering::Equal));
-    if !losses.is_empty() {
-        out.push_str("top blocking sources:\n");
-        for (label, loss) in losses.iter().take(5) {
-            out.push_str(&format!("  {label:<24} {:.6} s\n", **loss));
-        }
+/// `pevpm serve`: run the prediction daemon until a `shutdown` request.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let cfg = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        tables: serve_tables(args)?,
+        threads: args.get_parsed("threads", 0)?,
+        max_reps: args.get_parsed("max-reps", 0)?,
+        max_steps: match args.get("max-steps") {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| CliError::usage("--max-steps must be an integer"))?,
+            ),
+        },
+        max_virtual_secs: match args.get("max-virtual-secs") {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| CliError::usage("--max-virtual-secs must be a number"))?,
+            ),
+        },
+        max_frame: pevpm_serve::proto::MAX_FRAME,
+    };
+    let server = Server::bind(cfg).map_err(|e| CliError::input(e.to_string()))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::input(format!("cannot resolve bound address: {e}")))?;
+    if let Some(path) = args.get("port-file") {
+        write_text(path, &format!("{addr}\n"))?;
     }
-    if !p.races.is_empty() {
-        out.push_str(&format!("{} potential race(s) detected:\n", p.races.len()));
-        for (proc_, what) in p.races.iter().take(5) {
-            out.push_str(&format!("  proc {proc_}: {what}\n"));
-        }
+    server
+        .run()
+        .map_err(|e| CliError::input(format!("serve loop failed: {e}")))?;
+    if let Some(path) = args.get("metrics-out") {
+        write_text(path, &server.registry().to_json())?;
+        diag::info(&format!("wrote server metrics to {path}"));
     }
-    out.push_str(&dump_sinks(Some(&p))?);
+    Ok(format!("pevpm serve: exited cleanly ({addr})\n"))
+}
+
+/// Resolve the daemon address for `client`: `--addr`, or the first line
+/// of `--port-file` as written by `serve`.
+fn client_addr(args: &Args) -> Result<String, CliError> {
+    if let Some(addr) = args.get("addr") {
+        return Ok(addr.to_string());
+    }
+    let Some(path) = args.get("port-file") else {
+        return err("client requires --addr HOST:PORT or --port-file PATH");
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::input(format!("cannot read {path}: {e}")))?;
+    let addr = text.lines().next().unwrap_or("").trim();
+    if addr.is_empty() {
+        return Err(CliError::input(format!("{path}: empty port file")));
+    }
+    Ok(addr.to_string())
+}
+
+/// `pevpm client`: send predict/stats/shutdown requests to a daemon and
+/// print one response JSON line per request.
+fn cmd_client(args: &Args) -> Result<String, CliError> {
+    let addr = client_addr(args)?;
+    if args.get("model").is_none()
+        && !args.has("stats")
+        && !args.has("ping")
+        && !args.has("shutdown")
+    {
+        return err(
+            "client needs something to send: --model FILE.c, --stats, --ping or --shutdown",
+        );
+    }
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::input(format!("cannot connect {addr}: {e}")))?;
+    let io_err = |e: std::io::Error| CliError::input(format!("request to {addr} failed: {e}"));
+    let mut out = String::new();
+    if args.has("ping") {
+        out.push_str(&client.ping("ping").map_err(io_err)?);
+        out.push('\n');
+    }
+    if let Some(model_path) = args.get("model") {
+        let src = std::fs::read_to_string(model_path)
+            .map_err(|e| CliError::input(format!("cannot read {model_path}: {e}")))?;
+        let req = predict_request(args, src)?;
+        let table = args.get("table").unwrap_or("default").to_string();
+        let batch: usize = args.get_parsed("batch", 1)?;
+        let resp = if batch > 1 {
+            let items: Vec<(String, PredictRequest)> =
+                (0..batch).map(|_| (table.clone(), req.clone())).collect();
+            client.batch("batch", &items).map_err(io_err)?
+        } else {
+            client.predict("predict", &table, &req).map_err(io_err)?
+        };
+        out.push_str(&resp);
+        out.push('\n');
+    }
+    if args.has("stats") {
+        out.push_str(&client.stats("stats").map_err(io_err)?);
+        out.push('\n');
+    }
+    if args.has("shutdown") {
+        out.push_str(&client.shutdown("shutdown").map_err(io_err)?);
+        out.push('\n');
+    }
     Ok(out)
 }
 
@@ -1311,6 +1450,178 @@ mod tests {
         assert_eq!(e.code, EXIT_INPUT);
         assert!(e.message.contains("not a counterexample artifact"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// End-to-end daemon lifecycle over a real socket: serve, predict
+    /// (cold, warm, batched — byte-identical), stats counters, shutdown.
+    #[test]
+    fn serve_and_client_round_trip_deterministically() {
+        use pevpm_obs::json::{self, Json};
+
+        let dir = tmpdir();
+        let db = dir.join("serve_db.dist");
+        let model = dir.join("serve_model.c");
+        let port_file = dir.join("serve_port");
+        run_cmd(&format!(
+            "bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --out {}",
+            db.display()
+        ))
+        .unwrap();
+        std::fs::write(
+            &model,
+            "\
+// PEVPM Loop iterations = rounds
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+",
+        )
+        .unwrap();
+
+        let metrics = dir.join("serve_metrics.json");
+        let serve_cmd = format!(
+            "serve --db {} --threads 2 --port-file {} --metrics-out {} -q",
+            db.display(),
+            port_file.display(),
+            metrics.display()
+        );
+        let daemon = std::thread::spawn(move || run_cmd(&serve_cmd));
+        for _ in 0..500 {
+            if port_file.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(port_file.exists(), "daemon never wrote its port file");
+
+        let predict_flags = format!(
+            "--model {} --procs 2 --param rounds=20 --reps 4 --seed 3",
+            model.display()
+        );
+        let client_base = format!("client --port-file {}", port_file.display());
+
+        // Cold then warm: byte-identical responses.
+        let cold = run_cmd(&format!("{client_base} {predict_flags}")).unwrap();
+        let warm = run_cmd(&format!("{client_base} {predict_flags}")).unwrap();
+        assert_eq!(cold, warm, "cache temperature must not change the bytes");
+        let v = json::parse(cold.trim()).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{cold}");
+        let result = v.get("result").unwrap().clone();
+
+        // Batched with identical items: every item bitwise equals the
+        // lone response's result.
+        let batched = run_cmd(&format!("{client_base} {predict_flags} --batch 3")).unwrap();
+        let bv = json::parse(batched.trim()).unwrap();
+        let items = bv.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), 3);
+        for item in items {
+            assert_eq!(item.get("result"), Some(&result), "{batched}");
+        }
+
+        // The daemon's deterministic report equals the one-shot CLI's
+        // deterministic headline for the same request.
+        let oneshot = run_cmd(&format!(
+            "predict --db {} {predict_flags} --threads 2",
+            db.display()
+        ))
+        .unwrap();
+        let report = result.get("report").and_then(Json::as_str).unwrap();
+        assert!(
+            oneshot.starts_with(report),
+            "daemon report {report:?} is not a prefix of one-shot output {oneshot:?}"
+        );
+
+        // Stats: 6 predictions (1 + 1 + 3 batch items + the one-shot
+        // doesn't count) hit exactly one table compile and one model parse.
+        let stats = run_cmd(&format!("{client_base} --stats")).unwrap();
+        let sv = json::parse(stats.trim()).unwrap();
+        let counters = sv
+            .get("result")
+            .and_then(|r| r.get("counters"))
+            .and_then(Json::as_object)
+            .unwrap()
+            .clone();
+        assert_eq!(
+            counters.get("serve.table_compiles").and_then(Json::as_num),
+            Some(1.0),
+            "{stats}"
+        );
+        assert_eq!(
+            counters.get("serve.model_compiles").and_then(Json::as_num),
+            Some(1.0),
+            "{stats}"
+        );
+
+        // Shutdown lets the serve thread exit cleanly.
+        let bye = run_cmd(&format!("{client_base} --shutdown")).unwrap();
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+        let served = daemon.join().unwrap().unwrap();
+        assert!(served.contains("exited cleanly"), "{served}");
+
+        // --metrics-out dumped the same registry the stats request served:
+        // the golden serve counters survive to disk.
+        let mj = json::parse(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("serve metrics JSON parses");
+        let disk = mj
+            .get("counters")
+            .and_then(Json::as_object)
+            .unwrap()
+            .clone();
+        for key in [
+            "serve.requests",
+            "serve.table_compiles",
+            "serve.model_compiles",
+            "serve.model_cache_hits",
+        ] {
+            assert!(disk.contains_key(key), "{key} missing from {mj:?}");
+        }
+        assert_eq!(
+            disk.get("serve.table_compiles").and_then(Json::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            disk.get("serve.model_compiles").and_then(Json::as_num),
+            Some(1.0)
+        );
+        // cold predict + warm predict + batch + stats + shutdown = 5 frames.
+        assert_eq!(disk.get("serve.requests").and_then(Json::as_num), Some(5.0));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_client_flag_validation() {
+        assert_eq!(run_cmd("serve").unwrap_err().code, EXIT_USAGE);
+        assert_eq!(run_cmd("serve --db =x").unwrap_err().code, EXIT_USAGE);
+        assert_eq!(
+            run_cmd("serve --db /no/such.dist").unwrap_err().code,
+            EXIT_INPUT
+        );
+        assert_eq!(run_cmd("client --stats").unwrap_err().code, EXIT_USAGE);
+        assert_eq!(
+            run_cmd("client --addr 127.0.0.1:9").unwrap_err().code,
+            EXIT_USAGE,
+            "nothing to send is a usage error before connecting"
+        );
+        assert_eq!(
+            run_cmd("client --port-file /no/such.port --stats")
+                .unwrap_err()
+                .code,
+            EXIT_INPUT
+        );
     }
 
     #[test]

@@ -22,10 +22,11 @@
 //!   80-iteration CDF bisection per draw (the exact bisection is retained
 //!   for the tail beyond [`LUT_TAIL_Q`] and, with
 //!   [`CompileOptions::exact_quantiles`], for every draw);
-//! - the up-to-4 blended neighbour sets are cached keyed by the exact
-//!   `(size, contention)` query bits — contention is a small-integer
-//!   scoreboard population and each program sends a handful of distinct
-//!   message sizes, so nearly every draw after the first hits the cache.
+//! - the up-to-4 blended neighbour sets are cached keyed by the canonical
+//!   `(size, contention)` query bits (`-0.0` folds onto `0.0`; NaN is
+//!   rejected before keying) — contention is a small-integer scoreboard
+//!   population and each program sends a handful of distinct message
+//!   sizes, so nearly every draw after the first hits the cache.
 //!
 //! Compilation also *validates* the table: an empty histogram (nothing to
 //! sample) is a hard [`CompileError`] instead of a silent 0.0 draw.
@@ -72,6 +73,16 @@ pub enum CompileError {
         /// The offending grid coordinate.
         key: DistKey,
     },
+    /// A grid cell carries a NaN or infinite quantity (histogram geometry,
+    /// fit parameter, point mass, or a quantile-LUT knot). Sampling it
+    /// would propagate the poison into every blended prediction, and the
+    /// blend cache cannot key NaN bit-patterns canonically.
+    NonFinite {
+        /// The offending grid coordinate.
+        key: DistKey,
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -81,6 +92,12 @@ impl std::fmt::Display for CompileError {
                 f,
                 "empty histogram at op={} size={} contention={}: \
                  nothing to sample from",
+                key.op, key.size, key.contention
+            ),
+            CompileError::NonFinite { key, what } => write!(
+                f,
+                "non-finite {what} at op={} size={} contention={}: \
+                 refusing to compile a poisoned cell",
                 key.op, key.size, key.contention
             ),
         }
@@ -212,6 +229,13 @@ fn divergence_nudge(v: f64) -> f64 {
 
 impl CompiledDist {
     fn compile(key: DistKey, dist: &CommDist, opts: &CompileOptions) -> Result<Self, CompileError> {
+        let finite = |v: f64, what: &'static str| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(CompileError::NonFinite { key, what })
+            }
+        };
         Ok(match dist {
             CommDist::Hist(h) => {
                 if h.is_empty() {
@@ -224,32 +248,40 @@ impl CompiledDist {
                     prefix.push(running as f64);
                 }
                 CompiledDist::Hist(CompiledHist {
-                    origin: h.origin(),
-                    bin_width: h.bin_width(),
+                    origin: finite(h.origin(), "histogram origin")?,
+                    bin_width: finite(h.bin_width(), "histogram bin width")?,
                     prefix,
                     total: h.total() as f64,
-                    min: h.summary().min().unwrap_or(0.0),
-                    max: h.summary().max().unwrap_or(0.0),
-                    mean: h.summary().mean().unwrap_or(0.0),
+                    min: finite(h.summary().min().unwrap_or(0.0), "histogram min")?,
+                    max: finite(h.summary().max().unwrap_or(0.0), "histogram max")?,
+                    mean: finite(h.summary().mean().unwrap_or(0.0), "histogram mean")?,
                 })
             }
             CommDist::Fit(f) => {
+                finite(f.shift, "fit shift")?;
+                finite(f.p1, "fit parameter p1")?;
+                finite(f.p2, "fit parameter p2")?;
                 let lut = if opts.exact_quantiles {
                     Vec::new()
                 } else {
                     let n = opts.lut_points.max(2);
                     (0..n)
-                        .map(|k| f.quantile(k as f64 * LUT_TAIL_Q / (n - 1) as f64))
-                        .collect()
+                        .map(|k| {
+                            finite(
+                                f.quantile(k as f64 * LUT_TAIL_Q / (n - 1) as f64),
+                                "fit quantile-LUT knot",
+                            )
+                        })
+                        .collect::<Result<Vec<f64>, CompileError>>()?
                 };
                 CompiledDist::Fit(CompiledFit {
-                    mean: f.mean(),
+                    mean: finite(f.mean(), "fit mean")?,
                     min: f.shift,
                     fit: f.clone(),
                     lut,
                 })
             }
-            CommDist::Point(v) => CompiledDist::Point(*v),
+            CommDist::Point(v) => CompiledDist::Point(finite(*v, "point mass")?),
         })
     }
 
@@ -307,13 +339,28 @@ impl Blend {
     }
 }
 
+/// Canonical bit-pattern of a finite query coordinate for blend-cache
+/// keying: `-0.0` and `0.0` compare equal everywhere in the bracket
+/// logic, so they must share one cache entry rather than creating a
+/// duplicate (callers reject NaN before keying).
+#[inline]
+fn canon_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 /// Index-returning variant of [`crate::table::bracket`] over a
 /// pre-flattened f64 axis.
 /// Axes hold distinct values, so the value-level and index-level brackets
 /// select identical neighbours.
 #[inline]
 fn bracket_idx(axis: &[f64], x: f64) -> Option<(usize, usize, f64)> {
-    if axis.is_empty() {
+    // Mirror `bracket`: NaN has no bracket (and would index out of
+    // bounds below, since it compares false against everything).
+    if axis.is_empty() || x.is_nan() {
         return None;
     }
     let n = axis.len();
@@ -347,9 +394,9 @@ struct OpGrid {
     /// Distinct contention levels across all columns (the compiled
     /// equivalent of [`DistTable::contentions`]).
     all_conts: Vec<u32>,
-    /// Memoised blends keyed by the exact query bits. Contention is an
-    /// integer scoreboard population and sizes repeat per message kind, so
-    /// the working set is tiny.
+    /// Memoised blends keyed by canonical query bits ([`canon_bits`]).
+    /// Contention is an integer scoreboard population and sizes repeat per
+    /// message kind, so the working set is tiny.
     cache: RwLock<HashMap<(u64, u64), Blend>>,
 }
 
@@ -410,15 +457,26 @@ impl OpGrid {
     }
 
     fn blend(&self, size: f64, contention: f64) -> Option<Blend> {
-        let key = (size.to_bits(), contention.to_bits());
+        // NaN never blends (no bracket) and must not reach the cache: its
+        // many bit-patterns would each occupy a slot that no lookup with a
+        // canonical key could ever hit again.
+        if size.is_nan() || contention.is_nan() {
+            return None;
+        }
+        let key = (canon_bits(size), canon_bits(contention));
         if let Some(b) = self.cache.read().ok()?.get(&key) {
             return Some(*b);
         }
         let b = self.blend_uncached(size, contention)?;
         if let Ok(mut cache) = self.cache.write() {
-            if cache.len() < BLEND_CACHE_CAP {
-                cache.insert(key, b);
+            // Epoch eviction: when a degenerate workload fills the cache,
+            // flush it wholesale so *recent* queries keep hitting. Real
+            // working sets are a handful of cells, so a flush costs one
+            // rebuild of those, not steady-state misses forever after.
+            if cache.len() >= BLEND_CACHE_CAP {
+                cache.clear();
             }
+            cache.insert(key, b);
         }
         Some(b)
     }
@@ -787,6 +845,104 @@ mod tests {
         let c2 = c.clone();
         let d = c2.quantile_at(Op::Isend, 777.0, 3.0, 0.5).unwrap();
         assert_eq!(a.to_bits(), d.to_bits());
+    }
+
+    #[test]
+    fn zero_and_negative_zero_share_one_cache_entry() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        let a = c.quantile_at(Op::Isend, 1024.0, 0.0, 0.5).unwrap();
+        let b = c.quantile_at(Op::Isend, 1024.0, -0.0, 0.5).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let d = c.quantile_at(Op::Isend, -0.0, 2.0, 0.5).unwrap();
+        let e = c.quantile_at(Op::Isend, 0.0, 2.0, 0.5).unwrap();
+        assert_eq!(d.to_bits(), e.to_bits());
+        let g = c.grids[Op::Isend.index()].as_ref().unwrap();
+        assert_eq!(
+            g.cache.read().unwrap().len(),
+            2,
+            "±0.0 must canonicalize onto one entry per query point"
+        );
+    }
+
+    #[test]
+    fn nan_queries_are_none_and_never_touch_the_cache() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        assert_eq!(c.quantile_at(Op::Isend, f64::NAN, 1.0, 0.5), None);
+        assert_eq!(c.quantile_at(Op::Isend, 1024.0, f64::NAN, 0.5), None);
+        assert_eq!(c.mean_at(Op::Isend, f64::NAN, f64::NAN), None);
+        assert_eq!(c.min_at(Op::Isend, f64::NAN, 1.0), None);
+        // The interpreted path agrees (no panic, no value).
+        assert_eq!(t.quantile_at(Op::Isend, f64::NAN, 1.0, 0.5), None);
+        let g = c.grids[Op::Isend.index()].as_ref().unwrap();
+        assert!(g.cache.read().unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_finite_cells_are_compile_errors() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut t = DistTable::new();
+            t.insert(
+                DistKey {
+                    op: Op::Send,
+                    size: 64,
+                    contention: 1,
+                },
+                CommDist::Point(v),
+            );
+            let err = CompiledTable::compile(&t).unwrap_err();
+            assert!(
+                matches!(err, CompileError::NonFinite { key, .. } if key.size == 64),
+                "point mass {v} must not compile: {err}"
+            );
+        }
+        let mut t = DistTable::new();
+        t.insert(
+            DistKey {
+                op: Op::Send,
+                size: 64,
+                contention: 1,
+            },
+            CommDist::Fit(ParametricFit {
+                kind: crate::FitKind::ShiftedExponential,
+                shift: 1e-4,
+                p1: f64::NAN,
+                p2: 0.0,
+            }),
+        );
+        assert!(matches!(
+            CompiledTable::compile(&t).unwrap_err(),
+            CompileError::NonFinite { .. }
+        ));
+    }
+
+    #[test]
+    fn blend_cache_evicts_under_sustained_distinct_key_load() {
+        let t = grid_table();
+        let c = CompiledTable::compile(&t).unwrap();
+        // Degenerate workload: far more distinct query points than the cap.
+        for i in 0..(BLEND_CACHE_CAP * 2 + 7) {
+            let size = 64.0 + i as f64 * 1e-3;
+            c.quantile_at(Op::Isend, size, 1.0, 0.5).unwrap();
+        }
+        let g = c.grids[Op::Isend.index()].as_ref().unwrap();
+        let len = g.cache.read().unwrap().len();
+        assert!(
+            len <= BLEND_CACHE_CAP,
+            "cache grew past its bound: {len} > {BLEND_CACHE_CAP}"
+        );
+        // The bound evicts rather than pinning the first epoch: a fresh
+        // key queried after saturation still lands in the cache.
+        let fresh = 16_000.0 + 0.125;
+        c.quantile_at(Op::Isend, fresh, 3.0, 0.5).unwrap();
+        assert!(
+            g.cache
+                .read()
+                .unwrap()
+                .contains_key(&(canon_bits(fresh), canon_bits(3.0))),
+            "post-saturation queries must still be cached"
+        );
     }
 
     #[test]

@@ -455,7 +455,10 @@ impl DistTable {
 /// [`crate::compiled::CompiledTable`] path so both select bitwise-identical
 /// neighbours and weights.
 pub(crate) fn bracket<T: Copy + PartialOrd + Into<f64>>(axis: &[T], x: f64) -> Option<(T, T, f64)> {
-    if axis.is_empty() {
+    // NaN compares false against every neighbour, which would walk the
+    // binary search off the front of the axis; there is no meaningful
+    // bracket for it either way.
+    if axis.is_empty() || x.is_nan() {
         return None;
     }
     let first = axis[0];

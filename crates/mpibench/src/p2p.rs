@@ -367,6 +367,13 @@ pub fn run_p2p_reps(cfg: &P2pConfig, reps: usize, threads: usize) -> Result<P2pR
         let mut c = cfg.clone();
         c.world.seed = pevpm::replicate::replica_seed(base_seed, i as u64);
         run_p2p(&c)
+    })
+    .map_err(|e| match e {
+        pevpm::replicate::JobError::Err(e) => e,
+        pevpm::replicate::JobError::Panic(p) => SimError::ReplicaPanic {
+            index: p.index,
+            message: p.message,
+        },
     })?;
 
     let mut merged = runs[0].clone();

@@ -103,26 +103,32 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<SweepResult, SimError> {
 /// database in shape order, so the output is bitwise identical at any
 /// thread count.
 pub fn run_sweep_threads(cfg: &SweepConfig, threads: usize) -> Result<SweepResult, SimError> {
-    let runs: Vec<P2pResult> =
-        pevpm::replicate::try_parallel_map(cfg.shapes.len(), threads, |i| {
-            let shape = cfg.shapes[i];
-            let world = WorldConfig::perseus(
-                shape.nodes,
-                shape.ppn,
-                pevpm::replicate::replica_seed(cfg.seed, i as u64),
-            );
-            let p2p = P2pConfig {
-                world,
-                sizes: cfg.sizes.clone(),
-                repetitions: cfg.repetitions,
-                warmup: (cfg.repetitions / 10).max(2),
-                sync_every: 1,
-                pattern: PairPattern::HalfSplit,
-                direction: Direction::Exchange,
-                clock: None,
-            };
-            run_p2p(&p2p)
-        })?;
+    let runs: Vec<P2pResult> = pevpm::replicate::try_parallel_map(cfg.shapes.len(), threads, |i| {
+        let shape = cfg.shapes[i];
+        let world = WorldConfig::perseus(
+            shape.nodes,
+            shape.ppn,
+            pevpm::replicate::replica_seed(cfg.seed, i as u64),
+        );
+        let p2p = P2pConfig {
+            world,
+            sizes: cfg.sizes.clone(),
+            repetitions: cfg.repetitions,
+            warmup: (cfg.repetitions / 10).max(2),
+            sync_every: 1,
+            pattern: PairPattern::HalfSplit,
+            direction: Direction::Exchange,
+            clock: None,
+        };
+        run_p2p(&p2p)
+    })
+    .map_err(|e| match e {
+        pevpm::replicate::JobError::Err(e) => e,
+        pevpm::replicate::JobError::Panic(p) => SimError::ReplicaPanic {
+            index: p.index,
+            message: p.message,
+        },
+    })?;
     let mut table = DistTable::new();
     for res in &runs {
         res.add_to_table(&mut table, Op::Isend, cfg.bins);

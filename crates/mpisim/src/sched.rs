@@ -78,6 +78,14 @@ pub enum SimError {
         /// The deadline that was crossed.
         time: Time,
     },
+    /// A benchmark replication worker panicked (caught and surfaced
+    /// rather than aborting the process).
+    ReplicaPanic {
+        /// Replica index, when the panic is attributable to one.
+        index: Option<usize>,
+        /// The panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -98,6 +106,18 @@ impl std::fmt::Display for SimError {
             }
             SimError::DeadlineExceeded { time } => {
                 write!(f, "virtual deadline exceeded at {time}")
+            }
+            SimError::ReplicaPanic {
+                index: Some(i),
+                message,
+            } => {
+                write!(f, "replication {i} panicked: {message}")
+            }
+            SimError::ReplicaPanic {
+                index: None,
+                message,
+            } => {
+                write!(f, "replication worker panicked: {message}")
             }
         }
     }

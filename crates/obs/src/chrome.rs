@@ -140,9 +140,12 @@ impl ChromeTrace {
 }
 
 /// Validate that `src` is a schema-valid Chrome trace document: it parses
-/// as JSON, has a `traceEvents` array, and every `"ph": "X"` event carries
-/// the required keys (`ph`, `ts`, `dur`, `pid`, `tid`, `name`) with
-/// `dur >= 0`. Returns the number of complete events.
+/// as JSON, has a `traceEvents` array, every `"ph": "X"` event carries the
+/// required keys (`ph`, `ts`, `dur`, `pid`, `tid`, `name`) with
+/// `dur >= 0`, and instant events (`"ph": "i"`/`"I"`) carry a timestamped
+/// location and a name — but, per the format, **no** `dur` is required of
+/// them. All failures surface as `Err`; validation never panics on
+/// malformed input. Returns the number of complete events.
 pub fn validate(src: &str) -> Result<usize, String> {
     let doc = crate::json::parse(src)?;
     let events = doc
@@ -158,23 +161,43 @@ pub fn validate(src: &str) -> Result<usize, String> {
             .get("ph")
             .and_then(Json::as_str)
             .ok_or(format!("event {i} has no ph"))?;
-        if ph != "X" {
-            continue;
-        }
-        for key in ["ts", "dur", "pid", "tid"] {
-            if obj.get(key).and_then(Json::as_num).is_none() {
-                return Err(format!("event {i} missing numeric {key:?}"));
+        match ph {
+            "X" => {
+                require_located_and_named(obj, i)?;
+                let dur = obj
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or(format!("event {i} missing numeric \"dur\""))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} has negative dur"));
+                }
+                complete += 1;
             }
+            // Instant events legally omit `dur` entirely.
+            "i" | "I" => require_located_and_named(obj, i)?,
+            // Metadata and counter/flow phases carry no duration and are
+            // viewer-specific; nothing further to check here.
+            _ => {}
         }
-        if obj.get("name").and_then(Json::as_str).is_none() {
-            return Err(format!("event {i} missing name"));
-        }
-        if obj.get("dur").and_then(Json::as_num).unwrap() < 0.0 {
-            return Err(format!("event {i} has negative dur"));
-        }
-        complete += 1;
     }
     Ok(complete)
+}
+
+/// Shared requirement of complete and instant events: a numeric
+/// `(ts, pid, tid)` location and a string `name`.
+fn require_located_and_named(
+    obj: &std::collections::BTreeMap<String, Json>,
+    i: usize,
+) -> Result<(), String> {
+    for key in ["ts", "pid", "tid"] {
+        if obj.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("event {i} missing numeric {key:?}"));
+        }
+    }
+    if obj.get("name").and_then(Json::as_str).is_none() {
+        return Err(format!("event {i} missing name"));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -246,6 +269,38 @@ mod tests {
             validate(r#"{"traceEvents": [{"ph": "M", "name": "process_name"}]}"#),
             Ok(0)
         );
+    }
+
+    #[test]
+    fn instant_events_legally_omit_dur() {
+        // A well-formed instant event has no dur at all; the validator
+        // must accept it (and must not count it as a complete event).
+        let js = r#"{"traceEvents": [
+            {"ph": "i", "name": "fault", "ts": 5.0, "pid": 3, "tid": 1, "s": "t"},
+            {"ph": "I", "name": "mark", "ts": 6.0, "pid": 3, "tid": 1},
+            {"ph": "X", "name": "span", "ts": 0, "dur": 2.5, "pid": 1, "tid": 0}
+        ]}"#;
+        assert_eq!(validate(js), Ok(1));
+    }
+
+    #[test]
+    fn dur_less_complete_event_is_an_error_not_a_panic() {
+        let js = r#"{"traceEvents": [
+            {"ph": "X", "name": "span", "ts": 0, "pid": 1, "tid": 0}
+        ]}"#;
+        let err = validate(js).unwrap_err();
+        assert!(
+            err.contains("dur"),
+            "error should name the missing key: {err}"
+        );
+    }
+
+    #[test]
+    fn instant_events_still_need_a_timestamped_location() {
+        let no_ts = r#"{"traceEvents": [{"ph": "i", "name": "m", "pid": 1, "tid": 0}]}"#;
+        assert!(validate(no_ts).is_err());
+        let no_name = r#"{"traceEvents": [{"ph": "i", "ts": 1.0, "pid": 1, "tid": 0}]}"#;
+        assert!(validate(no_name).is_err());
     }
 
     #[test]

@@ -205,11 +205,15 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the longest run of unescaped content in one
+                // step: validating UTF-8 from `pos` to end-of-input per
+                // character would make string parsing quadratic.
+                let run_start = *pos;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&b[run_start..*pos]).map_err(|_| "invalid UTF-8")?;
+                out.push_str(run);
             }
         }
     }

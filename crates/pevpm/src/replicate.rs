@@ -22,20 +22,44 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// A replication worker panicked. Carried inside [`JobError::Panic`] so a
+/// worker panic reaches the caller as a value instead of unwinding (or
+/// aborting) through the replication harness — critical once replication
+/// runs inside a long-lived service rather than a one-shot CLI process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPanic {
+    /// Index of the panicking replica, when the panic is attributable to
+    /// one specific job (`None` for harness-level failures outside any
+    /// job closure).
+    pub index: Option<usize>,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReplicaPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "replication {i} panicked: {}", self.message),
+            None => write!(f, "replication worker panicked: {}", self.message),
+        }
+    }
+}
+
 /// Why one replication job failed, for the panic-isolated map.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobError<E> {
     /// The job returned an error.
     Err(E),
-    /// The job panicked; the payload is the panic message.
-    Panic(String),
+    /// The job panicked; the payload carries the replica index and panic
+    /// message.
+    Panic(ReplicaPanic),
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for JobError<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JobError::Err(e) => write!(f, "{e}"),
-            JobError::Panic(m) => write!(f, "panicked: {m}"),
+            JobError::Panic(p) => write!(f, "{p}"),
         }
     }
 }
@@ -136,19 +160,41 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    try_parallel_map(n, threads, |i| Ok::<T, std::convert::Infallible>(f(i)))
-        .unwrap_or_else(|e| match e {})
+    match try_parallel_map(n, threads, |i| Ok::<T, std::convert::Infallible>(f(i))) {
+        Ok(v) => v,
+        Err(JobError::Err(e)) => match e {},
+        // Infallible jobs can still panic; re-raise on the caller thread
+        // (a clean unwind, never a cross-thread abort).
+        Err(JobError::Panic(p)) => panic!("{p}"),
+    }
 }
 
 /// [`parallel_map`] for fallible jobs. Returns the first (lowest-index)
-/// error if any job fails, matching what a serial loop would report.
-pub fn try_parallel_map<T, E, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, E>
+/// failure if any job fails, matching what a serial loop would report; a
+/// panicking job surfaces as [`JobError::Panic`] rather than unwinding
+/// through (or aborting) the harness.
+pub fn try_parallel_map<T, E, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, JobError<E>>
 where
     T: Send,
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
     try_parallel_map_profiled(n, threads, f).map(|(out, _)| out)
+}
+
+/// Run job `i` under [`catch_unwind`], mapping both failure modes into
+/// [`JobError`].
+fn run_caught<T, E, F>(f: &F, i: usize) -> Result<T, JobError<E>>
+where
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+        Ok(r) => r.map_err(JobError::Err),
+        Err(payload) => Err(JobError::Panic(ReplicaPanic {
+            index: Some(i),
+            message: panic_message(payload),
+        })),
+    }
 }
 
 /// [`try_parallel_map`] that additionally reports a [`ReplicateProfile`]:
@@ -160,7 +206,7 @@ pub fn try_parallel_map_profiled<T, E, F>(
     n: usize,
     threads: usize,
     f: F,
-) -> Result<(Vec<T>, ReplicateProfile), E>
+) -> Result<(Vec<T>, ReplicateProfile), JobError<E>>
 where
     T: Send,
     E: Send,
@@ -170,24 +216,26 @@ where
     let batch_start = Instant::now();
     if threads <= 1 || n <= 1 {
         let mut stat = WorkerStat::default();
-        let out: Result<Vec<T>, E> = (0..n)
-            .map(|i| {
-                let t0 = Instant::now();
-                let r = f(i);
-                stat.busy_secs += t0.elapsed().as_secs_f64();
-                stat.jobs += 1;
-                r
-            })
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t0 = Instant::now();
+            let r = run_caught(&f, i);
+            stat.busy_secs += t0.elapsed().as_secs_f64();
+            stat.jobs += 1;
+            out.push(r?);
+        }
         let profile = ReplicateProfile {
             workers: vec![stat],
             wall_secs: batch_start.elapsed().as_secs_f64(),
         };
-        return out.map(|v| (v, profile));
+        return Ok((out, profile));
     }
 
     // One worker's output: its stats plus the (index, result) pairs it ran.
-    type Bucket<T, E> = (WorkerStat, Vec<(usize, Result<T, E>)>);
+    // Each job runs under `catch_unwind`, so a panicking job is recorded in
+    // its slot as a value and the worker thread itself never unwinds —
+    // `join()` below cannot fail for a job-level panic.
+    type Bucket<T, E> = (WorkerStat, Vec<(usize, Result<T, JobError<E>>)>);
     let next = AtomicUsize::new(0);
     let buckets: Vec<Bucket<T, E>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -201,7 +249,7 @@ where
                             break;
                         }
                         let t0 = Instant::now();
-                        local.push((i, f(i)));
+                        local.push((i, run_caught(&f, i)));
                         stat.busy_secs += t0.elapsed().as_secs_f64();
                         stat.jobs += 1;
                     }
@@ -209,15 +257,31 @@ where
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("replication worker panicked"))
-            .collect()
+        let mut buckets = Vec::with_capacity(handles.len());
+        for h in handles {
+            match h.join() {
+                Ok(b) => buckets.push(b),
+                // Unreachable for job panics (caught above); covers panics
+                // in the worker's own bookkeeping or drop glue.
+                Err(payload) => {
+                    return Err(JobError::Panic(ReplicaPanic {
+                        index: None,
+                        message: panic_message(payload),
+                    }))
+                }
+            }
+        }
+        Ok(buckets)
     })
-    .expect("replication scope panicked");
+    .unwrap_or_else(|payload| {
+        Err(JobError::Panic(ReplicaPanic {
+            index: None,
+            message: panic_message(payload),
+        }))
+    })?;
 
     let wall_secs = batch_start.elapsed().as_secs_f64();
-    let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<T, JobError<E>>>> = (0..n).map(|_| None).collect();
     let mut workers = Vec::with_capacity(buckets.len());
     for (stat, bucket) in buckets {
         workers.push(stat);
@@ -226,8 +290,18 @@ where
         }
     }
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        out.push(slot.expect("replication index not produced")?);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(r) => out.push(r?),
+            // Every index in 0..n is claimed exactly once by the atomic
+            // counter; a hole means the harness itself misbehaved.
+            None => {
+                return Err(JobError::Panic(ReplicaPanic {
+                    index: Some(i),
+                    message: "replication index not produced".to_string(),
+                }))
+            }
+        }
     }
     Ok((out, ReplicateProfile { workers, wall_secs }))
 }
@@ -253,12 +327,22 @@ where
         Ok(match catch_unwind(AssertUnwindSafe(|| f(i))) {
             Ok(Ok(v)) => Ok(v),
             Ok(Err(e)) => Err(JobError::Err(e)),
-            Err(payload) => Err(JobError::Panic(panic_message(payload))),
+            Err(payload) => Err(JobError::Panic(ReplicaPanic {
+                index: Some(i),
+                message: panic_message(payload),
+            })),
         })
     };
     match try_parallel_map_profiled(n, threads, isolated) {
         Ok(pair) => pair,
-        Err(e) => match e {},
+        Err(JobError::Err(e)) => match e {},
+        // Harness-level failure (outside any job closure): report it for
+        // every index so the quorum policy sees a fully-failed batch
+        // instead of the process dying.
+        Err(JobError::Panic(p)) => (
+            (0..n).map(|_| Err(JobError::Panic(p.clone()))).collect(),
+            ReplicateProfile::default(),
+        ),
     }
 }
 
@@ -277,10 +361,54 @@ mod tests {
     #[test]
     fn errors_report_the_lowest_failing_index() {
         for threads in [1, 4] {
-            let r: Result<Vec<usize>, usize> =
+            let r: Result<Vec<usize>, JobError<usize>> =
                 try_parallel_map(100, threads, |i| if i % 7 == 3 { Err(i) } else { Ok(i) });
-            assert_eq!(r.unwrap_err(), 3);
+            assert_eq!(r.unwrap_err(), JobError::Err(3));
         }
+    }
+
+    #[test]
+    fn panicking_job_surfaces_err_not_abort() {
+        // Silence the default panic hook: the panic is deliberate.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1usize, 4] {
+            let r = try_parallel_map(8, threads, |i| {
+                if i == 5 {
+                    panic!("deliberate panic at {i}");
+                }
+                Ok::<_, String>(i)
+            });
+            match r {
+                Err(JobError::Panic(p)) => {
+                    assert_eq!(p.index, Some(5));
+                    assert!(p.message.contains("deliberate panic at 5"), "{}", p.message);
+                }
+                other => panic!("expected structured panic error, got {other:?}"),
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn panic_beats_error_when_it_has_the_lower_index() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1usize, 4] {
+            let r = try_parallel_map(10, threads, |i| match i {
+                2 => panic!("boom"),
+                4 => Err("late error".to_string()),
+                _ => Ok(i),
+            });
+            assert_eq!(
+                r.unwrap_err(),
+                JobError::Panic(ReplicaPanic {
+                    index: Some(2),
+                    message: "boom".to_string(),
+                })
+            );
+        }
+        std::panic::set_hook(prev);
     }
 
     #[test]
@@ -320,7 +448,7 @@ mod tests {
     #[test]
     fn profile_on_error_still_reports_lowest_index() {
         let r = try_parallel_map_profiled(10, 4, |i| if i >= 4 { Err(i) } else { Ok(i) });
-        assert_eq!(r.unwrap_err(), 4);
+        assert_eq!(r.unwrap_err(), JobError::Err(4));
     }
 
     #[test]
@@ -343,7 +471,10 @@ mod tests {
             assert_eq!(profile.total_jobs(), 12, "panicked jobs still counted");
             for (i, r) in out.iter().enumerate() {
                 match (i % 5, r) {
-                    (2, Err(JobError::Panic(m))) => assert!(m.contains(&format!("boom at {i}"))),
+                    (2, Err(JobError::Panic(p))) => {
+                        assert_eq!(p.index, Some(i));
+                        assert!(p.message.contains(&format!("boom at {i}")));
+                    }
                     (3, Err(JobError::Err(m))) => assert!(m.contains(&format!("err at {i}"))),
                     (_, Ok(v)) => assert_eq!(*v, i * 10),
                     other => panic!("index {i}: unexpected outcome {other:?}"),

@@ -815,9 +815,10 @@ pub fn monte_carlo(
                 if first_failure.is_none() {
                     first_failure = Some(match job_err {
                         crate::replicate::JobError::Err(e) => e,
-                        crate::replicate::JobError::Panic(message) => {
-                            PevpmError::ReplicaPanic { index: i, message }
-                        }
+                        crate::replicate::JobError::Panic(p) => PevpmError::ReplicaPanic {
+                            index: p.index.unwrap_or(i),
+                            message: p.message,
+                        },
                     });
                 }
             }

@@ -1,0 +1,284 @@
+//! Content-addressed caches that make the daemon cheap per-request.
+//!
+//! The two expensive request-independent stages of a prediction are
+//! parsing/lowering the annotated model and compiling a benchmark table
+//! into sampler form. A one-shot CLI run pays both every time; the daemon
+//! pays each exactly once per distinct content and answers every later
+//! request from the cache.
+//!
+//! Keys are FNV-1a hashes of canonical content: the annotated source text
+//! for models, the `PEVPM-DIST v1` serialization for tables (computed
+//! once at table load, not per request). Both caches are bounded with
+//! the same clear-on-full policy the sampler blend cache uses — an epoch
+//! flush is deterministic, cheap, and cannot leak under adversarial key
+//! streams.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pevpm::timing::{PredictionMode, TimingModel};
+use pevpm::Model;
+use pevpm_dist::{CompileOptions, DistTable};
+use pevpm_obs::{Counter, Registry};
+
+use crate::plan::{self, PlanError};
+
+/// Upper bound on distinct cached models / timing models. Small because
+/// entries are whole lowered models; a serve deployment rarely cycles
+/// through more than a handful of model sources and machine tables.
+pub const CACHE_CAP: usize = 256;
+
+/// 64-bit FNV-1a over raw bytes — the workspace's standard dependency-free
+/// content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parsed-and-lowered models keyed by a hash of their source text.
+pub struct ModelCache {
+    map: Mutex<HashMap<u64, Arc<Model>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    compiles: Arc<Counter>,
+}
+
+impl ModelCache {
+    /// A cache whose hit/miss/compile counters live in `registry` under
+    /// `serve.model_cache_hits`, `serve.model_cache_misses` and
+    /// `serve.model_compiles`.
+    pub fn new(registry: &Registry) -> Self {
+        ModelCache {
+            map: Mutex::new(HashMap::new()),
+            hits: registry.counter("serve.model_cache_hits"),
+            misses: registry.counter("serve.model_cache_misses"),
+            compiles: registry.counter("serve.model_compiles"),
+        }
+    }
+
+    /// The cached model for `src`, parsing (and caching) it on first
+    /// sight. `origin` labels parse errors.
+    pub fn get_or_parse(&self, src: &str, origin: &str) -> Result<Arc<Model>, PlanError> {
+        let key = fnv1a(src.as_bytes());
+        if let Some(m) = self.lookup(key) {
+            self.hits.inc();
+            return Ok(m);
+        }
+        self.misses.inc();
+        let model = Arc::new(plan::parse_model(src, origin)?);
+        self.compiles.inc();
+        self.store(key, Arc::clone(&model));
+        Ok(model)
+    }
+
+    fn lookup(&self, key: u64) -> Option<Arc<Model>> {
+        self.map.lock().ok()?.get(&key).cloned()
+    }
+
+    fn store(&self, key: u64, model: Arc<Model>) {
+        if let Ok(mut map) = self.map.lock() {
+            if map.len() >= CACHE_CAP {
+                map.clear();
+            }
+            map.insert(key, model);
+        }
+    }
+}
+
+/// Cache key for a built timing model: which table content, which
+/// prediction mode, and which compile-affecting options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingKey {
+    /// FNV-1a of the table's canonical serialization.
+    pub table_hash: u64,
+    /// Prediction-mode discriminant.
+    pub mode: u8,
+    /// Ping-pong-only slice of the database.
+    pub pingpong: bool,
+    /// Exact-bisection quantiles instead of the LUT.
+    pub exact_quantiles: bool,
+}
+
+impl TimingKey {
+    /// The key for a (table, request-shape) pair.
+    pub fn new(
+        table_hash: u64,
+        mode: PredictionMode,
+        pingpong: bool,
+        exact_quantiles: bool,
+    ) -> Self {
+        let mode = match mode {
+            PredictionMode::FullDistribution => 0,
+            PredictionMode::Average => 1,
+            PredictionMode::Minimum => 2,
+        };
+        TimingKey {
+            table_hash,
+            mode,
+            pingpong,
+            exact_quantiles,
+        }
+    }
+}
+
+/// Compiled timing models keyed by table content and request shape.
+pub struct TimingCache {
+    map: Mutex<HashMap<TimingKey, Arc<TimingModel>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    compiles: Arc<Counter>,
+}
+
+impl TimingCache {
+    /// A cache whose counters live in `registry` under
+    /// `serve.table_cache_hits`, `serve.table_cache_misses` and
+    /// `serve.table_compiles`.
+    pub fn new(registry: &Registry) -> Self {
+        TimingCache {
+            map: Mutex::new(HashMap::new()),
+            hits: registry.counter("serve.table_cache_hits"),
+            misses: registry.counter("serve.table_cache_misses"),
+            compiles: registry.counter("serve.table_compiles"),
+        }
+    }
+
+    /// The cached timing model for this (table, shape), building it on
+    /// first sight. `table_hash` must be the hash of `table`'s canonical
+    /// serialization (the daemon computes it once at load).
+    pub fn get_or_build(
+        &self,
+        table_hash: u64,
+        table: &DistTable,
+        mode: PredictionMode,
+        pingpong: bool,
+        options: CompileOptions,
+    ) -> Result<Arc<TimingModel>, PlanError> {
+        let key = TimingKey::new(table_hash, mode, pingpong, options.exact_quantiles);
+        if let Some(t) = self.lookup(key) {
+            self.hits.inc();
+            return Ok(t);
+        }
+        self.misses.inc();
+        let timing = Arc::new(plan::build_timing(table, mode, pingpong, options)?);
+        self.compiles.inc();
+        self.store(key, Arc::clone(&timing));
+        Ok(timing)
+    }
+
+    fn lookup(&self, key: TimingKey) -> Option<Arc<TimingModel>> {
+        self.map.lock().ok()?.get(&key).cloned()
+    }
+
+    fn store(&self, key: TimingKey, timing: Arc<TimingModel>) {
+        if let Ok(mut map) = self.map.lock() {
+            if map.len() >= CACHE_CAP {
+                map.clear();
+            }
+            map.insert(key, timing);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "\
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+";
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn model_cache_parses_each_distinct_source_once() {
+        let reg = Registry::new();
+        let cache = ModelCache::new(&reg);
+        let a = cache.get_or_parse(SRC, "t").unwrap();
+        let b = cache.get_or_parse(SRC, "t").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.counter("serve.model_compiles").get(), 1);
+        assert_eq!(reg.counter("serve.model_cache_hits").get(), 1);
+        assert_eq!(reg.counter("serve.model_cache_misses").get(), 1);
+    }
+
+    #[test]
+    fn parse_failures_are_not_cached_as_successes() {
+        let reg = Registry::new();
+        let cache = ModelCache::new(&reg);
+        assert!(cache
+            .get_or_parse("// PEVPM Loop iterations =", "t")
+            .is_err());
+        assert!(cache
+            .get_or_parse("// PEVPM Loop iterations =", "t")
+            .is_err());
+        assert_eq!(reg.counter("serve.model_compiles").get(), 0);
+        assert_eq!(reg.counter("serve.model_cache_misses").get(), 2);
+    }
+
+    #[test]
+    fn timing_cache_distinguishes_request_shape_not_just_table() {
+        let table = pevpm_bench_table();
+        let hash = fnv1a(pevpm_dist::io::write_table(&table).as_bytes());
+        let reg = Registry::new();
+        let cache = TimingCache::new(&reg);
+        let opts = CompileOptions::default();
+        let a = cache
+            .get_or_build(hash, &table, PredictionMode::FullDistribution, false, opts)
+            .unwrap();
+        let b = cache
+            .get_or_build(hash, &table, PredictionMode::FullDistribution, false, opts)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.counter("serve.table_compiles").get(), 1);
+        // Same table, different mode: a distinct compiled artifact.
+        cache
+            .get_or_build(hash, &table, PredictionMode::Average, false, opts)
+            .unwrap();
+        assert_eq!(reg.counter("serve.table_compiles").get(), 2);
+        assert_eq!(reg.counter("serve.table_cache_hits").get(), 1);
+    }
+
+    fn pevpm_bench_table() -> DistTable {
+        let mut t = DistTable::new();
+        let mut h = pevpm_dist::Histogram::new(0.0, 1e-6);
+        for i in 0..32 {
+            h.add(1e-6 * f64::from(i % 7));
+        }
+        for op in [pevpm_dist::Op::Send, pevpm_dist::Op::Recv] {
+            for size in [512u64, 1024, 2048] {
+                t.insert(
+                    pevpm_dist::DistKey {
+                        op,
+                        size,
+                        contention: 1,
+                    },
+                    pevpm_dist::CommDist::Hist(h.clone()),
+                );
+            }
+        }
+        t
+    }
+}

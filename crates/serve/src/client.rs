@@ -1,0 +1,176 @@
+//! A minimal blocking client for the serve protocol, used by the
+//! `pevpm client` subcommand, the test suite, and the CI smoke script.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::TcpStream;
+
+use pevpm_obs::json::{escape, num};
+
+use crate::plan::PredictRequest;
+use crate::proto;
+
+/// A connected client holding one protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are written whole and the peer replies immediately;
+        // Nagle + delayed ACK would stall multi-segment frames ~40 ms.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one request frame and read one response frame.
+    pub fn request(&mut self, frame: &str) -> io::Result<String> {
+        proto::write_frame(&mut self.writer, frame)?;
+        proto::read_frame(&mut self.reader, proto::MAX_FRAME)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Send a `predict` built from a [`PredictRequest`].
+    pub fn predict(&mut self, id: &str, table: &str, req: &PredictRequest) -> io::Result<String> {
+        self.request(&predict_frame(id, table, req))
+    }
+
+    /// Send a `batch` of `(table, request)` items.
+    pub fn batch(&mut self, id: &str, items: &[(String, PredictRequest)]) -> io::Result<String> {
+        let bodies: Vec<String> = items
+            .iter()
+            .map(|(table, req)| predict_body(table, req))
+            .collect();
+        self.request(&format!(
+            "{{\"op\":\"batch\",\"id\":\"{}\",\"requests\":[{}]}}",
+            escape(id),
+            bodies.join(",")
+        ))
+    }
+
+    /// Ask for the server's metrics registry.
+    pub fn stats(&mut self, id: &str) -> io::Result<String> {
+        self.request(&format!("{{\"op\":\"stats\",\"id\":\"{}\"}}", escape(id)))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self, id: &str) -> io::Result<String> {
+        self.request(&format!("{{\"op\":\"ping\",\"id\":\"{}\"}}", escape(id)))
+    }
+
+    /// Ask the daemon to exit its serve loop.
+    pub fn shutdown(&mut self, id: &str) -> io::Result<String> {
+        self.request(&format!(
+            "{{\"op\":\"shutdown\",\"id\":\"{}\"}}",
+            escape(id)
+        ))
+    }
+}
+
+/// The JSON body shared by `predict` frames and `batch` items. Optional
+/// fields are emitted only when they differ from the protocol defaults,
+/// keeping frames small and byte-stable.
+pub fn predict_body(table: &str, req: &PredictRequest) -> String {
+    let mut out = format!(
+        "{{\"model\":\"{}\",\"table\":\"{}\",\"procs\":{}",
+        escape(&req.model_src),
+        escape(table),
+        req.procs
+    );
+    if req.mode != "dist" {
+        out.push_str(&format!(",\"mode\":\"{}\"", escape(&req.mode)));
+    }
+    if req.pingpong {
+        out.push_str(",\"pingpong\":true");
+    }
+    if req.exact_quantiles {
+        out.push_str(",\"exact_quantiles\":true");
+    }
+    if !req.params.is_empty() {
+        out.push_str(",\"params\":{");
+        for (i, (k, v)) in req.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape(k), num(*v)));
+        }
+        out.push('}');
+    }
+    if req.seed != 1 {
+        out.push_str(&format!(",\"seed\":{}", req.seed));
+    }
+    if req.reps != 1 {
+        out.push_str(&format!(",\"reps\":{}", req.reps));
+    }
+    if req.threads != 0 {
+        out.push_str(&format!(",\"threads\":{}", req.threads));
+    }
+    if let Some(q) = req.quorum {
+        out.push_str(&format!(",\"quorum\":{q}"));
+    }
+    if let Some(n) = req.max_steps {
+        out.push_str(&format!(",\"max_steps\":{n}"));
+    }
+    if let Some(s) = req.max_virtual_secs {
+        out.push_str(&format!(",\"max_virtual_secs\":{}", num(s)));
+    }
+    out.push('}');
+    out
+}
+
+/// A full `predict` frame for `req` against `table`, tagged `id`.
+pub fn predict_frame(id: &str, table: &str, req: &PredictRequest) -> String {
+    let body = predict_body(table, req);
+    // Splice the op and id into the body object.
+    format!(
+        "{{\"op\":\"predict\",\"id\":\"{}\",{}",
+        escape(id),
+        &body[1..]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{parse_request, Request};
+
+    #[test]
+    fn client_frames_parse_back_to_the_same_request() {
+        let mut req = PredictRequest::new("// PEVPM src", 4);
+        req.mode = "avg".to_string();
+        req.params.push(("rounds".to_string(), 20.0));
+        req.seed = 9;
+        req.reps = 8;
+        req.quorum = Some(6);
+        req.max_steps = Some(1000);
+        req.max_virtual_secs = Some(2.5);
+        let frame = predict_frame("r1", "perseus", &req);
+        let parsed = parse_request(&frame).unwrap();
+        let Request::Predict {
+            id,
+            table,
+            req: back,
+        } = parsed
+        else {
+            panic!("expected predict")
+        };
+        assert_eq!(id, "r1");
+        assert_eq!(table, "perseus");
+        assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn defaults_are_omitted_from_the_wire() {
+        let req = PredictRequest::new("m", 2);
+        let body = predict_body("default", &req);
+        assert_eq!(body, "{\"model\":\"m\",\"table\":\"default\",\"procs\":2}");
+    }
+}

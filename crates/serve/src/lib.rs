@@ -1,0 +1,43 @@
+//! `pevpm-serve`: the long-running prediction service.
+//!
+//! A one-shot `pevpm predict` pays the full pipeline on every call —
+//! load the benchmark database, compile its distributions into sampler
+//! form, parse and lower the annotated model, then evaluate. For
+//! interactive what-if exploration (the paper's intended PEVPM use case:
+//! vary process counts, message sizes, and machine tables around a known
+//! model) that repetition is almost pure waste: the tables and models
+//! barely change between questions.
+//!
+//! This crate splits the pipeline at its natural joint:
+//!
+//! * [`plan`] — the front-end-agnostic request-plan layer: a
+//!   [`plan::PredictRequest`] carries exactly what a prediction needs,
+//!   and validation/classification mirrors the CLI's exit-code contract.
+//!   Both the one-shot subcommands and the daemon build on it, so a
+//!   daemon answer is bitwise-reproducible by a one-shot run.
+//! * [`cache`] — content-addressed (FNV-1a) caches for parsed models and
+//!   compiled timing models, with hit/miss/compile counters in a
+//!   [`pevpm_obs::Registry`].
+//! * [`proto`] — the wire protocol: length-prefixed JSON frames over
+//!   TCP, deterministic response payloads.
+//! * [`server`] — the daemon: serial accept loop, per-request admission
+//!   control and panic isolation, batch fan-out onto the replication
+//!   pool.
+//! * [`client`] — a small blocking client for the CLI subcommand, tests,
+//!   and smoke scripts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod client;
+pub mod plan;
+pub mod proto;
+pub mod server;
+
+pub use cache::{fnv1a, ModelCache, TimingCache};
+pub use client::Client;
+pub use plan::{EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
+pub use proto::{read_frame, write_frame, Request};
+pub use server::{ServeConfig, ServeError, Server};

@@ -1,0 +1,564 @@
+//! The serve loop: load tables once, compile once, answer forever.
+//!
+//! The daemon binds a TCP listener, loads every `--db` table at startup
+//! (hashing its canonical serialization once for cache keying), and then
+//! answers framed requests from a *serial* accept loop — connections are
+//! handled one at a time, in arrival order, which keeps the daemon's
+//! observable behaviour deterministic. Parallelism lives where it always
+//! has in this workspace: inside the replication pool. `batch` requests
+//! fan their items across the server's worker threads via
+//! [`pevpm::replicate::isolated_map_profiled`] (each item forced to
+//! single-threaded evaluation, which is bitwise-equivalent by the
+//! replication layer's thread-count invariance), and Monte-Carlo
+//! `predict` requests use the pool directly.
+//!
+//! Crash containment is layered: the plan layer turns invalid tables and
+//! models into structured errors before any panicking constructor runs,
+//! the replication layer converts worker panics into `ReplicaPanic`
+//! values, and a final `catch_unwind` at the request boundary converts
+//! anything that still escapes into a `"panic"`-coded response instead of
+//! a dead daemon.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pevpm::replicate::isolated_map_profiled;
+use pevpm_dist::{io as dist_io, DistTable};
+use pevpm_obs::{diag, Registry};
+
+use crate::cache::{fnv1a, ModelCache, TimingCache};
+use crate::plan::{self, PlanError, PredictRequest};
+use crate::proto::{self, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for a free port.
+    pub addr: String,
+    /// Benchmark tables to preload, as `(name, path)`.
+    pub tables: Vec<(String, PathBuf)>,
+    /// Worker threads for batch fan-out and Monte-Carlo replication
+    /// (0 = all cores).
+    pub threads: usize,
+    /// Admission control: refuse requests asking for more replications
+    /// than this (0 = unlimited).
+    pub max_reps: usize,
+    /// Admission control: cap every evaluation's directive budget.
+    pub max_steps: Option<u64>,
+    /// Admission control: cap every evaluation's simulated-seconds budget.
+    pub max_virtual_secs: Option<f64>,
+    /// Maximum accepted frame payload in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            tables: Vec::new(),
+            threads: 0,
+            max_reps: 0,
+            max_steps: None,
+            max_virtual_secs: None,
+            max_frame: proto::MAX_FRAME,
+        }
+    }
+}
+
+/// A daemon startup failure.
+#[derive(Debug)]
+pub struct ServeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct LoadedTable {
+    hash: u64,
+    table: Arc<DistTable>,
+}
+
+/// The prediction daemon: preloaded tables, content-addressed caches, a
+/// metrics registry, and a bound listener.
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    tables: HashMap<String, LoadedTable>,
+    models: ModelCache,
+    timings: TimingCache,
+    registry: Arc<Registry>,
+}
+
+impl Server {
+    /// Bind the listener and load every configured table from disk.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let mut loaded = Vec::with_capacity(cfg.tables.len());
+        for (name, path) in &cfg.tables {
+            let table = dist_io::load_table(path).map_err(|e| ServeError {
+                message: format!("table {name:?}: {e}"),
+            })?;
+            loaded.push((name.clone(), table));
+        }
+        Server::with_tables(cfg, loaded)
+    }
+
+    /// Bind the listener around already-loaded tables (tests, embedding).
+    pub fn with_tables(
+        cfg: ServeConfig,
+        tables: Vec<(String, DistTable)>,
+    ) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| ServeError {
+            message: format!("cannot bind {}: {e}", cfg.addr),
+        })?;
+        let registry = Arc::new(Registry::new());
+        let models = ModelCache::new(&registry);
+        let timings = TimingCache::new(&registry);
+        let mut map = HashMap::new();
+        for (name, table) in tables {
+            let hash = fnv1a(dist_io::write_table(&table).as_bytes());
+            if map
+                .insert(
+                    name.clone(),
+                    LoadedTable {
+                        hash,
+                        table: Arc::new(table),
+                    },
+                )
+                .is_some()
+            {
+                return Err(ServeError {
+                    message: format!("duplicate table name {name:?}"),
+                });
+            }
+        }
+        Ok(Server {
+            cfg,
+            listener,
+            tables: map,
+            models,
+            timings,
+            registry,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The daemon's metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives.
+    /// Connections are served serially, in arrival order.
+    pub fn run(&self) -> io::Result<()> {
+        diag::info(&format!(
+            "pevpm serve: listening on {} ({} table(s) loaded)",
+            self.local_addr()?,
+            self.tables.len()
+        ));
+        for conn in self.listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    diag::info(&format!("pevpm serve: accept failed: {e}"));
+                    continue;
+                }
+            };
+            match self.serve_connection(stream) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => diag::info(&format!("pevpm serve: connection error: {e}")),
+            }
+        }
+        diag::info("pevpm serve: shutting down");
+        Ok(())
+    }
+
+    /// Serve one connection until the peer closes it. Returns `Ok(true)`
+    /// when the peer asked the daemon to shut down.
+    fn serve_connection(&self, stream: TcpStream) -> io::Result<bool> {
+        // Responses are written whole; Nagle + delayed ACK would stall
+        // multi-segment response frames ~40 ms.
+        stream.set_nodelay(true)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        while let Some(frame) = proto::read_frame(&mut reader, self.cfg.max_frame)? {
+            let (response, shutdown) = self.handle_frame(&frame);
+            proto::write_frame(&mut writer, &response)?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Answer one request frame. The second element is true when the
+    /// daemon should stop accepting after this response.
+    pub fn handle_frame(&self, frame: &str) -> (String, bool) {
+        self.registry.counter("serve.requests").inc();
+        let request = match proto::parse_request(frame) {
+            Ok(r) => r,
+            Err((id, e)) => return (proto::err_response(&id, e.kind.code(), &e.message), false),
+        };
+        match request {
+            Request::Ping { id } => (proto::ok_response(&id, "{\"kind\":\"pong\"}"), false),
+            Request::Stats { id } => (proto::ok_response(&id, &self.registry.to_json()), false),
+            Request::Shutdown { id } => (proto::ok_response(&id, "{\"kind\":\"shutdown\"}"), true),
+            Request::Predict { id, table, req } => {
+                let resp = match self.predict_guarded(&table, &req, self.cfg.threads) {
+                    Ok(result) => proto::ok_response(&id, &result),
+                    Err(e) => proto::err_response(&id, e.kind_code(), &e.message()),
+                };
+                (resp, false)
+            }
+            Request::Batch { id, items } => (self.handle_batch(&id, &items), false),
+        }
+    }
+
+    fn handle_batch(&self, id: &str, items: &[(String, PredictRequest)]) -> String {
+        // Fan the batch across the replication pool. Each item evaluates
+        // single-threaded inside its slot; replication results are
+        // bitwise invariant to thread count, so this cannot change any
+        // answer — only the wall-clock.
+        let (slots, _profile) = isolated_map_profiled(items.len(), self.cfg.threads, |i| {
+            let (table, req) = &items[i];
+            let mut req = req.clone();
+            req.threads = 1;
+            self.predict_guarded(table, &req, 1)
+                .map_err(|e| (e.kind_code().to_string(), e.message()))
+        });
+        let rendered: Vec<Result<String, (String, String)>> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(result) => Ok(result),
+                Err(pevpm::replicate::JobError::Err((code, msg))) => Err((code, msg)),
+                // isolated_map already caught the panic; report it as a
+                // per-item failure, daemon intact.
+                Err(pevpm::replicate::JobError::Panic(p)) => {
+                    self.registry.counter("serve.panics_isolated").inc();
+                    Err(("panic".to_string(), p.to_string()))
+                }
+            })
+            .collect();
+        proto::ok_response(id, &proto::render_batch(&rendered))
+    }
+
+    /// One prediction with the request boundary hardened: any panic that
+    /// escapes the plan layer and the replication pool becomes a
+    /// `RequestError::Panic`, never a daemon crash.
+    fn predict_guarded(
+        &self,
+        table: &str,
+        req: &PredictRequest,
+        threads: usize,
+    ) -> Result<String, RequestError> {
+        self.admit(req).map_err(RequestError::Plan)?;
+        match catch_unwind(AssertUnwindSafe(|| self.predict(table, req, threads))) {
+            Ok(r) => r.map_err(RequestError::Plan),
+            Err(payload) => {
+                self.registry.counter("serve.panics_isolated").inc();
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(RequestError::Panic(format!("request panicked: {what}")))
+            }
+        }
+    }
+
+    /// Admission control: refuse work the daemon is configured not to
+    /// carry, before any compilation or evaluation happens.
+    fn admit(&self, req: &PredictRequest) -> Result<(), PlanError> {
+        if self.cfg.max_reps > 0 && req.reps > self.cfg.max_reps {
+            self.registry.counter("serve.rejected_admission").inc();
+            return Err(PlanError::budget(format!(
+                "admission: {} replications exceed the server limit of {}",
+                req.reps, self.cfg.max_reps
+            )));
+        }
+        Ok(())
+    }
+
+    /// The cached-plan prediction path shared by `predict` and `batch`.
+    fn predict(
+        &self,
+        table_name: &str,
+        req: &PredictRequest,
+        threads: usize,
+    ) -> Result<String, PlanError> {
+        let loaded = self.tables.get(table_name).ok_or_else(|| {
+            let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+            names.sort_unstable();
+            PlanError::usage(format!(
+                "unknown table {table_name:?} (loaded: {})",
+                if names.is_empty() {
+                    "none".to_string()
+                } else {
+                    names.join(", ")
+                }
+            ))
+        })?;
+        let model = self.models.get_or_parse(&req.model_src, "request model")?;
+        let mode = req.prediction_mode()?;
+        let timing = self.timings.get_or_build(
+            loaded.hash,
+            &loaded.table,
+            mode,
+            req.pingpong,
+            req.compile_options(),
+        )?;
+        // The server's budget caps tighten whatever the request asked
+        // for; a request axis the server also caps takes the minimum.
+        let mut req = req.clone();
+        req.threads = threads;
+        if let Some(cap) = self.cfg.max_steps {
+            req.max_steps = Some(req.max_steps.map_or(cap, |n| n.min(cap)));
+        }
+        if let Some(cap) = self.cfg.max_virtual_secs {
+            req.max_virtual_secs = Some(req.max_virtual_secs.map_or(cap, |s| s.min(cap)));
+        }
+        let cfg = req.eval_config()?;
+        let outcome = plan::evaluate_plan(&model, &cfg, &timing, req.reps)?;
+        Ok(proto::render_outcome(&outcome))
+    }
+}
+
+/// A request failure: a classified plan error or an isolated panic.
+enum RequestError {
+    Plan(PlanError),
+    Panic(String),
+}
+
+impl RequestError {
+    fn kind_code(&self) -> &'static str {
+        match self {
+            RequestError::Plan(e) => e.kind.code(),
+            RequestError::Panic(_) => "panic",
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            RequestError::Plan(e) => e.message.clone(),
+            RequestError::Panic(m) => m.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pevpm_obs::json::{self, Json};
+
+    const SRC: &str = "\
+// PEVPM Loop iterations = rounds
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+";
+
+    fn test_table() -> DistTable {
+        let mut t = DistTable::new();
+        let mut h = pevpm_dist::Histogram::new(0.0, 1e-6);
+        for i in 0..64 {
+            h.add(1e-6 * f64::from(i % 11));
+        }
+        for op in [pevpm_dist::Op::Send, pevpm_dist::Op::Recv] {
+            for size in [512u64, 1024, 2048] {
+                for contention in [1u32, 2] {
+                    t.insert(
+                        pevpm_dist::DistKey {
+                            op,
+                            size,
+                            contention,
+                        },
+                        pevpm_dist::CommDist::Hist(h.clone()),
+                    );
+                }
+            }
+        }
+        t
+    }
+
+    fn test_server() -> Server {
+        Server::with_tables(
+            ServeConfig::default(),
+            vec![("default".to_string(), test_table())],
+        )
+        .unwrap()
+    }
+
+    fn predict_frame(reps: usize) -> String {
+        format!(
+            "{{\"op\":\"predict\",\"id\":\"p\",\"model\":\"{}\",\"procs\":2,\
+             \"params\":{{\"rounds\":20}},\"reps\":{reps},\"seed\":3}}",
+            pevpm_obs::json::escape(SRC)
+        )
+    }
+
+    #[test]
+    fn predict_answers_and_caches_compile_exactly_once() {
+        let s = test_server();
+        let (r1, stop) = s.handle_frame(&predict_frame(1));
+        assert!(!stop);
+        let v = json::parse(&r1).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{r1}");
+        let makespan = v
+            .get("result")
+            .and_then(|r| r.get("makespan"))
+            .and_then(Json::as_num)
+            .unwrap();
+        assert!(makespan > 0.0);
+        // 99 more identical requests: same bytes back, zero new compiles.
+        for _ in 0..99 {
+            let (r, _) = s.handle_frame(&predict_frame(1));
+            assert_eq!(r, r1);
+        }
+        assert_eq!(s.registry().counter("serve.table_compiles").get(), 1);
+        assert_eq!(s.registry().counter("serve.model_compiles").get(), 1);
+        assert_eq!(s.registry().counter("serve.model_cache_hits").get(), 99);
+    }
+
+    #[test]
+    fn batch_answers_match_one_at_a_time_answers_bitwise() {
+        let s = test_server();
+        let (single, _) = s.handle_frame(&predict_frame(4));
+        let sv = json::parse(&single).unwrap();
+        let sresult = sv.get("result").unwrap();
+        let body = format!(
+            "{{\"model\":\"{}\",\"procs\":2,\"params\":{{\"rounds\":20}},\"reps\":4,\"seed\":3}}",
+            pevpm_obs::json::escape(SRC)
+        );
+        let frame =
+            format!("{{\"op\":\"batch\",\"id\":\"b\",\"requests\":[{body},{body},{body}]}}");
+        let (resp, _) = s.handle_frame(&frame);
+        let v = json::parse(&resp).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        let items = v.get("result").and_then(Json::as_array).unwrap();
+        assert_eq!(items.len(), 3);
+        for item in items {
+            assert_eq!(item.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(item.get("result").unwrap(), sresult);
+        }
+    }
+
+    #[test]
+    fn errors_are_classified_and_never_kill_the_daemon() {
+        let s = test_server();
+        // Unknown table.
+        let (r, _) = s.handle_frame(
+            "{\"op\":\"predict\",\"id\":\"x\",\"model\":\"m\",\"procs\":2,\"table\":\"nope\"}",
+        );
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("usage"));
+        // Unparseable model: input.
+        let (r, _) = s.handle_frame(
+            "{\"op\":\"predict\",\"id\":\"x\",\"model\":\"// PEVPM Loop iterations =\",\"procs\":2}",
+        );
+        assert_eq!(
+            json::parse(&r).unwrap().get("code").and_then(Json::as_str),
+            Some("input")
+        );
+        // Garbage frame: usage, id preserved where possible.
+        let (r, _) = s.handle_frame("{\"op\":\"predict\",\"id\":\"q\"}");
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("q"));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("usage"));
+        // The daemon still answers afterwards.
+        let (r, _) = s.handle_frame("{\"op\":\"ping\",\"id\":\"alive\"}");
+        assert!(json::parse(&r).unwrap().get("ok").and_then(Json::as_bool) == Some(true));
+    }
+
+    #[test]
+    fn admission_control_rejects_oversized_requests_up_front() {
+        let cfg = ServeConfig {
+            max_reps: 4,
+            ..ServeConfig::default()
+        };
+        let s = Server::with_tables(cfg, vec![("default".to_string(), test_table())]).unwrap();
+        let (r, _) = s.handle_frame(&predict_frame(5));
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("budget"), "{r}");
+        assert_eq!(s.registry().counter("serve.rejected_admission").get(), 1);
+        // No compilation was wasted on the rejected request.
+        assert_eq!(s.registry().counter("serve.table_compiles").get(), 0);
+        let (r, _) = s.handle_frame(&predict_frame(4));
+        assert_eq!(
+            json::parse(&r).unwrap().get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn server_budget_caps_tighten_requests() {
+        let cfg = ServeConfig {
+            max_steps: Some(3),
+            ..ServeConfig::default()
+        };
+        let s = Server::with_tables(cfg, vec![("default".to_string(), test_table())]).unwrap();
+        let (r, _) = s.handle_frame(&predict_frame(1));
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("budget"), "{r}");
+    }
+
+    #[test]
+    fn stats_exposes_the_cache_counters() {
+        let s = test_server();
+        s.handle_frame(&predict_frame(1));
+        s.handle_frame(&predict_frame(1));
+        let (r, _) = s.handle_frame("{\"op\":\"stats\",\"id\":\"s\"}");
+        let v = json::parse(&r).unwrap();
+        let counters = v
+            .get("result")
+            .and_then(|r| r.get("counters"))
+            .and_then(Json::as_object)
+            .unwrap();
+        assert_eq!(
+            counters.get("serve.table_compiles").and_then(Json::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            counters.get("serve.requests").and_then(Json::as_num),
+            Some(3.0)
+        );
+    }
+
+    #[test]
+    fn shutdown_frame_flags_the_loop_to_stop() {
+        let s = test_server();
+        let (r, stop) = s.handle_frame("{\"op\":\"shutdown\",\"id\":\"z\"}");
+        assert!(stop);
+        assert!(r.contains("\"ok\":true"));
+    }
+}

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the pevpm prediction daemon (`pevpm serve`).
+#
+# Exercises the acceptance contract from the serve PR:
+#   1. a batch of 100 identical requests compiles the model and the
+#      benchmark table exactly once (cache counters are golden);
+#   2. every batched answer is byte-identical to the lone daemon answer,
+#      and the daemon's deterministic report prefixes the one-shot
+#      `pevpm predict` output for the same request;
+#   3. the daemon batch beats 100 one-shot CLI invocations by >= 5x;
+#   4. `--metrics-out` lands the server registry on disk at shutdown.
+#
+# Usage: scripts/serve_smoke.sh
+#   PEVPM=path/to/pevpm overrides the binary (default: target/release/pevpm,
+#   built on demand). Leaves serve-metrics.json in the working directory
+#   for CI artifact upload.
+set -euo pipefail
+
+PEVPM=${PEVPM:-target/release/pevpm}
+if [ ! -x "$PEVPM" ]; then
+    echo "serve_smoke: building $PEVPM"
+    cargo build --release -p pevpm-cli
+fi
+
+WORK=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve_smoke: benchmarking a 2-node table"
+"$PEVPM" bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --out "$WORK/db.dist" -q
+
+cat > "$WORK/model.c" <<'EOF'
+/* Two-rank ping-pong: rank 0 sends, rank 1 receives, `rounds` times. */
+// PEVPM Loop iterations = rounds
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+EOF
+
+echo "serve_smoke: starting the daemon"
+"$PEVPM" serve --db "$WORK/db.dist" --port-file "$WORK/port" \
+    --metrics-out "$WORK/metrics.json" -q &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+    [ -s "$WORK/port" ] && break
+    sleep 0.05
+done
+[ -s "$WORK/port" ] || { echo "serve_smoke: daemon never wrote its port file"; exit 1; }
+echo "serve_smoke: daemon is up on $(cat "$WORK/port")"
+
+FLAGS=(--model "$WORK/model.c" --procs 2 --param rounds=50 --reps 4 --seed 3)
+
+"$PEVPM" client --port-file "$WORK/port" "${FLAGS[@]}" > "$WORK/lone.json"
+
+echo "serve_smoke: timing a batch of 100 identical requests"
+batch_start=$(date +%s.%N)
+"$PEVPM" client --port-file "$WORK/port" "${FLAGS[@]}" --batch 100 > "$WORK/batch.json"
+batch_end=$(date +%s.%N)
+
+python3 - "$WORK/lone.json" "$WORK/batch.json" <<'PY'
+import json, sys
+lone = json.load(open(sys.argv[1]))
+batch = json.load(open(sys.argv[2]))
+assert lone["ok"], lone
+assert batch["ok"], batch
+items = batch["result"]
+assert len(items) == 100, f"expected 100 batch answers, got {len(items)}"
+for i, item in enumerate(items):
+    assert item["ok"], (i, item)
+    assert item["result"] == lone["result"], f"batch item {i} diverged from the lone answer"
+print("serve_smoke: 100/100 batched answers identical to the lone answer")
+PY
+
+"$PEVPM" client --port-file "$WORK/port" --stats > "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'PY'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats["ok"], stats
+counters = stats["result"]["counters"]
+assert counters["serve.model_compiles"] == 1, counters
+assert counters["serve.table_compiles"] == 1, counters
+assert counters["serve.model_cache_hits"] >= 100, counters
+print("serve_smoke: 101 predictions, exactly 1 model parse and 1 table compile")
+PY
+
+echo "serve_smoke: timing 100 one-shot CLI predictions"
+oneshot_start=$(date +%s.%N)
+for _ in $(seq 1 100); do
+    "$PEVPM" predict --db "$WORK/db.dist" "${FLAGS[@]}" -q > "$WORK/oneshot.txt"
+done
+oneshot_end=$(date +%s.%N)
+
+python3 - "$WORK/lone.json" "$WORK/oneshot.txt" \
+    "$batch_start" "$batch_end" "$oneshot_start" "$oneshot_end" <<'PY'
+import json, sys
+lone = json.load(open(sys.argv[1]))
+oneshot = open(sys.argv[2]).read()
+report = lone["result"]["report"]
+assert oneshot.startswith(report), (
+    f"daemon report is not a prefix of the one-shot output:\n{report!r}\nvs\n{oneshot!r}")
+batch = float(sys.argv[4]) - float(sys.argv[3])
+loop = float(sys.argv[6]) - float(sys.argv[5])
+ratio = loop / batch if batch > 0 else float("inf")
+print(f"serve_smoke: daemon batch {batch:.3f}s vs one-shot loop {loop:.3f}s ({ratio:.1f}x)")
+assert ratio >= 5.0, f"daemon must beat 100 one-shot invocations by >= 5x, got {ratio:.1f}x"
+PY
+
+"$PEVPM" client --port-file "$WORK/port" --shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+python3 - "$WORK/metrics.json" <<'PY'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+counters = metrics["counters"]
+for key in ("serve.requests", "serve.model_compiles", "serve.table_compiles",
+            "serve.model_cache_hits"):
+    assert key in counters, f"{key} missing from --metrics-out dump"
+assert counters["serve.model_compiles"] == 1, counters
+assert counters["serve.table_compiles"] == 1, counters
+print("serve_smoke: --metrics-out golden counters present")
+PY
+
+cp "$WORK/metrics.json" serve-metrics.json
+echo "serve_smoke: ok"
