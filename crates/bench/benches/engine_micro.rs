@@ -258,6 +258,39 @@ fn instrumentation_overhead(c: &mut Criterion) {
         b.iter(|| black_box(evaluate(&model, &with_timeline, &timing).unwrap().makespan))
     });
 
+    // Service-span telemetry as the daemon applies it: a stage window
+    // into a bounded span ring plus a latency histogram, wrapped around
+    // the evaluation. Telemetry observes, never steers — the prediction
+    // must stay bitwise identical to the bare run.
+    let ring = pevpm_obs::SpanRing::new(64);
+    let span_registry = Arc::new(Registry::new());
+    let evaluate_with_span = |ring: &pevpm_obs::SpanRing, reg: &Registry| {
+        let t0 = std::time::Instant::now();
+        let mut span = pevpm_obs::RequestSpan::new(ring.next_id(), "predict", 0, 0.0);
+        let pred = evaluate(&model, &no_sink, &timing).unwrap();
+        let dur_us = t0.elapsed().as_secs_f64() * 1e6;
+        span.stages.push(pevpm_obs::StageTiming {
+            name: "eval".to_string(),
+            start_us: 0.0,
+            dur_us,
+        });
+        span.total_us = dur_us;
+        reg.histogram("serve.stage.eval_ms", 0.0, 250.0, 50)
+            .record(dur_us / 1e3);
+        ring.push(span);
+        pred
+    };
+    c.bench_function("pevpm: evaluation, span telemetry", |b| {
+        b.iter(|| black_box(evaluate_with_span(&ring, &span_registry).makespan))
+    });
+    let bare = evaluate(&model, &no_sink, &timing).unwrap();
+    let spanned = evaluate_with_span(&ring, &span_registry);
+    assert_eq!(
+        bare.makespan.to_bits(),
+        spanned.makespan.to_bits(),
+        "span telemetry must not perturb predictions"
+    );
+
     // One-shot replication-throughput comparison: a 32-replication batch
     // with and without a metrics sink attached.
     let plain = monte_carlo(&model, &no_sink, &timing, 32).unwrap();

@@ -13,6 +13,7 @@
 //!                [--seed S] [--reps R] [--threads T]
 //!                [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
+//!                [--http HOST:PORT] [--log-out FILE] [--log-slow-ms MS]
 //! pevpm client   (--addr HOST:PORT | --port-file PATH) --model FILE.c --procs N
 //! pevpm trace    --nodes N [--ppn P] [--xsize X] [--iters I]
 //!                [--db DB.dist] [--trace-out TRACE.json]
@@ -35,7 +36,7 @@ use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, FaultPlan, Placement, ProtocolConfig, WorldConfig};
 use pevpm_obs::{diag, Registry, Verbosity};
 use pevpm_serve::plan::{self, EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
-use pevpm_serve::{Client, ServeConfig, Server};
+use pevpm_serve::{Client, ServeConfig, Server, Telemetry};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -177,10 +178,14 @@ USAGE:
       --exact-quantiles answers fitted-distribution inverse-CDF queries by
       exact bisection instead of the compiled quantile lookup table
       (slower; bounds the LUT's <=0.1% relative interpolation error).
+      --trace-out also carries a pid-4 service-stages track with the
+      prediction's validate/model/compile/eval/render stage windows.
 
   pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
                  [--max-reps N] [--max-steps N] [--max-virtual-secs S]
                  [--port-file PATH] [--metrics-out M.json]
+                 [--http HOST:PORT] [--log-out FILE] [--log-slow-ms MS]
+                 [--span-cap N]
       Start the long-running prediction daemon. Every --db table is loaded
       and content-hashed once at startup; parsed models and compiled
       timing models are cached across requests, so a stream of what-if
@@ -194,7 +199,16 @@ USAGE:
       --max-steps / --max-virtual-secs cap every evaluation's run budget
       (a tighter request cap wins). A `shutdown` request exits the loop;
       --metrics-out then dumps the server's metrics registry (request,
-      cache and panic counters) as metrics JSON.
+      cache and panic counters) as metrics JSON. --http starts the
+      observability sidecar serving Prometheus text on /metrics, a
+      liveness document on /healthz, and the most recent request spans
+      on /spans?last=N; with --port-file, the sidecar's bound address is
+      written as the port file's second line. --log-out / --log-slow-ms
+      enable the structured request log: one JSON line per finished
+      request (id, op, stage windows, cache hits, outcome) to FILE or
+      stderr, skipping requests faster than MS milliseconds. --span-cap
+      bounds the in-memory span ring (default 1024). Telemetry is
+      observational only: responses are byte-identical with it on or off.
 
   pevpm client   (--addr HOST:PORT | --port-file PATH) [--stats] [--ping]
                  [--shutdown] [--batch K] [--table NAME]
@@ -203,7 +217,9 @@ USAGE:
       each. With --model, sends the same prediction `predict` would run
       (accepts the same flags); --batch K sends it as one batch of K
       identical items. --stats fetches the server's metrics registry
-      (cache hit/miss/compile counters included); --shutdown asks the
+      (cache hit/miss/compile counters included) plus span-derived
+      per-stage p50/p95/p99 latencies, rendered as a table on stderr
+      (stdout stays one machine-parseable JSON line); --shutdown asks the
       daemon to exit. Operations run in order: predict, stats, shutdown.
 
   pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency|ideal]
@@ -628,9 +644,19 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::input(format!("cannot read {model_path}: {e}")))?;
     let req = predict_request(args, src)?;
 
-    let model = plan::parse_model(&req.model_src, model_path)?;
-    let mode = req.prediction_mode()?;
-    let timing = plan::build_timing(&table, mode, req.pingpong, req.compile_options())?;
+    // One-shot service-stage timing: a private telemetry hub — separate
+    // from the --metrics-out engine registry, whose bytes must stay
+    // unchanged — feeding the pid-4 "service stages" track in --trace-out.
+    let telemetry = Telemetry::standalone();
+    let mut timer = telemetry.begin("predict", true);
+    timer.set_reps(req.reps);
+    timer.set_quorum(req.quorum.is_some());
+
+    let mode = timer.stage("validate", || req.prediction_mode())?;
+    let model = timer.stage("model", || plan::parse_model(&req.model_src, model_path))?;
+    let timing = timer.stage("compile", || {
+        plan::build_timing(&table, mode, req.pingpong, req.compile_options())
+    })?;
 
     let trace_out = args.get("trace-out");
     let metrics_out = args.get("metrics-out");
@@ -645,13 +671,16 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     }
 
     // Write the sinks requested on the command line; returns report lines.
-    let dump_sinks = |pred: Option<&pevpm::Prediction>| -> Result<String, CliError> {
+    let dump_sinks = |pred: Option<&pevpm::Prediction>,
+                      span: &pevpm_obs::RequestSpan|
+     -> Result<String, CliError> {
         let mut extra = String::new();
         if let (Some(path), Some(p)) = (trace_out, pred) {
-            let chrome = pevpm::trace_export::chrome_trace(p);
+            let mut chrome = pevpm::trace_export::chrome_trace(p);
+            chrome.merge(pevpm_obs::span::chrome_service_track(span));
             write_text(path, &chrome.to_json())?;
             extra.push_str(&format!(
-                "predicted timeline ({} spans) written to {path}\n",
+                "predicted timeline ({} spans, incl. service stages) written to {path}\n",
                 chrome.len()
             ));
         }
@@ -665,37 +694,46 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
     if req.reps > 1 {
         diag::info(&format!("running {} Monte-Carlo replications...", req.reps));
     }
-    match plan::evaluate_plan(&model, &cfg, &timing, req.reps)? {
+    let outcome = timer.stage("eval", || {
+        plan::evaluate_plan(&model, &cfg, &timing, req.reps)
+    })?;
+    match outcome {
         EvalOutcome::Batch(mc) => {
             if let Some(reg) = &registry {
                 reg.counter("mc.replica_failures")
                     .add(mc.failures.len() as u64);
             }
+            timer.set_replica_failures(mc.failures.len());
             // The deterministic headline and failure lines are shared with
             // the daemon; the wall-clock statistics are one-shot-only.
-            let mut out = plan::render_mc_headline(&mc, req.procs);
-            out.push_str(&format!(
-                "{} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
-                 {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
-                req.reps,
-                mc.wall_secs,
-                mc.evals_per_sec,
-                mc.min,
-                mc.max,
-                mc.profile.workers.len(),
-                mc.profile.utilization() * 100.0,
-                mc.total_steps(),
-                mc.mean_steps(),
-            ));
-            out.push_str(&plan::render_failures(&mc.failures));
+            let mut out = timer.stage("render", || {
+                let mut out = plan::render_mc_headline(&mc, req.procs);
+                out.push_str(&format!(
+                    "{} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
+                     {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
+                    req.reps,
+                    mc.wall_secs,
+                    mc.evals_per_sec,
+                    mc.min,
+                    mc.max,
+                    mc.profile.workers.len(),
+                    mc.profile.utilization() * 100.0,
+                    mc.total_steps(),
+                    mc.mean_steps(),
+                ));
+                out.push_str(&plan::render_failures(&mc.failures));
+                out
+            });
+            let span = timer.finish("ok", out.len());
             // The trace sink gets the first replication: its seed is the
             // one a `--reps 1` run with the same --seed would use.
-            out.push_str(&dump_sinks(mc.runs.first())?);
+            out.push_str(&dump_sinks(mc.runs.first(), &span)?);
             Ok(out)
         }
         EvalOutcome::Single(p) => {
-            let mut out = plan::render_single_report(&p);
-            out.push_str(&dump_sinks(Some(&p))?);
+            let mut out = timer.stage("render", || plan::render_single_report(&p));
+            let span = timer.finish("ok", out.len());
+            out.push_str(&dump_sinks(Some(&p), &span)?);
             Ok(out)
         }
     }
@@ -742,13 +780,30 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
             ),
         },
         max_frame: pevpm_serve::proto::MAX_FRAME,
+        http_addr: args.get("http").map(str::to_string),
+        log_out: args.get("log-out").map(PathBuf::from),
+        log_slow_ms: match args.get("log-slow-ms") {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| CliError::usage("--log-slow-ms must be a number"))?,
+            ),
+        },
+        span_capacity: args
+            .get_parsed("span-cap", pevpm_serve::telemetry::DEFAULT_SPAN_CAPACITY)?,
     };
     let server = Server::bind(cfg).map_err(|e| CliError::input(e.to_string()))?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::input(format!("cannot resolve bound address: {e}")))?;
     if let Some(path) = args.get("port-file") {
-        write_text(path, &format!("{addr}\n"))?;
+        // Line 1: the frame protocol address (what `client --port-file`
+        // reads). Line 2, when the sidecar is up: the HTTP address.
+        let mut contents = format!("{addr}\n");
+        if let Some(http) = server.http_addr() {
+            contents.push_str(&format!("{http}\n"));
+        }
+        write_text(path, &contents)?;
     }
     server
         .run()
@@ -816,7 +871,9 @@ fn cmd_client(args: &Args) -> Result<String, CliError> {
         out.push('\n');
     }
     if args.has("stats") {
-        out.push_str(&client.stats("stats").map_err(io_err)?);
+        let stats = client.stats("stats").map_err(io_err)?;
+        render_stage_latencies(&stats);
+        out.push_str(&stats);
         out.push('\n');
     }
     if args.has("shutdown") {
@@ -824,6 +881,37 @@ fn cmd_client(args: &Args) -> Result<String, CliError> {
         out.push('\n');
     }
     Ok(out)
+}
+
+/// Render the span-derived per-stage latency percentiles from a `stats`
+/// response as a human-readable table on stderr, keeping stdout one
+/// machine-parseable JSON line. Silently does nothing if the response
+/// carries no stage data (old daemon, no requests served yet).
+fn render_stage_latencies(stats_response: &str) {
+    use pevpm_obs::json::{self, Json};
+    let Some(stages) = json::parse(stats_response.trim())
+        .ok()
+        .and_then(|v| v.get("result").and_then(|r| r.get("stages")).cloned())
+    else {
+        return;
+    };
+    let Some(stages) = stages.as_object().filter(|m| !m.is_empty()).cloned() else {
+        return;
+    };
+    diag::info(&format!(
+        "{:>10} {:>8} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50(ms)", "p95(ms)", "p99(ms)"
+    ));
+    for (name, st) in &stages {
+        let f = |k: &str| st.get(k).and_then(Json::as_num).unwrap_or(0.0);
+        diag::info(&format!(
+            "{name:>10} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+            f("count") as u64,
+            f("p50_ms"),
+            f("p95_ms"),
+            f("p99_ms"),
+        ));
+    }
 }
 
 /// `pevpm trace`: run the Jacobi example with measured tracing on, print

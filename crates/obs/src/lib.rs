@@ -14,6 +14,10 @@
 //!   per-rank timelines render to the same format, so the paper's
 //!   predicted-vs-measured comparison becomes a side-by-side flamegraph in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//! - [`span`] — request-lifecycle spans: a bounded [`SpanRing`] of
+//!   per-request [`RequestSpan`] stage records, the raw material behind
+//!   the daemon's `/spans` endpoint, span-derived stage percentiles, and
+//!   the pid-4 "service stages" Chrome-trace track.
 //! - [`json`] — a dependency-free JSON emitter/parser used by the
 //!   exporters and their schema tests (the workspace builds offline, so no
 //!   serde).
@@ -28,8 +32,10 @@ pub mod chrome;
 pub mod diag;
 pub mod json;
 pub mod metrics;
+pub mod span;
 
 pub use chrome::{ChromeTrace, Span};
 pub use diag::Verbosity;
 pub use json::Json;
 pub use metrics::{Counter, FixedHistogram, Gauge, Registry};
+pub use span::{RequestSpan, SpanRing, StageTiming};

@@ -144,6 +144,11 @@ impl FixedHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of the recorded observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum.get()
+    }
+
     /// Mean of the recorded observations (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         let n = self.count();
@@ -277,6 +282,80 @@ impl Registry {
         out.push_str("}\n}\n");
         out
     }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4): one `# TYPE` line per metric, names sanitized
+    /// through [`sanitize_metric_name`], histograms encoded as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`.
+    ///
+    /// Iteration is in sorted key order, so the rendering is
+    /// deterministic for a given set of recordings.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        {
+            let map = self.counters.lock().unwrap();
+            for (k, v) in map.iter() {
+                let name = sanitize_metric_name(k);
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", v.get()));
+            }
+        }
+        {
+            let map = self.gauges.lock().unwrap();
+            for (k, v) in map.iter() {
+                let name = sanitize_metric_name(k);
+                out.push_str(&format!(
+                    "# TYPE {name} gauge\n{name} {}\n",
+                    crate::json::num(v.get())
+                ));
+            }
+        }
+        {
+            let map = self.hists.lock().unwrap();
+            for (k, h) in map.iter() {
+                let name = sanitize_metric_name(k);
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                let bins = h.bin_counts();
+                for (i, c) in bins.iter().enumerate() {
+                    cumulative += c;
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        crate::json::num(h.bin_edge(i + 1))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
+                    h.count(),
+                    crate::json::num(h.sum()),
+                    h.count()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Sanitize a registry key into a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, a
+/// leading digit is prefixed with `_`, and an empty key becomes `_`.
+pub fn sanitize_metric_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 1);
+    for (i, ch) in key.chars().enumerate() {
+        let valid =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if ch.is_ascii_digit() && i == 0 {
+            out.push('_');
+            out.push(ch);
+        } else if valid {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -343,6 +422,45 @@ mod tests {
         assert_eq!(c.get(), 4000);
         assert_eq!(h.count(), 4000);
         assert_eq!(h.bin_counts().iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn prometheus_rendering_encodes_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("serve.requests.total").add(3);
+        r.gauge("cache.hit_rate").set(0.5);
+        let h = r.histogram("stage.eval_ms", 0.0, 4.0, 4);
+        // Values chosen to keep the running sum exact in binary.
+        for v in [0.5, 1.5, 1.75, 3.5, 99.0] {
+            h.record(v);
+        }
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE serve_requests_total counter\nserve_requests_total 3\n"));
+        assert!(text.contains("# TYPE cache_hit_rate gauge\ncache_hit_rate 0.5\n"));
+        assert!(text.contains("stage_eval_ms_bucket{le=\"1\"} 1\n"));
+        assert!(
+            text.contains("stage_eval_ms_bucket{le=\"2\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_eval_ms_bucket{le=\"4\"} 5\n"),
+            "overflow clamps into the last bin: {text}"
+        );
+        assert!(text.contains("stage_eval_ms_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("stage_eval_ms_count 5\n"));
+        assert!(text.contains("stage_eval_ms_sum 106.25\n"), "{text}");
+    }
+
+    #[test]
+    fn metric_names_sanitize_to_prometheus_identifiers() {
+        assert_eq!(
+            sanitize_metric_name("serve.stage.eval_ms"),
+            "serve_stage_eval_ms"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("a:b-c d"), "a:b_c_d");
+        assert_eq!(sanitize_metric_name("ünïcode"), "_n_code");
     }
 
     #[test]

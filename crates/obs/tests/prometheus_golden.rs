@@ -1,0 +1,141 @@
+//! Golden-file and property tests for the Prometheus text renderer.
+//!
+//! `/metrics` output is scraped by external collectors, so the exact text
+//! format — `# TYPE` lines, name sanitization, cumulative `_bucket`
+//! encoding, number formatting — is a compatibility surface. The golden
+//! file pins it; the property test guarantees that *any* registry key
+//! renders to a valid Prometheus metric name.
+//!
+//! To regenerate after an intentional format change:
+//! `BLESS=1 cargo test -p pevpm-obs --test prometheus_golden`
+
+use pevpm_obs::metrics::sanitize_metric_name;
+use pevpm_obs::Registry;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("registry.prom")
+}
+
+/// A registry exercising every renderer feature: counters, a gauge with
+/// a fractional value, a histogram with underflow/overflow clamping, and
+/// keys that need sanitization (dots, dashes, a leading digit).
+fn sample() -> Registry {
+    let r = Registry::new();
+    r.counter("serve.requests.total").add(101);
+    r.counter("serve.cache.evictions").inc();
+    r.counter("9starts-with-digit").add(7);
+    r.gauge("serve.model_cache_hit_rate").set(0.75);
+    let h = r.histogram("serve.stage.eval_ms", 0.0, 5.0, 5);
+    for v in [-1.0, 0.25, 1.5, 2.5, 2.75, 4.5, 100.0] {
+        h.record(v);
+    }
+    r.histogram("serve.stage.render_ms", 0.0, 2.0, 2);
+    r
+}
+
+#[test]
+fn prometheus_output_matches_golden_file() {
+    let actual = sample().render_prometheus();
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with BLESS=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "Prometheus renderer output drifted from the golden file; if the \
+         change is intentional, regenerate with BLESS=1"
+    );
+}
+
+/// Every non-comment line must be `name value` or
+/// `name{le="..."} value` with a valid metric name and a parseable value.
+#[test]
+fn golden_file_lines_are_well_formed() {
+    let text = std::fs::read_to_string(golden_path()).expect("golden file present");
+    let mut metric_lines = 0;
+    for line in text.lines() {
+        if line.starts_with("# TYPE ") {
+            let mut parts = line.split_whitespace().skip(2);
+            assert!(is_valid_name(parts.next().expect("type line has a name")));
+            assert!(matches!(
+                parts.next(),
+                Some("counter" | "gauge" | "histogram")
+            ));
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').expect("line has a value");
+        let name = name_part.split('{').next().expect("line has a name");
+        assert!(is_valid_name(name), "invalid metric name in {line:?}");
+        if let Some((_, labels)) = name_part.split_once('{') {
+            assert!(
+                labels.starts_with("le=\"") && labels.ends_with("\"}"),
+                "unexpected label set in {line:?}"
+            );
+        }
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        metric_lines += 1;
+    }
+    assert!(metric_lines > 10, "golden file suspiciously small");
+}
+
+fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let first_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    first_ok
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary registry keys — including unicode, spaces, digits and
+    /// punctuation — always sanitize to valid Prometheus identifiers.
+    #[test]
+    fn arbitrary_keys_sanitize_to_valid_names(key in "[ -~]{0,24}") {
+        let name = sanitize_metric_name(&key);
+        prop_assert!(is_valid_name(&name), "key {:?} rendered as {:?}", key, name);
+    }
+
+    /// The renderer never emits an invalid name whatever keys a registry
+    /// holds, and histogram `_bucket`/`_sum`/`_count` suffixes survive
+    /// sanitization.
+    #[test]
+    fn rendered_registries_expose_only_valid_names(
+        keys in proptest::collection::vec("[ -~]{0,16}", 1..6)
+    ) {
+        let r = Registry::new();
+        for (i, k) in keys.iter().enumerate() {
+            match i % 3 {
+                0 => r.counter(k).inc(),
+                1 => r.gauge(k).set(1.5),
+                _ => r.histogram(k, 0.0, 1.0, 2).record(0.5),
+            }
+        }
+        for line in r.render_prometheus().lines() {
+            let name = if let Some(rest) = line.strip_prefix("# TYPE ") {
+                rest.split_whitespace().next().unwrap_or("")
+            } else {
+                line.split(['{', ' ']).next().unwrap_or("")
+            };
+            prop_assert!(is_valid_name(name), "line {:?} has invalid name {:?}", line, name);
+        }
+    }
+}

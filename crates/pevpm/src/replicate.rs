@@ -346,6 +346,37 @@ where
     }
 }
 
+/// [`isolated_map_profiled`] with a per-job observer: after job `i`
+/// finishes — success, error, or caught panic — `observe(i, busy_secs)`
+/// runs on the worker thread that executed it. The observer is a
+/// telemetry hook (per-job latency histograms, span stage callbacks in a
+/// long-lived service) and cannot influence results: it sees only the
+/// index and the job's wall time, after the outcome is already decided.
+pub fn isolated_map_observed<T, E, F, O>(
+    n: usize,
+    threads: usize,
+    f: F,
+    observe: O,
+) -> (Vec<Result<T, JobError<E>>>, ReplicateProfile)
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+    O: Fn(usize, f64) + Sync,
+{
+    isolated_map_profiled(n, threads, move |i| {
+        let t0 = Instant::now();
+        let r = catch_unwind(AssertUnwindSafe(|| f(i)));
+        observe(i, t0.elapsed().as_secs_f64());
+        match r {
+            Ok(v) => v,
+            // Re-raise so the isolation layer classifies the panic with
+            // its index; the observer above has already run.
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +507,42 @@ mod tests {
                         assert!(p.message.contains(&format!("boom at {i}")));
                     }
                     (3, Err(JobError::Err(m))) => assert!(m.contains(&format!("err at {i}"))),
+                    (_, Ok(v)) => assert_eq!(*v, i * 10),
+                    other => panic!("index {i}: unexpected outcome {other:?}"),
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn observer_sees_every_job_including_panicking_ones() {
+        use std::sync::Mutex;
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1usize, 4] {
+            let seen = Mutex::new(vec![false; 12]);
+            let (out, _) = isolated_map_observed(
+                12,
+                threads,
+                |i| {
+                    if i % 5 == 2 {
+                        panic!("boom at {i}");
+                    }
+                    Ok::<_, String>(i * 10)
+                },
+                |i, busy| {
+                    assert!(busy >= 0.0);
+                    seen.lock().unwrap()[i] = true;
+                },
+            );
+            assert!(
+                seen.lock().unwrap().iter().all(|&s| s),
+                "every job observed"
+            );
+            for (i, r) in out.iter().enumerate() {
+                match (i % 5, r) {
+                    (2, Err(JobError::Panic(p))) => assert_eq!(p.index, Some(i)),
                     (_, Ok(v)) => assert_eq!(*v, i * 10),
                     other => panic!("index {i}: unexpected outcome {other:?}"),
                 }

@@ -12,14 +12,21 @@
 //! the same clear-on-full policy the sampler blend cache uses — an epoch
 //! flush is deterministic, cheap, and cannot leak under adversarial key
 //! streams.
+//!
+//! Each wipe increments the shared `serve.cache.evictions` counter and
+//! resets the cache's epoch-local hit-rate gauge
+//! (`serve.model_cache_hit_rate` / `serve.table_cache_hit_rate`), so a
+//! `/metrics` scrape never shows a ratio computed across a flush. The
+//! lifetime hit/miss counters keep accumulating across epochs.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pevpm::timing::{PredictionMode, TimingModel};
 use pevpm::Model;
 use pevpm_dist::{CompileOptions, DistTable};
-use pevpm_obs::{Counter, Registry};
+use pevpm_obs::{Counter, Gauge, Registry};
 
 use crate::plan::{self, PlanError};
 
@@ -39,40 +46,84 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Epoch-local hit-rate tracking behind a gauge: lookups and hits since
+/// the last clear-on-full wipe. Reset alongside the map so the exported
+/// ratio always describes the *current* cache contents.
+struct HitRate {
+    gauge: Arc<Gauge>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl HitRate {
+    fn new(gauge: Arc<Gauge>) -> Self {
+        gauge.set(0.0);
+        HitRate {
+            gauge,
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let lookups = self.lookups.fetch_add(1, Ordering::Relaxed) + 1;
+        let hits = self.hits.load(Ordering::Relaxed);
+        self.gauge.set(hits as f64 / lookups as f64);
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.gauge.set(0.0);
+    }
+}
+
 /// Parsed-and-lowered models keyed by a hash of their source text.
 pub struct ModelCache {
     map: Mutex<HashMap<u64, Arc<Model>>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     compiles: Arc<Counter>,
+    evictions: Arc<Counter>,
+    hit_rate: HitRate,
 }
 
 impl ModelCache {
     /// A cache whose hit/miss/compile counters live in `registry` under
     /// `serve.model_cache_hits`, `serve.model_cache_misses` and
-    /// `serve.model_compiles`.
+    /// `serve.model_compiles`, with an epoch-local
+    /// `serve.model_cache_hit_rate` gauge and the shared
+    /// `serve.cache.evictions` counter.
     pub fn new(registry: &Registry) -> Self {
         ModelCache {
             map: Mutex::new(HashMap::new()),
             hits: registry.counter("serve.model_cache_hits"),
             misses: registry.counter("serve.model_cache_misses"),
             compiles: registry.counter("serve.model_compiles"),
+            evictions: registry.counter("serve.cache.evictions"),
+            hit_rate: HitRate::new(registry.gauge("serve.model_cache_hit_rate")),
         }
     }
 
     /// The cached model for `src`, parsing (and caching) it on first
-    /// sight. `origin` labels parse errors.
-    pub fn get_or_parse(&self, src: &str, origin: &str) -> Result<Arc<Model>, PlanError> {
+    /// sight. `origin` labels parse errors. The second element reports
+    /// whether the lookup was a cache hit.
+    pub fn get_or_parse(&self, src: &str, origin: &str) -> Result<(Arc<Model>, bool), PlanError> {
         let key = fnv1a(src.as_bytes());
         if let Some(m) = self.lookup(key) {
             self.hits.inc();
-            return Ok(m);
+            self.hit_rate.observe(true);
+            return Ok((m, true));
         }
         self.misses.inc();
+        self.hit_rate.observe(false);
         let model = Arc::new(plan::parse_model(src, origin)?);
         self.compiles.inc();
         self.store(key, Arc::clone(&model));
-        Ok(model)
+        Ok((model, false))
     }
 
     fn lookup(&self, key: u64) -> Option<Arc<Model>> {
@@ -83,6 +134,8 @@ impl ModelCache {
         if let Ok(mut map) = self.map.lock() {
             if map.len() >= CACHE_CAP {
                 map.clear();
+                self.evictions.inc();
+                self.hit_rate.reset();
             }
             map.insert(key, model);
         }
@@ -131,24 +184,31 @@ pub struct TimingCache {
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     compiles: Arc<Counter>,
+    evictions: Arc<Counter>,
+    hit_rate: HitRate,
 }
 
 impl TimingCache {
     /// A cache whose counters live in `registry` under
     /// `serve.table_cache_hits`, `serve.table_cache_misses` and
-    /// `serve.table_compiles`.
+    /// `serve.table_compiles`, with an epoch-local
+    /// `serve.table_cache_hit_rate` gauge and the shared
+    /// `serve.cache.evictions` counter.
     pub fn new(registry: &Registry) -> Self {
         TimingCache {
             map: Mutex::new(HashMap::new()),
             hits: registry.counter("serve.table_cache_hits"),
             misses: registry.counter("serve.table_cache_misses"),
             compiles: registry.counter("serve.table_compiles"),
+            evictions: registry.counter("serve.cache.evictions"),
+            hit_rate: HitRate::new(registry.gauge("serve.table_cache_hit_rate")),
         }
     }
 
     /// The cached timing model for this (table, shape), building it on
     /// first sight. `table_hash` must be the hash of `table`'s canonical
-    /// serialization (the daemon computes it once at load).
+    /// serialization (the daemon computes it once at load). The second
+    /// element reports whether the lookup was a cache hit.
     pub fn get_or_build(
         &self,
         table_hash: u64,
@@ -156,17 +216,19 @@ impl TimingCache {
         mode: PredictionMode,
         pingpong: bool,
         options: CompileOptions,
-    ) -> Result<Arc<TimingModel>, PlanError> {
+    ) -> Result<(Arc<TimingModel>, bool), PlanError> {
         let key = TimingKey::new(table_hash, mode, pingpong, options.exact_quantiles);
         if let Some(t) = self.lookup(key) {
             self.hits.inc();
-            return Ok(t);
+            self.hit_rate.observe(true);
+            return Ok((t, true));
         }
         self.misses.inc();
+        self.hit_rate.observe(false);
         let timing = Arc::new(plan::build_timing(table, mode, pingpong, options)?);
         self.compiles.inc();
         self.store(key, Arc::clone(&timing));
-        Ok(timing)
+        Ok((timing, false))
     }
 
     fn lookup(&self, key: TimingKey) -> Option<Arc<TimingModel>> {
@@ -177,6 +239,8 @@ impl TimingCache {
         if let Ok(mut map) = self.map.lock() {
             if map.len() >= CACHE_CAP {
                 map.clear();
+                self.evictions.inc();
+                self.hit_rate.reset();
             }
             map.insert(key, timing);
         }
@@ -216,12 +280,15 @@ mod tests {
     fn model_cache_parses_each_distinct_source_once() {
         let reg = Registry::new();
         let cache = ModelCache::new(&reg);
-        let a = cache.get_or_parse(SRC, "t").unwrap();
-        let b = cache.get_or_parse(SRC, "t").unwrap();
+        let (a, hit_a) = cache.get_or_parse(SRC, "t").unwrap();
+        let (b, hit_b) = cache.get_or_parse(SRC, "t").unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(!hit_a, "first sight is a miss");
+        assert!(hit_b, "second sight is a hit");
         assert_eq!(reg.counter("serve.model_compiles").get(), 1);
         assert_eq!(reg.counter("serve.model_cache_hits").get(), 1);
         assert_eq!(reg.counter("serve.model_cache_misses").get(), 1);
+        assert_eq!(reg.gauge("serve.model_cache_hit_rate").get(), 0.5);
     }
 
     #[test]
@@ -245,13 +312,14 @@ mod tests {
         let reg = Registry::new();
         let cache = TimingCache::new(&reg);
         let opts = CompileOptions::default();
-        let a = cache
+        let (a, _) = cache
             .get_or_build(hash, &table, PredictionMode::FullDistribution, false, opts)
             .unwrap();
-        let b = cache
+        let (b, hit) = cache
             .get_or_build(hash, &table, PredictionMode::FullDistribution, false, opts)
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(hit);
         assert_eq!(reg.counter("serve.table_compiles").get(), 1);
         // Same table, different mode: a distinct compiled artifact.
         cache
@@ -259,6 +327,36 @@ mod tests {
             .unwrap();
         assert_eq!(reg.counter("serve.table_compiles").get(), 2);
         assert_eq!(reg.counter("serve.table_cache_hits").get(), 1);
+    }
+
+    #[test]
+    fn clear_on_full_resets_the_hit_rate_epoch() {
+        let reg = Registry::new();
+        let cache = ModelCache::new(&reg);
+        // Distinct sources: vary an annotation constant so every source
+        // parses but hashes differently.
+        let src_n = |n: usize| SRC.replace("size = 1024", &format!("size = {}", 1024 + n * 8));
+        for n in 0..CACHE_CAP {
+            cache.get_or_parse(&src_n(n), "t").unwrap();
+        }
+        // A warm hit inside the first epoch pushes the rate above zero.
+        cache.get_or_parse(&src_n(0), "t").unwrap();
+        assert!(reg.gauge("serve.model_cache_hit_rate").get() > 0.0);
+        assert_eq!(reg.counter("serve.cache.evictions").get(), 0);
+        // The CAP+1-th distinct insert wipes the map: the evictions
+        // counter ticks and the epoch hit-rate returns to a fresh state,
+        // not a stale ratio spanning the wipe.
+        cache.get_or_parse(&src_n(CACHE_CAP), "t").unwrap();
+        assert_eq!(reg.counter("serve.cache.evictions").get(), 1);
+        assert_eq!(reg.gauge("serve.model_cache_hit_rate").get(), 0.0);
+        // Lifetime counters keep accumulating across the wipe.
+        assert_eq!(
+            reg.counter("serve.model_cache_misses").get(),
+            CACHE_CAP as u64 + 1
+        );
+        // The next lookup starts the new epoch's ratio from scratch.
+        cache.get_or_parse(&src_n(CACHE_CAP), "t").unwrap();
+        assert_eq!(reg.gauge("serve.model_cache_hit_rate").get(), 1.0);
     }
 
     fn pevpm_bench_table() -> DistTable {

@@ -23,6 +23,11 @@
 //! * [`server`] — the daemon: serial accept loop, per-request admission
 //!   control and panic isolation, batch fan-out onto the replication
 //!   pool.
+//! * [`telemetry`] — service-grade observability: per-request spans
+//!   (validate → model → compile → eval → render) in a bounded ring,
+//!   stage latency histograms, a structured one-line-JSON request log,
+//!   and a dependency-free HTTP sidecar serving Prometheus `/metrics`,
+//!   `/healthz`, and `/spans`.
 //! * [`client`] — a small blocking client for the CLI subcommand, tests,
 //!   and smoke scripts.
 
@@ -35,9 +40,11 @@ pub mod client;
 pub mod plan;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{fnv1a, ModelCache, TimingCache};
 pub use client::Client;
 pub use plan::{EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
 pub use proto::{read_frame, write_frame, Request};
 pub use server::{ServeConfig, ServeError, Server};
+pub use telemetry::{HttpServer, RequestTimer, Telemetry};

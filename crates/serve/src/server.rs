@@ -7,7 +7,7 @@
 //! observable behaviour deterministic. Parallelism lives where it always
 //! has in this workspace: inside the replication pool. `batch` requests
 //! fan their items across the server's worker threads via
-//! [`pevpm::replicate::isolated_map_profiled`] (each item forced to
+//! [`pevpm::replicate::isolated_map_observed`] (each item forced to
 //! single-threaded evaluation, which is bitwise-equivalent by the
 //! replication layer's thread-count invariance), and Monte-Carlo
 //! `predict` requests use the pool directly.
@@ -18,21 +18,30 @@
 //! values, and a final `catch_unwind` at the request boundary converts
 //! anything that still escapes into a `"panic"`-coded response instead of
 //! a dead daemon.
+//!
+//! Every request is traced through a [`crate::telemetry::RequestTimer`]:
+//! prediction work records named stage windows (validate → model →
+//! compile → eval → render), cache outcomes, and replication shape into
+//! the span ring and the latency histograms; control ops (`ping`,
+//! `stats`, `shutdown`, unparseable frames) get lightweight ring-only
+//! spans. When [`ServeConfig::http_addr`] is set, `run` also starts the
+//! HTTP observability sidecar (`/metrics`, `/healthz`, `/spans`).
 
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use pevpm::replicate::isolated_map_profiled;
+use pevpm::replicate::isolated_map_observed;
 use pevpm_dist::{io as dist_io, DistTable};
 use pevpm_obs::{diag, Registry};
 
 use crate::cache::{fnv1a, ModelCache, TimingCache};
-use crate::plan::{self, PlanError, PredictRequest};
+use crate::plan::{self, EvalOutcome, PlanError, PredictRequest};
 use crate::proto::{self, Request};
+use crate::telemetry::{HttpServer, RequestTimer, Telemetry, DEFAULT_SPAN_CAPACITY};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -53,6 +62,17 @@ pub struct ServeConfig {
     pub max_virtual_secs: Option<f64>,
     /// Maximum accepted frame payload in bytes.
     pub max_frame: usize,
+    /// Bind address for the HTTP observability sidecar (`/metrics`,
+    /// `/healthz`, `/spans`); `None` disables it.
+    pub http_addr: Option<String>,
+    /// Write the structured one-line-JSON request log to this file
+    /// instead of stderr.
+    pub log_out: Option<PathBuf>,
+    /// Only log requests at least this slow, in milliseconds. Setting it
+    /// (even to `0.0`) enables the request log.
+    pub log_slow_ms: Option<f64>,
+    /// How many finished request spans the in-memory ring retains.
+    pub span_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +85,10 @@ impl Default for ServeConfig {
             max_steps: None,
             max_virtual_secs: None,
             max_frame: proto::MAX_FRAME,
+            http_addr: None,
+            log_out: None,
+            log_slow_ms: None,
+            span_capacity: DEFAULT_SPAN_CAPACITY,
         }
     }
 }
@@ -90,7 +114,7 @@ struct LoadedTable {
 }
 
 /// The prediction daemon: preloaded tables, content-addressed caches, a
-/// metrics registry, and a bound listener.
+/// metrics registry, request telemetry, and a bound listener.
 pub struct Server {
     cfg: ServeConfig,
     listener: TcpListener,
@@ -98,6 +122,10 @@ pub struct Server {
     models: ModelCache,
     timings: TimingCache,
     registry: Arc<Registry>,
+    telemetry: Arc<Telemetry>,
+    // Bound at construction (so the sidecar port is known before `run`),
+    // taken and spawned by `run`.
+    http: Mutex<Option<HttpServer>>,
 }
 
 impl Server {
@@ -122,6 +150,27 @@ impl Server {
             message: format!("cannot bind {}: {e}", cfg.addr),
         })?;
         let registry = Arc::new(Registry::new());
+        let telemetry = Arc::new(
+            Telemetry::new(
+                Arc::clone(&registry),
+                cfg.span_capacity,
+                cfg.log_out.as_deref(),
+                cfg.log_slow_ms,
+            )
+            .map_err(|e| ServeError {
+                message: format!("cannot open request log: {e}"),
+            })?,
+        );
+        let http = match &cfg.http_addr {
+            Some(addr) => {
+                Some(
+                    HttpServer::bind(addr, Arc::clone(&telemetry)).map_err(|e| ServeError {
+                        message: format!("cannot bind http sidecar {addr}: {e}"),
+                    })?,
+                )
+            }
+            None => None,
+        };
         let models = ModelCache::new(&registry);
         let timings = TimingCache::new(&registry);
         let mut map = HashMap::new();
@@ -149,6 +198,8 @@ impl Server {
             models,
             timings,
             registry,
+            telemetry,
+            http: Mutex::new(http),
         })
     }
 
@@ -157,14 +208,43 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The HTTP sidecar's bound address, when one is configured and not
+    /// yet consumed by `run`.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http
+            .lock()
+            .ok()
+            .and_then(|g| g.as_ref().and_then(|s| s.local_addr().ok()))
+    }
+
     /// The daemon's metrics registry.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
 
+    /// The daemon's telemetry hub (span ring, stats, sidecar routes).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
     /// Accept and serve connections until a `shutdown` request arrives.
-    /// Connections are served serially, in arrival order.
+    /// Connections are served serially, in arrival order. The HTTP
+    /// sidecar (if configured) runs on its own thread for the duration
+    /// and stops when this returns.
     pub fn run(&self) -> io::Result<()> {
+        let http = match self.http.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(_) => None,
+        };
+        let _http_handle = match http {
+            Some(server) => {
+                let addr = server.local_addr()?;
+                let handle = server.spawn()?;
+                diag::info(&format!("pevpm serve: observability http on {addr}"));
+                Some(handle)
+            }
+            None => None,
+        };
         diag::info(&format!(
             "pevpm serve: listening on {} ({} table(s) loaded)",
             self.local_addr()?,
@@ -212,17 +292,43 @@ impl Server {
         self.registry.counter("serve.requests").inc();
         let request = match proto::parse_request(frame) {
             Ok(r) => r,
-            Err((id, e)) => return (proto::err_response(&id, e.kind.code(), &e.message), false),
+            Err((id, e)) => {
+                let timer = self.telemetry.begin("invalid", false);
+                let resp = proto::err_response(&id, e.kind.code(), &e.message);
+                timer.finish(e.kind.code(), resp.len());
+                return (resp, false);
+            }
         };
         match request {
-            Request::Ping { id } => (proto::ok_response(&id, "{\"kind\":\"pong\"}"), false),
-            Request::Stats { id } => (proto::ok_response(&id, &self.registry.to_json()), false),
-            Request::Shutdown { id } => (proto::ok_response(&id, "{\"kind\":\"shutdown\"}"), true),
+            Request::Ping { id } => {
+                let timer = self.telemetry.begin("ping", false);
+                let resp = proto::ok_response(&id, "{\"kind\":\"pong\"}");
+                timer.finish("ok", resp.len());
+                (resp, false)
+            }
+            Request::Stats { id } => {
+                let timer = self.telemetry.begin("stats", false);
+                let resp = proto::ok_response(&id, &self.telemetry.stats_json());
+                timer.finish("ok", resp.len());
+                (resp, false)
+            }
+            Request::Shutdown { id } => {
+                let timer = self.telemetry.begin("shutdown", false);
+                let resp = proto::ok_response(&id, "{\"kind\":\"shutdown\"}");
+                timer.finish("ok", resp.len());
+                (resp, true)
+            }
             Request::Predict { id, table, req } => {
-                let resp = match self.predict_guarded(&table, &req, self.cfg.threads) {
-                    Ok(result) => proto::ok_response(&id, &result),
-                    Err(e) => proto::err_response(&id, e.kind_code(), &e.message()),
-                };
+                let mut timer = self.telemetry.begin("predict", true);
+                let (resp, outcome) =
+                    match self.predict_guarded(&table, &req, self.cfg.threads, &mut timer) {
+                        Ok(result) => (proto::ok_response(&id, &result), "ok"),
+                        Err(e) => (
+                            proto::err_response(&id, e.kind_code(), &e.message()),
+                            e.kind_code(),
+                        ),
+                    };
+                timer.finish(outcome, resp.len());
                 (resp, false)
             }
             Request::Batch { id, items } => (self.handle_batch(&id, &items), false),
@@ -233,44 +339,82 @@ impl Server {
         // Fan the batch across the replication pool. Each item evaluates
         // single-threaded inside its slot; replication results are
         // bitwise invariant to thread count, so this cannot change any
-        // answer — only the wall-clock.
-        let (slots, _profile) = isolated_map_profiled(items.len(), self.cfg.threads, |i| {
-            let (table, req) = &items[i];
-            let mut req = req.clone();
-            req.threads = 1;
-            self.predict_guarded(table, &req, 1)
-                .map_err(|e| (e.kind_code().to_string(), e.message()))
+        // answer — only the wall-clock. The frame itself gets an
+        // unmetered span (fanout/collect stages, failed-item count); each
+        // item gets its own metered span, so stage histogram counts still
+        // equal the number of predictions served.
+        let mut frame_timer = self.telemetry.begin("batch", false);
+        let pool_job_ms = self.registry.histogram("serve.pool.job_ms", 0.0, 250.0, 50);
+        let (slots, _profile) = frame_timer.stage("fanout", || {
+            isolated_map_observed(
+                items.len(),
+                self.cfg.threads,
+                |i| {
+                    let (table, req) = &items[i];
+                    let mut item_timer = self.telemetry.begin("batch-item", true);
+                    let mut req = req.clone();
+                    req.threads = 1;
+                    match self.predict_guarded(table, &req, 1, &mut item_timer) {
+                        Ok(result) => {
+                            item_timer.finish("ok", result.len());
+                            Ok(result)
+                        }
+                        Err(e) => {
+                            let code = e.kind_code();
+                            item_timer.finish(code, 0);
+                            Err((code.to_string(), e.message()))
+                        }
+                    }
+                },
+                |_i, secs| pool_job_ms.record(secs * 1e3),
+            )
         });
-        let rendered: Vec<Result<String, (String, String)>> = slots
-            .into_iter()
-            .map(|slot| match slot {
-                Ok(result) => Ok(result),
-                Err(pevpm::replicate::JobError::Err((code, msg))) => Err((code, msg)),
-                // isolated_map already caught the panic; report it as a
-                // per-item failure, daemon intact.
-                Err(pevpm::replicate::JobError::Panic(p)) => {
-                    self.registry.counter("serve.panics_isolated").inc();
-                    Err(("panic".to_string(), p.to_string()))
-                }
-            })
-            .collect();
-        proto::ok_response(id, &proto::render_batch(&rendered))
+        let (resp, failed) = frame_timer.stage("collect", || {
+            let rendered: Vec<Result<String, (String, String)>> = slots
+                .into_iter()
+                .map(|slot| match slot {
+                    Ok(result) => Ok(result),
+                    Err(pevpm::replicate::JobError::Err((code, msg))) => Err((code, msg)),
+                    // isolated_map already caught the panic; report it as
+                    // a per-item failure, daemon intact.
+                    Err(pevpm::replicate::JobError::Panic(p)) => {
+                        self.registry.counter("serve.panics_isolated").inc();
+                        Err(("panic".to_string(), p.to_string()))
+                    }
+                })
+                .collect();
+            let failed = rendered.iter().filter(|r| r.is_err()).count();
+            (
+                proto::ok_response(id, &proto::render_batch(&rendered)),
+                failed,
+            )
+        });
+        frame_timer.set_reps(items.len());
+        frame_timer.set_replica_failures(failed);
+        let bytes = resp.len();
+        frame_timer.finish(if failed == 0 { "ok" } else { "partial" }, bytes);
+        resp
     }
 
     /// One prediction with the request boundary hardened: any panic that
     /// escapes the plan layer and the replication pool becomes a
-    /// `RequestError::Panic`, never a daemon crash.
+    /// `RequestError::Panic`, never a daemon crash. The timer outlives
+    /// the `catch_unwind`, so even a panicking request leaves a span
+    /// (flagged `panicked`, minus the stage that blew up).
     fn predict_guarded(
         &self,
         table: &str,
         req: &PredictRequest,
         threads: usize,
+        timer: &mut RequestTimer<'_>,
     ) -> Result<String, RequestError> {
-        self.admit(req).map_err(RequestError::Plan)?;
-        match catch_unwind(AssertUnwindSafe(|| self.predict(table, req, threads))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.predict(table, req, threads, timer)
+        })) {
             Ok(r) => r.map_err(RequestError::Plan),
             Err(payload) => {
                 self.registry.counter("serve.panics_isolated").inc();
+                timer.set_panicked();
                 let what = payload
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_string())
@@ -295,46 +439,65 @@ impl Server {
     }
 
     /// The cached-plan prediction path shared by `predict` and `batch`.
+    /// Each pipeline step runs as a named timer stage.
     fn predict(
         &self,
         table_name: &str,
         req: &PredictRequest,
         threads: usize,
+        timer: &mut RequestTimer<'_>,
     ) -> Result<String, PlanError> {
-        let loaded = self.tables.get(table_name).ok_or_else(|| {
-            let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
-            names.sort_unstable();
-            PlanError::usage(format!(
-                "unknown table {table_name:?} (loaded: {})",
-                if names.is_empty() {
-                    "none".to_string()
-                } else {
-                    names.join(", ")
-                }
-            ))
+        timer.set_reps(req.reps);
+        timer.set_quorum(req.quorum.is_some());
+        let (loaded, mode) = timer.stage("validate", || {
+            self.admit(req)?;
+            let loaded = self.tables.get(table_name).ok_or_else(|| {
+                let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+                names.sort_unstable();
+                PlanError::usage(format!(
+                    "unknown table {table_name:?} (loaded: {})",
+                    if names.is_empty() {
+                        "none".to_string()
+                    } else {
+                        names.join(", ")
+                    }
+                ))
+            })?;
+            let mode = req.prediction_mode()?;
+            Ok::<_, PlanError>((loaded, mode))
         })?;
-        let model = self.models.get_or_parse(&req.model_src, "request model")?;
-        let mode = req.prediction_mode()?;
-        let timing = self.timings.get_or_build(
-            loaded.hash,
-            &loaded.table,
-            mode,
-            req.pingpong,
-            req.compile_options(),
-        )?;
-        // The server's budget caps tighten whatever the request asked
-        // for; a request axis the server also caps takes the minimum.
-        let mut req = req.clone();
-        req.threads = threads;
-        if let Some(cap) = self.cfg.max_steps {
-            req.max_steps = Some(req.max_steps.map_or(cap, |n| n.min(cap)));
+        let (model, model_hit) = timer.stage("model", || {
+            self.models.get_or_parse(&req.model_src, "request model")
+        })?;
+        timer.cache("model", model_hit);
+        let (timing, table_hit) = timer.stage("compile", || {
+            self.timings.get_or_build(
+                loaded.hash,
+                &loaded.table,
+                mode,
+                req.pingpong,
+                req.compile_options(),
+            )
+        })?;
+        timer.cache("table", table_hit);
+        let outcome = timer.stage("eval", || {
+            // The server's budget caps tighten whatever the request asked
+            // for; a request axis the server also caps takes the minimum.
+            let mut req = req.clone();
+            req.threads = threads;
+            if let Some(cap) = self.cfg.max_steps {
+                req.max_steps = Some(req.max_steps.map_or(cap, |n| n.min(cap)));
+            }
+            if let Some(cap) = self.cfg.max_virtual_secs {
+                req.max_virtual_secs = Some(req.max_virtual_secs.map_or(cap, |s| s.min(cap)));
+            }
+            let cfg = req.eval_config()?;
+            plan::evaluate_plan(&model, &cfg, &timing, req.reps)
+        })?;
+        if let EvalOutcome::Batch(mc) = &outcome {
+            timer.set_replica_failures(mc.failures.len());
         }
-        if let Some(cap) = self.cfg.max_virtual_secs {
-            req.max_virtual_secs = Some(req.max_virtual_secs.map_or(cap, |s| s.min(cap)));
-        }
-        let cfg = req.eval_config()?;
-        let outcome = plan::evaluate_plan(&model, &cfg, &timing, req.reps)?;
-        Ok(proto::render_outcome(&outcome))
+        Ok(timer.stage("render", || proto::render_outcome(&outcome)))
     }
 }
 
@@ -448,6 +611,29 @@ mod tests {
     }
 
     #[test]
+    fn predictions_leave_spans_with_every_stage_and_cache_outcome() {
+        let s = test_server();
+        s.handle_frame(&predict_frame(1));
+        s.handle_frame(&predict_frame(1));
+        let spans = s.telemetry().ring().last(10);
+        assert_eq!(spans.len(), 2);
+        let names: Vec<&str> = spans[1].stages.iter().map(|st| st.name.as_str()).collect();
+        assert_eq!(names, crate::telemetry::STAGES);
+        // First request misses both caches, second hits both.
+        assert_eq!(
+            spans[0].caches,
+            vec![("model".to_string(), false), ("table".to_string(), false)]
+        );
+        assert_eq!(
+            spans[1].caches,
+            vec![("model".to_string(), true), ("table".to_string(), true)]
+        );
+        assert_eq!(spans[1].outcome, "ok");
+        assert!(spans[1].response_bytes > 0);
+        assert_eq!(s.registry().counter("serve.requests.total").get(), 2);
+    }
+
+    #[test]
     fn batch_answers_match_one_at_a_time_answers_bitwise() {
         let s = test_server();
         let (single, _) = s.handle_frame(&predict_frame(4));
@@ -468,6 +654,23 @@ mod tests {
             assert_eq!(item.get("ok").and_then(Json::as_bool), Some(true));
             assert_eq!(item.get("result").unwrap(), sresult);
         }
+        // 1 metered predict + 3 metered batch items; the frame span is
+        // unmetered but lands in the ring.
+        assert_eq!(s.registry().counter("serve.requests.total").get(), 4);
+        let batch_span = s
+            .telemetry()
+            .ring()
+            .last(10)
+            .into_iter()
+            .find(|sp| sp.op == "batch")
+            .expect("batch frame span recorded");
+        let stage_names: Vec<&str> = batch_span
+            .stages
+            .iter()
+            .map(|st| st.name.as_str())
+            .collect();
+        assert_eq!(stage_names, ["fanout", "collect"]);
+        assert_eq!(batch_span.replica_failures, 0);
     }
 
     #[test]
@@ -496,6 +699,15 @@ mod tests {
         // The daemon still answers afterwards.
         let (r, _) = s.handle_frame("{\"op\":\"ping\",\"id\":\"alive\"}");
         assert!(json::parse(&r).unwrap().get("ok").and_then(Json::as_bool) == Some(true));
+        // Every failure above still left a span with its exit class.
+        let outcomes: Vec<String> = s
+            .telemetry()
+            .ring()
+            .last(10)
+            .into_iter()
+            .map(|sp| sp.outcome)
+            .collect();
+        assert_eq!(outcomes, ["usage", "input", "usage", "ok"]);
     }
 
     #[test]
@@ -552,6 +764,21 @@ mod tests {
             counters.get("serve.requests").and_then(Json::as_num),
             Some(3.0)
         );
+        // The span-derived extensions ride along in the same document.
+        let result = v.get("result").unwrap();
+        assert!(result
+            .get("uptime_secs")
+            .and_then(Json::as_num)
+            .is_some_and(|u| u >= 0.0));
+        assert!(result
+            .get("started")
+            .and_then(Json::as_str)
+            .is_some_and(|s| s.ends_with('Z')));
+        let validate = result
+            .get("stages")
+            .and_then(|st| st.get("validate"))
+            .unwrap();
+        assert_eq!(validate.get("count").and_then(Json::as_num), Some(2.0));
     }
 
     #[test]

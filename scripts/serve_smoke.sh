@@ -8,12 +8,16 @@
 #      and the daemon's deterministic report prefixes the one-shot
 #      `pevpm predict` output for the same request;
 #   3. the daemon batch beats 100 one-shot CLI invocations by >= 5x;
-#   4. `--metrics-out` lands the server registry on disk at shutdown.
+#   4. `--metrics-out` lands the server registry on disk at shutdown;
+#   5. the HTTP observability sidecar answers /metrics (Prometheus text
+#      whose serve_requests_total and per-stage histogram _counts equal
+#      the 101 predictions served), /healthz, and /spans, and the
+#      structured request log has one JSON line per request.
 #
 # Usage: scripts/serve_smoke.sh
 #   PEVPM=path/to/pevpm overrides the binary (default: target/release/pevpm,
-#   built on demand). Leaves serve-metrics.json in the working directory
-#   for CI artifact upload.
+#   built on demand). Leaves serve-metrics.json and serve-spans.json in the
+#   working directory for CI artifact upload.
 set -euo pipefail
 
 PEVPM=${PEVPM:-target/release/pevpm}
@@ -54,16 +58,19 @@ cat > "$WORK/model.c" <<'EOF'
 // PEVPM }
 EOF
 
-echo "serve_smoke: starting the daemon"
+echo "serve_smoke: starting the daemon (with observability sidecar)"
 "$PEVPM" serve --db "$WORK/db.dist" --port-file "$WORK/port" \
-    --metrics-out "$WORK/metrics.json" -q &
+    --metrics-out "$WORK/metrics.json" \
+    --http 127.0.0.1:0 --log-out "$WORK/requests.log" -q &
 SERVE_PID=$!
 for _ in $(seq 1 200); do
     [ -s "$WORK/port" ] && break
     sleep 0.05
 done
 [ -s "$WORK/port" ] || { echo "serve_smoke: daemon never wrote its port file"; exit 1; }
-echo "serve_smoke: daemon is up on $(cat "$WORK/port")"
+HTTP_ADDR=$(sed -n 2p "$WORK/port")
+[ -n "$HTTP_ADDR" ] || { echo "serve_smoke: port file is missing the sidecar address"; exit 1; }
+echo "serve_smoke: daemon is up on $(sed -n 1p "$WORK/port"), sidecar on $HTTP_ADDR"
 
 FLAGS=(--model "$WORK/model.c" --procs 2 --param rounds=50 --reps 4 --seed 3)
 
@@ -98,6 +105,43 @@ assert counters["serve.model_compiles"] == 1, counters
 assert counters["serve.table_compiles"] == 1, counters
 assert counters["serve.model_cache_hits"] >= 100, counters
 print("serve_smoke: 101 predictions, exactly 1 model parse and 1 table compile")
+PY
+
+echo "serve_smoke: scraping the observability sidecar"
+python3 - "$HTTP_ADDR" "$WORK/spans.json" <<'PY'
+import json, sys, urllib.request
+addr, spans_out = sys.argv[1], sys.argv[2]
+
+def get(path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as r:
+        return r.read().decode()
+
+# /metrics: 101 predictions (1 lone + 100 batch items), every pipeline
+# stage seen exactly once per prediction.
+metrics = get("/metrics")
+samples = {}
+for line in metrics.splitlines():
+    if line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    if "{" not in name:
+        samples[name] = float(value)
+assert samples["serve_requests_total"] == 101, samples.get("serve_requests_total")
+for stage in ("validate", "model", "compile", "eval", "render"):
+    key = f"serve_stage_{stage}_ms_count"
+    assert samples.get(key) == 101, f"{key} = {samples.get(key)!r}, want 101"
+assert samples["serve_request_ms_count"] == 101, samples.get("serve_request_ms_count")
+
+health = json.loads(get("/healthz"))
+assert health["status"] == "ok", health
+assert health["requests_total"] == 101, health
+
+spans = json.loads(get("/spans?last=50"))
+assert spans, "span ring is empty"
+assert all(s["stages"] for s in spans if s["op"] in ("predict", "batch-item")), spans
+open(spans_out, "w").write(json.dumps(spans, indent=1))
+print(f"serve_smoke: /metrics golden (101 requests, 5 stages x 101), "
+      f"{len(spans)} spans exported")
 PY
 
 echo "serve_smoke: timing 100 one-shot CLI predictions"
@@ -138,5 +182,17 @@ assert counters["serve.table_compiles"] == 1, counters
 print("serve_smoke: --metrics-out golden counters present")
 PY
 
+python3 - "$WORK/requests.log" <<'PY'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+# 1 lone predict + 100 batch items + 1 batch frame + stats/ping-style
+# control frames; every line must be standalone JSON with a stage list.
+predicts = [l for l in lines if l["op"] in ("predict", "batch-item")]
+assert len(predicts) == 101, f"expected 101 prediction log lines, got {len(predicts)}"
+assert all(l["outcome"] == "ok" for l in predicts), predicts[-1]
+print(f"serve_smoke: request log has {len(lines)} lines, 101 predictions, all ok")
+PY
+
 cp "$WORK/metrics.json" serve-metrics.json
+cp "$WORK/spans.json" serve-spans.json
 echo "serve_smoke: ok"
