@@ -10,9 +10,10 @@
 //! pevpm annotate FILE.c
 //! pevpm predict  --model FILE.c --db DB.dist --procs N
 //!                [--mode dist|avg|min] [--pingpong] [--param k=v ...]
-//!                [--seed S] [--reps R] [--threads T]
+//!                [--seed S] [--reps R] [--threads T] [--eval-threads E]
 //!                [--trace-out TRACE.json] [--metrics-out METRICS.json]
 //! pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
+//!                [--eval-threads E]
 //!                [--http HOST:PORT] [--log-out FILE] [--log-slow-ms MS]
 //! pevpm client   (--addr HOST:PORT | --port-file PATH) --model FILE.c --procs N
 //! pevpm trace    --nodes N [--ppn P] [--xsize X] [--iters I]
@@ -159,12 +160,18 @@ USAGE:
 
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
                  [--pingpong] [--exact-quantiles] [--param k=v ...] [--seed S]
-                 [--reps R] [--threads T] [--quorum K]
+                 [--reps R] [--threads T] [--eval-threads E] [--quorum K]
                  [--max-steps N] [--max-virtual-secs S]
                  [--trace-out TRACE.json] [--metrics-out M.json]
       Evaluate the annotated program's PEVPM model against a database.
       --reps R > 1 runs a Monte-Carlo batch of R derived-seed replications
-      (mean +/- stderr); --threads T as for bench. --quorum K lets the
+      (mean +/- stderr); --threads T as for bench. --eval-threads E >= 1
+      parallelises *inside* each evaluation: the model program is
+      SCC-decomposed into independent rank components scheduled
+      concurrently, with bitwise-identical predictions at every E (0, the
+      default, keeps the classic serial engine). --threads and
+      --eval-threads share one core budget, so R x E replica-workers never
+      oversubscribe the host. --quorum K lets the
       batch complete when at least K replications succeed: failed
       replications are listed in the report and counted in the
       mc.replica_failures metric instead of aborting. --max-steps /
@@ -182,6 +189,7 @@ USAGE:
       prediction's validate/model/compile/eval/render stage windows.
 
   pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
+                 [--eval-threads E]
                  [--max-reps N] [--max-steps N] [--max-virtual-secs S]
                  [--port-file PATH] [--metrics-out M.json]
                  [--http HOST:PORT] [--log-out FILE] [--log-slow-ms MS]
@@ -233,7 +241,7 @@ USAGE:
       --faults is given, injected-fault marks (pid 3); the prediction
       samples --db when given, else an analytic Hockney model.
 
-  pevpm fuzz     [--mode differential|metamorphic|ks|diagnostics|all]
+  pevpm fuzz     [--mode differential|metamorphic|ks|diagnostics|dag|all]
                  [--programs N] [--seed S] [--alpha A] [--reps R]
                  [--ks-runs K] [--bench-reps B] [--out DIR]
                  [--replay FILE.model]
@@ -241,7 +249,8 @@ USAGE:
       model programs per mode and gate them with the oracle hierarchy
       (bitwise interpreted/compiled/unfolded agreement, two-sample KS at
       significance A against mpisim co-simulation, size-scaling and
-      empty-fault-plan metamorphic relations, deadlock diagnostics).
+      empty-fault-plan metamorphic relations, deadlock diagnostics,
+      DAG-scheduler thread-count invariance).
       Failing programs are shrunk to minimal counterexamples; --out DIR
       writes each as a replayable .model artifact. --replay re-runs one
       artifact under its recorded oracle and reports whether it still
@@ -607,6 +616,7 @@ fn predict_request(args: &Args, src: String) -> Result<PredictRequest, CliError>
     req.seed = args.get_parsed("seed", 1)?;
     req.reps = args.get_parsed("reps", 1)?;
     req.threads = args.get_parsed("threads", 0)?;
+    req.eval_threads = args.get_parsed("eval-threads", 0)?;
     for kv in args.values("param") {
         let Some((k, v)) = kv.split_once('=') else {
             return err(format!("--param expects k=v, got {kv:?}"));
@@ -764,6 +774,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         addr: args.get("addr").unwrap_or("127.0.0.1:0").to_string(),
         tables: serve_tables(args)?,
         threads: args.get_parsed("threads", 0)?,
+        eval_threads: args.get_parsed("eval-threads", 0)?,
         max_reps: args.get_parsed("max-reps", 0)?,
         max_steps: match args.get("max-steps") {
             None => None,

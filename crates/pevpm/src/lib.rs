@@ -45,6 +45,7 @@
 //! ```
 
 pub mod annotate;
+pub mod dag;
 pub mod expr;
 pub(crate) mod lower;
 pub mod model;
@@ -55,8 +56,10 @@ pub mod trace_export;
 pub mod vm;
 
 pub use annotate::{parse_annotations, AnnotateError, JACOBI_FIG5};
+pub use dag::DagPlan;
 pub use expr::{parse as parse_expr, Env, Expr, ExprError};
 pub use model::{CollOp, Model, MsgKind, Stmt};
+pub use replicate::ThreadBudget;
 pub use scoreboard::{Handle, PairFifo, Slab};
 pub use timing::{PredictionMode, TimingModel};
 pub use vm::{

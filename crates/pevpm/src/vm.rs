@@ -59,6 +59,16 @@ pub struct EvalConfig {
     /// `0` = all available cores, `1` = serial. Results are bitwise
     /// identical at any setting (see [`crate::replicate`]).
     pub threads: usize,
+    /// Worker threads for intra-evaluation DAG scheduling
+    /// ([`crate::dag`]): `0` (the default) runs the classic serial
+    /// sweep/match engine; any value `>= 1` decomposes the program into
+    /// SCC components and evaluates independent components concurrently.
+    /// Predictions are bitwise identical at every value `>= 1`, and match
+    /// the serial engine exactly whenever the program condenses to a
+    /// single component (see DESIGN.md). When nested under [`monte_carlo`]
+    /// the effective value is capped by the shared
+    /// [`crate::replicate::ThreadBudget`].
+    pub eval_threads: usize,
     /// Metrics sink. When installed the VM records sweep/match phase
     /// counts, the contention level at every message injection, scoreboard
     /// occupancy, and per-directive loss attribution into it (see the
@@ -87,6 +97,7 @@ impl EvalConfig {
             budget: RunBudget::default(),
             quorum: None,
             threads: 0,
+            eval_threads: 0,
             metrics: None,
             record_timeline: false,
             const_fold: true,
@@ -108,6 +119,13 @@ impl EvalConfig {
     /// Builder: set the replication worker-thread count (`0` = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder: set the intra-evaluation DAG worker count (`0` = serial
+    /// engine, `>= 1` = DAG scheduler; see [`EvalConfig::eval_threads`]).
+    pub fn with_eval_threads(mut self, eval_threads: usize) -> Self {
+        self.eval_threads = eval_threads;
         self
     }
 
@@ -590,12 +608,16 @@ struct Vm<'m> {
     timeline: Option<Vec<Vec<TimelineSpan>>>,
 }
 
-/// Evaluate a model: the public entry point of the PEVPM engine.
-pub fn evaluate(
-    model: &Model,
-    cfg: &EvalConfig,
-    timing: &TimingModel,
-) -> Result<Prediction, PevpmError> {
+/// The shared evaluation prologue: parameters merged and checked, the
+/// directive tree lowered, and the base variable environment built. The
+/// serial engine runs it once per evaluation; the DAG scheduler
+/// ([`crate::dag`]) runs it once and shares it across component runs.
+pub(crate) struct EvalSetup<'m> {
+    pub(crate) lowered: crate::lower::LoweredModel<'m>,
+    pub(crate) base: Vec<Option<f64>>,
+}
+
+pub(crate) fn prepare<'m>(model: &'m Model, cfg: &EvalConfig) -> Result<EvalSetup<'m>, PevpmError> {
     assert!(cfg.nprocs > 0, "need at least one process");
     let mut merged = model.params.clone();
     for (k, v) in &cfg.params {
@@ -616,10 +638,79 @@ pub fn evaluate(
     // Standard variables override same-named parameters, as in
     // `standard_env`.
     base[lowered.numprocs as usize] = Some(cfg.nprocs as f64);
+    Ok(EvalSetup { lowered, base })
+}
 
+/// A message crossing a component boundary in the DAG schedule: posted by
+/// a finished upstream component, consumed by a downstream one. Its
+/// arrival time is already fixed (sampled in the sender's component), so
+/// downstream injection is deterministic and consumes no RNG. Rendezvous
+/// sends can never cross a boundary — their sender/receiver edge pair puts
+/// both ends in the same SCC — so external messages are always eager.
+#[derive(Debug, Clone)]
+pub(crate) struct ExternalMsg {
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) size: f64,
+    pub(crate) kind: MsgKind,
+    pub(crate) arrival: f64,
+}
+
+/// Raw per-run results of the sweep/match engine, before race
+/// deduplication and report materialisation. The serial path feeds one of
+/// these straight to [`finish_prediction`]; the DAG scheduler merges one
+/// per component first.
+pub(crate) struct VmOutcome {
+    pub(crate) clocks: Vec<f64>,
+    pub(crate) compute_time: Vec<f64>,
+    pub(crate) send_time: Vec<f64>,
+    pub(crate) blocked_time: Vec<f64>,
+    pub(crate) messages: u64,
+    pub(crate) steps: u64,
+    pub(crate) sb_peak: usize,
+    pub(crate) races: Vec<(usize, String)>,
+    pub(crate) loss: Vec<f64>,
+    pub(crate) loss_touched: Vec<bool>,
+    pub(crate) timeline: Option<Vec<Vec<TimelineSpan>>>,
+    /// In-flight messages addressed to inactive processes at run end, in
+    /// deterministic (dest, sender, FIFO) order. Always empty for
+    /// unrestricted runs.
+    pub(crate) external: Vec<ExternalMsg>,
+}
+
+/// Run the sweep/match engine over the prepared program. `active` limits
+/// the run to a subset of processes (inactive ones start finished and are
+/// never swept); `injected` preloads cross-component messages with fixed
+/// arrivals. The unrestricted call — `active: None`, no injections, seed
+/// `cfg.seed` — is bit-for-bit the historical serial evaluation.
+pub(crate) fn run_lowered(
+    setup: &EvalSetup<'_>,
+    cfg: &EvalConfig,
+    timing: &TimingModel,
+    seed: u64,
+    active: Option<&[bool]>,
+    injected: &[ExternalMsg],
+) -> Result<VmOutcome, PevpmError> {
+    let lowered = &setup.lowered;
     let procs: Vec<Proc> = (0..cfg.nprocs)
         .map(|p| {
-            let mut env = base.clone();
+            if active.is_some_and(|a| !a[p]) {
+                // Inactive processes never run: no environment clone, no
+                // stack — they just read as finished with zero clocks.
+                return Proc {
+                    env: Vec::new(),
+                    clock: 0.0,
+                    stack: Vec::new(),
+                    blocked: None,
+                    finished: true,
+                    compute_time: 0.0,
+                    send_time: 0.0,
+                    blocked_time: 0.0,
+                    coll_count: 0,
+                    handles: Vec::new(),
+                };
+            }
+            let mut env = setup.base.clone();
             env[lowered.procnum as usize] = Some(p as f64);
             Proc {
                 env,
@@ -648,7 +739,7 @@ pub fn evaluate(
         procs,
         scoreboard: Slab::new(),
         fifo: PairFifo::new(cfg.nprocs),
-        rng: SmallRng::seed_from_u64(cfg.seed),
+        rng: SmallRng::seed_from_u64(seed),
         steps: 0,
         started: std::time::Instant::now(),
         sb_peak: 0,
@@ -661,22 +752,97 @@ pub fn evaluate(
             .record_timeline
             .then(|| (0..cfg.nprocs).map(|_| Vec::new()).collect()),
     };
+    // Preload cross-component messages. Their sequence numbers come from
+    // the sender-side counters, which are otherwise unused here: the
+    // senders are inactive in this run.
+    for m in injected {
+        let seq = vm.fifo.next_send_seq(m.from, m.to);
+        let h = vm.scoreboard.insert(SbMsg {
+            from: m.from,
+            size: m.size,
+            kind: m.kind,
+            depart: m.arrival,
+            u: 0.0,
+            arrival: Some(m.arrival),
+            sender_blocked: false,
+        });
+        vm.fifo.enqueue(m.from, m.to, seq, h);
+    }
+    vm.sb_peak = vm.scoreboard.len();
     vm.run()?;
 
+    // Collect sends left addressed to inactive processes: they cross the
+    // component boundary. Arrivals not yet sampled get one at the final
+    // scoreboard population, replaying the stored draw — the same rule
+    // `match_phase` would apply on its next pass.
+    let external = match active {
+        None => Vec::new(),
+        Some(active) => {
+            let contention = vm.scoreboard.len() as f64;
+            let mut out = Vec::new();
+            for (from, to, h) in vm.fifo.in_flight() {
+                if active[to] {
+                    continue;
+                }
+                let m = vm.scoreboard.get(h).expect("in-flight handles are live");
+                let arrival = match m.arrival {
+                    Some(a) => a,
+                    None => {
+                        let op = op_for_kind(m.kind);
+                        let dt = Vm::quantile_with_fallback(timing, op, m.size, contention, m.u)
+                            .ok_or(PevpmError::MissingTiming { op, size: m.size })?;
+                        m.depart + dt.max(0.0)
+                    }
+                };
+                out.push(ExternalMsg {
+                    from,
+                    to,
+                    size: m.size,
+                    kind: m.kind,
+                    arrival,
+                });
+            }
+            out
+        }
+    };
+
+    Ok(VmOutcome {
+        clocks: vm.procs.iter().map(|p| p.clock).collect(),
+        compute_time: vm.procs.iter().map(|p| p.compute_time).collect(),
+        send_time: vm.procs.iter().map(|p| p.send_time).collect(),
+        blocked_time: vm.procs.iter().map(|p| p.blocked_time).collect(),
+        messages: vm.messages,
+        steps: vm.steps,
+        sb_peak: vm.sb_peak,
+        races: vm.races,
+        loss: vm.loss,
+        loss_touched: vm.loss_touched,
+        timeline: vm.timeline.take(),
+        external,
+    })
+}
+
+/// The shared evaluation epilogue: stable race reporting, the label-keyed
+/// loss report, end-of-run registry aggregates, and the [`Prediction`].
+pub(crate) fn finish_prediction(
+    setup: &EvalSetup<'_>,
+    cfg: &EvalConfig,
+    mut outcome: VmOutcome,
+) -> Prediction {
     // Stable race reporting: sorted by (proc, description) and
     // deduplicated, so the vector is identical however replications are
     // scheduled and repeated candidates collapse to one report.
-    vm.races.sort();
-    vm.races.dedup();
+    outcome.races.sort();
+    outcome.races.dedup();
 
-    let finish_times: Vec<f64> = vm.procs.iter().map(|p| p.clock).collect();
+    let finish_times = outcome.clocks;
     let makespan = finish_times.iter().cloned().fold(0.0, f64::max);
 
     // Materialise the label-keyed loss report from the slot accumulators.
     let mut loss_by_label: HashMap<String, f64> = HashMap::new();
-    for (i, name) in lowered.labels.list().iter().enumerate() {
-        if vm.loss_touched[i] {
-            loss_by_label.insert(name.clone(), vm.loss[i]);
+    for (i, name) in setup.lowered.labels.list().iter().enumerate() {
+        if outcome.loss_touched[i] {
+            loss_by_label.insert(name.clone(), outcome.loss[i]);
         }
     }
 
@@ -684,31 +850,49 @@ pub fn evaluate(
     // keeps the per-event hot path down to the phase/histogram hooks).
     if let Some(registry) = &cfg.metrics {
         registry.counter("vm.evaluations").inc();
-        registry.counter("vm.steps").add(vm.steps);
-        registry.counter("vm.messages").add(vm.messages);
-        registry.counter("vm.races").add(vm.races.len() as u64);
+        registry.counter("vm.steps").add(outcome.steps);
+        registry.counter("vm.messages").add(outcome.messages);
+        registry.counter("vm.races").add(outcome.races.len() as u64);
         registry
             .histogram("vm.sb_peak", 0.0, CONTENTION_BINS as f64, CONTENTION_BINS)
-            .record(vm.sb_peak as f64);
+            .record(outcome.sb_peak as f64);
         for (label, loss) in &loss_by_label {
             registry.gauge(&format!("vm.loss_secs.{label}")).add(*loss);
         }
     }
 
-    Ok(Prediction {
+    Prediction {
         nprocs: cfg.nprocs,
         makespan,
-        compute_time: vm.procs.iter().map(|p| p.compute_time).collect(),
-        send_time: vm.procs.iter().map(|p| p.send_time).collect(),
-        blocked_time: vm.procs.iter().map(|p| p.blocked_time).collect(),
+        compute_time: outcome.compute_time,
+        send_time: outcome.send_time,
+        blocked_time: outcome.blocked_time,
         finish_times,
-        messages: vm.messages,
+        messages: outcome.messages,
         loss_by_label,
-        races: vm.races,
-        steps: vm.steps,
-        sb_peak: vm.sb_peak,
-        timeline: vm.timeline.take().unwrap_or_default(),
-    })
+        races: outcome.races,
+        steps: outcome.steps,
+        sb_peak: outcome.sb_peak,
+        timeline: outcome.timeline.unwrap_or_default(),
+    }
+}
+
+/// Evaluate a model: the public entry point of the PEVPM engine.
+///
+/// With [`EvalConfig::eval_threads`] `== 0` (the default) this is the
+/// classic serial sweep/match evaluation; `>= 1` routes through the
+/// SCC/DAG component scheduler in [`crate::dag`].
+pub fn evaluate(
+    model: &Model,
+    cfg: &EvalConfig,
+    timing: &TimingModel,
+) -> Result<Prediction, PevpmError> {
+    if cfg.eval_threads > 0 {
+        return crate::dag::evaluate_dag(model, cfg, timing);
+    }
+    let setup = prepare(model, cfg)?;
+    let outcome = run_lowered(&setup, cfg, timing, cfg.seed, None, &[])?;
+    Ok(finish_prediction(&setup, cfg, outcome))
 }
 
 /// Aggregate of several independent Monte-Carlo evaluations.
@@ -796,10 +980,19 @@ pub fn monte_carlo(
     // Each replication runs panic-isolated: a worker that panics (bad
     // timing table, hostile model) is recorded as a failure, not a
     // process abort.
+    // Nested parallelism shares one worker budget: the outer pool keeps
+    // the requested `threads` width and each replica's DAG scheduler gets
+    // the per-job share, so `threads × eval_threads` never oversubscribes
+    // the host. The cap is result-neutral — DAG predictions are bitwise
+    // identical at any eval-thread count >= 1.
+    let budget = crate::replicate::ThreadBudget::from_host();
+    let outer = budget.outer(cfg.threads, replications);
+    let inner_eval = budget.inner(outer, cfg.eval_threads);
     let (outcomes, profile) =
         crate::replicate::isolated_map_profiled(replications, cfg.threads, |i| {
             let mut c = cfg.clone();
             c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
+            c.eval_threads = inner_eval;
             evaluate(model, &c, timing)
         });
     let wall_secs = start.elapsed().as_secs_f64();

@@ -216,6 +216,9 @@ pub fn parse_predict_body(v: &Json) -> Result<(String, PredictRequest), PlanErro
     if let Some(threads) = usize_field(v, "threads")? {
         req.threads = threads;
     }
+    if let Some(eval_threads) = usize_field(v, "eval_threads")? {
+        req.eval_threads = eval_threads;
+    }
     req.quorum = usize_field(v, "quorum")?;
     req.max_steps = u64_field(v, "max_steps")?;
     req.max_virtual_secs = match v.get("max_virtual_secs") {

@@ -53,6 +53,13 @@ pub struct ServeConfig {
     /// Worker threads for batch fan-out and Monte-Carlo replication
     /// (0 = all cores).
     pub threads: usize,
+    /// Default intra-evaluation DAG worker count applied to requests that
+    /// don't set `eval_threads` themselves (0 = classic serial engine).
+    /// Shares the host core budget with `threads`: batch items and
+    /// replications get the per-job share, so the fan-out × eval product
+    /// never oversubscribes. Predictions are bitwise identical at every
+    /// value >= 1.
+    pub eval_threads: usize,
     /// Admission control: refuse requests asking for more replications
     /// than this (0 = unlimited).
     pub max_reps: usize,
@@ -81,6 +88,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             tables: Vec::new(),
             threads: 0,
+            eval_threads: 0,
             max_reps: 0,
             max_steps: None,
             max_virtual_secs: None,
@@ -345,6 +353,11 @@ impl Server {
         // equal the number of predictions served.
         let mut frame_timer = self.telemetry.begin("batch", false);
         let pool_job_ms = self.registry.histogram("serve.pool.job_ms", 0.0, 250.0, 50);
+        // Each concurrent item gets the per-slot share of the host budget
+        // for its DAG scheduler — `pool width × eval-threads` stays within
+        // the budget, and capping cannot change an answer.
+        let budget = pevpm::ThreadBudget::from_host();
+        let pool_width = budget.outer(self.cfg.threads, items.len());
         let (slots, _profile) = frame_timer.stage("fanout", || {
             isolated_map_observed(
                 items.len(),
@@ -354,6 +367,12 @@ impl Server {
                     let mut item_timer = self.telemetry.begin("batch-item", true);
                     let mut req = req.clone();
                     req.threads = 1;
+                    let requested_eval = if req.eval_threads == 0 {
+                        self.cfg.eval_threads
+                    } else {
+                        req.eval_threads
+                    };
+                    req.eval_threads = budget.inner(pool_width, requested_eval);
                     match self.predict_guarded(table, &req, 1, &mut item_timer) {
                         Ok(result) => {
                             item_timer.finish("ok", result.len());
@@ -485,13 +504,22 @@ impl Server {
             // for; a request axis the server also caps takes the minimum.
             let mut req = req.clone();
             req.threads = threads;
+            // The daemon default applies when the request doesn't choose;
+            // replication nesting is budgeted inside `monte_carlo`.
+            if req.eval_threads == 0 {
+                req.eval_threads = self.cfg.eval_threads;
+            }
             if let Some(cap) = self.cfg.max_steps {
                 req.max_steps = Some(req.max_steps.map_or(cap, |n| n.min(cap)));
             }
             if let Some(cap) = self.cfg.max_virtual_secs {
                 req.max_virtual_secs = Some(req.max_virtual_secs.map_or(cap, |s| s.min(cap)));
             }
-            let cfg = req.eval_config()?;
+            // Engine and DAG-scheduler metrics (vm.*, dag.*) land in the
+            // daemon registry, surfacing through `stats` and /metrics.
+            let cfg = req
+                .eval_config()?
+                .with_metrics(Arc::clone(self.telemetry.registry()));
             plan::evaluate_plan(&model, &cfg, &timing, req.reps)
         })?;
         if let EvalOutcome::Batch(mc) = &outcome {

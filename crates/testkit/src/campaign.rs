@@ -8,7 +8,8 @@
 
 use crate::gen::{generate, GenConfig};
 use crate::oracle::{
-    check_diagnostics, check_differential, check_fault_identity, check_ks, check_scaling, Failure,
+    check_dag, check_diagnostics, check_differential, check_fault_identity, check_ks,
+    check_scaling, Failure,
 };
 use crate::program::TestProgram;
 use crate::report::Counterexample;
@@ -29,6 +30,9 @@ pub enum Mode {
     Ks,
     /// Deadlock/budget diagnostics on maybe-deadlocking programs.
     Diagnostics,
+    /// Bitwise thread-count invariance of the DAG scheduler (and serial
+    /// agreement when the decomposition stands down).
+    Dag,
 }
 
 impl Mode {
@@ -39,6 +43,7 @@ impl Mode {
             Mode::Metamorphic => "metamorphic",
             Mode::Ks => "ks",
             Mode::Diagnostics => "diagnostics",
+            Mode::Dag => "dag",
         }
     }
 
@@ -49,16 +54,18 @@ impl Mode {
             "metamorphic" => Some(Mode::Metamorphic),
             "ks" => Some(Mode::Ks),
             "diagnostics" => Some(Mode::Diagnostics),
+            "dag" => Some(Mode::Dag),
             _ => None,
         }
     }
 
     /// All modes, in reporting order.
-    pub const ALL: [Mode; 4] = [
+    pub const ALL: [Mode; 5] = [
         Mode::Differential,
         Mode::Metamorphic,
         Mode::Ks,
         Mode::Diagnostics,
+        Mode::Dag,
     ];
 }
 
@@ -163,6 +170,13 @@ fn mode_setup(mode: Mode, seed: u64, bench_reps: usize) -> (GenConfig, DistTable
             let table = synthetic_table(&with_doubles(&cfg.sizes), seed);
             (cfg, table)
         }
+        Mode::Dag => {
+            // The differential corpus: deadlock-free, wildcard-heavy,
+            // multi-process — the right stressor for component matching.
+            let cfg = GenConfig::differential();
+            let table = synthetic_table(&with_doubles(&cfg.sizes), seed);
+            (cfg, table)
+        }
     }
 }
 
@@ -217,6 +231,7 @@ fn check(
             .map(|_| ())
         }
         Mode::Diagnostics => check_diagnostics(prog, table, seed),
+        Mode::Dag => check_dag(prog, table, seed, cfg.replications),
     }
 }
 
@@ -287,6 +302,17 @@ mod tests {
         assert!(res.passed(), "{:?}", res.failures);
         assert_eq!(res.programs, 5);
         assert!(res.directives > 0);
+    }
+
+    #[test]
+    fn small_dag_campaign_passes() {
+        let cfg = CampaignConfig {
+            mode: Mode::Dag,
+            programs: 5,
+            ..CampaignConfig::default()
+        };
+        let res = run_campaign(&cfg);
+        assert!(res.passed(), "{:?}", res.failures);
     }
 
     #[test]
