@@ -37,9 +37,51 @@ use pevpm_mpibench::{run_p2p_reps, Direction, P2pConfig, PairPattern};
 use pevpm_mpisim::{ClusterConfig, FaultPlan, Placement, ProtocolConfig, WorldConfig};
 use pevpm_obs::{diag, Registry, Verbosity};
 use pevpm_serve::plan::{self, EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
-use pevpm_serve::{Client, ServeConfig, Server, Telemetry};
+use pevpm_serve::{chaos, Client, ClientConfig, ServeConfig, Server, Telemetry};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// SIGTERM handling for `pevpm serve`: a minimal async-signal-safe
+/// handler (one atomic store — the poll-based equivalent of the classic
+/// self-pipe trick) that flips a flag the daemon's accept loop polls, so
+/// `kill <pid>` triggers the same graceful drain as a `shutdown` frame.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::AtomicBool;
+
+    /// Set by the handler; polled by [`pevpm_serve::Server::run_until`].
+    pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        // Only an atomic store: the full async-signal-safe budget.
+        FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Install the handler. Best effort: on failure the daemon still
+    /// runs, it just won't drain gracefully on SIGTERM.
+    pub fn install() {
+        extern "C" {
+            // POSIX `signal(2)`; the CLI avoids a libc crate dependency.
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never set on non-unix platforms (no SIGTERM to handle).
+    pub static FLAG: AtomicBool = AtomicBool::new(false);
+
+    /// No-op off unix.
+    pub fn install() {}
+}
 
 /// Exit code for usage errors (bad flags, unknown commands/machines).
 pub const EXIT_USAGE: i32 = 2;
@@ -189,7 +231,9 @@ USAGE:
       prediction's validate/model/compile/eval/render stage windows.
 
   pevpm serve    --db [NAME=]DB.dist ... [--addr HOST:PORT] [--threads T]
-                 [--eval-threads E]
+                 [--eval-threads E] [--conns C] [--io-timeout-ms MS]
+                 [--inflight N] [--queue N] [--shed-retry-ms MS]
+                 [--drain-ms MS]
                  [--max-reps N] [--max-steps N] [--max-virtual-secs S]
                  [--port-file PATH] [--metrics-out M.json]
                  [--http HOST:PORT] [--log-out FILE] [--log-slow-ms MS]
@@ -217,9 +261,25 @@ USAGE:
       stderr, skipping requests faster than MS milliseconds. --span-cap
       bounds the in-memory span ring (default 1024). Telemetry is
       observational only: responses are byte-identical with it on or off.
+      --conns C serves up to C connections concurrently (default 4)
+      through a fixed worker pool; responses stay bitwise identical at
+      every C, and conns x reps-pool x eval-threads shares one host core
+      budget. --io-timeout-ms puts read/write deadlines on every
+      protocol socket (default 30000; 0 disables): an idle peer is
+      quietly evicted, a peer stalled mid-frame gets a structured
+      \"timeout\" error and a closed socket. --inflight N bounds
+      concurrently-evaluating predictions (default: the pool width) with
+      a --queue N wait queue (default: same as --inflight); past both
+      the daemon sheds with an \"overloaded\" response carrying a
+      retry_after_ms hint (--shed-retry-ms, default 100) instead of
+      queueing unboundedly. On `shutdown` or SIGTERM the daemon drains
+      gracefully: stops accepting, lets in-flight requests finish for up
+      to --drain-ms (default 2000), flushes telemetry, then exits.
 
   pevpm client   (--addr HOST:PORT | --port-file PATH) [--stats] [--ping]
                  [--shutdown] [--batch K] [--table NAME]
+                 [--connect-timeout-ms MS] [--retries N]
+                 [--retry-backoff-ms MS] [--chaos MODE|all]
                  [predict flags: --model FILE.c --procs N ...]
       Send requests to a running daemon and print one response JSON line
       each. With --model, sends the same prediction `predict` would run
@@ -229,6 +289,18 @@ USAGE:
       per-stage p50/p95/p99 latencies, rendered as a table on stderr
       (stdout stays one machine-parseable JSON line); --shutdown asks the
       daemon to exit. Operations run in order: predict, stats, shutdown.
+      Transport policy: --connect-timeout-ms (default 5000) bounds each
+      connect attempt so a blackholed address fails fast (exit 3);
+      --retries N (default 3) retries connect-refused/timed-out attempts
+      and \"overloaded\" responses with deterministic jittered
+      exponential backoff from --retry-backoff-ms (default 50). Failures
+      after a request frame was sent are never retried: the daemon may
+      have executed the request, and resending would break exactly-once
+      batch accounting. --chaos runs fault injection against the daemon
+      (modes: truncated-prefix, stalled-write, half-open, oversized,
+      garbage, slow-read, or all), printing one report JSON line per
+      mode and exiting 3 if the daemon stops answering; pass the
+      daemon's --io-timeout-ms so stall modes wait just long enough.
 
   pevpm trace    --nodes N [--ppn P] [--machine perseus|gigabit|lowlatency|ideal]
                  [--xsize X] [--iters I] [--serial-ms MS] [--seed S]
@@ -802,6 +874,20 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         },
         span_capacity: args
             .get_parsed("span-cap", pevpm_serve::telemetry::DEFAULT_SPAN_CAPACITY)?,
+        conns: args.get_parsed("conns", 0)?,
+        io_timeout_ms: args
+            .get_parsed("io-timeout-ms", pevpm_serve::server::DEFAULT_IO_TIMEOUT_MS)?,
+        inflight: args.get_parsed("inflight", 0)?,
+        queue: match args.get("queue") {
+            None => None,
+            Some(s) => Some(
+                s.parse()
+                    .map_err(|_| CliError::usage("--queue must be an integer"))?,
+            ),
+        },
+        shed_retry_ms: args
+            .get_parsed("shed-retry-ms", pevpm_serve::server::DEFAULT_SHED_RETRY_MS)?,
+        drain_ms: args.get_parsed("drain-ms", pevpm_serve::server::DEFAULT_DRAIN_MS)?,
     };
     let server = Server::bind(cfg).map_err(|e| CliError::input(e.to_string()))?;
     let addr = server
@@ -816,8 +902,10 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         }
         write_text(path, &contents)?;
     }
+    // SIGTERM lands as a graceful drain, same as a `shutdown` frame.
+    sigterm::install();
     server
-        .run()
+        .run_until(&sigterm::FLAG)
         .map_err(|e| CliError::input(format!("serve loop failed: {e}")))?;
     if let Some(path) = args.get("metrics-out") {
         write_text(path, &server.registry().to_json())?;
@@ -849,15 +937,30 @@ fn client_addr(args: &Args) -> Result<String, CliError> {
 fn cmd_client(args: &Args) -> Result<String, CliError> {
     let addr = client_addr(args)?;
     if args.get("model").is_none()
+        && args.get("chaos").is_none()
         && !args.has("stats")
         && !args.has("ping")
         && !args.has("shutdown")
     {
         return err(
-            "client needs something to send: --model FILE.c, --stats, --ping or --shutdown",
+            "client needs something to send: --model FILE.c, --chaos MODE, \
+             --stats, --ping or --shutdown",
         );
     }
-    let mut client = Client::connect(&addr)
+    let client_cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(args.get_parsed(
+            "connect-timeout-ms",
+            pevpm_serve::client::DEFAULT_CONNECT_TIMEOUT_MS,
+        )?)),
+        retries: args.get_parsed("retries", ClientConfig::default().retries)?,
+        backoff_base_ms: args
+            .get_parsed("retry-backoff-ms", ClientConfig::default().backoff_base_ms)?,
+        ..ClientConfig::default()
+    };
+    if let Some(mode_arg) = args.get("chaos") {
+        return run_chaos(&addr, mode_arg, args);
+    }
+    let mut client = Client::connect_with(&addr, &client_cfg)
         .map_err(|e| CliError::input(format!("cannot connect {addr}: {e}")))?;
     let io_err = |e: std::io::Error| CliError::input(format!("request to {addr} failed: {e}"));
     let mut out = String::new();
@@ -892,6 +995,52 @@ fn cmd_client(args: &Args) -> Result<String, CliError> {
         out.push('\n');
     }
     Ok(out)
+}
+
+/// `pevpm client --chaos MODE|all`: run fault-injection modes against a
+/// live daemon and print one report JSON line per mode. Exits non-zero
+/// if any mode kills (or wedges) the daemon.
+fn run_chaos(addr: &str, mode_arg: &str, args: &Args) -> Result<String, CliError> {
+    let hint_ms: u64 =
+        args.get_parsed("io-timeout-ms", pevpm_serve::server::DEFAULT_IO_TIMEOUT_MS)?;
+    let modes: Vec<chaos::ChaosMode> = if mode_arg == "all" {
+        chaos::ChaosMode::ALL.to_vec()
+    } else {
+        let mode = chaos::ChaosMode::parse(mode_arg).ok_or_else(|| {
+            CliError::usage(format!(
+                "--chaos expects all or one of: {}",
+                chaos::ChaosMode::ALL.map(|m| m.name()).join(", ")
+            ))
+        })?;
+        vec![mode]
+    };
+    let mut out = String::new();
+    let mut casualties = Vec::new();
+    for mode in modes {
+        let report = chaos::run_mode(addr, mode, hint_ms).map_err(|e| {
+            CliError::input(format!("chaos mode {} failed to run: {e}", mode.name()))
+        })?;
+        diag::info(&format!(
+            "chaos {}: outcome={} survived={} ({:.1} ms)",
+            report.mode.name(),
+            report.outcome,
+            report.survived,
+            report.elapsed_ms
+        ));
+        if !report.survived {
+            casualties.push(report.mode.name());
+        }
+        out.push_str(&report.to_json());
+        out.push('\n');
+    }
+    if casualties.is_empty() {
+        Ok(out)
+    } else {
+        Err(CliError::input(format!(
+            "daemon did not survive chaos mode(s): {}",
+            casualties.join(", ")
+        )))
+    }
 }
 
 /// Render the span-derived per-stage latency percentiles from a `stats`
@@ -1720,6 +1869,38 @@ mod tests {
                 .unwrap_err()
                 .code,
             EXIT_INPUT
+        );
+        assert_eq!(
+            run_cmd("client --addr 127.0.0.1:9 --chaos frobnicate")
+                .unwrap_err()
+                .code,
+            EXIT_USAGE,
+            "unknown chaos modes are rejected before connecting"
+        );
+        assert_eq!(
+            run_cmd("serve --db x.dist --queue nope").unwrap_err().code,
+            EXIT_USAGE
+        );
+    }
+
+    /// Satellite: a blackholed (or refused) address must fail fast with
+    /// the exit-code contract's input error, not hang the CLI.
+    #[test]
+    fn client_connect_timeout_fails_fast() {
+        let t0 = std::time::Instant::now();
+        // TEST-NET-1 (RFC 5737): never routable. Depending on the
+        // sandbox this is a fast unreachable error or a timeout; both
+        // must surface as EXIT_INPUT well inside the flag's budget.
+        let e = run_cmd("client --addr 192.0.2.1:9 --ping --connect-timeout-ms 300 --retries 0")
+            .unwrap_err();
+        assert_eq!(e.code, EXIT_INPUT, "{e}");
+        // Whether the environment refuses, blackholes, or proxies the
+        // address, the failure names it and maps to the input class.
+        assert!(e.message.contains("192.0.2.1"), "{e}");
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "connect took {:?} despite a 300 ms budget",
+            t0.elapsed()
         );
     }
 

@@ -20,22 +20,30 @@
 //!   [`pevpm_obs::Registry`].
 //! * [`proto`] — the wire protocol: length-prefixed JSON frames over
 //!   TCP, deterministic response payloads.
-//! * [`server`] — the daemon: serial accept loop, per-request admission
-//!   control and panic isolation, batch fan-out onto the replication
-//!   pool.
+//! * [`server`] — the daemon: a bounded concurrent connection layer
+//!   (accept loop + fixed worker pool) with per-connection I/O
+//!   deadlines, in-flight admission control with load shedding,
+//!   graceful drain, per-request panic isolation, and batch fan-out
+//!   onto the replication pool.
 //! * [`telemetry`] — service-grade observability: per-request spans
 //!   (validate → model → compile → eval → render) in a bounded ring,
 //!   stage latency histograms, a structured one-line-JSON request log,
 //!   and a dependency-free HTTP sidecar serving Prometheus `/metrics`,
 //!   `/healthz`, and `/spans`.
 //! * [`client`] — a small blocking client for the CLI subcommand, tests,
-//!   and smoke scripts.
+//!   and smoke scripts, with connect timeouts and bounded retries on
+//!   the two unambiguous failures (connect-refused and `"overloaded"`).
+//! * [`chaos`] — the fault-injection harness behind `client --chaos`:
+//!   misbehaving peers (truncated prefixes, mid-frame stalls, half-open
+//!   disconnects, oversized frames, garbage bytes, slow readers) that
+//!   verify the daemon survives every mode without a panic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod plan;
 pub mod proto;
@@ -43,7 +51,8 @@ pub mod server;
 pub mod telemetry;
 
 pub use cache::{fnv1a, ModelCache, TimingCache};
-pub use client::Client;
+pub use chaos::{ChaosMode, ChaosReport};
+pub use client::{Client, ClientConfig};
 pub use plan::{EvalOutcome, PlanError, PlanErrorKind, PredictRequest};
 pub use proto::{read_frame, write_frame, Request};
 pub use server::{ServeConfig, ServeError, Server};

@@ -12,7 +12,11 @@
 //! `{"id", "ok": false, "code", "error"}` on failure, with `code` one of
 //! `usage` / `input` / `budget` / `panic` — mirroring the CLI's exit-code
 //! contract so a daemon refusal means exactly what the one-shot exit
-//! status would.
+//! status would — plus two transport-level codes: `overloaded` (the
+//! request was shed before any evaluation; the response carries a
+//! `retry_after_ms` hint and resending is always safe) and `timeout`
+//! (the peer stalled mid-frame past the server's I/O deadline and the
+//! connection is being closed).
 //!
 //! Result payloads contain only *deterministic* fields (no wall-clock
 //! timings), so the byte-for-byte response to a request is independent of
@@ -45,13 +49,61 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
 /// Read one frame. Returns `Ok(None)` on clean EOF at a frame boundary;
 /// EOF mid-frame, an oversized length, or invalid UTF-8 are errors.
 pub fn read_frame<R: Read>(r: &mut R, max: usize) -> io::Result<Option<String>> {
+    match read_frame_deadline(r, max)? {
+        FrameRead::Frame(f) => Ok(Some(f)),
+        FrameRead::CleanEof => Ok(None),
+        // Without a read deadline on the stream this variant cannot
+        // occur; with one, an idle boundary timeout surfaces as an error
+        // for callers of the legacy single-outcome API.
+        FrameRead::IdleTimeout => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "read timed out waiting for a frame",
+        )),
+    }
+}
+
+/// Classified outcome of reading one frame from a stream that may carry
+/// a read deadline. The distinction the server's robustness contract
+/// needs: a peer that closes *between* frames is clean, one that stalls
+/// *between* frames is merely idle (evictable without an error), and one
+/// that stalls or disappears *inside* a frame is a protocol failure.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// One complete frame payload.
+    Frame(String),
+    /// The peer closed the stream at a frame boundary.
+    CleanEof,
+    /// The read deadline expired before any byte of the next frame
+    /// arrived: the connection is idle, not broken.
+    IdleTimeout,
+}
+
+/// Whether an I/O error is a read/write deadline expiry. Linux surfaces
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry as `EAGAIN` (`WouldBlock`), other
+/// platforms as `TimedOut`; both mean the same thing here.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one frame, classifying boundary conditions (see [`FrameRead`]).
+/// Errors are structured for the caller's diagnostics:
+///
+/// * EOF or a deadline expiry *inside* a frame (prefix or body) is an
+///   error (`UnexpectedEof` / `TimedOut`) whose message names where the
+///   stream stalled;
+/// * an oversized declared length or invalid UTF-8 is `InvalidData`,
+///   refused before the payload is allocated or decoded.
+pub fn read_frame_deadline<R: Read>(r: &mut R, max: usize) -> io::Result<FrameRead> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0usize;
     while filled < len_buf.len() {
         match r.read(&mut len_buf[filled..]) {
             // EOF before any prefix byte is a clean end-of-stream; EOF
             // inside the prefix is a truncated frame.
-            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) if filled == 0 => return Ok(FrameRead::CleanEof),
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -60,6 +112,13 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> io::Result<Option<String>> 
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) && filled == 0 => return Ok(FrameRead::IdleTimeout),
+            Err(e) if is_timeout(&e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("peer stalled inside a frame length prefix ({filled}/4 bytes)"),
+                ))
+            }
             Err(e) => return Err(e),
         }
     }
@@ -71,8 +130,27 @@ pub fn read_frame<R: Read>(r: &mut R, max: usize) -> io::Result<Option<String>> 
         ));
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map(Some).map_err(|e| {
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended inside a frame body ({got}/{len} bytes)"),
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("peer stalled inside a frame body ({got}/{len} bytes)"),
+                ))
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(buf).map(FrameRead::Frame).map_err(|e| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame is not UTF-8: {e}"),
@@ -292,12 +370,25 @@ pub fn ok_response(id: &str, result_json: &str) -> String {
     )
 }
 
-/// A failure response: `code` is `usage`/`input`/`budget`/`panic`.
+/// A failure response: `code` is
+/// `usage`/`input`/`budget`/`panic`/`timeout`.
 pub fn err_response(id: &str, code: &str, message: &str) -> String {
     format!(
         "{{\"id\":\"{}\",\"ok\":false,\"code\":\"{code}\",\"error\":\"{}\"}}",
         escape(id),
         escape(message)
+    )
+}
+
+/// A load-shedding refusal: the request was *not* evaluated (no cache,
+/// budget, or replication state was touched), so resending after
+/// `retry_after_ms` is always safe — including for `batch` frames.
+pub fn overloaded_response(id: &str, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"ok\":false,\"code\":\"overloaded\",\
+         \"error\":\"server at capacity; retry after the hint\",\
+         \"retry_after_ms\":{retry_after_ms}}}",
+        escape(id)
     )
 }
 
@@ -387,6 +478,63 @@ mod tests {
         let mut evil = Vec::new();
         evil.extend_from_slice(&u32::MAX.to_be_bytes());
         assert!(read_frame(&mut &evil[..], MAX_FRAME).is_err());
+    }
+
+    /// A reader that yields its script of chunks, then reports a read
+    /// deadline expiry (`WouldBlock`, as Linux `SO_RCVTIMEO` does).
+    struct StallingReader {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.chunks.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            let chunk = self.chunks.remove(0);
+            buf[..chunk.len()].copy_from_slice(&chunk);
+            Ok(chunk.len())
+        }
+    }
+
+    #[test]
+    fn deadline_reads_classify_idle_vs_mid_frame_stalls() {
+        // No bytes at all: idle, not an error.
+        let mut idle = StallingReader { chunks: vec![] };
+        assert!(matches!(
+            read_frame_deadline(&mut idle, MAX_FRAME).unwrap(),
+            FrameRead::IdleTimeout
+        ));
+        // Two of four prefix bytes, then stall: a timeout error naming
+        // the prefix.
+        let mut prefix = StallingReader {
+            chunks: vec![vec![0, 0]],
+        };
+        let e = read_frame_deadline(&mut prefix, MAX_FRAME).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        assert!(e.to_string().contains("length prefix"), "{e}");
+        // A full prefix and a partial body, then stall: a timeout error
+        // naming the body progress.
+        let mut body = StallingReader {
+            chunks: vec![8u32.to_be_bytes().to_vec(), b"abc".to_vec()],
+        };
+        let e = read_frame_deadline(&mut body, MAX_FRAME).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        assert!(e.to_string().contains("3/8"), "{e}");
+        // The legacy API surfaces idle timeouts as TimedOut errors.
+        let mut idle = StallingReader { chunks: vec![] };
+        let e = read_frame(&mut idle, MAX_FRAME).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn overloaded_responses_carry_the_retry_hint() {
+        let r = overloaded_response("r7", 125);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("r7"));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_num), Some(125.0));
     }
 
     #[test]

@@ -2,22 +2,42 @@
 //!
 //! The daemon binds a TCP listener, loads every `--db` table at startup
 //! (hashing its canonical serialization once for cache keying), and then
-//! answers framed requests from a *serial* accept loop — connections are
-//! handled one at a time, in arrival order, which keeps the daemon's
-//! observable behaviour deterministic. Parallelism lives where it always
-//! has in this workspace: inside the replication pool. `batch` requests
-//! fan their items across the server's worker threads via
-//! [`pevpm::replicate::isolated_map_observed`] (each item forced to
-//! single-threaded evaluation, which is bitwise-equivalent by the
-//! replication layer's thread-count invariance), and Monte-Carlo
-//! `predict` requests use the pool directly.
+//! answers framed requests from a bounded *concurrent* connection layer:
+//! a non-blocking accept loop hands accepted streams to a fixed pool of
+//! `--conns` worker threads through a bounded queue. Response payloads
+//! stay deterministic anyway — every answer depends only on the request
+//! (plus the preloaded tables), never on arrival order or neighbouring
+//! connections — so concurrency changes wall-clock, not bytes.
+//! Evaluation parallelism composes through [`pevpm::ThreadBudget`]:
+//! each connection's replication pool gets the per-connection share of
+//! the host, so `conns × reps-pool × eval-threads` never oversubscribes.
 //!
-//! Crash containment is layered: the plan layer turns invalid tables and
-//! models into structured errors before any panicking constructor runs,
-//! the replication layer converts worker panics into `ReplicaPanic`
-//! values, and a final `catch_unwind` at the request boundary converts
-//! anything that still escapes into a `"panic"`-coded response instead of
-//! a dead daemon.
+//! Degraded operation is deliberate and observable, in four layers:
+//!
+//! * **deadlines** — every protocol socket carries `--io-timeout-ms`
+//!   read/write deadlines. A peer that stalls *between* frames is idle
+//!   and quietly evicted (`serve.conn.idle_closed`); one that stalls
+//!   *mid-frame* (slowloris) gets a structured `"timeout"` error frame
+//!   and a closed socket (`serve.conn.io_timeouts`), distinguished from
+//!   clean EOF (`serve.conn.clean_eof`) and truncated frames
+//!   (`serve.conn.truncated`);
+//! * **admission control** — a semaphore bounds in-flight predictions
+//!   (`--inflight`) with a bounded wait queue (`--queue`); past the
+//!   high-water mark the server sheds with an `"overloaded"` response
+//!   carrying a `retry_after_ms` hint instead of queueing unboundedly
+//!   (`serve.inflight` gauge, `serve.shed.total` counter,
+//!   `serve.queue_wait_ms` histogram);
+//! * **graceful drain** — a `shutdown` request (or an external stop flag,
+//!   e.g. SIGTERM via [`Server::run_until`]) stops accepting, lets
+//!   in-flight requests finish under the `--drain-ms` deadline, then
+//!   force-closes stragglers; the drain outcome lands in the span ring
+//!   and the structured request log, and telemetry sinks are flushed;
+//! * **crash containment** — the plan layer turns invalid tables and
+//!   models into structured errors before any panicking constructor
+//!   runs, the replication layer converts worker panics into
+//!   `ReplicaPanic` values, and a final `catch_unwind` at the request
+//!   boundary converts anything that still escapes into a
+//!   `"panic"`-coded response instead of a dead daemon.
 //!
 //! Every request is traced through a [`crate::telemetry::RequestTimer`]:
 //! prediction work records named stage windows (validate → model →
@@ -27,12 +47,14 @@
 //! spans. When [`ServeConfig::http_addr`] is set, `run` also starts the
 //! HTTP observability sidecar (`/metrics`, `/healthz`, `/spans`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use pevpm::replicate::isolated_map_observed;
 use pevpm_dist::{io as dist_io, DistTable};
@@ -40,8 +62,40 @@ use pevpm_obs::{diag, Registry};
 
 use crate::cache::{fnv1a, ModelCache, TimingCache};
 use crate::plan::{self, EvalOutcome, PlanError, PredictRequest};
-use crate::proto::{self, Request};
+use crate::proto::{self, FrameRead, Request};
 use crate::telemetry::{HttpServer, RequestTimer, Telemetry, DEFAULT_SPAN_CAPACITY};
+
+/// Worker-pool width when [`ServeConfig::conns`] is 0.
+pub const DEFAULT_CONNS: usize = 4;
+
+/// Default per-connection read/write deadline in milliseconds.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 30_000;
+
+/// Default graceful-drain deadline in milliseconds.
+pub const DEFAULT_DRAIN_MS: u64 = 2_000;
+
+/// Default `retry_after_ms` hint on `"overloaded"` responses.
+pub const DEFAULT_SHED_RETRY_MS: u64 = 100;
+
+/// How long the non-blocking accept loop sleeps between polls (also
+/// bounds shutdown-signal latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Accept-error backoff bounds: persistent failures (EMFILE and friends)
+/// back off exponentially inside this window instead of spinning hot.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Pending-connection queue slots per worker; past this the accept loop
+/// sheds fresh connections with an unsolicited `"overloaded"` frame.
+const PENDING_PER_WORKER: usize = 8;
+
+/// Lock a mutex, recovering the data on poisoning (a poisoned guard here
+/// only means another worker panicked mid-update of a counter-like
+/// state; the daemon must keep serving).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -80,6 +134,25 @@ pub struct ServeConfig {
     pub log_slow_ms: Option<f64>,
     /// How many finished request spans the in-memory ring retains.
     pub span_capacity: usize,
+    /// Connection worker-pool width (0 = [`DEFAULT_CONNS`]). Responses
+    /// are bitwise identical at every value — concurrency changes
+    /// wall-clock, never payloads.
+    pub conns: usize,
+    /// Per-connection read/write deadline in milliseconds (0 = none).
+    /// Bounds both idle occupancy of a worker slot and mid-frame stalls.
+    pub io_timeout_ms: u64,
+    /// Maximum in-flight predictions (`predict`/`batch` frames being
+    /// evaluated); 0 = the worker-pool width.
+    pub inflight: usize,
+    /// Bounded wait-queue slots past `inflight` before the server sheds
+    /// with an `"overloaded"` response; `None` = same as `inflight`.
+    pub queue: Option<usize>,
+    /// The `retry_after_ms` hint carried on shed responses.
+    pub shed_retry_ms: u64,
+    /// Graceful-drain deadline in milliseconds: how long `shutdown` (or
+    /// an external stop) waits for in-flight requests before
+    /// force-closing their connections.
+    pub drain_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -97,6 +170,232 @@ impl Default for ServeConfig {
             log_out: None,
             log_slow_ms: None,
             span_capacity: DEFAULT_SPAN_CAPACITY,
+            conns: 0,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            inflight: 0,
+            queue: None,
+            shed_retry_ms: DEFAULT_SHED_RETRY_MS,
+            drain_ms: DEFAULT_DRAIN_MS,
+        }
+    }
+}
+
+/// The in-flight prediction semaphore: `max_inflight` permits plus a
+/// bounded wait queue of `max_queue` slots. A request arriving past both
+/// is shed immediately — the daemon never queues unboundedly.
+struct Gate {
+    max_inflight: usize,
+    max_queue: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    inflight: usize,
+    waiting: usize,
+}
+
+/// Outcome of asking the gate for a permit.
+enum Admission {
+    /// Admitted after waiting this long in the queue.
+    Admitted { waited: Duration },
+    /// Both the in-flight permits and the wait queue are full.
+    Shed,
+}
+
+impl Gate {
+    fn new(max_inflight: usize, max_queue: usize) -> Gate {
+        Gate {
+            max_inflight: max_inflight.max(1),
+            max_queue,
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Admission {
+        let t0 = Instant::now();
+        let mut st = lock_recover(&self.state);
+        if st.inflight < self.max_inflight {
+            st.inflight += 1;
+            return Admission::Admitted {
+                waited: Duration::ZERO,
+            };
+        }
+        if st.waiting >= self.max_queue {
+            return Admission::Shed;
+        }
+        st.waiting += 1;
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            if st.inflight < self.max_inflight {
+                st.waiting -= 1;
+                st.inflight += 1;
+                return Admission::Admitted {
+                    waited: t0.elapsed(),
+                };
+            }
+        }
+    }
+
+    fn release(&self) {
+        let mut st = lock_recover(&self.state);
+        st.inflight = st.inflight.saturating_sub(1);
+        drop(st);
+        self.cv.notify_one();
+    }
+
+    fn inflight(&self) -> usize {
+        lock_recover(&self.state).inflight
+    }
+}
+
+/// RAII permit: releases the gate slot and refreshes the `serve.inflight`
+/// gauge even if the request path unwinds.
+struct GatePermit<'a> {
+    gate: &'a Gate,
+    registry: &'a Registry,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+        self.registry
+            .gauge("serve.inflight")
+            .set(self.gate.inflight() as f64);
+    }
+}
+
+/// The bounded queue of accepted-but-unserved connections between the
+/// accept loop and the worker pool.
+struct ConnQueue {
+    cap: usize,
+    state: Mutex<(VecDeque<TcpStream>, bool)>,
+    cv: Condvar,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> ConnQueue {
+        ConnQueue {
+            cap: cap.max(1),
+            state: Mutex::new((VecDeque::new(), false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a stream; gives it back when the queue is full or closed
+    /// so the caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut st = lock_recover(&self.state);
+        if st.1 || st.0.len() >= self.cap {
+            return Err(stream);
+        }
+        st.0.push_back(stream);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` once the queue is closed and empty.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut st = lock_recover(&self.state);
+        loop {
+            if let Some(s) = st.0.pop_front() {
+                return Some(s);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: wakes all workers and drops pending streams.
+    fn close(&self) {
+        let mut st = lock_recover(&self.state);
+        st.1 = true;
+        st.0.clear();
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// Live-connection registry: a socket handle plus a busy flag per served
+/// connection, so drain can wake idle readers immediately and force-close
+/// stragglers after the deadline.
+struct ConnTracker {
+    next: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    busy: Arc<AtomicBool>,
+}
+
+impl ConnTracker {
+    fn new() -> ConnTracker {
+        ConnTracker {
+            next: AtomicU64::new(1),
+            conns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn register(&self, stream: &TcpStream) -> io::Result<(u64, Arc<AtomicBool>)> {
+        let clone = stream.try_clone()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let busy = Arc::new(AtomicBool::new(false));
+        lock_recover(&self.conns).insert(
+            id,
+            ConnEntry {
+                stream: clone,
+                busy: Arc::clone(&busy),
+            },
+        );
+        Ok((id, busy))
+    }
+
+    fn unregister(&self, id: u64) {
+        lock_recover(&self.conns).remove(&id);
+    }
+
+    fn any_busy(&self) -> bool {
+        lock_recover(&self.conns)
+            .values()
+            .any(|c| c.busy.load(Ordering::SeqCst))
+    }
+
+    /// Shut down tracked sockets — all of them, or only those whose
+    /// worker is parked in a read (not mid-request). Returns how many.
+    fn shutdown_conns(&self, include_busy: bool) -> usize {
+        let conns = lock_recover(&self.conns);
+        let mut n = 0;
+        for c in conns.values() {
+            if include_busy || !c.busy.load(Ordering::SeqCst) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// Per-`run` shared state between the accept loop and the worker pool.
+struct RunShared {
+    stop: AtomicBool,
+    draining: AtomicBool,
+    queue: ConnQueue,
+    tracker: ConnTracker,
+}
+
+impl RunShared {
+    fn new(pending_cap: usize) -> RunShared {
+        RunShared {
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            queue: ConnQueue::new(pending_cap),
+            tracker: ConnTracker::new(),
         }
     }
 }
@@ -134,6 +433,12 @@ pub struct Server {
     // Bound at construction (so the sidecar port is known before `run`),
     // taken and spawned by `run`.
     http: Mutex<Option<HttpServer>>,
+    gate: Gate,
+    // Resolved worker-pool width and the per-request replication-pool
+    // share of the host budget (`conns × request_threads` ≤ host cores).
+    conns: usize,
+    request_threads: usize,
+    io_timeout: Option<Duration>,
 }
 
 impl Server {
@@ -199,6 +504,35 @@ impl Server {
                 });
             }
         }
+        let conns = if cfg.conns == 0 {
+            DEFAULT_CONNS
+        } else {
+            cfg.conns
+        };
+        // Each concurrently-served request gets the per-connection share
+        // of the host budget for its replication pool, so the product
+        // `conns × reps-pool × eval-threads` never oversubscribes. With a
+        // single worker the serial behavior (and `cfg.threads`) is kept
+        // verbatim.
+        let request_threads = if conns <= 1 {
+            cfg.threads
+        } else {
+            let budget = pevpm::ThreadBudget::new(cfg.threads);
+            budget.inner(conns, budget.total()).max(1)
+        };
+        let max_inflight = if cfg.inflight == 0 {
+            conns
+        } else {
+            cfg.inflight
+        };
+        let max_queue = cfg.queue.unwrap_or(max_inflight);
+        let io_timeout = if cfg.io_timeout_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(cfg.io_timeout_ms))
+        };
+        let gate = Gate::new(max_inflight, max_queue);
+        registry.gauge("serve.inflight").set(0.0);
         Ok(Server {
             cfg,
             listener,
@@ -208,6 +542,10 @@ impl Server {
             registry,
             telemetry,
             http: Mutex::new(http),
+            gate,
+            conns,
+            request_threads,
+            io_timeout,
         })
     }
 
@@ -236,13 +574,33 @@ impl Server {
     }
 
     /// Accept and serve connections until a `shutdown` request arrives.
-    /// Connections are served serially, in arrival order. The HTTP
+    /// Equivalent to [`Server::run_until`] with a flag nobody sets.
+    pub fn run(&self) -> io::Result<()> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// Accept and serve connections until a `shutdown` request arrives
+    /// or `external_stop` becomes true (e.g. from a SIGTERM handler).
+    /// Accepted streams are fanned to a fixed pool of `--conns` worker
+    /// threads; on stop the daemon drains gracefully (in-flight requests
+    /// finish under `--drain-ms`, then stragglers are force-closed) and
+    /// flushes telemetry sinks. The HTTP
     /// sidecar (if configured) runs on its own thread for the duration
     /// and stops when this returns.
-    pub fn run(&self) -> io::Result<()> {
+    pub fn run_until(&self, external_stop: &AtomicBool) -> io::Result<()> {
         let http = match self.http.lock() {
             Ok(mut guard) => guard.take(),
-            Err(_) => None,
+            Err(_) => {
+                // A poisoned lock only means some earlier reader panicked
+                // while holding it; losing the observability plane
+                // silently would be worse than serving with it.
+                self.registry.counter("serve.sidecar_lost").inc();
+                diag::warn(
+                    "pevpm serve: http sidecar state poisoned; \
+                     observability sidecar NOT started",
+                );
+                None
+            }
         };
         let _http_handle = match http {
             Some(server) => {
@@ -254,44 +612,195 @@ impl Server {
             None => None,
         };
         diag::info(&format!(
-            "pevpm serve: listening on {} ({} table(s) loaded)",
+            "pevpm serve: listening on {} ({} table(s) loaded, {} conn worker(s))",
             self.local_addr()?,
-            self.tables.len()
+            self.tables.len(),
+            self.conns,
         ));
-        for conn in self.listener.incoming() {
-            let stream = match conn {
-                Ok(s) => s,
-                Err(e) => {
-                    diag::info(&format!("pevpm serve: accept failed: {e}"));
-                    continue;
-                }
-            };
-            match self.serve_connection(stream) {
-                Ok(true) => break,
-                Ok(false) => {}
-                Err(e) => diag::info(&format!("pevpm serve: connection error: {e}")),
+        // Non-blocking accept + poll: the same loop notices queue
+        // pressure, shutdown frames, and the external stop flag within
+        // ACCEPT_POLL without platform-specific readiness APIs.
+        self.listener.set_nonblocking(true)?;
+        let shared = RunShared::new(self.conns * PENDING_PER_WORKER);
+        std::thread::scope(|scope| {
+            for i in 0..self.conns {
+                let shared = &shared;
+                std::thread::Builder::new()
+                    .name(format!("serve-conn-{i}"))
+                    .spawn_scoped(scope, move || self.worker_loop(shared))
+                    .map_err(|e| {
+                        io::Error::other(format!("cannot spawn connection worker: {e}"))
+                    })?;
             }
-        }
-        diag::info("pevpm serve: shutting down");
+            let mut backoff = ACCEPT_BACKOFF_MIN;
+            while !shared.stop.load(Ordering::SeqCst) && !external_stop.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        backoff = ACCEPT_BACKOFF_MIN;
+                        self.registry.counter("serve.conn.accepted").inc();
+                        if let Err(stream) = shared.queue.push(stream) {
+                            self.shed_connection(stream);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        // Persistent accept failures (EMFILE and friends)
+                        // must not spin hot: bounded exponential backoff.
+                        self.registry.counter("serve.accept_errors").inc();
+                        diag::warn(&format!(
+                            "pevpm serve: accept failed: {e} (backing off {backoff:?})"
+                        ));
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
+                }
+            }
+            self.drain(&shared);
+            Ok::<(), io::Error>(())
+        })?;
+        self.telemetry.flush();
+        diag::info("pevpm serve: shut down");
         Ok(())
     }
 
-    /// Serve one connection until the peer closes it. Returns `Ok(true)`
-    /// when the peer asked the daemon to shut down.
-    fn serve_connection(&self, stream: TcpStream) -> io::Result<bool> {
+    /// Stop accepting, then give in-flight requests `--drain-ms` to
+    /// finish before force-closing their sockets. Idle readers are woken
+    /// (socket shutdown) immediately so their workers can exit.
+    fn drain(&self, shared: &RunShared) {
+        let timer = self.telemetry.begin("drain", false);
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.queue.close();
+        shared.tracker.shutdown_conns(false);
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms);
+        while shared.tracker.any_busy() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let outcome = if shared.tracker.any_busy() {
+            self.registry.counter("serve.drain.forced").inc();
+            "forced"
+        } else {
+            "clean"
+        };
+        let closed = shared.tracker.shutdown_conns(true);
+        diag::info(&format!(
+            "pevpm serve: drain {outcome} within {} ms ({closed} connection(s) closed)",
+            self.cfg.drain_ms
+        ));
+        timer.finish(outcome, 0);
+    }
+
+    /// The accept loop's overflow path: tell the peer the daemon is at
+    /// capacity (best effort, short write deadline) and close.
+    fn shed_connection(&self, stream: TcpStream) {
+        self.registry.counter("serve.conn.shed").inc();
+        self.registry.counter("serve.shed.total").inc();
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+        let mut writer = BufWriter::new(stream);
+        let _ = proto::write_frame(
+            &mut writer,
+            &proto::overloaded_response("", self.cfg.shed_retry_ms),
+        );
+    }
+
+    /// One worker: pop accepted streams and serve each until it closes.
+    fn worker_loop(&self, shared: &RunShared) {
+        while let Some(stream) = shared.queue.pop() {
+            match self.serve_connection(stream, shared) {
+                Ok(true) => {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    self.registry.counter("serve.conn.errors").inc();
+                    diag::warn(&format!("pevpm serve: connection error: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Serve one connection until the peer closes it, it times out, or
+    /// drain begins. Returns `Ok(true)` when the peer asked the daemon to
+    /// shut down. Disconnect classes are kept distinct: clean EOF between
+    /// frames (`serve.conn.clean_eof`), idle deadline between frames
+    /// (`serve.conn.idle_closed`), mid-frame stall (`serve.conn.io_timeouts`
+    /// plus a `"timeout"` error frame), mid-frame EOF
+    /// (`serve.conn.truncated`), and malformed framing
+    /// (`serve.conn.bad_frames` plus a `"usage"` error frame).
+    fn serve_connection(&self, stream: TcpStream, shared: &RunShared) -> io::Result<bool> {
         // Responses are written whole; Nagle + delayed ACK would stall
         // multi-segment response frames ~40 ms.
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        let (conn_id, busy) = shared.tracker.register(&stream)?;
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
-        while let Some(frame) = proto::read_frame(&mut reader, self.cfg.max_frame)? {
-            let (response, shutdown) = self.handle_frame(&frame);
-            proto::write_frame(&mut writer, &response)?;
-            if shutdown {
-                return Ok(true);
+        let result = loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                break Ok(false);
             }
-        }
-        Ok(false)
+            match proto::read_frame_deadline(&mut reader, self.cfg.max_frame) {
+                Ok(FrameRead::Frame(frame)) => {
+                    busy.store(true, Ordering::SeqCst);
+                    // handle_frame already isolates prediction panics; a
+                    // second net here keeps even a control-path panic from
+                    // taking the worker thread (and its slot) down.
+                    let handled = catch_unwind(AssertUnwindSafe(|| self.handle_frame(&frame)));
+                    busy.store(false, Ordering::SeqCst);
+                    let (response, shutdown) = handled.unwrap_or_else(|_| {
+                        self.registry.counter("serve.panics_isolated").inc();
+                        (
+                            proto::err_response("", "panic", "request handler panicked"),
+                            false,
+                        )
+                    });
+                    proto::write_frame(&mut writer, &response)?;
+                    if shutdown {
+                        break Ok(true);
+                    }
+                }
+                Ok(FrameRead::CleanEof) => {
+                    self.registry.counter("serve.conn.clean_eof").inc();
+                    break Ok(false);
+                }
+                Ok(FrameRead::IdleTimeout) => {
+                    // Quiet eviction: the peer simply went silent between
+                    // frames; closing reclaims the worker slot.
+                    self.registry.counter("serve.conn.idle_closed").inc();
+                    break Ok(false);
+                }
+                Err(e) if proto::is_timeout(&e) => {
+                    // Slowloris: stalled *inside* a frame. Tell the peer
+                    // (best effort — it may be gone) and close.
+                    self.registry.counter("serve.conn.io_timeouts").inc();
+                    let _ = proto::write_frame(
+                        &mut writer,
+                        &proto::err_response("", "timeout", &e.to_string()),
+                    );
+                    break Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    self.registry.counter("serve.conn.truncated").inc();
+                    break Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    // Oversized frame or invalid UTF-8: structured usage
+                    // error, then close (framing is unrecoverable).
+                    self.registry.counter("serve.conn.bad_frames").inc();
+                    let _ = proto::write_frame(
+                        &mut writer,
+                        &proto::err_response("", "usage", &e.to_string()),
+                    );
+                    break Ok(false);
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        shared.tracker.unregister(conn_id);
+        result
     }
 
     /// Answer one request frame. The second element is true when the
@@ -327,9 +836,13 @@ impl Server {
                 (resp, true)
             }
             Request::Predict { id, table, req } => {
+                let permit = match self.admit_inflight(&id) {
+                    Ok(p) => p,
+                    Err(shed) => return (shed, false),
+                };
                 let mut timer = self.telemetry.begin("predict", true);
                 let (resp, outcome) =
-                    match self.predict_guarded(&table, &req, self.cfg.threads, &mut timer) {
+                    match self.predict_guarded(&table, &req, self.request_threads, &mut timer) {
                         Ok(result) => (proto::ok_response(&id, &result), "ok"),
                         Err(e) => (
                             proto::err_response(&id, e.kind_code(), &e.message()),
@@ -337,9 +850,49 @@ impl Server {
                         ),
                     };
                 timer.finish(outcome, resp.len());
+                drop(permit);
                 (resp, false)
             }
-            Request::Batch { id, items } => (self.handle_batch(&id, &items), false),
+            Request::Batch { id, items } => {
+                let permit = match self.admit_inflight(&id) {
+                    Ok(p) => p,
+                    Err(shed) => return (shed, false),
+                };
+                let resp = self.handle_batch(&id, &items);
+                drop(permit);
+                (resp, false)
+            }
+        }
+    }
+
+    /// Take an in-flight permit for a prediction-carrying frame, or shed.
+    /// Control ops (`ping`, `stats`, `shutdown`) bypass the gate — they
+    /// must stay answerable while the daemon is saturated. On admission
+    /// the queue wait lands in `serve.queue_wait_ms` and the
+    /// `serve.inflight` gauge is refreshed; on shed the frame gets an
+    /// `"overloaded"` response carrying the `retry_after_ms` hint, which
+    /// is always safe for the peer to act on (the request never started).
+    fn admit_inflight(&self, id: &str) -> Result<GatePermit<'_>, String> {
+        match self.gate.acquire() {
+            Admission::Admitted { waited } => {
+                self.registry
+                    .histogram("serve.queue_wait_ms", 0.0, 250.0, 50)
+                    .record(waited.as_secs_f64() * 1e3);
+                self.registry
+                    .gauge("serve.inflight")
+                    .set(self.gate.inflight() as f64);
+                Ok(GatePermit {
+                    gate: &self.gate,
+                    registry: &self.registry,
+                })
+            }
+            Admission::Shed => {
+                self.registry.counter("serve.shed.total").inc();
+                let timer = self.telemetry.begin("shed", false);
+                let resp = proto::overloaded_response(id, self.cfg.shed_retry_ms);
+                timer.finish("overloaded", resp.len());
+                Err(resp)
+            }
         }
     }
 
@@ -357,11 +910,11 @@ impl Server {
         // for its DAG scheduler — `pool width × eval-threads` stays within
         // the budget, and capping cannot change an answer.
         let budget = pevpm::ThreadBudget::from_host();
-        let pool_width = budget.outer(self.cfg.threads, items.len());
+        let pool_width = budget.outer(self.request_threads, items.len());
         let (slots, _profile) = frame_timer.stage("fanout", || {
             isolated_map_observed(
                 items.len(),
-                self.cfg.threads,
+                self.request_threads,
                 |i| {
                     let (table, req) = &items[i];
                     let mut item_timer = self.telemetry.begin("batch-item", true);
@@ -815,5 +1368,108 @@ mod tests {
         let (r, stop) = s.handle_frame("{\"op\":\"shutdown\",\"id\":\"z\"}");
         assert!(stop);
         assert!(r.contains("\"ok\":true"));
+    }
+
+    #[test]
+    fn gate_admits_queues_and_sheds_in_order() {
+        let gate = Gate::new(1, 1);
+        assert!(matches!(gate.acquire(), Admission::Admitted { .. }));
+        assert_eq!(gate.inflight(), 1);
+        // Second acquirer queues; third (queue full) would shed. Exercise
+        // the queue with a real waiter to prove release wakes it.
+        let waited = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| match gate.acquire() {
+                Admission::Admitted { waited } => waited,
+                Admission::Shed => panic!("queued acquirer was shed"),
+            });
+            // Wait until the waiter is parked in the queue.
+            while lock_recover(&gate.state).waiting == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            assert!(matches!(gate.acquire(), Admission::Shed));
+            gate.release();
+            waiter.join().unwrap()
+        });
+        assert!(waited >= Duration::ZERO);
+        assert_eq!(gate.inflight(), 1);
+        gate.release();
+        assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn saturated_gate_sheds_predictions_with_a_retry_hint() {
+        let cfg = ServeConfig {
+            inflight: 1,
+            queue: Some(0),
+            shed_retry_ms: 70,
+            ..ServeConfig::default()
+        };
+        let s = Server::with_tables(cfg, vec![("default".to_string(), test_table())]).unwrap();
+        // Occupy the single permit directly; with zero queue slots the
+        // next prediction frame must shed rather than wait.
+        assert!(matches!(s.gate.acquire(), Admission::Admitted { .. }));
+        let (r, stop) = s.handle_frame(&predict_frame(1));
+        assert!(!stop);
+        let v = json::parse(&r).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{r}");
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_num), Some(70.0));
+        assert_eq!(s.registry().counter("serve.shed.total").get(), 1);
+        // Control ops bypass the gate even while saturated.
+        let (r, _) = s.handle_frame("{\"op\":\"ping\",\"id\":\"alive\"}");
+        assert!(r.contains("\"ok\":true"));
+        // Releasing the permit restores service.
+        s.gate.release();
+        let (r, _) = s.handle_frame(&predict_frame(1));
+        assert!(r.contains("\"ok\":true"), "{r}");
+        // The shed left an "overloaded" span in the ring.
+        assert!(s
+            .telemetry()
+            .ring()
+            .last(10)
+            .iter()
+            .any(|sp| sp.op == "shed" && sp.outcome == "overloaded"));
+    }
+
+    #[test]
+    fn conn_queue_bounds_and_closes() {
+        let q = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c1).is_ok());
+        // Full: the stream comes back for shedding.
+        assert!(q.push(c2).is_err());
+        assert!(q.pop().is_some());
+        q.close();
+        assert!(q.pop().is_none());
+        let c3 = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c3).is_err(), "closed queue accepts nothing");
+    }
+
+    #[test]
+    fn thread_budget_composes_with_the_conn_pool() {
+        let cfg = ServeConfig {
+            conns: 4,
+            threads: 8,
+            ..ServeConfig::default()
+        };
+        let s = Server::with_tables(cfg, vec![("default".to_string(), test_table())]).unwrap();
+        assert_eq!(s.conns, 4);
+        // 4 workers × request_threads ≤ the 8-core budget.
+        assert!(s.request_threads >= 1);
+        assert!(s.conns * s.request_threads <= 8);
+        // Serial config keeps the classic behavior verbatim.
+        let serial = Server::with_tables(
+            ServeConfig {
+                conns: 1,
+                threads: 8,
+                ..ServeConfig::default()
+            },
+            vec![("default".to_string(), test_table())],
+        )
+        .unwrap();
+        assert_eq!(serial.request_threads, 8);
     }
 }

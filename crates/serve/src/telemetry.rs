@@ -220,6 +220,24 @@ impl Telemetry {
         out
     }
 
+    /// Flush the structured-log sink (used by graceful drain so the last
+    /// request lines — including the drain span itself — hit disk before
+    /// the process exits). Stderr is unbuffered; file sinks sync.
+    pub fn flush(&self) {
+        let Some(sink) = &self.log else {
+            return;
+        };
+        if let Ok(mut sink) = sink.lock() {
+            let result = match &mut *sink {
+                LogSink::Stderr => io::stderr().lock().flush(),
+                LogSink::File(f) => f.flush().and_then(|()| f.sync_all()),
+            };
+            if let Err(e) = result {
+                diag::warn(&format!("request log flush failed: {e}"));
+            }
+        }
+    }
+
     /// The `/healthz` JSON body.
     pub fn healthz_json(&self) -> String {
         format!(

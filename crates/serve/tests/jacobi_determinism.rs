@@ -120,8 +120,13 @@ fn oneshot_mean(table: &DistTable, req: &PredictRequest) -> f64 {
 }
 
 fn start_daemon(table: DistTable) -> (SocketAddr, JoinHandle<()>) {
-    let server = Server::with_tables(ServeConfig::default(), vec![("default".to_string(), table)])
-        .expect("bind");
+    // The widest supported worker pool: every determinism assertion in
+    // this file must hold under full connection concurrency too.
+    let cfg = ServeConfig {
+        conns: 8,
+        ..ServeConfig::default()
+    };
+    let server = Server::with_tables(cfg, vec![("default".to_string(), table)]).expect("bind");
     let addr = server.local_addr().expect("local addr");
     let handle = std::thread::spawn(move || server.run().expect("daemon run"));
     (addr, handle)

@@ -1,0 +1,500 @@
+#!/usr/bin/env bash
+# Chaos and robustness harness for the pevpm prediction daemon.
+#
+# Exercises the production-hardening contract from the robustness PR:
+#   1. every `client --chaos` fault mode (truncated prefix, mid-frame
+#      stall, half-open disconnect, oversized frame, garbage bytes, slow
+#      reader) leaves the daemon alive, panic-free, and classifying each
+#      abuse into the right counter;
+#   2. a deliberately stalled peer is evicted with a structured
+#      `"timeout"` error within --io-timeout-ms while a concurrent
+#      connection keeps getting answers throughout;
+#   3. a 4x overload burst (8 concurrent heavy frames against
+#      --inflight 2 --queue 0) sheds cleanly with `"overloaded"`
+#      responses carrying the configured retry_after_ms hint, every
+#      client gets exactly one accounted answer, and the daemon
+#      recovers immediately afterwards;
+#   4. responses under --conns 8 are bitwise identical to the serial
+#      (--conns 1) daemon across 16 distinct concurrent requests;
+#   5. SIGTERM drains gracefully: the in-flight request completes, the
+#      process exits 0, and the structured log records a clean drain.
+#
+# Leaves BENCH_serve_robustness.json in the working directory for CI
+# artifact upload.
+#
+# Usage: scripts/serve_chaos.sh
+#   PEVPM=path/to/pevpm overrides the binary (default: target/release/pevpm,
+#   built on demand).
+set -euo pipefail
+
+PEVPM=${PEVPM:-target/release/pevpm}
+if [ ! -x "$PEVPM" ]; then
+    echo "serve_chaos: building $PEVPM"
+    cargo build --release -p pevpm-cli
+fi
+
+WORK=$(mktemp -d)
+DPID=
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "serve_chaos: benchmarking a 2-node table"
+"$PEVPM" bench --nodes 2 --sizes 1024 --reps 20 --seed 5 --out "$WORK/db.dist" -q
+
+cat > "$WORK/model.c" <<'EOF'
+/* Two-rank ping-pong: rank 0 sends, rank 1 receives, `rounds` times. */
+// PEVPM Loop iterations = rounds
+// PEVPM {
+// PEVPM Runon c1 = procnum == 0
+// PEVPM &     c2 = procnum == 1
+// PEVPM {
+// PEVPM Message type = MPI_Send
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM {
+// PEVPM Message type = MPI_Recv
+// PEVPM &       size = 1024
+// PEVPM &       from = 0
+// PEVPM &       to = 1
+// PEVPM }
+// PEVPM }
+EOF
+
+# Shared framing helpers for the raw-socket phases: the length-prefixed
+# JSON protocol (4-byte big-endian length + UTF-8 body) spoken directly,
+# so the harness can misbehave in ways the real client refuses to.
+cat > "$WORK/fr.py" <<'EOF'
+import json
+import socket
+import struct
+
+
+def connect(addr, timeout=60.0):
+    host, port = addr.rsplit(":", 1)
+    s = socket.create_connection((host, int(port)), timeout=timeout)
+    s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return s
+
+
+def send_frame(s, body):
+    data = body.encode() if isinstance(body, str) else body
+    s.sendall(struct.pack(">I", len(data)) + data)
+
+
+def recv_exact(s, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+def recv_frame(s):
+    hdr = recv_exact(s, 4)
+    if hdr is None:
+        return None
+    (n,) = struct.unpack(">I", hdr)
+    return recv_exact(s, n)
+
+
+def predict(model, rid, rounds, seed, reps=2):
+    return json.dumps({
+        "op": "predict", "id": rid, "model": model, "table": "default",
+        "procs": 2, "params": {"rounds": rounds}, "seed": seed, "reps": reps,
+    })
+
+
+def batch(model, rid, items, rounds=400, seed=7, reps=2):
+    body = {
+        "model": model, "table": "default", "procs": 2,
+        "params": {"rounds": rounds}, "seed": seed, "reps": reps,
+    }
+    return json.dumps({"op": "batch", "id": rid, "requests": [body] * items})
+EOF
+
+start_daemon() {
+    # start_daemon PORT_FILE STDERR_FILE [serve flags...]
+    local pf=$1 errf=$2
+    shift 2
+    "$PEVPM" serve --db "$WORK/db.dist" --port-file "$pf" -q "$@" 2> "$errf" &
+    DPID=$!
+    for _ in $(seq 1 200); do
+        [ -s "$pf" ] && break
+        sleep 0.05
+    done
+    [ -s "$pf" ] || { echo "serve_chaos: daemon never wrote $pf"; exit 1; }
+}
+
+stop_daemon() {
+    "$PEVPM" client --addr "$1" --shutdown > /dev/null
+    wait "$DPID"
+    DPID=
+}
+
+no_panics() {
+    if grep -q "panicked at" "$1"; then
+        echo "serve_chaos: daemon panicked (see below)"
+        cat "$1"
+        exit 1
+    fi
+}
+
+# --- Phase 1: the chaos sweep -------------------------------------------
+IO_TIMEOUT=600
+echo "serve_chaos: phase 1 — client --chaos all (io-timeout ${IO_TIMEOUT}ms)"
+start_daemon "$WORK/p1" "$WORK/p1.err" --conns 4 --io-timeout-ms "$IO_TIMEOUT"
+ADDR1=$(sed -n 1p "$WORK/p1")
+"$PEVPM" client --addr "$ADDR1" --chaos all --io-timeout-ms "$IO_TIMEOUT" \
+    > "$WORK/chaos.jsonl"
+"$PEVPM" client --addr "$ADDR1" --stats > "$WORK/chaos_stats.json"
+stop_daemon "$ADDR1"
+no_panics "$WORK/p1.err"
+
+python3 - "$WORK/chaos.jsonl" "$WORK/chaos_stats.json" <<'PY'
+import json, sys
+reports = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(reports) == 6, f"expected 6 chaos reports, got {len(reports)}"
+by_mode = {r["mode"]: r for r in reports}
+for r in reports:
+    assert r["survived"], f"daemon did not survive chaos mode {r['mode']}: {r}"
+assert by_mode["stalled-write"]["outcome"] == "error-frame:timeout", by_mode
+assert by_mode["oversized"]["outcome"] == "error-frame:usage", by_mode
+assert by_mode["garbage"]["outcome"] == "error-frame:usage", by_mode
+assert by_mode["slow-read"]["outcome"] == "frame:ok", by_mode
+stats = json.load(open(sys.argv[2]))
+counters = stats["result"]["counters"]
+assert counters.get("serve.panics_isolated", 0) == 0, counters
+assert counters.get("serve.conn.truncated", 0) >= 1, counters
+assert counters.get("serve.conn.io_timeouts", 0) >= 1, counters
+assert counters.get("serve.conn.bad_frames", 0) >= 2, counters
+print("serve_chaos: 6/6 modes survived, abuse classified into the right counters")
+PY
+
+# --- Phase 2: stalled peer evicted while a neighbour is served ----------
+EVICT_TIMEOUT=500
+echo "serve_chaos: phase 2 — slowloris eviction at --io-timeout-ms ${EVICT_TIMEOUT}"
+start_daemon "$WORK/p2" "$WORK/p2.err" --conns 2 --io-timeout-ms "$EVICT_TIMEOUT"
+ADDR2=$(sed -n 1p "$WORK/p2")
+python3 - "$ADDR2" "$EVICT_TIMEOUT" "$WORK/evict.json" "$WORK" <<'PY'
+import json, socket, struct, sys, threading, time
+sys.path.insert(0, sys.argv[4])
+import fr
+
+addr, timeout_ms, out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+
+# Connection A: announce a 64-byte frame, deliver 10 bytes, go silent.
+stalled = fr.connect(addr)
+stalled.sendall(struct.pack(">I", 64) + b'{"op":"pi')
+t0 = time.monotonic()
+
+# Connection B: keep pinging the whole time the stall is pending.
+pings_ok = []
+done = threading.Event()
+def pinger():
+    neighbour = fr.connect(addr)
+    i = 0
+    while not done.is_set():
+        fr.send_frame(neighbour, json.dumps({"op": "ping", "id": f"n{i}"}))
+        resp = fr.recv_frame(neighbour)
+        pings_ok.append(resp is not None and b'"ok":true' in resp)
+        i += 1
+        time.sleep(0.05)
+    neighbour.close()
+t = threading.Thread(target=pinger)
+t.start()
+
+# The stalled peer must receive a structured "timeout" error frame and
+# then the connection must close — well before timeout + margin.
+stalled.settimeout((timeout_ms + 2500) / 1e3)
+frame = fr.recv_frame(stalled)
+evicted_ms = (time.monotonic() - t0) * 1e3
+assert frame is not None, "stalled connection closed without a timeout frame"
+resp = json.loads(frame)
+assert resp.get("code") == "timeout", resp
+assert fr.recv_frame(stalled) is None, "socket not closed after the timeout frame"
+assert evicted_ms <= timeout_ms + 2000, f"eviction took {evicted_ms:.0f} ms"
+
+time.sleep(0.15)  # a few more pings after the eviction
+done.set()
+t.join()
+assert len(pings_ok) >= 3 and all(pings_ok), \
+    f"neighbour starved during the stall: {len(pings_ok)} pings, all_ok={all(pings_ok)}"
+json.dump({"io_timeout_ms": timeout_ms, "evicted_ms": round(evicted_ms, 1),
+           "neighbour_pings_ok": len(pings_ok)}, open(out, "w"))
+print(f"serve_chaos: stalled peer evicted in {evicted_ms:.0f} ms, "
+      f"{len(pings_ok)} neighbour pings all ok")
+PY
+"$PEVPM" client --addr "$ADDR2" --stats > "$WORK/evict_stats.json"
+stop_daemon "$ADDR2"
+no_panics "$WORK/p2.err"
+python3 - "$WORK/evict_stats.json" <<'PY'
+import json, sys
+counters = json.load(open(sys.argv[1]))["result"]["counters"]
+assert counters.get("serve.conn.io_timeouts", 0) == 1, counters
+print("serve_chaos: exactly one serve.conn.io_timeouts recorded")
+PY
+
+# --- Phase 3: 4x overload burst sheds cleanly ---------------------------
+SHED_RETRY=25
+echo "serve_chaos: phase 3 — 4x overload burst (8 clients vs --inflight 2 --queue 0)"
+start_daemon "$WORK/p3" "$WORK/p3.err" --conns 8 --inflight 2 --queue 0 \
+    --shed-retry-ms "$SHED_RETRY" --io-timeout-ms 60000
+ADDR3=$(sed -n 1p "$WORK/p3")
+python3 - "$ADDR3" "$WORK/model.c" "$SHED_RETRY" "$WORK/burst.json" "$WORK" <<'PY'
+import json, sys, threading, time
+sys.path.insert(0, sys.argv[5])
+import fr
+
+addr, shed_retry, out = sys.argv[1], int(sys.argv[3]), sys.argv[4]
+model = open(sys.argv[2]).read()
+
+# 8 concurrent heavy batch frames against an in-flight capacity of 2
+# with no wait queue: a 4x burst. Each client gets exactly one answer —
+# either the full batch result or an immediate "overloaded" shed.
+N = 8
+socks = [fr.connect(addr) for _ in range(N)]
+results = [None] * N
+t0 = time.monotonic()
+def run(i):
+    fr.send_frame(socks[i], fr.batch(model, f"burst-{i}", items=192))
+    results[i] = fr.recv_frame(socks[i])
+threads = [threading.Thread(target=run, args=(i,)) for i in range(N)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+elapsed_ms = (time.monotonic() - t0) * 1e3
+for s in socks:
+    s.close()
+
+ok = shed = 0
+hints = []
+for i, raw in enumerate(results):
+    assert raw is not None, f"burst client {i} got no response"
+    resp = json.loads(raw)
+    if resp.get("ok"):
+        assert len(resp["result"]) == 192, f"burst client {i} short batch"
+        ok += 1
+    else:
+        assert resp.get("code") == "overloaded", resp
+        hints.append(resp.get("retry_after_ms"))
+        shed += 1
+assert ok + shed == N, (ok, shed)
+assert ok >= 1, "no burst client was ever admitted"
+assert shed >= 1, "a 4x overload burst must shed at least one client"
+assert all(h == shed_retry for h in hints), \
+    f"retry_after_ms hints {hints} != --shed-retry-ms {shed_retry}"
+
+# The daemon recovers the moment the burst drains: a fresh small request
+# is admitted without shedding.
+probe = fr.connect(addr)
+fr.send_frame(probe, fr.predict(model, "post-burst", rounds=50, seed=3))
+resp = json.loads(fr.recv_frame(probe))
+probe.close()
+assert resp.get("ok"), f"daemon did not recover after the burst: {resp}"
+
+json.dump({"clients": N, "inflight": 2, "queue": 0, "ok": ok, "shed": shed,
+           "retry_after_ms": shed_retry, "elapsed_ms": round(elapsed_ms, 1),
+           "recovered_after_burst": True}, open(out, "w"))
+print(f"serve_chaos: burst of {N}: {ok} served, {shed} shed with "
+      f"retry_after_ms={shed_retry}, recovered after {elapsed_ms:.0f} ms")
+PY
+"$PEVPM" client --addr "$ADDR3" --stats > "$WORK/burst_stats.json"
+stop_daemon "$ADDR3"
+no_panics "$WORK/p3.err"
+
+python3 - "$WORK/burst_stats.json" "$WORK/burst.json" <<'PY'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+burst = json.load(open(sys.argv[2]))
+counters = stats["result"]["counters"]
+assert counters.get("serve.shed.total", 0) >= burst["shed"], (counters, burst)
+assert counters.get("serve.panics_isolated", 0) == 0, counters
+hists = stats["result"].get("histograms", {})
+assert "serve.queue_wait_ms" in hists, sorted(hists)
+print(f"serve_chaos: serve.shed.total={counters['serve.shed.total']:.0f}, "
+      "queue-wait histogram populated")
+PY
+
+# --- Phase 4: --conns 8 is bitwise identical to the serial daemon -------
+echo "serve_chaos: phase 4 — determinism, serial vs --conns 8 (16 distinct requests)"
+start_daemon "$WORK/p4a" "$WORK/p4a.err" --conns 1
+ADDR4A=$(sed -n 1p "$WORK/p4a")
+python3 - "$ADDR4A" "$WORK/model.c" serial "$WORK/serial.json" "$WORK" <<'PY'
+import json, sys, threading
+sys.path.insert(0, sys.argv[5])
+import fr
+
+addr, mode, out = sys.argv[1], sys.argv[3], sys.argv[4]
+model = open(sys.argv[2]).read()
+frames = [fr.predict(model, f"det-{i}", rounds=30 + i, seed=100 + i)
+          for i in range(16)]
+
+if mode == "serial":
+    # One connection, requests in order.
+    s = fr.connect(addr)
+    got = []
+    for f in frames:
+        fr.send_frame(s, f)
+        got.append(fr.recv_frame(s))
+    s.close()
+else:
+    # 16 connections racing through the worker pool.
+    got = [None] * len(frames)
+    def run(i):
+        s = fr.connect(addr)
+        fr.send_frame(s, frames[i])
+        got[i] = fr.recv_frame(s)
+        s.close()
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(len(frames))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+assert all(g is not None for g in got), "a determinism request got no response"
+json.dump([g.hex() for g in got], open(out, "w"))
+print(f"serve_chaos: {mode}: {len(got)} responses captured")
+PY
+stop_daemon "$ADDR4A"
+no_panics "$WORK/p4a.err"
+
+start_daemon "$WORK/p4b" "$WORK/p4b.err" --conns 8
+ADDR4B=$(sed -n 1p "$WORK/p4b")
+python3 - "$ADDR4B" "$WORK/model.c" concurrent "$WORK/concurrent.json" "$WORK" <<'PY'
+import json, sys, threading
+sys.path.insert(0, sys.argv[5])
+import fr
+
+addr, mode, out = sys.argv[1], sys.argv[3], sys.argv[4]
+model = open(sys.argv[2]).read()
+frames = [fr.predict(model, f"det-{i}", rounds=30 + i, seed=100 + i)
+          for i in range(16)]
+
+if mode == "serial":
+    s = fr.connect(addr)
+    got = []
+    for f in frames:
+        fr.send_frame(s, f)
+        got.append(fr.recv_frame(s))
+    s.close()
+else:
+    got = [None] * len(frames)
+    def run(i):
+        s = fr.connect(addr)
+        fr.send_frame(s, frames[i])
+        got[i] = fr.recv_frame(s)
+        s.close()
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(len(frames))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+assert all(g is not None for g in got), "a determinism request got no response"
+json.dump([g.hex() for g in got], open(out, "w"))
+print(f"serve_chaos: {mode}: {len(got)} responses captured")
+PY
+stop_daemon "$ADDR4B"
+no_panics "$WORK/p4b.err"
+
+python3 - "$WORK/serial.json" "$WORK/concurrent.json" <<'PY'
+import json, sys
+serial = json.load(open(sys.argv[1]))
+concurrent = json.load(open(sys.argv[2]))
+assert len(serial) == len(concurrent) == 16
+for i, (a, b) in enumerate(zip(serial, concurrent)):
+    assert a == b, f"request det-{i} diverged between --conns 1 and --conns 8"
+print("serve_chaos: 16/16 responses bitwise identical, serial vs --conns 8")
+PY
+
+# --- Phase 5: SIGTERM drains the in-flight request ----------------------
+echo "serve_chaos: phase 5 — SIGTERM graceful drain"
+"$PEVPM" serve --db "$WORK/db.dist" --port-file "$WORK/p5" -q \
+    --conns 2 --drain-ms 20000 --http 127.0.0.1:0 \
+    --log-out "$WORK/drain.log" 2> "$WORK/p5.err" &
+DPID=$!
+for _ in $(seq 1 200); do
+    [ -s "$WORK/p5" ] && break
+    sleep 0.05
+done
+[ -s "$WORK/p5" ] || { echo "serve_chaos: drain daemon never wrote its port file"; exit 1; }
+ADDR5=$(sed -n 1p "$WORK/p5")
+HTTP5=$(sed -n 2p "$WORK/p5")
+
+python3 - "$ADDR5" "$WORK/model.c" "$WORK/drain_resp.json" "$WORK" <<'PY' &
+import json, sys
+sys.path.insert(0, sys.argv[4])
+import fr
+
+addr, out = sys.argv[1], sys.argv[3]
+model = open(sys.argv[2]).read()
+s = fr.connect(addr, timeout=120.0)
+fr.send_frame(s, fr.batch(model, "drain-me", items=256))
+resp = json.loads(fr.recv_frame(s))
+json.dump({"ok": bool(resp.get("ok")), "items": len(resp.get("result", []))},
+          open(out, "w"))
+PY
+CLIENT_PID=$!
+
+# Wait until the batch is actually in flight (sidecar gauge), then TERM.
+python3 - "$HTTP5" <<'PY'
+import sys, time, urllib.request
+addr = sys.argv[1]
+for _ in range(400):
+    with urllib.request.urlopen(f"http://{addr}/metrics", timeout=10) as r:
+        text = r.read().decode()
+    for line in text.splitlines():
+        if line.startswith("serve_inflight ") and float(line.split()[1]) >= 1:
+            sys.exit(0)
+    time.sleep(0.025)
+sys.exit("serve_chaos: batch never showed up in the serve_inflight gauge")
+PY
+
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=
+wait "$CLIENT_PID"
+no_panics "$WORK/p5.err"
+
+python3 - "$WORK/drain_resp.json" "$WORK/drain.log" "$WORK/drain.json" <<'PY'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+assert resp["ok"] and resp["items"] == 256, \
+    f"in-flight batch did not complete across the drain: {resp}"
+spans = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+drains = [s for s in spans if s["op"] == "drain"]
+assert drains, "no drain span in the structured log"
+assert drains[-1]["outcome"] == "clean", drains[-1]
+json.dump({"signal": "SIGTERM", "exit_code": 0, "in_flight_completed": True,
+           "outcome": drains[-1]["outcome"]}, open(sys.argv[3], "w"))
+print("serve_chaos: SIGTERM drained cleanly, in-flight batch of 256 completed, exit 0")
+PY
+
+# --- Assemble the benchmark artifact ------------------------------------
+python3 - "$WORK" <<'PY'
+import json, sys
+w = sys.argv[1]
+chaos = [json.loads(l) for l in open(f"{w}/chaos.jsonl") if l.strip()]
+burst = json.load(open(f"{w}/burst.json"))
+counters = json.load(open(f"{w}/burst_stats.json"))["result"]["counters"]
+burst["shed_total_counter"] = counters.get("serve.shed.total", 0)
+report = {
+    "chaos": chaos,
+    "eviction": json.load(open(f"{w}/evict.json")),
+    "burst": burst,
+    "determinism": {"requests": 16, "conns": 8, "bitwise_identical": True},
+    "drain": json.load(open(f"{w}/drain.json")),
+}
+json.dump(report, open("BENCH_serve_robustness.json", "w"), indent=1)
+print("serve_chaos: BENCH_serve_robustness.json written")
+PY
+
+echo "serve_chaos: ok"

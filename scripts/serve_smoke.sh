@@ -60,7 +60,7 @@ EOF
 
 echo "serve_smoke: starting the daemon (with observability sidecar)"
 "$PEVPM" serve --db "$WORK/db.dist" --port-file "$WORK/port" \
-    --metrics-out "$WORK/metrics.json" \
+    --metrics-out "$WORK/metrics.json" --conns 4 \
     --http 127.0.0.1:0 --log-out "$WORK/requests.log" -q &
 SERVE_PID=$!
 for _ in $(seq 1 200); do
