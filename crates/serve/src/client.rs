@@ -6,7 +6,9 @@
 //! deterministic seeded exponential backoff): **connect failures** (the
 //! request never reached the daemon) and **`"overloaded"` responses**
 //! (the daemon itself promises the request never started and supplies a
-//! `retry_after_ms` hint). Everything else — notably a connection that
+//! `retry_after_ms` hint; the resend dials a fresh connection, since
+//! the accept-overflow shed closes the socket right after the frame).
+//! Everything else — notably a connection that
 //! dies *after* a frame was written — is ambiguous (the daemon may have
 //! executed the request before the failure) and is surfaced as an error
 //! rather than resent, preserving exactly-once semantics for
@@ -76,6 +78,7 @@ fn backoff_ms(base_ms: u64, attempt: u32, jitter: &mut u64) -> u64 {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    addr: String,
     cfg: ClientConfig,
     jitter: u64,
 }
@@ -92,39 +95,11 @@ impl Client {
     /// jittered exponential backoff — safe, because nothing was sent.
     pub fn connect_with(addr: &str, cfg: &ClientConfig) -> io::Result<Client> {
         let mut jitter = cfg.jitter_seed;
-        let mut attempt = 0u32;
-        let stream = loop {
-            match connect_once(addr, cfg.connect_timeout) {
-                Ok(s) => break s,
-                Err(e) if attempt < cfg.retries && connect_retryable(&e) => {
-                    std::thread::sleep(Duration::from_millis(backoff_ms(
-                        cfg.backoff_base_ms,
-                        attempt,
-                        &mut jitter,
-                    )));
-                    attempt += 1;
-                }
-                Err(e) => {
-                    return Err(io::Error::new(
-                        e.kind(),
-                        format!(
-                            "connect {addr} failed after {attempt} retr{}: {e}",
-                            if attempt == 1 { "y" } else { "ies" }
-                        ),
-                    ))
-                }
-            }
-        };
-        // Frames are written whole and the peer replies immediately;
-        // Nagle + delayed ACK would stall multi-segment frames ~40 ms.
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(cfg.io_timeout)?;
-        stream.set_write_timeout(cfg.io_timeout)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        let writer = BufWriter::new(stream);
+        let (reader, writer) = open_connection(addr, cfg, &mut jitter)?;
         Ok(Client {
             reader,
             writer,
+            addr: addr.to_string(),
             cfg: cfg.clone(),
             jitter,
         })
@@ -146,7 +121,12 @@ impl Client {
     /// Send one request frame, resending (bounded, backed off) only when
     /// the daemon answers `"overloaded"` — the one failure the server
     /// guarantees never started executing. The `retry_after_ms` hint
-    /// floors the backoff. I/O errors are NOT retried.
+    /// floors the backoff. Each resend travels on a *fresh* connection:
+    /// the server's accept-overflow shed writes the overloaded frame and
+    /// closes the socket, so the old connection may be dead (this is
+    /// still safe — the shed request never started, and the resend is
+    /// only ever written to the new connection). I/O errors are NOT
+    /// retried.
     pub fn request_with_retry(&mut self, frame: &str) -> io::Result<String> {
         let mut attempt = 0u32;
         loop {
@@ -156,6 +136,9 @@ impl Client {
                     let wait = backoff_ms(self.cfg.backoff_base_ms, attempt, &mut self.jitter)
                         .max(hint_ms);
                     std::thread::sleep(Duration::from_millis(wait));
+                    let (reader, writer) = open_connection(&self.addr, &self.cfg, &mut self.jitter)?;
+                    self.reader = reader;
+                    self.writer = writer;
                     attempt += 1;
                 }
                 _ => return Ok(resp),
@@ -200,6 +183,48 @@ impl Client {
             escape(id)
         ))
     }
+}
+
+/// Dial `addr` under `cfg`'s retry policy and arm the socket options
+/// (nodelay, I/O deadlines). Shared by the initial connect and the
+/// reconnect-on-overloaded path, threading one jitter stream through
+/// both so scripted runs replay identical backoff schedules.
+fn open_connection(
+    addr: &str,
+    cfg: &ClientConfig,
+    jitter: &mut u64,
+) -> io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let mut attempt = 0u32;
+    let stream = loop {
+        match connect_once(addr, cfg.connect_timeout) {
+            Ok(s) => break s,
+            Err(e) if attempt < cfg.retries && connect_retryable(&e) => {
+                std::thread::sleep(Duration::from_millis(backoff_ms(
+                    cfg.backoff_base_ms,
+                    attempt,
+                    jitter,
+                )));
+                attempt += 1;
+            }
+            Err(e) => {
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!(
+                        "connect {addr} failed after {attempt} retr{}: {e}",
+                        if attempt == 1 { "y" } else { "ies" }
+                    ),
+                ))
+            }
+        }
+    };
+    // Frames are written whole and the peer replies immediately;
+    // Nagle + delayed ACK would stall multi-segment frames ~40 ms.
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(cfg.io_timeout)?;
+    stream.set_write_timeout(cfg.io_timeout)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer = BufWriter::new(stream);
+    Ok((reader, writer))
 }
 
 /// One connect attempt across every resolved address, with a per-address
@@ -404,25 +429,38 @@ mod tests {
     }
 
     #[test]
-    fn overloaded_then_ok_is_retried_exactly_once() {
-        // A fake daemon: sheds the first frame, answers the second.
+    fn overloaded_then_ok_is_retried_once_on_a_fresh_connection() {
+        // A fake daemon mimicking the accept-overflow shed: it answers
+        // the first frame "overloaded" and slams the connection (like
+        // the server's shed_connection), then serves the resend on the
+        // next accepted connection.
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            let (stream, _) = listener.accept().unwrap();
-            let mut reader = BufReader::new(stream.try_clone().unwrap());
-            let mut writer = BufWriter::new(stream);
+            let mut conns = 0u32;
             let mut frames = 0u32;
-            while let Ok(Some(_frame)) = proto::read_frame(&mut reader, proto::MAX_FRAME) {
-                frames += 1;
-                let resp = if frames == 1 {
-                    proto::overloaded_response("r", 1)
-                } else {
-                    proto::ok_response("r", "{\"kind\":\"pong\"}")
-                };
-                proto::write_frame(&mut writer, &resp).unwrap();
+            loop {
+                let (stream, _) = listener.accept().unwrap();
+                conns += 1;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                while let Ok(Some(_frame)) = proto::read_frame(&mut reader, proto::MAX_FRAME) {
+                    frames += 1;
+                    if frames == 1 {
+                        proto::write_frame(&mut writer, &proto::overloaded_response("r", 1))
+                            .unwrap();
+                        break; // close right after shedding
+                    }
+                    proto::write_frame(
+                        &mut writer,
+                        &proto::ok_response("r", "{\"kind\":\"pong\"}"),
+                    )
+                    .unwrap();
+                }
+                if frames >= 2 {
+                    return (conns, frames);
+                }
             }
-            frames
         });
         let cfg = ClientConfig {
             retries: 3,
@@ -435,7 +473,9 @@ mod tests {
             .unwrap();
         assert!(resp.contains("\"ok\":true"), "{resp}");
         drop(client);
-        assert_eq!(server.join().unwrap(), 2, "one shed, one resend");
+        let (conns, frames) = server.join().unwrap();
+        assert_eq!(frames, 2, "one shed, one resend");
+        assert_eq!(conns, 2, "the resend travelled on a fresh connection");
     }
 
     #[test]

@@ -194,6 +194,9 @@ struct Gate {
 struct GateState {
     inflight: usize,
     waiting: usize,
+    /// Set on drain: queued acquirers wake and shed instead of waiting
+    /// out work that will never be admitted.
+    closed: bool,
 }
 
 /// Outcome of asking the gate for a permit.
@@ -217,6 +220,9 @@ impl Gate {
     fn acquire(&self) -> Admission {
         let t0 = Instant::now();
         let mut st = lock_recover(&self.state);
+        if st.closed {
+            return Admission::Shed;
+        }
         if st.inflight < self.max_inflight {
             st.inflight += 1;
             return Admission::Admitted {
@@ -229,6 +235,10 @@ impl Gate {
         st.waiting += 1;
         loop {
             st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            if st.closed {
+                st.waiting -= 1;
+                return Admission::Shed;
+            }
             if st.inflight < self.max_inflight {
                 st.waiting -= 1;
                 st.inflight += 1;
@@ -237,6 +247,22 @@ impl Gate {
                 };
             }
         }
+    }
+
+    /// Drain: wake every queued acquirer and shed it (plus anything that
+    /// arrives later), so shutdown never waits on parked requests that
+    /// would otherwise be admitted and evaluated long past `--drain-ms`.
+    fn close(&self) {
+        let mut st = lock_recover(&self.state);
+        st.closed = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Re-arm a drained gate; the server outlives a `run` and must
+    /// admit again on the next one.
+    fn open(&self) {
+        lock_recover(&self.state).closed = false;
     }
 
     fn release(&self) {
@@ -378,6 +404,21 @@ impl ConnTracker {
             }
         }
         n
+    }
+}
+
+/// RAII unregistration: drops the tracker entry (and its cloned socket
+/// handle) on *every* exit from `serve_connection`, including `?` early
+/// returns — a peer whose response write fails must not leak an fd and
+/// a map entry in a daemon meant to face misbehaving peers forever.
+struct TrackerGuard<'a> {
+    tracker: &'a ConnTracker,
+    id: u64,
+}
+
+impl Drop for TrackerGuard<'_> {
+    fn drop(&mut self) {
+        self.tracker.unregister(self.id);
     }
 }
 
@@ -621,6 +662,8 @@ impl Server {
         // pressure, shutdown frames, and the external stop flag within
         // ACCEPT_POLL without platform-specific readiness APIs.
         self.listener.set_nonblocking(true)?;
+        // A previous run's drain closed the gate; re-arm it.
+        self.gate.open();
         let shared = RunShared::new(self.conns * PENDING_PER_WORKER);
         std::thread::scope(|scope| {
             for i in 0..self.conns {
@@ -629,6 +672,12 @@ impl Server {
                     .name(format!("serve-conn-{i}"))
                     .spawn_scoped(scope, move || self.worker_loop(shared))
                     .map_err(|e| {
+                        // Wake the workers already spawned; without this
+                        // they stay parked in queue.pop() and the scope
+                        // deadlocks joining them instead of surfacing
+                        // the spawn error.
+                        shared.stop.store(true, Ordering::SeqCst);
+                        shared.queue.close();
                         io::Error::other(format!("cannot spawn connection worker: {e}"))
                     })?;
             }
@@ -672,6 +721,10 @@ impl Server {
         let timer = self.telemetry.begin("drain", false);
         shared.draining.store(true, Ordering::SeqCst);
         shared.queue.close();
+        // Requests parked in the admission queue are not in flight —
+        // shed them now so their workers exit under the deadline instead
+        // of evaluating into force-closed sockets long past it.
+        self.gate.close();
         shared.tracker.shutdown_conns(false);
         let deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms);
         while shared.tracker.any_busy() && Instant::now() < deadline {
@@ -696,6 +749,10 @@ impl Server {
     fn shed_connection(&self, stream: TcpStream) {
         self.registry.counter("serve.conn.shed").inc();
         self.registry.counter("serve.shed.total").inc();
+        // Accepted sockets can inherit the listener's O_NONBLOCK on
+        // BSD-derived platforms; the shed frame needs a blocking write
+        // bounded by the short deadline below.
+        let _ = stream.set_nonblocking(false);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
         let mut writer = BufWriter::new(stream);
         let _ = proto::write_frame(
@@ -730,15 +787,24 @@ impl Server {
     /// (`serve.conn.truncated`), and malformed framing
     /// (`serve.conn.bad_frames` plus a `"usage"` error frame).
     fn serve_connection(&self, stream: TcpStream, shared: &RunShared) -> io::Result<bool> {
+        // The listener is non-blocking and BSD-derived platforms make
+        // accepted sockets inherit O_NONBLOCK; left set, the first read
+        // would return EAGAIN instantly and be misclassified as an idle
+        // deadline. Restore blocking mode before arming real deadlines.
+        stream.set_nonblocking(false)?;
         // Responses are written whole; Nagle + delayed ACK would stall
         // multi-segment response frames ~40 ms.
         stream.set_nodelay(true)?;
         stream.set_read_timeout(self.io_timeout)?;
         stream.set_write_timeout(self.io_timeout)?;
         let (conn_id, busy) = shared.tracker.register(&stream)?;
+        let _unregister = TrackerGuard {
+            tracker: &shared.tracker,
+            id: conn_id,
+        };
         let mut reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
-        let result = loop {
+        loop {
             if shared.draining.load(Ordering::SeqCst) {
                 break Ok(false);
             }
@@ -798,9 +864,7 @@ impl Server {
                 }
                 Err(e) => break Err(e),
             }
-        };
-        shared.tracker.unregister(conn_id);
-        result
+        }
     }
 
     /// Answer one request frame. The second element is true when the
@@ -1394,6 +1458,28 @@ mod tests {
         assert_eq!(gate.inflight(), 1);
         gate.release();
         assert_eq!(gate.inflight(), 0);
+    }
+
+    #[test]
+    fn drained_gate_sheds_queued_waiters_immediately() {
+        let gate = Gate::new(1, 4);
+        assert!(matches!(gate.acquire(), Admission::Admitted { .. }));
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| gate.acquire());
+            while lock_recover(&gate.state).waiting == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Drain: the parked waiter wakes and sheds without waiting
+            // for the permit to free; later arrivals shed up front.
+            gate.close();
+            assert!(matches!(waiter.join().unwrap(), Admission::Shed));
+            assert!(matches!(gate.acquire(), Admission::Shed));
+        });
+        assert_eq!(lock_recover(&gate.state).waiting, 0);
+        // Re-arming restores admission for the next run.
+        gate.release();
+        gate.open();
+        assert!(matches!(gate.acquire(), Admission::Admitted { .. }));
     }
 
     #[test]
