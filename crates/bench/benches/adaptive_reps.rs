@@ -1,0 +1,82 @@
+//! Adaptive replication: what the sequential stopping rule saves.
+//!
+//! §6 of the paper: "many iterations are needed to give an accurate
+//! average … the number of iterations can be chosen so that the
+//! statistical error in the mean is negligibly small". The adaptive
+//! engine chooses that number at run time: it replicates until the
+//! Student-t confidence interval on the mean is within `--precision` of
+//! it. This bench runs the rule on an easy program (a long Jacobi whose
+//! internal iteration count averages the noise away — the rule stops at
+//! the floor) and a hard one (a short, noisy Jacobi — the rule runs
+//! toward the ceiling) at the same precision, against fixed batches of
+//! the ceiling size.
+//!
+//! Run with `cargo bench -p pevpm-bench --bench adaptive_reps`.
+//! Writes a machine-readable `BENCH_adaptive.json` (override the path
+//! with the `BENCH_ADAPTIVE_OUT` environment variable) for CI artifact
+//! upload; CI asserts the easy row stops earlier than the hard one and
+//! saves at least 2x.
+
+use pevpm::stats::AdaptivePolicy;
+use pevpm_apps::jacobi::JacobiConfig;
+use pevpm_bench::tcost;
+use pevpm_mpibench::MachineShape;
+
+fn main() {
+    let policy = AdaptivePolicy::new(5e-3).with_min_reps(4).with_max_reps(64);
+    let shapes = [
+        MachineShape { nodes: 8, ppn: 1 },
+        MachineShape { nodes: 32, ppn: 1 },
+    ];
+    // Easy: the §6 Jacobi — 1000 internal iterations average out the
+    // per-message sampling noise, so replications barely disagree.
+    let easy = JacobiConfig {
+        xsize: 256,
+        iterations: 1000,
+        serial_secs: 3.24e-3,
+    };
+    // Hard: two iterations and a negligible serial term — each
+    // replication is essentially a handful of raw communication-time
+    // draws, so the relative spread stays wide.
+    let hard = JacobiConfig {
+        xsize: 256,
+        iterations: 2,
+        serial_secs: 1e-6,
+    };
+
+    eprintln!("[adaptive] running the stopping rule on easy vs hard programs...");
+    let mut results = Vec::new();
+    for &s in &shapes {
+        results.push(tcost::run_adaptive("easy", s, &easy, 30, policy, 11));
+        results.push(tcost::run_adaptive("hard", s, &hard, 30, policy, 11));
+    }
+
+    println!(
+        "Adaptive replication: reps chosen by the stopping rule at precision {:.0e} \
+         ({}..{} reps, {:.0}% confidence)\n",
+        policy.precision,
+        policy.min_reps,
+        policy.max_reps,
+        policy.confidence * 100.0
+    );
+    println!("{}", tcost::render_adaptive(&results));
+    println!(
+        "'easy' is the 1000-iteration Jacobi (replications barely disagree — the rule \
+         stops at the floor); 'hard' is a 2-iteration noisy variant (wide relative \
+         spread — the rule runs toward the ceiling). 'savings' is fixed-batch reps per \
+         adaptive rep at equal precision; 'prefix' confirms the adaptive runs are a \
+         bitwise prefix of the fixed batch (early stopping never changes what ran, \
+         only how much)."
+    );
+
+    // Cargo runs benches with CWD = the crate directory; default to the
+    // workspace root so CI (and humans) find the file in a fixed place.
+    let out = std::env::var("BENCH_ADAPTIVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json").to_string()
+    });
+    let json = tcost::adaptive_to_json(&results);
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("[adaptive] machine-readable results written to {out}"),
+        Err(e) => eprintln!("[adaptive] cannot write {out}: {e}"),
+    }
+}

@@ -22,6 +22,7 @@
 //! mean so they stay comparable with a single measured execution.
 
 use pevpm::replicate::ReplicateProfile;
+use pevpm::stats::{AdaptivePolicy, AdaptiveReport};
 use pevpm::timing::TimingModel;
 use pevpm::vm::{monte_carlo, EvalConfig};
 use pevpm_apps::jacobi::{self, JacobiConfig};
@@ -184,6 +185,212 @@ pub fn run_with(
         sb_peak: mc.max_sb_peak(),
         profile: mc.profile.clone(),
     }
+}
+
+/// One row of the adaptive-replication cost experiment: the same Jacobi
+/// program evaluated once under the sequential stopping rule and once as
+/// a fixed batch of `policy.max_reps`, at the same base seed. Because
+/// adaptive replication walks the identical seed stream and merely stops
+/// early, its runs are a bitwise prefix of the fixed batch — the row
+/// records that (`prefix_bitwise`) along with how many replications the
+/// rule spent and what that saved in wall time.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCostResult {
+    /// Row label — `"easy"` (long, internally-averaging program) or
+    /// `"hard"` (short, noisy program).
+    pub row: String,
+    /// Machine shape evaluated.
+    pub shape: MachineShape,
+    /// Jacobi iteration count (the difficulty knob).
+    pub iterations: usize,
+    /// What the stopping rule did: reps chosen, achieved half-width,
+    /// convergence, drift.
+    pub report: AdaptiveReport,
+    /// Mean predicted makespan of the adaptive batch.
+    pub mean: f64,
+    /// Wall-clock seconds of the adaptive batch.
+    pub adaptive_wall: f64,
+    /// Wall-clock seconds of the fixed `max_reps` batch.
+    pub fixed_wall: f64,
+    /// Whether every adaptive replication was bitwise identical to the
+    /// same-index replication of the fixed batch (the determinism
+    /// contract: early stopping never changes what ran, only how much).
+    pub prefix_bitwise: bool,
+}
+
+impl AdaptiveCostResult {
+    /// Fixed-batch replications per adaptive replication — `2.0` means
+    /// the stopping rule did the job with half the evaluations.
+    pub fn savings_factor(&self) -> f64 {
+        self.report.max_reps as f64 / self.report.reps.max(1) as f64
+    }
+
+    /// Wall-clock speedup of the adaptive batch over the fixed batch.
+    pub fn wall_speedup(&self) -> f64 {
+        self.fixed_wall / self.adaptive_wall.max(1e-12)
+    }
+}
+
+/// Run one adaptive-vs-fixed row: the stopping rule against a fixed
+/// batch of `policy.max_reps` replications on the same seed stream.
+pub fn run_adaptive(
+    row: &str,
+    shape: MachineShape,
+    jacobi_cfg: &JacobiConfig,
+    bench_reps: usize,
+    policy: AdaptivePolicy,
+    seed: u64,
+) -> AdaptiveCostResult {
+    let table = crate::fig6::shape_table(
+        shape,
+        &[
+            jacobi_cfg.halo_bytes() / 2,
+            jacobi_cfg.halo_bytes(),
+            jacobi_cfg.halo_bytes() * 2,
+        ],
+        bench_reps,
+        seed,
+    );
+    let timing = TimingModel::distributions(table);
+    let model = jacobi::model(jacobi_cfg);
+    let nprocs = shape.nodes * shape.ppn;
+    let base = EvalConfig::new(nprocs).with_seed(seed);
+
+    let adaptive = monte_carlo(
+        &model,
+        &base.clone().with_adaptive(policy),
+        &timing,
+        policy.max_reps,
+    )
+    .expect("adaptive PEVPM evaluation failed");
+    let fixed = monte_carlo(&model, &base, &timing, policy.max_reps)
+        .expect("fixed PEVPM evaluation failed");
+
+    let report = adaptive.adaptive.expect("adaptive batch carries a report");
+    let prefix_bitwise = adaptive.runs.len() <= fixed.runs.len()
+        && adaptive
+            .runs
+            .iter()
+            .zip(&fixed.runs)
+            .all(|(a, f)| a.makespan.to_bits() == f.makespan.to_bits());
+
+    AdaptiveCostResult {
+        row: row.to_string(),
+        shape,
+        iterations: jacobi_cfg.iterations,
+        report,
+        mean: adaptive.mean,
+        adaptive_wall: adaptive.wall_secs,
+        fixed_wall: fixed.wall_secs,
+        prefix_bitwise,
+    }
+}
+
+/// Render the adaptive rep-savings table.
+pub fn render_adaptive(results: &[AdaptiveCostResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.row.clone(),
+                r.shape.to_string(),
+                r.iterations.to_string(),
+                format!("{:.0e}", r.report.precision),
+                format!("{}/{}", r.report.min_reps, r.report.max_reps),
+                r.report.reps.to_string(),
+                r.report.reps_saved().to_string(),
+                format!("{:.1}x", r.savings_factor()),
+                format!("{:.2e}", r.report.rel_half_width),
+                if r.report.converged { "yes" } else { "NO" }.to_string(),
+                format!("{:.1}x", r.wall_speedup()),
+                if r.prefix_bitwise { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::table(
+        &[
+            "row",
+            "shape",
+            "iters",
+            "precision",
+            "min/max",
+            "reps",
+            "saved",
+            "savings",
+            "half-width",
+            "converged",
+            "wall-speedup",
+            "prefix",
+        ],
+        &rows,
+    )
+}
+
+/// Serialise adaptive rep-savings rows as the `BENCH_adaptive.json` CI
+/// artifact: one record per row plus an `easy_vs_hard` pairing so the CI
+/// check can assert the stopping rule actually discriminates (fewer reps
+/// on the easy row than the hard one, and a real saving on the easy row).
+pub fn adaptive_to_json(results: &[AdaptiveCostResult]) -> String {
+    use pevpm_obs::json::{escape, num};
+    let mut out = format!(
+        "{{\n  \"host_cores\": {},\n  \"rows\": [\n",
+        pevpm::replicate::available_threads()
+    );
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"row\": \"{}\", \"shape\": \"{}\", \"iterations\": {}, \
+             \"precision\": {}, \"confidence\": {}, \"min_reps\": {}, \"max_reps\": {}, \
+             \"reps\": {}, \"reps_saved\": {}, \"savings_factor\": {}, \
+             \"rel_half_width\": {}, \"converged\": {}, \"drift\": {}, \
+             \"mean_secs\": {}, \"adaptive_wall_secs\": {}, \"fixed_wall_secs\": {}, \
+             \"wall_speedup\": {}, \"prefix_bitwise\": {}}}{}\n",
+            escape(&r.row),
+            escape(&r.shape.to_string()),
+            r.iterations,
+            num(r.report.precision),
+            num(r.report.confidence),
+            r.report.min_reps,
+            r.report.max_reps,
+            r.report.reps,
+            r.report.reps_saved(),
+            num(r.savings_factor()),
+            num(r.report.rel_half_width),
+            r.report.converged,
+            r.report.drift,
+            num(r.mean),
+            num(r.adaptive_wall),
+            num(r.fixed_wall),
+            num(r.wall_speedup()),
+            r.prefix_bitwise,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"easy_vs_hard\": [\n");
+    let pairs: Vec<String> = results
+        .iter()
+        .filter(|r| r.row == "easy")
+        .filter_map(|e| {
+            let h = results.iter().find(|r| {
+                r.row == "hard" && r.shape.nodes == e.shape.nodes && r.shape.ppn == e.shape.ppn
+            })?;
+            Some(format!(
+                "{{\"shape\": \"{}\", \"easy_reps\": {}, \"hard_reps\": {}, \
+                 \"easy_savings_factor\": {}}}",
+                escape(&e.shape.to_string()),
+                e.report.reps,
+                h.report.reps,
+                num(e.savings_factor()),
+            ))
+        })
+        .collect();
+    for (i, row) in pairs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 < pairs.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// One single-evaluation latency measurement: the same Jacobi program
@@ -631,5 +838,78 @@ mod tests {
             );
             assert!(row.get("speedup").and_then(|v| v.as_num()).unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn adaptive_rows_discriminate_easy_from_hard_and_serialize() {
+        let shape = MachineShape { nodes: 4, ppn: 1 };
+        let policy = AdaptivePolicy::new(0.01).with_min_reps(2).with_max_reps(16);
+        // Long program: hundreds of iterations average the per-message
+        // noise internally, so the replication spread is tiny relative to
+        // the mean and the rule stops at (or near) the floor. Short
+        // program: two iterations keep the relative spread high, so the
+        // same precision needs many more replications.
+        let easy_cfg = JacobiConfig {
+            xsize: 64,
+            iterations: 400,
+            serial_secs: 1e-4,
+        };
+        let hard_cfg = JacobiConfig {
+            xsize: 64,
+            iterations: 2,
+            serial_secs: 1e-6,
+        };
+        let easy = run_adaptive("easy", shape, &easy_cfg, 10, policy, 11);
+        let hard = run_adaptive("hard", shape, &hard_cfg, 10, policy, 11);
+
+        assert!(
+            easy.report.reps < hard.report.reps,
+            "stopping rule failed to discriminate: easy {} reps vs hard {}",
+            easy.report.reps,
+            hard.report.reps
+        );
+        assert!(
+            easy.savings_factor() >= 2.0,
+            "easy row saved only {:.2}x",
+            easy.savings_factor()
+        );
+        assert!(easy.report.converged, "easy row did not converge");
+        for r in [&easy, &hard] {
+            assert!(
+                r.prefix_bitwise,
+                "{} row: adaptive runs are not a bitwise prefix of the fixed batch",
+                r.row
+            );
+            assert!(r.report.reps >= policy.min_reps && r.report.reps <= policy.max_reps);
+        }
+
+        let table = render_adaptive(&[easy.clone(), hard.clone()]);
+        assert!(table.contains("savings"));
+        assert!(table.contains("prefix"));
+
+        let js = adaptive_to_json(&[easy, hard]);
+        let parsed = pevpm_obs::json::parse(&js).expect("BENCH_adaptive.json parses");
+        let rows = parsed.get("rows").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("row").and_then(|s| s.as_str()), Some("easy"));
+        assert_eq!(
+            rows[0].get("prefix_bitwise").and_then(|v| v.as_bool()),
+            Some(true)
+        );
+        let pairs = parsed
+            .get("easy_vs_hard")
+            .and_then(|r| r.as_array())
+            .unwrap();
+        assert_eq!(pairs.len(), 1);
+        let easy_reps = pairs[0].get("easy_reps").and_then(|v| v.as_num()).unwrap();
+        let hard_reps = pairs[0].get("hard_reps").and_then(|v| v.as_num()).unwrap();
+        assert!(easy_reps < hard_reps);
+        assert!(
+            pairs[0]
+                .get("easy_savings_factor")
+                .and_then(|v| v.as_num())
+                .unwrap()
+                >= 2.0
+        );
     }
 }

@@ -203,6 +203,7 @@ USAGE:
   pevpm predict  --model FILE.c --db DB.dist --procs N [--mode dist|avg|min]
                  [--pingpong] [--exact-quantiles] [--param k=v ...] [--seed S]
                  [--reps R] [--threads T] [--eval-threads E] [--quorum K]
+                 [--precision P] [--min-reps N] [--max-reps N] [--antithetic]
                  [--max-steps N] [--max-virtual-secs S]
                  [--trace-out TRACE.json] [--metrics-out M.json]
       Evaluate the annotated program's PEVPM model against a database.
@@ -216,7 +217,19 @@ USAGE:
       oversubscribe the host. --quorum K lets the
       batch complete when at least K replications succeed: failed
       replications are listed in the report and counted in the
-      mc.replica_failures metric instead of aborting. --max-steps /
+      mc.replica_failures metric instead of aborting. --precision P
+      switches the batch to adaptive (sequential-stopping) replication:
+      replications run in the usual derived-seed order until the 95%
+      Student-t confidence half-width on the predicted mean falls to P of
+      the mean, bounded by --min-reps (default 4) and --max-reps (default
+      64); the report states the rep count chosen and the achieved
+      half-width, and warns if the replication stream drifts
+      (non-stationarity). Adaptive runs are deterministic for a given
+      (seed, precision); fixed --reps stays bitwise-identical with or
+      without this feature built. --antithetic pairs replications on
+      mirrored random streams (replica 2k and 2k+1 share a seed, the odd
+      one sees 1-u for every quantile draw u), a variance-reduction
+      device for smooth models. --max-steps /
       --max-virtual-secs bound each evaluation (directive executions /
       simulated seconds); a replication over budget fails with a
       structured diagnostic (exit 4 unless --quorum absorbs it). --trace-out writes the
@@ -247,7 +260,9 @@ USAGE:
       bytes back whether the cache is cold, warm, or the request rides in
       a batch. --addr defaults to 127.0.0.1:0 (OS-assigned port);
       --port-file writes the bound address for scripts. --max-reps
-      rejects requests asking for more replications (admission control);
+      rejects fixed-reps requests asking for more replications
+      (admission control) and tightens adaptive requests' rep ceiling to
+      the server cap (a tighter request cap wins);
       --max-steps / --max-virtual-secs cap every evaluation's run budget
       (a tighter request cap wins). A `shutdown` request exits the loop;
       --metrics-out then dumps the server's metrics registry (request,
@@ -277,14 +292,18 @@ USAGE:
       to --drain-ms (default 2000), flushes telemetry, then exits.
 
   pevpm client   (--addr HOST:PORT | --port-file PATH) [--stats] [--ping]
-                 [--shutdown] [--batch K] [--table NAME]
+                 [--shutdown] [--batch K] [--crn] [--table NAME]
                  [--connect-timeout-ms MS] [--retries N]
                  [--retry-backoff-ms MS] [--chaos MODE|all]
                  [predict flags: --model FILE.c --procs N ...]
       Send requests to a running daemon and print one response JSON line
       each. With --model, sends the same prediction `predict` would run
       (accepts the same flags); --batch K sends it as one batch of K
-      identical items. --stats fetches the server's metrics registry
+      identical items. --crn marks the batch for common random numbers:
+      the daemon evaluates every item of the batch from one shared base
+      seed, so what-if arms differ only by the modelled change, not by
+      sampling noise (paired comparison). --stats fetches the server's
+      metrics registry
       (cache hit/miss/compile counters included) plus span-derived
       per-stage p50/p95/p99 latencies, rendered as a table on stderr
       (stdout stays one machine-parseable JSON line); --shutdown asks the
@@ -313,7 +332,7 @@ USAGE:
       --faults is given, injected-fault marks (pid 3); the prediction
       samples --db when given, else an analytic Hockney model.
 
-  pevpm fuzz     [--mode differential|metamorphic|ks|diagnostics|dag|all]
+  pevpm fuzz     [--mode differential|metamorphic|ks|diagnostics|dag|adaptive|all]
                  [--programs N] [--seed S] [--alpha A] [--reps R]
                  [--ks-runs K] [--bench-reps B] [--out DIR]
                  [--replay FILE.model]
@@ -322,7 +341,8 @@ USAGE:
       (bitwise interpreted/compiled/unfolded agreement, two-sample KS at
       significance A against mpisim co-simulation, size-scaling and
       empty-fault-plan metamorphic relations, deadlock diagnostics,
-      DAG-scheduler thread-count invariance).
+      DAG-scheduler thread-count invariance, adaptive-stopping
+      agreement with fixed max-reps batches).
       Failing programs are shrunk to minimal counterexamples; --out DIR
       writes each as a replayable .model artifact. --replay re-runs one
       artifact under its recorded oracle and reports whether it still
@@ -352,6 +372,8 @@ const BOOL_FLAGS: &[&str] = &[
     "stats",
     "ping",
     "shutdown",
+    "antithetic",
+    "crn",
 ];
 
 /// Dispatch a full argument vector (without the program name).
@@ -716,6 +738,25 @@ fn predict_request(args: &Args, src: String) -> Result<PredictRequest, CliError>
                 .map_err(|_| CliError::usage("--max-virtual-secs must be a number"))?,
         );
     }
+    if let Some(p) = args.get("precision") {
+        req.precision = Some(
+            p.parse()
+                .map_err(|_| CliError::usage("--precision must be a number"))?,
+        );
+    }
+    if let Some(n) = args.get("min-reps") {
+        req.min_reps = Some(
+            n.parse()
+                .map_err(|_| CliError::usage("--min-reps must be an integer"))?,
+        );
+    }
+    if let Some(n) = args.get("max-reps") {
+        req.max_reps = Some(
+            n.parse()
+                .map_err(|_| CliError::usage("--max-reps must be an integer"))?,
+        );
+    }
+    req.antithetic = args.has("antithetic");
     Ok(req)
 }
 
@@ -773,11 +814,16 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
         Ok(extra)
     };
 
-    if req.reps > 1 {
+    let effective_reps = req.effective_reps();
+    if req.precision.is_some() {
+        diag::info(&format!(
+            "running adaptive Monte-Carlo replications (up to {effective_reps})..."
+        ));
+    } else if req.reps > 1 {
         diag::info(&format!("running {} Monte-Carlo replications...", req.reps));
     }
     let outcome = timer.stage("eval", || {
-        plan::evaluate_plan(&model, &cfg, &timing, req.reps)
+        plan::evaluate_plan(&model, &cfg, &timing, effective_reps)
     })?;
     match outcome {
         EvalOutcome::Batch(mc) => {
@@ -786,14 +832,20 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
                     .add(mc.failures.len() as u64);
             }
             timer.set_replica_failures(mc.failures.len());
+            let reps_run = mc.runs.len() + mc.failures.len();
+            if let Some(a) = &mc.adaptive {
+                timer.set_reps(a.reps);
+                timer.set_reps_saved(a.reps_saved());
+            }
             // The deterministic headline and failure lines are shared with
             // the daemon; the wall-clock statistics are one-shot-only.
             let mut out = timer.stage("render", || {
                 let mut out = plan::render_mc_headline(&mc, req.procs);
+                out.push_str(&plan::render_adaptive_line(&mc));
                 out.push_str(&format!(
                     "{} replications in {:.3} s ({:.0} evals/s), range [{:.6}, {:.6}] s\n\
                      {} worker(s), {:.0}% busy, {} directives swept ({:.0}/replication)\n",
-                    req.reps,
+                    reps_run,
                     mc.wall_secs,
                     mc.evals_per_sec,
                     mc.min,
@@ -977,7 +1029,9 @@ fn cmd_client(args: &Args) -> Result<String, CliError> {
         let resp = if batch > 1 {
             let items: Vec<(String, PredictRequest)> =
                 (0..batch).map(|_| (table.clone(), req.clone())).collect();
-            client.batch("batch", &items).map_err(io_err)?
+            client
+                .batch_with("batch", &items, args.has("crn"))
+                .map_err(io_err)?
         } else {
             client.predict("predict", &table, &req).map_err(io_err)?
         };
@@ -1230,7 +1284,7 @@ fn cmd_fuzz(args: &Args) -> Result<String, CliError> {
         "all" => Mode::ALL.to_vec(),
         m => vec![Mode::from_name(m).ok_or_else(|| {
             CliError::usage(format!(
-                "unknown mode {m:?} (differential|metamorphic|ks|diagnostics|all)"
+                "unknown mode {m:?} (differential|metamorphic|ks|diagnostics|dag|adaptive|all)"
             ))
         })?],
     };

@@ -71,6 +71,9 @@ pub struct RequestSpan {
     pub replica_failures: usize,
     /// Whether the request ran under a k-of-n quorum.
     pub quorum: bool,
+    /// Replications adaptive stopping saved relative to the request's
+    /// ceiling; `None` for fixed-reps requests.
+    pub reps_saved: Option<usize>,
     /// Whether a panic was caught at the request boundary.
     pub panicked: bool,
     /// Rendered response payload size in bytes.
@@ -92,6 +95,7 @@ impl RequestSpan {
             reps: 0,
             replica_failures: 0,
             quorum: false,
+            reps_saved: None,
             panicked: false,
             response_bytes: 0,
         }
@@ -218,10 +222,13 @@ pub fn span_json(s: &RequestSpan) -> String {
         ));
     }
     out.push_str(&format!(
-        "}},\"reps\":{},\"replica_failures\":{},\"quorum\":{},\"panicked\":{},\
-         \"response_bytes\":{}}}",
-        s.reps, s.replica_failures, s.quorum, s.panicked, s.response_bytes
+        "}},\"reps\":{},\"replica_failures\":{},\"quorum\":{},\"panicked\":{}",
+        s.reps, s.replica_failures, s.quorum, s.panicked
     ));
+    if let Some(saved) = s.reps_saved {
+        out.push_str(&format!(",\"reps_saved\":{saved}"));
+    }
+    out.push_str(&format!(",\"response_bytes\":{}}}", s.response_bytes));
     out
 }
 

@@ -51,6 +51,7 @@ pub(crate) mod lower;
 pub mod model;
 pub mod replicate;
 pub mod scoreboard;
+pub mod stats;
 pub mod timing;
 pub mod trace_export;
 pub mod vm;
@@ -61,6 +62,7 @@ pub use expr::{parse as parse_expr, Env, Expr, ExprError};
 pub use model::{CollOp, Model, MsgKind, Stmt};
 pub use replicate::ThreadBudget;
 pub use scoreboard::{Handle, PairFifo, Slab};
+pub use stats::{AdaptivePolicy, AdaptiveReport};
 pub use timing::{PredictionMode, TimingModel};
 pub use vm::{
     evaluate, monte_carlo, EvalConfig, McPrediction, PevpmError, Prediction, SpanKind, TimelineSpan,

@@ -1,0 +1,516 @@
+//! Adaptive-replication statistics: Student-t confidence intervals, the
+//! sequential stopping rule, and a non-stationarity drift detector.
+//!
+//! "MPI Benchmarking Revisited" (Hunold & Carpen-Amarie, PAPERS.md)
+//! criticises fixed replication counts: easy measurements waste
+//! repetitions while hard ones stop before their mean has stabilised.
+//! This module supplies the pieces the Monte-Carlo engine
+//! ([`crate::vm::monte_carlo`]) needs to stop *adaptively* instead —
+//! run replications in deterministic seed order until the relative
+//! Student-t confidence-interval half-width on the predicted mean drops
+//! below a requested precision, bounded by `min_reps`/`max_reps`.
+//!
+//! Everything here is pure `f64` arithmetic over the online Welford
+//! accumulator ([`pevpm_dist::Summary`]) — no RNG, no allocation on the
+//! hot path, and no external dependency: the Student-t quantile is
+//! computed from the regularised incomplete beta function (continued
+//! fraction, Lentz's algorithm) with a bisection inversion. The same
+//! inputs therefore always produce the same stopping decision, which is
+//! what makes adaptive mode deterministic for a given (seed, precision).
+
+use pevpm_dist::Summary;
+
+/// Two-sided significance used by [`detect_drift`] when the caller does
+/// not pick one. Deliberately strict: the drift detector is a warning
+/// light for non-stationary replication streams (a bug in seed
+/// derivation, a timing table mutated mid-run), not a gate, so false
+/// positives are worse than low power.
+pub const DRIFT_ALPHA: f64 = 1e-3;
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+/// Accurate to ~1e-13 over the arguments this module uses (df/2 ≥ 0.5).
+fn ln_gamma(x: f64) -> f64 {
+    // Published Lanczos(g=7) coefficients, kept verbatim; the trailing
+    // digits round into the nearest f64.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its accurate
+        // range.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + G + 0.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Continued-fraction kernel of the incomplete beta function (modified
+/// Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-15;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularised incomplete beta function `I_x(a, b)`.
+fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    // Use the expansion that converges fastest on each side of the mean.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * betacf(a, b, x) / a
+    } else {
+        1.0 - front * betacf(b, a, 1.0 - x) / b
+    }
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    let tail = 0.5 * reg_inc_beta(df / 2.0, 0.5, df / (df + t * t));
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Two-sided Student-t critical value: the `t` such that a fraction
+/// `confidence` of the distribution with `df` degrees of freedom lies in
+/// `[-t, t]`. Inverted by bisection on the CDF — ~60 iterations of pure
+/// arithmetic, bit-reproducible on a given host.
+pub fn student_t_crit_df(df: f64, confidence: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let target = 1.0 - (1.0 - confidence) / 2.0;
+    // Expand the bracket until it contains the quantile (df = 1 at
+    // 99.9% needs t ≈ 636, so start wide enough to rarely loop).
+    let mut hi = 64.0;
+    while student_t_cdf(hi, df) < target && hi < 1e12 {
+        hi *= 4.0;
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// [`student_t_crit_df`] for an integer degrees-of-freedom count (the
+/// usual case: `n - 1` for a sample of `n` replications).
+pub fn student_t_crit(df: usize, confidence: f64) -> f64 {
+    student_t_crit_df(df as f64, confidence)
+}
+
+/// Absolute confidence-interval half-width of the mean of `n` samples
+/// with sample standard deviation `sd`: `t_{conf, n-1} · sd / √n`.
+/// Undefined below two samples — returns `+∞` so no stopping rule can
+/// fire on it (the `--reps 1` half-width has no degrees of freedom).
+pub fn ci_half_width(n: u64, sd: f64, confidence: f64) -> f64 {
+    if n < 2 {
+        return f64::INFINITY;
+    }
+    student_t_crit((n - 1) as usize, confidence) * sd / (n as f64).sqrt()
+}
+
+/// The relative CI half-width of a Welford summary: half-width divided
+/// by `|mean|`. `None` below two samples or at an exactly-zero mean
+/// (relative precision is meaningless there).
+pub fn rel_half_width(s: &Summary, confidence: f64) -> Option<f64> {
+    let mean = s.mean()?;
+    if s.count() < 2 || mean == 0.0 {
+        return None;
+    }
+    let sd = s.sample_variance()?.sqrt();
+    Some(ci_half_width(s.count(), sd, confidence) / mean.abs())
+}
+
+/// The sequential stopping rule: run replications (in deterministic seed
+/// order) until the relative CI half-width on the mean is at most
+/// `precision`, no earlier than `min_reps` and no later than `max_reps`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Target relative half-width (e.g. `0.05` = stop when the
+    /// `confidence` CI is within ±5% of the mean).
+    pub precision: f64,
+    /// Never stop before this many replications (≥ 2: the half-width has
+    /// no degrees of freedom below two samples).
+    pub min_reps: usize,
+    /// Hard ceiling: stop here even if the precision was not reached
+    /// (the report then says so).
+    pub max_reps: usize,
+    /// CI confidence level (default 0.95).
+    pub confidence: f64,
+}
+
+impl AdaptivePolicy {
+    /// Defaults for a target precision: 4–64 replications at 95%
+    /// confidence.
+    pub fn new(precision: f64) -> Self {
+        AdaptivePolicy {
+            precision,
+            min_reps: 4,
+            max_reps: 64,
+            confidence: 0.95,
+        }
+    }
+
+    /// Builder: set the minimum replication count.
+    pub fn with_min_reps(mut self, n: usize) -> Self {
+        self.min_reps = n;
+        self
+    }
+
+    /// Builder: set the maximum replication count.
+    pub fn with_max_reps(mut self, n: usize) -> Self {
+        self.max_reps = n;
+        self
+    }
+
+    /// Builder: set the CI confidence level.
+    pub fn with_confidence(mut self, c: f64) -> Self {
+        self.confidence = c;
+        self
+    }
+
+    /// Check the policy's numeric constraints. `min_reps < 2` is the
+    /// classic `--reps 1` trap: a one-sample half-width is undefined
+    /// (0/0 degrees of freedom), so it is rejected here instead of
+    /// surfacing as NaN downstream.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.precision.is_finite() && self.precision > 0.0) {
+            return Err(format!(
+                "precision must be a positive finite number, got {}",
+                self.precision
+            ));
+        }
+        if self.min_reps < 2 {
+            return Err(format!(
+                "min-reps must be at least 2 (a {}-sample CI half-width is undefined)",
+                self.min_reps
+            ));
+        }
+        if self.max_reps < self.min_reps {
+            return Err(format!(
+                "max-reps ({}) must be at least min-reps ({})",
+                self.max_reps, self.min_reps
+            ));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return Err(format!(
+                "confidence must be in (0, 1), got {}",
+                self.confidence
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the rule is satisfied by the samples accumulated so far
+    /// (ignoring the `min_reps`/`max_reps` bounds — the engine applies
+    /// those over prefix indices).
+    pub fn satisfied(&self, s: &Summary) -> bool {
+        rel_half_width(s, self.confidence).is_some_and(|rel| rel <= self.precision)
+    }
+
+    /// The number of replications the rule stops at for the sample
+    /// stream `xs`, folding prefixes in order exactly as the engine
+    /// does: the first index `n ∈ [min_reps, max_reps]` whose prefix
+    /// satisfies the precision, else `min(xs.len(), max_reps)`. This is
+    /// the *reference* stopping rule the conformance oracle replays
+    /// against the engine's reported rep count.
+    pub fn stop_point(&self, xs: &[f64]) -> usize {
+        let cap = xs.len().min(self.max_reps);
+        let mut s = Summary::new();
+        for (i, &x) in xs.iter().take(cap).enumerate() {
+            s.add(x);
+            let n = i + 1;
+            if n >= self.min_reps && self.satisfied(&s) {
+                return n;
+            }
+        }
+        cap
+    }
+}
+
+/// What adaptive mode actually did, reported in
+/// [`crate::vm::McPrediction::adaptive`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveReport {
+    /// The requested relative precision.
+    pub precision: f64,
+    /// The CI confidence level used.
+    pub confidence: f64,
+    /// The policy's replication floor.
+    pub min_reps: usize,
+    /// The policy's replication ceiling (after any server-side cap).
+    pub max_reps: usize,
+    /// Replications actually run (successes + failures).
+    pub reps: usize,
+    /// Achieved relative CI half-width over the surviving replications
+    /// (`+∞` when fewer than two survived or the mean is zero).
+    pub rel_half_width: f64,
+    /// Whether the precision target was met before `max_reps`.
+    pub converged: bool,
+    /// Whether the drift detector flagged the replication stream as
+    /// non-stationary (see [`detect_drift`]).
+    pub drift: bool,
+}
+
+impl AdaptiveReport {
+    /// Replications the adaptive rule did *not* have to run, relative to
+    /// the ceiling a fixed-reps caller would have paid.
+    pub fn reps_saved(&self) -> usize {
+        self.max_reps.saturating_sub(self.reps)
+    }
+}
+
+/// Welch's two-sample t statistic between the first and second half of
+/// `xs`, with its Welch–Satterthwaite degrees of freedom. `None` when a
+/// half has fewer than two samples, or when both halves have zero
+/// variance (identical constants drift by definition only if the means
+/// differ — that case returns `t = ∞`).
+pub fn drift_statistic(xs: &[f64]) -> Option<(f64, f64)> {
+    let n = xs.len();
+    if n < 4 {
+        return None;
+    }
+    let (first, second) = xs.split_at(n / 2);
+    let a = Summary::from_slice(first);
+    let b = Summary::from_slice(second);
+    let (ma, mb) = (a.mean()?, b.mean()?);
+    let (va, vb) = (a.sample_variance()?, b.sample_variance()?);
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    let sa = va / na;
+    let sb = vb / nb;
+    let denom = (sa + sb).sqrt();
+    if denom == 0.0 {
+        return if ma == mb {
+            Some((0.0, (na + nb - 2.0).max(1.0)))
+        } else {
+            Some((f64::INFINITY, (na + nb - 2.0).max(1.0)))
+        };
+    }
+    let t = (mb - ma) / denom;
+    // Welch–Satterthwaite effective degrees of freedom.
+    let df = (sa + sb) * (sa + sb) / (sa * sa / (na - 1.0) + sb * sb / (nb - 1.0));
+    Some((t, df.max(1.0)))
+}
+
+/// Two-window drift detector: does the second half of the replication
+/// stream have a different mean than the first, at two-sided
+/// significance `alpha`? A stationary stream of independent replications
+/// fires with probability ≈ `alpha`; a stream whose underlying
+/// distribution shifted mid-run fires with power growing in the shift.
+pub fn detect_drift(xs: &[f64], alpha: f64) -> bool {
+    match drift_statistic(xs) {
+        None => false,
+        Some((t, df)) => {
+            if t.is_infinite() {
+                return true;
+            }
+            t.abs() > student_t_crit_df(df, 1.0 - alpha)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook two-sided critical values (Student 1908 / standard
+    /// tables), matched to 3 decimal places.
+    #[test]
+    fn t_critical_values_match_the_tables() {
+        let cases = [
+            (1, 0.95, 12.706),
+            (2, 0.95, 4.303),
+            (4, 0.95, 2.776),
+            (9, 0.95, 2.262),
+            (10, 0.95, 2.228),
+            (30, 0.95, 2.042),
+            (120, 0.95, 1.980),
+            (10, 0.99, 3.169),
+            (5, 0.90, 2.015),
+        ];
+        for (df, conf, expect) in cases {
+            let got = student_t_crit(df, conf);
+            assert!(
+                (got - expect).abs() < 1.5e-3,
+                "t({df}, {conf}) = {got}, want {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn t_cdf_is_symmetric_and_monotone() {
+        for &df in &[1.0, 3.0, 7.5, 40.0] {
+            assert!((student_t_cdf(0.0, df) - 0.5).abs() < 1e-12);
+            let mut prev = 0.0;
+            for i in -40..=40 {
+                let t = i as f64 / 4.0;
+                let c = student_t_cdf(t, df);
+                assert!(c >= prev, "cdf not monotone at t={t}, df={df}");
+                let mirrored = student_t_cdf(-t, df);
+                assert!((c + mirrored - 1.0).abs() < 1e-12, "asymmetry at t={t}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn half_width_is_infinite_below_two_samples() {
+        assert!(ci_half_width(0, 1.0, 0.95).is_infinite());
+        assert!(ci_half_width(1, 1.0, 0.95).is_infinite());
+        assert!(ci_half_width(2, 1.0, 0.95).is_finite());
+        let mut s = Summary::new();
+        s.add(3.0);
+        assert_eq!(rel_half_width(&s, 0.95), None, "one sample has no CI");
+        s.add(3.5);
+        assert!(rel_half_width(&s, 0.95).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn policy_validation_rejects_the_degenerate_corners() {
+        assert!(AdaptivePolicy::new(0.05).validate().is_ok());
+        assert!(AdaptivePolicy::new(0.0).validate().is_err());
+        assert!(AdaptivePolicy::new(f64::NAN).validate().is_err());
+        assert!(AdaptivePolicy::new(0.05)
+            .with_min_reps(1)
+            .validate()
+            .is_err());
+        assert!(AdaptivePolicy::new(0.05)
+            .with_min_reps(8)
+            .with_max_reps(4)
+            .validate()
+            .is_err());
+        assert!(AdaptivePolicy::new(0.05)
+            .with_confidence(1.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn stop_point_is_the_first_qualifying_prefix() {
+        // A stream that tightens: wildly spread early samples, then a
+        // long run of near-identical values.
+        let mut xs = vec![1.0, 2.0, 1.5, 0.5];
+        xs.extend(std::iter::repeat_n(1.25, 60));
+        let policy = AdaptivePolicy::new(0.05).with_min_reps(2).with_max_reps(64);
+        let stop = policy.stop_point(&xs);
+        assert!(stop >= policy.min_reps && stop <= policy.max_reps);
+        // Minimality: no earlier prefix in bounds qualifies, the chosen
+        // one does (or the cap was hit).
+        let mut s = Summary::new();
+        for &x in &xs[..stop] {
+            s.add(x);
+        }
+        for n in policy.min_reps..stop {
+            let mut p = Summary::new();
+            for &x in &xs[..n] {
+                p.add(x);
+            }
+            assert!(!policy.satisfied(&p), "prefix {n} already satisfied");
+        }
+        if stop < policy.max_reps {
+            assert!(policy.satisfied(&s), "stop at {stop} without satisfaction");
+        }
+        // Constant streams stop at the floor.
+        let flat = vec![2.0; 32];
+        assert_eq!(policy.stop_point(&flat), policy.min_reps);
+    }
+
+    #[test]
+    fn drift_fires_on_a_shift_but_not_on_a_constant_stream() {
+        let stationary: Vec<f64> = (0..40)
+            .map(|i| 10.0 + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
+        assert!(!detect_drift(&stationary, DRIFT_ALPHA));
+        let mut shifted = stationary.clone();
+        for x in shifted.iter_mut().skip(20) {
+            *x += 5.0;
+        }
+        assert!(detect_drift(&shifted, DRIFT_ALPHA));
+        // Two identical constants: no drift; differing constants: drift.
+        assert!(!detect_drift(&[1.0; 10], DRIFT_ALPHA));
+        let mut split = vec![1.0; 5];
+        split.extend(vec![2.0; 5]);
+        assert!(detect_drift(&split, DRIFT_ALPHA));
+        // Too short to judge.
+        assert!(!detect_drift(&[1.0, 2.0, 3.0], DRIFT_ALPHA));
+    }
+}

@@ -84,6 +84,28 @@ pub struct EvalConfig {
     /// bit — the differential conformance harness (`pevpm-testkit`) runs
     /// fuzzed programs both ways to enforce exactly that.
     pub const_fold: bool,
+    /// Sequential-stopping policy for [`monte_carlo`]. `None` (the
+    /// default) runs the fixed replication count passed to `monte_carlo`
+    /// — bitwise identical to the historical behaviour. `Some(policy)`
+    /// runs replications in deterministic seed order until the relative
+    /// Student-t CI half-width on the mean drops below
+    /// [`crate::stats::AdaptivePolicy::precision`], bounded by the policy's
+    /// `min_reps`/`max_reps`; the fixed `replications` argument is then
+    /// ignored. The chosen replication count is itself deterministic for
+    /// a given (seed, policy) — see DESIGN.md "Adaptive statistics".
+    pub adaptive: Option<crate::stats::AdaptivePolicy>,
+    /// Antithetic seed pairing for [`monte_carlo`] (variance reduction):
+    /// replicas `2j` and `2j+1` share derived seed `base + j`, with the
+    /// odd replica's Monte-Carlo probability draws mirrored (`u → 1 - u`).
+    /// Negatively correlated pairs tighten the CI of the mean for
+    /// monotone-ish responses at no extra evaluations. Off by default —
+    /// it changes the per-replica seed stream, so fixed-reps baselines
+    /// only hold with it off.
+    pub antithetic: bool,
+    /// Mirror every Monte-Carlo probability draw (`u → 1 - u`) in this
+    /// evaluation. Set per-replica by [`monte_carlo`] to implement
+    /// [`EvalConfig::antithetic`]; not useful to set directly.
+    pub mirror: bool,
 }
 
 impl EvalConfig {
@@ -101,6 +123,9 @@ impl EvalConfig {
             metrics: None,
             record_timeline: false,
             const_fold: true,
+            adaptive: None,
+            antithetic: false,
+            mirror: false,
         }
     }
 
@@ -157,6 +182,20 @@ impl EvalConfig {
     /// differential-testing hook; see [`EvalConfig::const_fold`]).
     pub fn without_const_fold(mut self) -> Self {
         self.const_fold = false;
+        self
+    }
+
+    /// Builder: enable adaptive sequential stopping for [`monte_carlo`]
+    /// (see [`EvalConfig::adaptive`]).
+    pub fn with_adaptive(mut self, policy: crate::stats::AdaptivePolicy) -> Self {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    /// Builder: enable antithetic seed pairing for [`monte_carlo`] (see
+    /// [`EvalConfig::antithetic`]).
+    pub fn with_antithetic(mut self) -> Self {
+        self.antithetic = true;
         self
     }
 }
@@ -371,6 +410,9 @@ pub enum PevpmError {
     },
     /// The model is malformed (e.g. a Send whose `from` is another rank).
     BadModel(String),
+    /// The evaluation configuration is invalid (e.g. an adaptive policy
+    /// with `min_reps < 2` — a one-sample CI half-width is undefined).
+    Config(String),
     /// A [`RunBudget`] limit was hit; the report carries the partial
     /// results and a deadlock-style diagnostic.
     Budget(Box<BudgetReport>),
@@ -411,6 +453,7 @@ impl std::fmt::Display for PevpmError {
                 write!(f, "timing model has no data for op={op} size={size}")
             }
             PevpmError::BadModel(m) => write!(f, "bad model: {m}"),
+            PevpmError::Config(m) => write!(f, "invalid configuration: {m}"),
             PevpmError::Budget(report) => write!(f, "{report}"),
             PevpmError::ReplicaPanic { index, message } => {
                 write!(f, "replication {index} panicked: {message}")
@@ -923,6 +966,10 @@ pub struct McPrediction {
     /// the batch to complete despite failures — the prediction then
     /// aggregates the surviving runs and this field is the warning.
     pub failures: Vec<(usize, String)>,
+    /// What the sequential stopping rule did: replication count chosen,
+    /// achieved relative half-width, convergence, and the drift verdict.
+    /// `None` for fixed-reps runs ([`EvalConfig::adaptive`] unset).
+    pub adaptive: Option<crate::stats::AdaptiveReport>,
 }
 
 impl McPrediction {
@@ -972,6 +1019,9 @@ pub fn monte_carlo(
     timing: &TimingModel,
     replications: usize,
 ) -> Result<McPrediction, PevpmError> {
+    if cfg.adaptive.is_some() {
+        return monte_carlo_adaptive(model, cfg, timing);
+    }
     assert!(replications > 0, "need at least one replication");
     let start = std::time::Instant::now();
     // Replica i is seeded from (cfg.seed, i) alone, so fanning the batch
@@ -990,10 +1040,7 @@ pub fn monte_carlo(
     let inner_eval = budget.inner(outer, cfg.eval_threads);
     let (outcomes, profile) =
         crate::replicate::isolated_map_profiled(replications, cfg.threads, |i| {
-            let mut c = cfg.clone();
-            c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
-            c.eval_threads = inner_eval;
-            evaluate(model, &c, timing)
+            evaluate(model, &replica_cfg(cfg, i, inner_eval), timing)
         });
     let wall_secs = start.elapsed().as_secs_f64();
 
@@ -1006,13 +1053,7 @@ pub fn monte_carlo(
             Err(job_err) => {
                 failures.push((i, job_err.to_string()));
                 if first_failure.is_none() {
-                    first_failure = Some(match job_err {
-                        crate::replicate::JobError::Err(e) => e,
-                        crate::replicate::JobError::Panic(p) => PevpmError::ReplicaPanic {
-                            index: p.index.unwrap_or(i),
-                            message: p.message,
-                        },
-                    });
+                    first_failure = Some(job_error_to_pevpm(job_err, i));
                 }
             }
         }
@@ -1055,6 +1096,191 @@ pub fn monte_carlo(
         profile,
         runs,
         failures,
+        adaptive: None,
+    })
+}
+
+/// Per-replica configuration: derived seed, the per-job eval-thread
+/// share, and — under [`EvalConfig::antithetic`] — the paired seed with
+/// the mirror flag on odd replicas. Independent seeding is byte-for-byte
+/// the historical `base + i` derivation.
+fn replica_cfg(cfg: &EvalConfig, i: usize, inner_eval: usize) -> EvalConfig {
+    let mut c = cfg.clone();
+    if cfg.antithetic {
+        c.seed = crate::replicate::replica_seed(cfg.seed, (i / 2) as u64);
+        c.mirror = i % 2 == 1;
+    } else {
+        c.seed = crate::replicate::replica_seed(cfg.seed, i as u64);
+    }
+    c.eval_threads = inner_eval;
+    c
+}
+
+fn job_error_to_pevpm(job_err: crate::replicate::JobError<PevpmError>, i: usize) -> PevpmError {
+    match job_err {
+        crate::replicate::JobError::Err(e) => e,
+        crate::replicate::JobError::Panic(p) => PevpmError::ReplicaPanic {
+            index: p.index.unwrap_or(i),
+            message: p.message,
+        },
+    }
+}
+
+/// The engine's stopping test, one prefix at a time. Kept separate from
+/// [`crate::stats::AdaptivePolicy::satisfied`] so the divergence drill can
+/// perturb the *engine* while the conformance oracle replays the clean
+/// reference rule against it.
+#[cfg(not(feature = "divergence-injection"))]
+fn stopping_satisfied(policy: &crate::stats::AdaptivePolicy, s: &pevpm_dist::Summary) -> bool {
+    policy.satisfied(s)
+}
+
+/// Divergence drill hook (compile-time, like the DAG seed rotation): the
+/// injected engine believes it has one more degree of freedom than it
+/// does, which makes the half-width test too permissive — the adaptive
+/// oracle must catch the resulting early stop as a divergence from the
+/// reference [`crate::stats::AdaptivePolicy::stop_point`].
+#[cfg(feature = "divergence-injection")]
+fn stopping_satisfied(policy: &crate::stats::AdaptivePolicy, s: &pevpm_dist::Summary) -> bool {
+    let (Some(mean), Some(var)) = (s.mean(), s.sample_variance()) else {
+        return false;
+    };
+    if s.count() < 2 || mean == 0.0 {
+        return false;
+    }
+    let hw = crate::stats::ci_half_width(s.count() + 1, var.sqrt(), policy.confidence);
+    hw / mean.abs() <= policy.precision
+}
+
+/// Adaptive Monte-Carlo: run replications in deterministic seed order
+/// until [`EvalConfig::adaptive`]'s precision target is met.
+///
+/// The stopping decision folds successful makespans over *prefixes in
+/// replication-index order*: the chosen count is the first
+/// `n >= min_reps` whose prefix satisfies the rule, else `max_reps`.
+/// Replications are computed in chunks sized to the worker pool, and any
+/// overshoot past the stopping index is discarded — so the chosen count,
+/// the surviving runs, and therefore the aggregate are all invariant to
+/// thread count and chunk width, and bitwise reproducible for a given
+/// (seed, policy). Failed replications contribute no sample but still
+/// count toward `max_reps` attempts.
+fn monte_carlo_adaptive(
+    model: &Model,
+    cfg: &EvalConfig,
+    timing: &TimingModel,
+) -> Result<McPrediction, PevpmError> {
+    let policy = cfg.adaptive.expect("adaptive policy checked by caller");
+    policy.validate().map_err(PevpmError::Config)?;
+    let start = std::time::Instant::now();
+    let budget = crate::replicate::ThreadBudget::from_host();
+    let outer = budget.outer(cfg.threads, policy.max_reps);
+    let inner_eval = budget.inner(outer, cfg.eval_threads);
+
+    let mut outcomes: Vec<Result<Prediction, crate::replicate::JobError<PevpmError>>> = Vec::new();
+    let mut stream = pevpm_dist::Summary::new();
+    let mut workers: Vec<crate::replicate::WorkerStat> = Vec::new();
+    let mut attempted = 0usize;
+    let mut chosen: Option<usize> = None;
+    while chosen.is_none() && outcomes.len() < policy.max_reps {
+        // First chunk covers the replication floor; later chunks keep the
+        // pool full. Chunk width only controls how much overshoot may be
+        // computed and discarded — never the stopping index.
+        let want = if outcomes.is_empty() {
+            policy.min_reps.max(outer)
+        } else {
+            outer.max(1)
+        };
+        let chunk = want.min(policy.max_reps - outcomes.len());
+        let base_index = outcomes.len();
+        let (chunk_out, chunk_profile) =
+            crate::replicate::isolated_map_profiled(chunk, cfg.threads, |j| {
+                evaluate(model, &replica_cfg(cfg, base_index + j, inner_eval), timing)
+            });
+        workers.extend(chunk_profile.workers);
+        attempted += chunk;
+        for out in chunk_out {
+            if let Ok(p) = &out {
+                stream.add(p.makespan);
+            }
+            outcomes.push(out);
+            let n = outcomes.len();
+            if n >= policy.min_reps && stopping_satisfied(&policy, &stream) {
+                chosen = Some(n);
+                break; // overshoot beyond the stopping index is discarded
+            }
+        }
+    }
+    let reps_run = chosen.unwrap_or(outcomes.len());
+    outcomes.truncate(reps_run);
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut runs: Vec<Prediction> = Vec::with_capacity(reps_run);
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut first_failure: Option<PevpmError> = None;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(p) => runs.push(p),
+            Err(job_err) => {
+                failures.push((i, job_err.to_string()));
+                if first_failure.is_none() {
+                    first_failure = Some(job_error_to_pevpm(job_err, i));
+                }
+            }
+        }
+    }
+
+    // Quorum counts the replications actually run, not the ceiling a
+    // fixed-reps caller would have named: `k` of the `reps_run` attempts
+    // must have succeeded (clamped so `k > reps_run` cannot make an
+    // early-stopped batch unsatisfiable).
+    let required = cfg.quorum.unwrap_or(reps_run).clamp(1, reps_run);
+    if let Some(first) = first_failure {
+        if runs.len() < required {
+            if cfg.quorum.is_none() {
+                return Err(first);
+            }
+            return Err(PevpmError::QuorumFailed {
+                succeeded: runs.len(),
+                required,
+                total: reps_run,
+                first_failure: Box::new(first),
+            });
+        }
+    }
+
+    let mut makespans = pevpm_dist::Summary::new();
+    let mut stream_xs: Vec<f64> = Vec::with_capacity(runs.len());
+    for p in &runs {
+        makespans.add(p.makespan);
+        stream_xs.push(p.makespan);
+    }
+    let report = crate::stats::AdaptiveReport {
+        precision: policy.precision,
+        confidence: policy.confidence,
+        min_reps: policy.min_reps,
+        max_reps: policy.max_reps,
+        reps: reps_run,
+        rel_half_width: crate::stats::rel_half_width(&makespans, policy.confidence)
+            .unwrap_or(f64::INFINITY),
+        converged: chosen.is_some(),
+        drift: crate::stats::detect_drift(&stream_xs, crate::stats::DRIFT_ALPHA),
+    };
+    Ok(McPrediction {
+        mean: makespans.mean().unwrap_or(0.0),
+        stderr: makespans.stderr_mean().unwrap_or(0.0),
+        min: makespans.min().unwrap_or(0.0),
+        max: makespans.max().unwrap_or(0.0),
+        makespans,
+        wall_secs,
+        evals_per_sec: if wall_secs > 0.0 {
+            attempted as f64 / wall_secs
+        } else {
+            0.0
+        },
+        profile: crate::replicate::ReplicateProfile { workers, wall_secs },
+        runs,
+        failures,
+        adaptive: Some(report),
     })
 }
 
@@ -1378,6 +1604,21 @@ impl<'m> Vm<'m> {
         Ok(true)
     }
 
+    /// The next Monte-Carlo probability coordinate. Every quantile lookup
+    /// in the engine draws through here so that an antithetic replica
+    /// ([`EvalConfig::mirror`]) sees exactly the mirrored stream
+    /// `u → 1 - u` of its paired replica — same draw count, same order.
+    /// `comm_time(…, rng)` ≡ `quantile_time(…, rng.gen())`, so routing
+    /// draws through this helper is bitwise neutral when not mirrored.
+    fn draw_u(&mut self) -> f64 {
+        let u: f64 = rand::Rng::gen(&mut self.rng);
+        if self.cfg.mirror {
+            1.0 - u
+        } else {
+            u
+        }
+    }
+
     fn post_send(
         &mut self,
         p: usize,
@@ -1396,7 +1637,7 @@ impl<'m> Vm<'m> {
         // dependent time but not for the downstream congestion the full
         // sample includes, so the cost blends the distribution minimum
         // with the correlated quantile (calibrated weight 0.4).
-        let u: f64 = rand::Rng::gen(&mut self.rng);
+        let u: f64 = self.draw_u();
         let contention = (self.scoreboard.len() + 1) as f64;
         if let Some(m) = &self.metrics {
             m.contention.record(contention);
@@ -1607,9 +1848,10 @@ impl<'m> Vm<'m> {
                         _ => unreachable!(),
                     };
                     let dop = op_for_coll(op);
+                    let u = self.draw_u();
                     let dt = self
                         .timing
-                        .comm_time(dop, size, contention, &mut self.rng)
+                        .quantile_time(dop, size, contention, u)
                         .ok_or(PevpmError::MissingTiming { op: dop, size })?;
                     let wake = enter_max + dt.max(0.0);
                     self.account_block(p, &block, since, wake);

@@ -136,7 +136,8 @@ impl Client {
                     let wait = backoff_ms(self.cfg.backoff_base_ms, attempt, &mut self.jitter)
                         .max(hint_ms);
                     std::thread::sleep(Duration::from_millis(wait));
-                    let (reader, writer) = open_connection(&self.addr, &self.cfg, &mut self.jitter)?;
+                    let (reader, writer) =
+                        open_connection(&self.addr, &self.cfg, &mut self.jitter)?;
                     self.reader = reader;
                     self.writer = writer;
                     attempt += 1;
@@ -155,13 +156,26 @@ impl Client {
     /// Send a `batch` of `(table, request)` items. Retries on
     /// `"overloaded"` (safe: the daemon sheds before execution).
     pub fn batch(&mut self, id: &str, items: &[(String, PredictRequest)]) -> io::Result<String> {
+        self.batch_with(id, items, false)
+    }
+
+    /// [`Client::batch`] with common random numbers: `crn` asks the
+    /// server to rewrite every item to one shared base seed, so what-if
+    /// arms are compared on paired Monte-Carlo noise.
+    pub fn batch_with(
+        &mut self,
+        id: &str,
+        items: &[(String, PredictRequest)],
+        crn: bool,
+    ) -> io::Result<String> {
         let bodies: Vec<String> = items
             .iter()
             .map(|(table, req)| predict_body(table, req))
             .collect();
         self.request_with_retry(&format!(
-            "{{\"op\":\"batch\",\"id\":\"{}\",\"requests\":[{}]}}",
+            "{{\"op\":\"batch\",\"id\":\"{}\"{}, \"requests\":[{}]}}",
             escape(id),
+            if crn { ",\"crn\":true" } else { "" },
             bodies.join(",")
         ))
     }
@@ -314,6 +328,18 @@ pub fn predict_body(table: &str, req: &PredictRequest) -> String {
     }
     if let Some(q) = req.quorum {
         out.push_str(&format!(",\"quorum\":{q}"));
+    }
+    if let Some(p) = req.precision {
+        out.push_str(&format!(",\"precision\":{}", num(p)));
+    }
+    if let Some(n) = req.min_reps {
+        out.push_str(&format!(",\"min_reps\":{n}"));
+    }
+    if let Some(n) = req.max_reps {
+        out.push_str(&format!(",\"max_reps\":{n}"));
+    }
+    if req.antithetic {
+        out.push_str(",\"antithetic\":true");
     }
     if let Some(n) = req.max_steps {
         out.push_str(&format!(",\"max_steps\":{n}"));

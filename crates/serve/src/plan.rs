@@ -10,6 +10,7 @@
 //! are one code path. A daemon answer is therefore reproducible by a
 //! one-shot CLI invocation with the same inputs — bitwise.
 
+use pevpm::stats::AdaptivePolicy;
 use pevpm::timing::{PredictionMode, TimingModel};
 use pevpm::vm::{
     evaluate, monte_carlo, EvalConfig, McPrediction, PevpmError, Prediction, RunBudget,
@@ -132,6 +133,19 @@ pub struct PredictRequest {
     pub max_steps: Option<u64>,
     /// Budget: maximum simulated seconds per evaluation.
     pub max_virtual_secs: Option<f64>,
+    /// Adaptive sequential stopping: run replications until the relative
+    /// 95% CI half-width on the mean is at most this value. `Some` makes
+    /// the engine ignore `reps` and stop between `min_reps` and
+    /// `max_reps` replications instead.
+    pub precision: Option<f64>,
+    /// Adaptive replication floor (requires `precision`; default 4).
+    pub min_reps: Option<usize>,
+    /// Adaptive replication ceiling (requires `precision`; default 64).
+    /// The daemon additionally tightens this to its own `--max-reps` cap.
+    pub max_reps: Option<usize>,
+    /// Antithetic seed pairing (variance reduction): replicas 2j/2j+1
+    /// share a derived seed with mirrored Monte-Carlo draws.
+    pub antithetic: bool,
 }
 
 impl PredictRequest {
@@ -151,6 +165,10 @@ impl PredictRequest {
             quorum: None,
             max_steps: None,
             max_virtual_secs: None,
+            precision: None,
+            min_reps: None,
+            max_reps: None,
+            antithetic: false,
         }
     }
 
@@ -181,19 +199,67 @@ impl PredictRequest {
         for (k, v) in &self.params {
             cfg = cfg.with_param(k, *v);
         }
+        let policy = self.adaptive_policy()?;
+        if let Some(policy) = policy {
+            cfg = cfg.with_adaptive(policy);
+        }
         if let Some(q) = self.quorum {
-            if q == 0 || q > self.reps {
+            // Quorum is k-of-(reps actually run): in adaptive mode the
+            // ceiling bounds what can run, so that is what k must fit in.
+            let ceiling = policy.map_or(self.reps, |p| p.max_reps);
+            if q == 0 || q > ceiling {
                 return Err(PlanError::usage(format!(
-                    "--quorum {q} must be in 1..=--reps ({})",
-                    self.reps
+                    "--quorum {q} must be in 1..={ceiling} ({})",
+                    if policy.is_some() {
+                        "--max-reps"
+                    } else {
+                        "--reps"
+                    }
                 )));
             }
             cfg = cfg.with_quorum(q);
+        }
+        if self.antithetic {
+            cfg = cfg.with_antithetic();
         }
         if let Some(budget) = self.budget() {
             cfg = cfg.with_budget(budget);
         }
         Ok(cfg)
+    }
+
+    /// The adaptive stopping policy this request asks for, validated.
+    /// `--min-reps`/`--max-reps` without `--precision` is a usage error —
+    /// they bound a stopping rule that would not be running.
+    pub fn adaptive_policy(&self) -> Result<Option<AdaptivePolicy>, PlanError> {
+        let Some(precision) = self.precision else {
+            if self.min_reps.is_some() || self.max_reps.is_some() {
+                return Err(PlanError::usage(
+                    "--min-reps/--max-reps require --precision (adaptive mode)",
+                ));
+            }
+            return Ok(None);
+        };
+        let mut policy = AdaptivePolicy::new(precision);
+        if let Some(n) = self.min_reps {
+            policy = policy.with_min_reps(n);
+        }
+        if let Some(n) = self.max_reps {
+            policy = policy.with_max_reps(n);
+        }
+        policy.validate().map_err(PlanError::usage)?;
+        Ok(Some(policy))
+    }
+
+    /// The replication count to hand [`evaluate_plan`]: the fixed `reps`,
+    /// or the adaptive ceiling (≥ 2 by validation, so adaptive requests
+    /// always take the Monte-Carlo path). Call after `eval_config()` has
+    /// validated the request.
+    pub fn effective_reps(&self) -> usize {
+        match self.adaptive_policy() {
+            Ok(Some(policy)) => policy.max_reps,
+            _ => self.reps,
+        }
     }
 
     /// The per-evaluation budget requested, if any axis is bounded.
@@ -317,6 +383,29 @@ pub fn render_mc_headline(mc: &McPrediction, procs: usize) -> String {
     )
 }
 
+/// The deterministic adaptive-stopping line both front-ends append after
+/// the headline when the batch ran under a precision target. Empty for
+/// fixed-reps batches, so fixed output stays byte-identical.
+pub fn render_adaptive_line(mc: &McPrediction) -> String {
+    let Some(a) = &mc.adaptive else {
+        return String::new();
+    };
+    let mut out = format!(
+        "adaptive: stopped at {} rep(s) (bounds {}..={}), achieved half-width {:.4} of mean (target {:.4}, {:.0}% CI){}\n",
+        a.reps,
+        a.min_reps,
+        a.max_reps,
+        a.rel_half_width,
+        a.precision,
+        a.confidence * 100.0,
+        if a.converged { "" } else { " [NOT CONVERGED]" },
+    );
+    if a.drift {
+        out.push_str("warning: replication stream looks non-stationary (drift detected)\n");
+    }
+    out
+}
+
 /// The deterministic report for a single evaluation — byte-identical to
 /// the one-shot `pevpm predict` output for the same request.
 pub fn render_single_report(p: &Prediction) -> String {
@@ -396,6 +485,82 @@ mod tests {
             mode_from_name("dist"),
             Ok(PredictionMode::FullDistribution)
         ));
+    }
+
+    #[test]
+    fn adaptive_policy_validation_is_a_usage_error() {
+        // Bounds without a precision: nonsense, and a usage error.
+        let mut req = PredictRequest::new(PINGPONG, 2);
+        req.min_reps = Some(4);
+        let e = req.adaptive_policy().unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::Usage);
+        assert!(e.message.contains("--precision"), "{e}");
+
+        // A malformed policy surfaces through eval_config too.
+        let mut req = PredictRequest::new(PINGPONG, 2);
+        req.precision = Some(-0.5);
+        assert_eq!(req.eval_config().unwrap_err().kind, PlanErrorKind::Usage);
+        req.precision = Some(0.05);
+        req.min_reps = Some(1);
+        assert_eq!(req.eval_config().unwrap_err().kind, PlanErrorKind::Usage);
+        req.min_reps = Some(8);
+        req.max_reps = Some(4);
+        assert_eq!(req.eval_config().unwrap_err().kind, PlanErrorKind::Usage);
+
+        // A valid policy lands in the EvalConfig and raises the rep
+        // ceiling the plan layer evaluates with.
+        let mut req = PredictRequest::new(PINGPONG, 2);
+        req.precision = Some(0.05);
+        req.max_reps = Some(24);
+        let cfg = req.eval_config().unwrap();
+        let policy = cfg.adaptive.expect("policy in config");
+        assert_eq!(policy.max_reps, 24);
+        assert_eq!(req.effective_reps(), 24);
+        assert_eq!(PredictRequest::new(PINGPONG, 2).effective_reps(), 1);
+
+        // Quorum validates against the adaptive ceiling, not req.reps.
+        let mut req = PredictRequest::new(PINGPONG, 2);
+        req.precision = Some(0.05);
+        req.max_reps = Some(24);
+        req.quorum = Some(24);
+        assert!(req.eval_config().is_ok());
+        req.quorum = Some(25);
+        let e = req.eval_config().unwrap_err();
+        assert_eq!(e.kind, PlanErrorKind::Usage);
+        assert!(e.message.contains("--max-reps"), "{e}");
+    }
+
+    #[test]
+    fn adaptive_render_line_reports_the_stopping_outcome() {
+        let model = parse_model(PINGPONG, "test").unwrap();
+        let timing = TimingModel::hockney(100e-6, 12.5e6);
+        let mut req = PredictRequest::new(PINGPONG, 2);
+        req.params.push(("rounds".to_string(), 5.0));
+        req.precision = Some(0.05);
+        let cfg = req.eval_config().unwrap();
+        let outcome = evaluate_plan(&model, &cfg, &timing, req.effective_reps()).unwrap();
+        let EvalOutcome::Batch(mc) = &outcome else {
+            panic!("expected batch outcome")
+        };
+        // Hockney is deterministic: zero variance, stops at the floor.
+        let report = mc.adaptive.expect("adaptive report");
+        assert_eq!(report.reps, 4);
+        assert!(report.converged);
+        let line = render_adaptive_line(mc);
+        assert!(line.contains("stopped at 4 rep(s)"), "{line}");
+        assert!(!line.contains("NOT CONVERGED"), "{line}");
+        assert!(!line.contains("drift"), "{line}");
+
+        // Fixed-reps batches render nothing — the legacy report shape
+        // is byte-preserved.
+        let mut fixed_req = PredictRequest::new(PINGPONG, 2);
+        fixed_req.params.push(("rounds".to_string(), 5.0));
+        let fixed_cfg = fixed_req.eval_config().unwrap();
+        let EvalOutcome::Batch(fixed_mc) = evaluate_plan(&model, &fixed_cfg, &timing, 3).unwrap()
+        else {
+            panic!("expected batch outcome")
+        };
+        assert_eq!(render_adaptive_line(&fixed_mc), "");
     }
 
     #[test]

@@ -27,8 +27,8 @@ use std::io::{self, Read, Write};
 use pevpm_obs::json::{self, escape, num, Json};
 
 use crate::plan::{
-    render_failures, render_mc_headline, render_single_report, EvalOutcome, PlanError,
-    PredictRequest,
+    render_adaptive_line, render_failures, render_mc_headline, render_single_report, EvalOutcome,
+    PlanError, PredictRequest,
 };
 
 /// Maximum accepted frame payload (16 MiB) unless the server configures
@@ -298,6 +298,18 @@ pub fn parse_predict_body(v: &Json) -> Result<(String, PredictRequest), PlanErro
         req.eval_threads = eval_threads;
     }
     req.quorum = usize_field(v, "quorum")?;
+    req.precision = match v.get("precision") {
+        None | Some(Json::Null) => None,
+        Some(Json::Num(n)) if *n > 0.0 => Some(*n),
+        Some(_) => {
+            return Err(PlanError::usage(
+                "field \"precision\" must be a positive number",
+            ))
+        }
+    };
+    req.min_reps = usize_field(v, "min_reps")?;
+    req.max_reps = usize_field(v, "max_reps")?;
+    req.antithetic = bool_field(v, "antithetic")?;
     req.max_steps = u64_field(v, "max_steps")?;
     req.max_virtual_secs = match v.get("max_virtual_secs") {
         None | Some(Json::Null) => None,
@@ -332,7 +344,7 @@ pub fn parse_request(text: &str) -> Result<Request, (String, PlanError)> {
             })
         }
         "batch" => {
-            let items = v
+            let mut items = v
                 .get("requests")
                 .and_then(Json::as_array)
                 .ok_or_else(|| {
@@ -347,6 +359,22 @@ pub fn parse_request(text: &str) -> Result<Request, (String, PlanError)> {
                 .map_err(|e| (id.clone(), e))?;
             if items.is_empty() {
                 return Err((id, PlanError::usage("batch \"requests\" must be non-empty")));
+            }
+            // Common random numbers: `"crn": true` rewrites every item to
+            // one shared base seed (the frame-level `"seed"` if given,
+            // else the first item's), so what-if arms that differ only in
+            // parameters/tables are compared on *paired* noise — the
+            // per-arm Monte-Carlo draws line up one-to-one and the
+            // arm-difference variance collapses to the model difference.
+            let crn = bool_field(&v, "crn").map_err(|e| (id.clone(), e))?;
+            if crn {
+                let base = match u64_field(&v, "seed").map_err(|e| (id.clone(), e))? {
+                    Some(s) => s,
+                    None => items[0].1.seed,
+                };
+                for (_, req) in &mut items {
+                    req.seed = base;
+                }
             }
             Ok(Request::Batch { id, items })
         }
@@ -417,12 +445,35 @@ pub fn render_outcome(outcome: &EvalOutcome) -> String {
             }
             failures.push(']');
             let report = format!(
-                "{}{}",
+                "{}{}{}",
                 render_mc_headline(mc, mc.runs.first().map_or(0, |p| p.nprocs)),
+                render_adaptive_line(mc),
                 render_failures(&mc.failures)
             );
+            // Adaptive runs get extra deterministic fields; fixed-reps
+            // responses stay byte-identical to the historical frames.
+            let adaptive = mc.adaptive.as_ref().map_or(String::new(), |a| {
+                format!(
+                    ",\"adaptive\":{{\"precision\":{},\"confidence\":{},\"min_reps\":{},\
+                     \"max_reps\":{},\"reps\":{},\"reps_saved\":{},\"rel_half_width\":{},\
+                     \"converged\":{},\"drift\":{}}}",
+                    num(a.precision),
+                    num(a.confidence),
+                    a.min_reps,
+                    a.max_reps,
+                    a.reps,
+                    a.reps_saved(),
+                    if a.rel_half_width.is_finite() {
+                        num(a.rel_half_width)
+                    } else {
+                        "null".to_string()
+                    },
+                    a.converged,
+                    a.drift
+                )
+            });
             format!(
-                "{{\"kind\":\"mc\",\"mean\":{},\"stderr\":{},\"min\":{},\"max\":{},\"reps\":{},\"failures\":{failures},\"report\":\"{}\"}}",
+                "{{\"kind\":\"mc\",\"mean\":{},\"stderr\":{},\"min\":{},\"max\":{},\"reps\":{}{adaptive},\"failures\":{failures},\"report\":\"{}\"}}",
                 num(mc.mean),
                 num(mc.stderr),
                 num(mc.min),
@@ -559,6 +610,79 @@ mod tests {
         assert_eq!(req.seed, 7);
         assert_eq!(req.max_steps, Some(100));
         assert_eq!(req.max_virtual_secs, None);
+    }
+
+    #[test]
+    fn adaptive_fields_parse_and_validate() {
+        let r = parse_request(
+            "{\"op\":\"predict\",\"id\":\"a1\",\"model\":\"src\",\"procs\":4,\
+             \"precision\":0.05,\"min_reps\":4,\"max_reps\":32,\"antithetic\":true}",
+        )
+        .unwrap();
+        let Request::Predict { req, .. } = r else {
+            panic!("expected predict")
+        };
+        assert_eq!(req.precision, Some(0.05));
+        assert_eq!(req.min_reps, Some(4));
+        assert_eq!(req.max_reps, Some(32));
+        assert!(req.antithetic);
+
+        // Absent fields stay absent: the legacy request shape is intact.
+        let r = parse_request("{\"op\":\"predict\",\"id\":\"a2\",\"model\":\"m\",\"procs\":2}")
+            .unwrap();
+        let Request::Predict { req, .. } = r else {
+            panic!("expected predict")
+        };
+        assert_eq!(req.precision, None);
+        assert!(!req.antithetic);
+
+        // A non-positive precision is refused at the parse layer.
+        let (id, e) = parse_request(
+            "{\"op\":\"predict\",\"id\":\"a3\",\"model\":\"m\",\"procs\":2,\"precision\":0}",
+        )
+        .unwrap_err();
+        assert_eq!(id, "a3");
+        assert!(e.message.contains("precision"), "{e}");
+    }
+
+    #[test]
+    fn crn_batches_rewrite_item_seeds_to_a_common_base() {
+        let r = parse_request(
+            "{\"op\":\"batch\",\"id\":\"b\",\"crn\":true,\"requests\":[\
+             {\"model\":\"a\",\"procs\":2,\"seed\":11},\
+             {\"model\":\"b\",\"procs\":2,\"seed\":99},\
+             {\"model\":\"c\",\"procs\":2}]}",
+        )
+        .unwrap();
+        let Request::Batch { items, .. } = r else {
+            panic!("expected batch")
+        };
+        assert!(items.iter().all(|(_, req)| req.seed == 11));
+
+        // An explicit frame seed overrides the first item's.
+        let r = parse_request(
+            "{\"op\":\"batch\",\"id\":\"b\",\"crn\":true,\"seed\":7,\"requests\":[\
+             {\"model\":\"a\",\"procs\":2,\"seed\":11},\
+             {\"model\":\"b\",\"procs\":2,\"seed\":99}]}",
+        )
+        .unwrap();
+        let Request::Batch { items, .. } = r else {
+            panic!("expected batch")
+        };
+        assert!(items.iter().all(|(_, req)| req.seed == 7));
+
+        // Without crn, per-item seeds survive untouched.
+        let r = parse_request(
+            "{\"op\":\"batch\",\"id\":\"b\",\"requests\":[\
+             {\"model\":\"a\",\"procs\":2,\"seed\":11},\
+             {\"model\":\"b\",\"procs\":2,\"seed\":99}]}",
+        )
+        .unwrap();
+        let Request::Batch { items, .. } = r else {
+            panic!("expected batch")
+        };
+        assert_eq!(items[0].1.seed, 11);
+        assert_eq!(items[1].1.seed, 99);
     }
 
     #[test]

@@ -1132,15 +1132,37 @@ impl Server {
             if let Some(cap) = self.cfg.max_virtual_secs {
                 req.max_virtual_secs = Some(req.max_virtual_secs.map_or(cap, |s| s.min(cap)));
             }
+            // Adaptive replication ceiling tightens like the budget axes:
+            // a precision request may not run more replications than the
+            // daemon's `--max-reps` cap, whatever ceiling it asked for.
+            if self.cfg.max_reps > 0 && req.precision.is_some() {
+                let cap = self.cfg.max_reps;
+                req.max_reps = Some(req.max_reps.map_or(cap, |n| n.min(cap)));
+            }
             // Engine and DAG-scheduler metrics (vm.*, dag.*) land in the
             // daemon registry, surfacing through `stats` and /metrics.
             let cfg = req
                 .eval_config()?
                 .with_metrics(Arc::clone(self.telemetry.registry()));
-            plan::evaluate_plan(&model, &cfg, &timing, req.reps)
+            plan::evaluate_plan(&model, &cfg, &timing, req.effective_reps())
         })?;
         if let EvalOutcome::Batch(mc) = &outcome {
             timer.set_replica_failures(mc.failures.len());
+            if let Some(a) = &mc.adaptive {
+                timer.set_reps(a.reps);
+                timer.set_reps_saved(a.reps_saved());
+                self.registry
+                    .counter("serve.reps.saved")
+                    .add(a.reps_saved() as u64);
+                self.registry
+                    .histogram(
+                        "serve.reps.chosen",
+                        crate::telemetry::REPS_CHOSEN_BINS.0,
+                        crate::telemetry::REPS_CHOSEN_BINS.1,
+                        crate::telemetry::REPS_CHOSEN_BINS.2,
+                    )
+                    .record(a.reps as f64);
+            }
         }
         Ok(timer.stage("render", || proto::render_outcome(&outcome)))
     }

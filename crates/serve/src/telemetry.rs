@@ -48,6 +48,11 @@ pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
 /// `[0, 250)` ms (values clamp, so counts are exact regardless).
 const LATENCY_MS_BINS: (f64, f64, usize) = (0.0, 250.0, 50);
 
+/// Histogram binning for the adaptive reps-chosen distribution
+/// (`serve.reps.chosen`): one bin per replication up to 128 (values
+/// clamp, so counts stay exact for larger ceilings).
+pub const REPS_CHOSEN_BINS: (f64, f64, usize) = (0.0, 128.0, 128);
+
 enum LogSink {
     Stderr,
     File(File),
@@ -300,6 +305,12 @@ impl RequestTimer<'_> {
     /// a batch frame span).
     pub fn set_replica_failures(&mut self, n: usize) {
         self.span.replica_failures = n;
+    }
+
+    /// Record how many replications adaptive stopping saved relative to
+    /// the request's ceiling (`None` on the span means fixed-reps).
+    pub fn set_reps_saved(&mut self, n: usize) {
+        self.span.reps_saved = Some(n);
     }
 
     /// Mark that a panic was caught at the request boundary.

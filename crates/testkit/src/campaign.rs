@@ -8,8 +8,8 @@
 
 use crate::gen::{generate, GenConfig};
 use crate::oracle::{
-    check_dag, check_diagnostics, check_differential, check_fault_identity, check_ks,
-    check_scaling, Failure,
+    check_adaptive, check_dag, check_diagnostics, check_differential, check_fault_identity,
+    check_ks, check_scaling, Failure,
 };
 use crate::program::TestProgram;
 use crate::report::Counterexample;
@@ -33,6 +33,10 @@ pub enum Mode {
     /// Bitwise thread-count invariance of the DAG scheduler (and serial
     /// agreement when the decomposition stands down).
     Dag,
+    /// Adaptive sequential stopping against the reference rule:
+    /// determinism, fixed-prefix truncation, and CI agreement with the
+    /// full fixed batch.
+    Adaptive,
 }
 
 impl Mode {
@@ -44,6 +48,7 @@ impl Mode {
             Mode::Ks => "ks",
             Mode::Diagnostics => "diagnostics",
             Mode::Dag => "dag",
+            Mode::Adaptive => "adaptive",
         }
     }
 
@@ -55,17 +60,19 @@ impl Mode {
             "ks" => Some(Mode::Ks),
             "diagnostics" => Some(Mode::Diagnostics),
             "dag" => Some(Mode::Dag),
+            "adaptive" => Some(Mode::Adaptive),
             _ => None,
         }
     }
 
     /// All modes, in reporting order.
-    pub const ALL: [Mode; 5] = [
+    pub const ALL: [Mode; 6] = [
         Mode::Differential,
         Mode::Metamorphic,
         Mode::Ks,
         Mode::Diagnostics,
         Mode::Dag,
+        Mode::Adaptive,
     ];
 }
 
@@ -177,6 +184,11 @@ fn mode_setup(mode: Mode, seed: u64, bench_reps: usize) -> (GenConfig, DistTable
             let table = synthetic_table(&with_doubles(&cfg.sizes), seed);
             (cfg, table)
         }
+        Mode::Adaptive => {
+            let cfg = GenConfig::adaptive();
+            let table = synthetic_table(&with_doubles(&cfg.sizes), seed);
+            (cfg, table)
+        }
     }
 }
 
@@ -232,6 +244,7 @@ fn check(
         }
         Mode::Diagnostics => check_diagnostics(prog, table, seed),
         Mode::Dag => check_dag(prog, table, seed, cfg.replications),
+        Mode::Adaptive => check_adaptive(prog, table, seed),
     }
 }
 

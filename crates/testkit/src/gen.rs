@@ -108,6 +108,18 @@ impl GenConfig {
         }
     }
 
+    /// Programs for the adaptive-stopping oracle: the well-formed
+    /// differential space, biased toward longer programs so the
+    /// replication stream carries real sampled spread for the stopping
+    /// rule to react to (a two-item program often has near-zero
+    /// variance and pins every run to the floor).
+    pub fn adaptive() -> Self {
+        GenConfig {
+            max_items: 14,
+            ..GenConfig::default()
+        }
+    }
+
     /// The well-formed space plus orphan receives, for exercising the
     /// deadlock/budget diagnostics.
     pub fn maybe_deadlocking() -> Self {

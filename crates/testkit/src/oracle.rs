@@ -68,6 +68,14 @@ pub enum Failure {
         /// What happened, including what was expected.
         outcome: String,
     },
+    /// The adaptive replication engine violated its stopping contract.
+    Adaptive {
+        /// Which part of the contract broke (`determinism`,
+        /// `stop-point`, `prefix`, `ci-agreement`).
+        check: &'static str,
+        /// What was observed, rendered exactly.
+        detail: String,
+    },
     /// An oracle could not even run the program (evaluation or
     /// co-simulation error outside the accepted diagnostic classes).
     Error {
@@ -88,6 +96,7 @@ impl Failure {
             Failure::MetamorphicScaling { .. } => "metamorphic-scaling",
             Failure::FaultIdentity { .. } => "fault-identity",
             Failure::Diagnostics { .. } => "diagnostics",
+            Failure::Adaptive { .. } => "adaptive",
             Failure::Error { .. } => "error",
         }
     }
@@ -134,6 +143,9 @@ impl fmt::Display for Failure {
                  (no plan) vs {with_plan:.9e} (empty plan)"
             ),
             Failure::Diagnostics { outcome } => write!(f, "{outcome}"),
+            Failure::Adaptive { check, detail } => {
+                write!(f, "adaptive {check} contract violated: {detail}")
+            }
             Failure::Error { context, error } => write!(f, "{context}: {error}"),
         }
     }
@@ -512,6 +524,108 @@ pub fn check_diagnostics(prog: &TestProgram, table: &DistTable, seed: u64) -> Re
     }
 }
 
+/// Stopping policy the adaptive oracle checks under: loose enough that
+/// most generated programs converge before the ceiling, tight enough
+/// that noisy ones run past the floor.
+pub const ADAPTIVE_PRECISION: f64 = 0.05;
+
+/// Replication ceiling of the adaptive oracle (also the fixed-batch
+/// length the adaptive run is compared against).
+pub const ADAPTIVE_MAX_REPS: usize = 12;
+
+/// Oracle 6 — the adaptive replication engine against its reference
+/// stopping rule. Three deterministic checks per program:
+///
+/// - **determinism** — two adaptive runs with the same (seed,
+///   precision) choose the same rep count and agree bitwise on the
+///   mean;
+/// - **stop-point / prefix** — the engine stops exactly where
+///   [`pevpm::stats::AdaptivePolicy::stop_point`] says on the
+///   fixed-batch makespan stream, and each adaptive replication agrees
+///   bitwise with the fixed replication at its index (adaptive mode is
+///   a truncation, never a re-sampling);
+/// - **ci-agreement** — the adaptive mean lies within a generous
+///   multiple of its own reported half-width of the full fixed-batch
+///   mean (the calibration claim: stopping early loses precision, not
+///   correctness).
+pub fn check_adaptive(prog: &TestProgram, table: &DistTable, seed: u64) -> Result<(), Failure> {
+    use pevpm::stats::AdaptivePolicy;
+
+    let model = prog.to_model();
+    let timing = TimingModel::distributions(table.clone());
+    let policy = AdaptivePolicy::new(ADAPTIVE_PRECISION)
+        .with_min_reps(2)
+        .with_max_reps(ADAPTIVE_MAX_REPS);
+    let fixed_cfg = EvalConfig::new(prog.nprocs).with_seed(seed);
+    let adaptive_cfg = fixed_cfg.clone().with_adaptive(policy);
+
+    let fixed = monte_carlo(&model, &fixed_cfg, &timing, ADAPTIVE_MAX_REPS)
+        .map_err(|e| eval_err("fixed batch", &e))?;
+    let run = || monte_carlo(&model, &adaptive_cfg, &timing, ADAPTIVE_MAX_REPS);
+    let first = run().map_err(|e| eval_err("adaptive batch", &e))?;
+    let second = run().map_err(|e| eval_err("adaptive re-run", &e))?;
+
+    let report = first.adaptive.ok_or_else(|| Failure::Adaptive {
+        check: "stop-point",
+        detail: "adaptive run returned no report".into(),
+    })?;
+    let re_report = second.adaptive.expect("adaptive re-run must report");
+    if report.reps != re_report.reps || first.mean.to_bits() != second.mean.to_bits() {
+        return Err(Failure::Adaptive {
+            check: "determinism",
+            detail: format!(
+                "re-run chose {} rep(s), mean {:.17e}; first chose {} rep(s), mean {:.17e}",
+                re_report.reps, second.mean, report.reps, first.mean
+            ),
+        });
+    }
+
+    let stream: Vec<f64> = fixed.runs.iter().map(|p| p.makespan).collect();
+    let expected = policy.stop_point(&stream);
+    if report.reps != expected {
+        return Err(Failure::Adaptive {
+            check: "stop-point",
+            detail: format!(
+                "engine stopped at {} rep(s), the reference rule says {expected} \
+                 (precision {ADAPTIVE_PRECISION}, bounds {}..={})",
+                report.reps, policy.min_reps, policy.max_reps
+            ),
+        });
+    }
+    for (i, (a, b)) in first.runs.iter().zip(&fixed.runs).enumerate() {
+        if a.makespan.to_bits() != b.makespan.to_bits() {
+            return Err(Failure::Adaptive {
+                check: "prefix",
+                detail: format!(
+                    "replication {i}: adaptive {:.17e} vs fixed {:.17e}",
+                    a.makespan, b.makespan
+                ),
+            });
+        }
+    }
+
+    // Calibration slack: 4× the larger of the achieved and requested
+    // relative half-widths. The fixed mean is itself an estimate, so an
+    // exact 1× bound would be wrong ~5% of the time by design.
+    let rel = if report.rel_half_width.is_finite() {
+        report.rel_half_width.max(ADAPTIVE_PRECISION)
+    } else {
+        ADAPTIVE_PRECISION
+    };
+    let slack = 4.0 * rel * first.mean.abs();
+    if (first.mean - fixed.mean).abs() > slack {
+        return Err(Failure::Adaptive {
+            check: "ci-agreement",
+            detail: format!(
+                "adaptive mean {:.17e} ({} rep(s)) vs fixed mean {:.17e} ({} rep(s)) \
+                 differs by more than {slack:.3e}",
+                first.mean, report.reps, fixed.mean, ADAPTIVE_MAX_REPS
+            ),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +700,16 @@ mod tests {
             }
         }
         assert!(deadlocked > 0 && completed > 0, "{deadlocked}/{completed}");
+    }
+
+    #[test]
+    fn adaptive_oracle_accepts_generated_programs() {
+        let cfg = GenConfig::adaptive();
+        let table = table_for(&cfg);
+        for seed in 0..10 {
+            let p = generate(&cfg, seed);
+            check_adaptive(&p, &table, seed).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        }
     }
 
     #[test]

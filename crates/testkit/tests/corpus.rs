@@ -49,6 +49,50 @@ fn floats(s: &str, name: &str) -> Vec<f64> {
         .collect()
 }
 
+/// The adaptive-stopping reference rule on a pinned sample stream:
+/// `stop_point` must stop at exactly `stop`, convergence must match,
+/// and the drift detector over the full stream must return `drift`.
+/// These witnesses pin the statistical machinery (Student-t quantile,
+/// Welford accumulation, Welch drift test) bit-for-bit across refactors.
+fn replay_adaptive_oracle(kv: &BTreeMap<String, String>, name: &str) {
+    use pevpm::stats::{self, AdaptivePolicy};
+    use pevpm_dist::Summary;
+
+    let num = |key: &str| -> f64 {
+        field(kv, name, key)
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}: bad number for {key}"))
+    };
+    let stream = floats(field(kv, name, "stream"), name);
+    assert!(!stream.is_empty(), "{name}: empty stream");
+    let policy = AdaptivePolicy::new(num("precision"))
+        .with_min_reps(num("min_reps") as usize)
+        .with_max_reps(num("max_reps") as usize)
+        .with_confidence(num("confidence"));
+    policy
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}: invalid pinned policy: {e}"));
+
+    let expected_stop = num("stop") as usize;
+    let stop = policy.stop_point(&stream);
+    assert_eq!(
+        stop, expected_stop,
+        "{name}: stopping rule moved (pinned {expected_stop}, got {stop})"
+    );
+    let converged = policy.satisfied(&Summary::from_slice(&stream[..stop]));
+    assert_eq!(
+        converged.to_string(),
+        field(kv, name, "converged"),
+        "{name}: convergence verdict moved"
+    );
+    let drift = stats::detect_drift(&stream, stats::DRIFT_ALPHA);
+    assert_eq!(
+        drift.to_string(),
+        field(kv, name, "drift"),
+        "{name}: drift verdict moved"
+    );
+}
+
 /// The type-7 quantile/cdf consistency property from `tests/proptests.rs`
 /// (`ecdf_quantile_cdf_consistency`), replayed on a pinned witness.
 fn replay_ecdf_quantile_cdf(kv: &BTreeMap<String, String>, name: &str) {
@@ -93,6 +137,7 @@ fn corpus_replays_clean() {
                 let kv = parse_case(&text, &name);
                 match field(&kv, &name, "property") {
                     "ecdf-quantile-cdf-consistency" => replay_ecdf_quantile_cdf(&kv, &name),
+                    "adaptive-oracle" => replay_adaptive_oracle(&kv, &name),
                     other => panic!(
                         "{name}: unknown property {other:?} — add a replayer \
                          in crates/testkit/tests/corpus.rs"

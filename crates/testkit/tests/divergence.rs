@@ -175,6 +175,57 @@ fn perturbed_component_merge_order_is_caught_and_shrunk() {
     assert_eq!(parsed.oracle, "differential");
 }
 
+/// With the `divergence-injection` feature the adaptive engine's
+/// stopping check uses an off-by-one degrees-of-freedom count (the
+/// half-width of `n` samples is computed as if there were `n + 1`) — a
+/// model of the classic n-vs-n−1 mistake, which makes the rule *too
+/// permissive* and stop early. The adaptive oracle must catch the
+/// engine disagreeing with the reference `stop_point`, the shrinker
+/// must minimise the witness, and the artifact must round-trip.
+#[cfg(feature = "divergence-injection")]
+#[test]
+fn injected_off_by_one_stopping_rule_is_caught_and_shrunk() {
+    use pevpm_testkit::oracle::check_adaptive;
+
+    let gen_cfg = GenConfig::adaptive();
+    let mut sizes = gen_cfg.sizes.clone();
+    sizes.extend(gen_cfg.sizes.iter().map(|s| s * 2));
+    let table = synthetic_table(&sizes, 11);
+
+    // Only stop-point/prefix divergences count: the seeded defect moves
+    // the stopping index, it does not break determinism.
+    let fails = |prog: &TestProgram, seed: u64| -> Option<Failure> {
+        check_adaptive(prog, &table, seed)
+            .err()
+            .filter(|f| f.kind() == "adaptive")
+    };
+
+    let (seed, prog, first) = (0..60u64)
+        .find_map(|seed| {
+            let prog = generate(&gen_cfg, seed);
+            fails(&prog, seed).map(|f| (seed, prog, f))
+        })
+        .expect("an off-by-one stopping rule must be caught within 60 programs");
+
+    let minimised = shrink(&prog, &gen_cfg.sizes, |cand| fails(cand, seed).is_some());
+    assert!(
+        minimised.directives() <= 10,
+        "shrinker left {} directives:\n{}",
+        minimised.directives(),
+        minimised.to_text()
+    );
+    assert!(
+        fails(&minimised, seed).is_some(),
+        "minimised program must still trip the adaptive oracle"
+    );
+
+    let cx = Counterexample::new(&first, seed, &prog, minimised.clone());
+    let parsed = Counterexample::parse(&cx.render()).expect("artifact must parse back");
+    assert_eq!(parsed.program, minimised);
+    assert_eq!(parsed.seed, seed);
+    assert_eq!(parsed.oracle, "adaptive");
+}
+
 /// With the `divergence-injection` feature the compiled sampler's every
 /// quantile is one ULP off: the differential campaign must light up and
 /// every counterexample must shrink to ≤ 10 directives.

@@ -1,4 +1,4 @@
-//! The committed smoke corpus: 250 generated programs across the five
+//! The committed smoke corpus: 280 generated programs across the six
 //! oracles, run on every `cargo test`. Long-run fuzzing uses the same
 //! campaign driver through `pevpm fuzz`; this bounded corpus is the
 //! regression net every PR inherits.
@@ -56,4 +56,9 @@ fn diagnostics_smoke() {
 #[test]
 fn dag_smoke() {
     run(Mode::Dag, 40);
+}
+
+#[test]
+fn adaptive_smoke() {
+    run(Mode::Adaptive, 30);
 }

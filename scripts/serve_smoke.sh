@@ -12,7 +12,10 @@
 #   5. the HTTP observability sidecar answers /metrics (Prometheus text
 #      whose serve_requests_total and per-stage histogram _counts equal
 #      the 101 predictions served), /healthz, and /spans, and the
-#      structured request log has one JSON line per request.
+#      structured request log has one JSON line per request;
+#   6. an adaptive request (--precision) converges before its rep
+#      ceiling, reports reps saved, and feeds the serve.reps.saved
+#      counter.
 #
 # Usage: scripts/serve_smoke.sh
 #   PEVPM=path/to/pevpm overrides the binary (default: target/release/pevpm,
@@ -144,6 +147,27 @@ print(f"serve_smoke: /metrics golden (101 requests, 5 stages x 101), "
       f"{len(spans)} spans exported")
 PY
 
+echo "serve_smoke: adaptive replication on the easy model"
+# The ping-pong model averages 50 rounds internally, so the stopping rule
+# should converge well before the 32-rep ceiling and report reps saved.
+"$PEVPM" client --port-file "$WORK/port" --model "$WORK/model.c" --procs 2 \
+    --param rounds=50 --seed 3 --precision 0.05 --min-reps 2 --max-reps 32 \
+    > "$WORK/adaptive.json"
+"$PEVPM" client --port-file "$WORK/port" --stats > "$WORK/stats-adaptive.json"
+python3 - "$WORK/adaptive.json" "$WORK/stats-adaptive.json" <<'PY'
+import json, sys
+resp = json.load(open(sys.argv[1]))
+assert resp["ok"], resp
+a = resp["result"]["adaptive"]
+assert a["converged"], f"adaptive request did not converge: {a}"
+assert a["reps_saved"] > 0, f"adaptive request saved no reps: {a}"
+stats = json.load(open(sys.argv[2]))
+saved = stats["result"]["counters"].get("serve.reps.saved", 0)
+assert saved >= a["reps_saved"], (saved, a)
+print(f"serve_smoke: adaptive stopped at {a['reps']}/{a['max_reps']} reps "
+      f"(saved {a['reps_saved']}, serve.reps.saved={saved})")
+PY
+
 echo "serve_smoke: timing 100 one-shot CLI predictions"
 oneshot_start=$(date +%s.%N)
 for _ in $(seq 1 100); do
@@ -185,12 +209,13 @@ PY
 python3 - "$WORK/requests.log" <<'PY'
 import json, sys
 lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
-# 1 lone predict + 100 batch items + 1 batch frame + stats/ping-style
-# control frames; every line must be standalone JSON with a stage list.
+# 1 lone predict + 100 batch items + 1 adaptive predict + 1 batch frame
+# + stats/ping-style control frames; every line must be standalone JSON
+# with a stage list.
 predicts = [l for l in lines if l["op"] in ("predict", "batch-item")]
-assert len(predicts) == 101, f"expected 101 prediction log lines, got {len(predicts)}"
+assert len(predicts) == 102, f"expected 102 prediction log lines, got {len(predicts)}"
 assert all(l["outcome"] == "ok" for l in predicts), predicts[-1]
-print(f"serve_smoke: request log has {len(lines)} lines, 101 predictions, all ok")
+print(f"serve_smoke: request log has {len(lines)} lines, {len(predicts)} predictions, all ok")
 PY
 
 cp "$WORK/metrics.json" serve-metrics.json
